@@ -1,0 +1,193 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **S3** stride speedup — §III-B1's "~13× speedup" for the stride-4
+//!   first layer (halt-only-at-valid-positions vs dense halting);
+//! * **S4** skip-connection overhead — ResNet-18 vs the skip-less plain
+//!   variant (resources + cycles; §III-B5 "almost for free");
+//! * **S5** BRAM shape-quantization waste — §III-B1a's ≥25%;
+//! * **halt vs overlap** — the literal §III-B1 halt-the-input discipline
+//!   vs the overlapped I/O the paper's measurements imply (simulated);
+//! * **activation width sweep** — 1–4-bit activations: datapath resources
+//!   and pipeline period;
+//! * **rejected designs** — LMem-resident weights (§II-B) and the PCIe
+//!   parameter-load amortization (§III-B1a);
+//! * FIFO-capacity sensitivity of the streaming pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnn::compiler::{run_images, CompileOptions};
+use qnn::hw::resources::{cache_alloc_kbits, cache_waste_fraction};
+use qnn::hw::{estimate_network, CycleModel};
+use qnn::nn::{models, Network};
+use qnn_bench::render_table;
+
+fn stride_ablation() {
+    // AlexNet conv1 halts only at the 55×55 valid stride-4 positions; a
+    // dense design would halt at every one of the ~218×218.
+    let alex = models::alexnet(1000);
+    let qnn::nn::Stage::ConvInput { geom } = alex.stages[0] else { unreachable!() };
+    let p = geom.padded_input();
+    let valid = geom.output().pixels() as f64;
+    let dense = ((p.h - geom.filter.k + 1) * (p.w - geom.filter.k + 1)) as f64;
+    println!("\n== S3: stride-4 first layer halt reduction ==");
+    println!("valid positions {valid}, dense positions {dense}, speedup {:.1}× (paper: ~13×)", dense / valid);
+}
+
+fn skip_ablation() {
+    println!("\n== S4: skip connections (ResNet-18 vs plain variant) ==");
+    let full = models::resnet18(1000);
+    let plain = models::resnet18_plain(1000);
+    let fu = estimate_network(&full, 3).total;
+    let pu = estimate_network(&plain, 3).total;
+    let fm = CycleModel::analyze(&full);
+    let pm = CycleModel::analyze(&plain);
+    let rows = vec![
+        vec!["ResNet-18 (skips)".into(), fu.luts.to_string(), fu.ffs.to_string(), fu.bram_kbits.to_string(), fm.latency().to_string()],
+        vec!["plain (no skips)".into(), pu.luts.to_string(), pu.ffs.to_string(), pu.bram_kbits.to_string(), pm.latency().to_string()],
+        vec![
+            "overhead".into(),
+            format!("{:+.1}%", 100.0 * (fu.luts as f64 / pu.luts as f64 - 1.0)),
+            format!("{:+.1}%", 100.0 * (fu.ffs as f64 / pu.ffs as f64 - 1.0)),
+            format!("{:+.1}%", 100.0 * (fu.bram_kbits as f64 / pu.bram_kbits as f64 - 1.0)),
+            format!("{:+.1}%", 100.0 * (fm.latency() as f64 / pm.latency() as f64 - 1.0)),
+        ],
+    ];
+    println!("{}", render_table(&["variant", "LUT", "FF", "BRAM Kbit", "latency cycles"], &rows));
+}
+
+fn bram_ablation() {
+    println!("\n== S5: BRAM shape-quantization waste (512-deep M20K) ==");
+    let mut rows = Vec::new();
+    for (label, width, entries) in [
+        ("ResNet conv2_x cache (576×64)", 576u64, 64u64),
+        ("ResNet conv5_x cache (4608×512)", 4608, 512),
+        ("AlexNet conv2 cache (2400×256)", 2400, 256),
+        ("AlexNet fc6 cache (9216×2048)", 9216, 2048),
+        ("paper's worst case (K²I×384)", 576, 384),
+    ] {
+        rows.push(vec![
+            label.to_string(),
+            cache_alloc_kbits(width, entries).to_string(),
+            format!("{:.0}%", 100.0 * cache_waste_fraction(width, entries)),
+        ]);
+    }
+    println!("{}", render_table(&["weight cache", "allocated Kbit", "waste"], &rows));
+}
+
+fn halt_vs_overlap_ablation() {
+    use qnn::dfe::{Graph, HostSink, HostSource, StreamSpec};
+    use qnn::kernels::{ConvKernel, DotMode};
+    use qnn::tensor::{BinaryFilters, ConvGeometry, FilterShape, Shape3, Tensor3};
+
+    println!("\n== Halt-strict (§III-B1 literal) vs overlapped I/O (simulated) ==");
+    let geom = ConvGeometry::new(Shape3::new(24, 24, 8), FilterShape::new(3, 8, 16), 1, 0);
+    let weights: Vec<f32> =
+        (0..geom.filter.total_weights()).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+    let filters = BinaryFilters::from_float_rows(&weights, geom.filter.weights_per_filter());
+    let input = Tensor3::from_fn(geom.input, |y, x, ch| ((y * 3 + x + ch) % 4) as u8);
+    let data: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
+
+    let run = |halted: bool| -> u64 {
+        let kernel = if halted {
+            ConvKernel::new_halted("conv", geom, filters.clone(), None, DotMode::Codes { bits: 2 })
+        } else {
+            ConvKernel::new("conv", geom, filters.clone(), None, DotMode::Codes { bits: 2 })
+        };
+        let mut g = Graph::new();
+        let a = g.add_stream(StreamSpec::new("in", 2, 64));
+        let b = g.add_stream(StreamSpec::new("out", 16, 64));
+        g.add_kernel(Box::new(HostSource::new("src", data.clone())), &[], &[a]);
+        g.add_kernel(Box::new(kernel), &[a], &[b]);
+        let (sink, _h) = HostSink::new("dst", geom.output().len());
+        g.add_kernel(Box::new(sink), &[b], &[]);
+        g.run(100_000_000).expect("run").cycles
+    };
+    let overlapped = run(false);
+    let halted = run(true);
+    println!("  overlapped: {overlapped} cycles;  halted: {halted} cycles;  penalty {:.2}×",
+        halted as f64 / overlapped as f64);
+    println!("  (inputs {} + outputs {} vs max of the two)", geom.input.len(), geom.output().len());
+}
+
+fn act_bits_ablation() {
+    println!("\n== Activation-width sweep (VGG-like @ 32×32) ==");
+    let mut rows = Vec::new();
+    for bits in [1u32, 2, 3, 4] {
+        let spec = models::vgg_like(32, 10, bits);
+        let u = estimate_network(&spec, 1).total;
+        let period = CycleModel::analyze(&spec).period();
+        rows.push(vec![
+            format!("{bits}-bit"),
+            u.luts.to_string(),
+            u.ffs.to_string(),
+            u.bram_kbits.to_string(),
+            period.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&["activations", "LUT", "FF", "BRAM Kbit", "period cycles"], &rows));
+    println!("(datapath LUT/FF grow ~linearly with planes; the period is width-independent,");
+    println!(" so the paper's 2-bit choice buys accuracy at logic cost, not speed — §IV-B3)");
+}
+
+fn rejected_designs_ablation() {
+    use qnn::hw::{lmem, pcie};
+    println!("\n== Rejected designs: LMem weights and PCIe load (analytic) ==");
+    for spec in [models::vgg_like(32, 10, 2), models::alexnet(1000), models::resnet18(1000)] {
+        let slow = lmem::lmem_slowdown(&spec, 105.0, 3);
+        let load = pcie::parameter_load_ms(&spec);
+        let amort = pcie::load_amortization(&spec, 50_000, 10.0);
+        println!(
+            "  {:<16} LMem-weight slowdown {slow:>5.1}×;  PCIe param load {load:>6.1} ms \
+             ({:.4}% of a 50k-image run)",
+            spec.name,
+            amort * 100.0
+        );
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    stride_ablation();
+    skip_ablation();
+    bram_ablation();
+    halt_vs_overlap_ablation();
+    act_bits_ablation();
+    rejected_designs_ablation();
+
+    // Measured ablation: simulated cycles (and sim wall time) vs FIFO
+    // capacity on a residual network. Backpressure tightness costs cycles
+    // but never correctness (asserted in tests/streaming_equivalence.rs).
+    let spec = models::test_net(16, 4, 2);
+    let data = qnn::data::Dataset { name: "a", side: 16, classes: 4 };
+    let net = Network::random(spec, 11);
+    let images = data.images(1);
+    println!("\n== FIFO capacity sensitivity (simulated cycles) ==");
+    for cap in [8usize, 32, 128, 512] {
+        let sim = run_images(
+            &net,
+            &images,
+            &CompileOptions { fifo_capacity: cap, ..CompileOptions::default() },
+        )
+        .expect("run");
+        println!("  capacity {cap:>4}: {} cycles", sim.cycles());
+    }
+
+    let mut g = c.benchmark_group("fifo_capacity");
+    g.sample_size(10);
+    for cap in [8usize, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                black_box(
+                    run_images(
+                        &net,
+                        &images,
+                        &CompileOptions { fifo_capacity: cap, ..CompileOptions::default() },
+                    )
+                    .expect("run"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 5 — runtime comparison, DFE vs GPUs, across input sizes.
+//!
+//! The timed quantity is the cycle-accurate DFE simulation of the VGG-like
+//! network per input size (the paper's measured quantity); the printed
+//! table adds the analytic DFE numbers for the 224×224 networks and the
+//! GPU baseline model columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnn::data::CIFAR10;
+use qnn::nn::models;
+use qnn_bench::{comparison_row, render_table, simulate_one, sweep_specs};
+
+fn fig5_table() {
+    let mut rows = Vec::new();
+    for (label, spec) in sweep_specs() {
+        let row = comparison_row(&label, &spec);
+        rows.push(vec![
+            row.label.clone(),
+            format!("{:.3}", row.dfe_ms),
+            format!("{:.3}", row.p100_ms),
+            format!("{:.3}", row.gtx_ms),
+        ]);
+    }
+    println!(
+        "\n== Figure 5 (analytic latency + GPU baseline model) ==\n{}",
+        render_table(&["workload", "DFE ms", "P100 ms", "GTX1080 ms"], &rows)
+    );
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    fig5_table();
+    let mut g = c.benchmark_group("fig5_dfe_simulation");
+    g.sample_size(10);
+    // Cycle-accurate simulation per image; 32² in the timing loop, larger
+    // sizes once (printed) to keep bench wall-time sane.
+    g.bench_with_input(BenchmarkId::new("vgg_like", 32), &32usize, |b, _| {
+        b.iter(|| simulate_one(&models::vgg_like(32, 10, 2), &CIFAR10, 3))
+    });
+    g.finish();
+    for side in [96usize, 144] {
+        let data = qnn::data::Dataset { name: "sweep", side, classes: 10 };
+        let (cycles, ms) = simulate_one(&models::vgg_like(side, 10, 2), &data, 3);
+        println!("[sim] VGG-like @ {side}×{side}: {cycles} cycles = {ms:.3} ms/image");
+    }
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

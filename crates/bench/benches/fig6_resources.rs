@@ -1,0 +1,49 @@
+//! Figure 6 — resource utilization vs input size (change from the 32×32
+//! baseline). The timed quantity is the resource estimator + partitioner;
+//! the printed table is the figure's data series.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qnn::hw::estimate_network;
+use qnn::nn::models;
+use qnn_bench::{place, render_table};
+
+fn fig6_table() {
+    let base = estimate_network(&models::vgg_like(32, 10, 2), 1).total;
+    let mut rows = Vec::new();
+    for side in [32usize, 64, 96, 144, 224] {
+        let spec = models::vgg_like(side, 10, 2);
+        let u = estimate_network(&spec, 1).total;
+        let dfes = place(&spec).num_dfes();
+        let pct = |a: u64, b: u64| 100.0 * (a as f64 / b as f64 - 1.0);
+        rows.push(vec![
+            format!("{side}×{side}"),
+            u.luts.to_string(),
+            format!("{:+.1}%", pct(u.luts, base.luts)),
+            u.ffs.to_string(),
+            format!("{:+.1}%", pct(u.ffs, base.ffs)),
+            u.bram_kbits.to_string(),
+            format!("{:+.1}%", pct(u.bram_kbits, base.bram_kbits)),
+            dfes.to_string(),
+        ]);
+    }
+    println!(
+        "\n== Figure 6 (resources vs input size) ==\n{}",
+        render_table(&["input", "LUT", "ΔLUT", "FF", "ΔFF", "BRAM", "ΔBRAM", "DFEs"], &rows)
+    );
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    fig6_table();
+    c.bench_function("estimate_and_place_vgg_sweep", |b| {
+        b.iter(|| {
+            for side in [32usize, 64, 96, 144, 224] {
+                let spec = models::vgg_like(side, 10, 2);
+                black_box(estimate_network(&spec, 1).total);
+                black_box(place(&spec).num_dfes());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

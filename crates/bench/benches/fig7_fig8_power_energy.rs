@@ -1,0 +1,48 @@
+//! Figures 7 & 8 — power and energy comparisons across the workload sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qnn_bench::{comparison_row, render_table, sweep_specs};
+
+fn print_tables() {
+    let mut p_rows = Vec::new();
+    let mut e_rows = Vec::new();
+    for (label, spec) in sweep_specs() {
+        let r = comparison_row(&label, &spec);
+        p_rows.push(vec![
+            r.label.clone(),
+            format!("{:.1}", r.dfe_w),
+            format!("{:.0}", r.p100_w),
+            format!("{:.0}", r.gtx_w),
+            format!("{:.1}×", r.p100_w / r.dfe_w),
+        ]);
+        e_rows.push(vec![
+            r.label.clone(),
+            format!("{:.4}", r.dfe_j()),
+            format!("{:.4}", r.p100_j()),
+            format!("{:.4}", r.gtx_j()),
+            format!("{:.1}×", r.p100_j() / r.dfe_j()),
+        ]);
+    }
+    println!(
+        "\n== Figure 7 (power, W) ==\n{}",
+        render_table(&["workload", "DFE", "P100", "GTX1080", "P100/DFE"], &p_rows)
+    );
+    println!(
+        "== Figure 8 (energy per image, J) ==\n{}",
+        render_table(&["workload", "DFE", "P100", "GTX1080", "P100/DFE"], &e_rows)
+    );
+}
+
+fn bench_fig7_fig8(c: &mut Criterion) {
+    print_tables();
+    c.bench_function("power_energy_sweep", |b| {
+        b.iter(|| {
+            for (label, spec) in sweep_specs() {
+                black_box(comparison_row(&label, &spec));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig7_fig8);
+criterion_main!(benches);

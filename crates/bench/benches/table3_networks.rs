@@ -1,0 +1,66 @@
+//! Table III — AlexNet vs ResNet-18: resources, runtime, DFE count.
+//!
+//! The timing loop simulates scaled-down (56×56) variants of both network
+//! families cycle-accurately so the bench finishes in seconds; the full
+//! 224×224 analytic numbers and the paper's reported values are printed
+//! alongside. For full-size cycle simulation use
+//! `cargo run --release -p qnn-bench --bin paper-tables -- table3 --sim`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnn::dfe::MAIA_FCLK_MHZ;
+use qnn::hw::specs::paper;
+use qnn::hw::{estimate_network, CycleModel};
+use qnn::nn::models;
+use qnn_bench::{place, render_table, simulate_one};
+
+fn table3() {
+    let mut rows = Vec::new();
+    for spec in [models::alexnet(1000), models::resnet18(1000)] {
+        let p = place(&spec);
+        let u = estimate_network(&spec, p.num_dfes()).total;
+        let ms = CycleModel::ms(CycleModel::analyze(&spec).latency(), MAIA_FCLK_MHZ);
+        rows.push(vec![
+            spec.name.clone(),
+            u.luts.to_string(),
+            u.bram_kbits.to_string(),
+            u.ffs.to_string(),
+            format!("{ms:.1}"),
+            p.num_dfes().to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "paper: AlexNet".into(),
+        paper::ALEXNET_LUT.to_string(),
+        paper::ALEXNET_BRAM_KBITS.to_string(),
+        paper::ALEXNET_FF.to_string(),
+        format!("{:.1}", paper::ALEXNET_TIME_MS),
+        "3".into(),
+    ]);
+    rows.push(vec![
+        "paper: ResNet-18".into(),
+        paper::RESNET18_LUT.to_string(),
+        paper::RESNET18_BRAM_KBITS.to_string(),
+        paper::RESNET18_FF.to_string(),
+        format!("{:.1}", paper::RESNET18_TIME_MS),
+        "3".into(),
+    ]);
+    println!(
+        "\n== Table III ==\n{}",
+        render_table(&["network", "LUT", "BRAM Kbit", "FF", "time ms", "DFEs"], &rows)
+    );
+}
+
+fn bench_table3(c: &mut Criterion) {
+    table3();
+    let mut g = c.benchmark_group("table3_sim_56x56_proxies");
+    g.sample_size(10);
+    let data = qnn::data::Dataset { name: "proxy", side: 56, classes: 10 };
+    // Residual-family proxy (skip connections) vs plain-conv family proxy.
+    g.bench_function("residual_family", |b| {
+        b.iter(|| simulate_one(&models::test_net(56, 10, 2), &data, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

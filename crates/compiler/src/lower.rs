@@ -1,0 +1,481 @@
+//! Lowering: network spec + parameters → streaming kernel graph(s).
+
+use dfe_platform::threaded::link;
+use dfe_platform::{Graph, HostSink, HostSource, Kernel, SinkHandle, StreamId, StreamSpec};
+use qnn_kernels::loader::encode_conv_params;
+use qnn_kernels::{AddKernel, ConvKernel, DotMode, PadInserter, PoolKernel, PoolOp, SplitKernel, ThresholdKernel};
+use qnn_nn::{Network, PoolKind, Stage, StageParams};
+use qnn_quant::ThresholdUnit;
+use qnn_tensor::{BinaryFilters, ConvGeometry, Shape3, Tensor3};
+
+/// Compilation knobs.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Default FIFO capacity between kernels (elements). The paper's FMem
+    /// buffers are small; 512 gives ample elasticity without hiding
+    /// backpressure effects.
+    pub fifo_capacity: usize,
+    /// Capacity of cross-device ring channels (elements).
+    pub ring_capacity: usize,
+    /// Device index per stage (`None` ⇒ everything on one device). Obtain
+    /// from [`crate::partition()`].
+    pub stage_device: Option<Vec<usize>>,
+    /// Stream parameters over per-kernel CPU links before inference
+    /// (§III-B1a) instead of instantiating pre-filled caches. Functionally
+    /// identical; adds the one-time load cycles to the run.
+    pub stream_parameters: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            fifo_capacity: 512,
+            ring_capacity: 4096,
+            stage_device: None,
+            stream_parameters: false,
+        }
+    }
+}
+
+/// A compiled network: one graph per device plus the logits sink handle.
+pub struct CompiledNetwork {
+    /// Device graphs in ring order. Length 1 for single-DFE builds.
+    pub graphs: Vec<Graph>,
+    /// Handle collecting `classes × images` logits.
+    pub sink: SinkHandle,
+    /// Number of images preloaded into the source.
+    pub images: usize,
+    /// Number of classes per image.
+    pub classes: usize,
+}
+
+/// A stream endpoint: device index + stream id within that device's graph.
+#[derive(Clone, Copy, Debug)]
+struct Wire {
+    device: usize,
+    id: StreamId,
+}
+
+struct Builder {
+    graphs: Vec<Graph>,
+    fifo_capacity: usize,
+    ring_capacity: usize,
+    links: usize,
+    stream_parameters: bool,
+    act_bits: u32,
+}
+
+impl Builder {
+    fn new(devices: usize, opts: &CompileOptions, act_bits: u32) -> Self {
+        Self {
+            graphs: (0..devices).map(|_| Graph::new()).collect(),
+            fifo_capacity: opts.fifo_capacity,
+            ring_capacity: opts.ring_capacity,
+            links: 0,
+            stream_parameters: opts.stream_parameters,
+            act_bits,
+        }
+    }
+
+    fn stream(&mut self, device: usize, name: String, bits: u32, capacity: usize) -> Wire {
+        let id = self.graphs[device].add_stream(StreamSpec::new(name, bits, capacity));
+        Wire { device, id }
+    }
+
+    fn kernel(&mut self, device: usize, k: Box<dyn Kernel>, inputs: &[Wire], outputs: &[Wire]) {
+        let ins: Vec<StreamId> = inputs
+            .iter()
+            .map(|w| {
+                assert_eq!(w.device, device, "input wire crosses devices without a link");
+                w.id
+            })
+            .collect();
+        let outs: Vec<StreamId> = outputs
+            .iter()
+            .map(|w| {
+                assert_eq!(w.device, device, "output wire crosses devices without a link");
+                w.id
+            })
+            .collect();
+        self.graphs[device].add_kernel(k, &ins, &outs);
+    }
+
+    /// Move `wire` to `device` through a MaxRing channel if needed.
+    #[allow(clippy::wrong_self_convention)] // "to" = destination device, not a conversion
+    fn to_device(&mut self, wire: Wire, device: usize, bits: u32, expected: u64) -> Wire {
+        if wire.device == device {
+            return wire;
+        }
+        let name = format!("ring{}", self.links);
+        self.links += 1;
+        let (egress, ingress) = link(&name, self.ring_capacity, expected);
+        self.kernel(wire.device, Box::new(egress), &[wire], &[]);
+        let out = self.stream(device, format!("{name}.out"), bits, self.fifo_capacity);
+        self.kernel(device, Box::new(ingress), &[], &[out]);
+        out
+    }
+
+    /// Pad (if needed) then convolve. Returns the output wire. `geom` is
+    /// the logical geometry (possibly padded); the conv kernel itself sees
+    /// the pre-padded equivalent.
+    #[allow(clippy::too_many_arguments)]
+    fn conv(
+        &mut self,
+        device: usize,
+        label: &str,
+        input: Wire,
+        geom: &ConvGeometry,
+        filters: &BinaryFilters,
+        thresholds: Option<&[ThresholdUnit]>,
+        mode: DotMode,
+        out_bits: u32,
+        out_capacity: usize,
+    ) -> Wire {
+        let in_bits = match mode {
+            DotMode::I8 => 8,
+            DotMode::Codes { bits } => bits,
+        };
+        let conv_in = if geom.pad > 0 {
+            let padded = self.stream(
+                device,
+                format!("{label}.padded"),
+                in_bits,
+                self.fifo_capacity,
+            );
+            self.kernel(
+                device,
+                Box::new(PadInserter::new(format!("{label}.pad"), geom.input, geom.pad, 0)),
+                &[input],
+                &[padded],
+            );
+            padded
+        } else {
+            input
+        };
+        let padded_geom = ConvGeometry::new(geom.padded_input(), geom.filter, geom.stride, 0);
+        let out = self.stream(device, format!("{label}.out"), out_bits, out_capacity);
+        if self.stream_parameters {
+            // §III-B1a: caches are filled from a CPU parameter stream
+            // before the first image; the kernel binarizes on arrival.
+            let blob = encode_conv_params(filters, thresholds, self.act_bits);
+            let params =
+                self.stream(device, format!("{label}.params"), 32, self.fifo_capacity);
+            self.kernel(
+                device,
+                Box::new(HostSource::new(format!("{label}.param_src"), blob)),
+                &[],
+                &[params],
+            );
+            self.kernel(
+                device,
+                Box::new(ConvKernel::new_streamed(
+                    label.to_string(),
+                    padded_geom,
+                    mode,
+                    thresholds.is_some(),
+                    self.act_bits,
+                )),
+                &[conv_in, params],
+                &[out],
+            );
+        } else {
+            self.kernel(
+                device,
+                Box::new(ConvKernel::new(
+                    label.to_string(),
+                    padded_geom,
+                    filters.clone(),
+                    thresholds.map(<[ThresholdUnit]>::to_vec),
+                    mode,
+                )),
+                &[conv_in],
+                &[out],
+            );
+        }
+        out
+    }
+}
+
+/// Skip-buffer capacity covering the convolution path's worst-case lead:
+/// both window fills plus one position of compute halts and slack.
+fn skip_capacity(geom: &qnn_nn::ResidualGeometry) -> usize {
+    let b1 = ConvGeometry::new(geom.conv1.padded_input(), geom.conv1.filter, geom.conv1.stride, 0)
+        .depth_first_buffer();
+    let b2 = ConvGeometry::new(geom.conv2.padded_input(), geom.conv2.filter, geom.conv2.stride, 0)
+        .depth_first_buffer();
+    b1 + b2 + geom.conv2.filter.o + 256
+}
+
+/// Compile a network over `images` into per-device graphs.
+pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> CompiledNetwork {
+    let spec = &net.spec;
+    let n_images = images.len();
+    assert!(n_images > 0, "compile needs at least one image");
+    let act_bits = spec.act_bits;
+    let stage_device: Vec<usize> = opts
+        .stage_device
+        .clone()
+        .unwrap_or_else(|| vec![0; spec.stages.len()]);
+    assert_eq!(stage_device.len(), spec.stages.len(), "one device per stage");
+    let devices = stage_device.iter().max().copied().unwrap_or(0) + 1;
+
+    let mut b = Builder::new(devices, opts, act_bits);
+
+    // Image source on the first device.
+    let mut pixels = Vec::with_capacity(spec.input.len() * n_images);
+    for img in images {
+        assert_eq!(img.shape(), spec.input, "image shape mismatch");
+        pixels.extend(img.as_slice().iter().map(|&p| i32::from(p)));
+    }
+    let mut prev = b.stream(stage_device[0], "image".into(), 8, opts.fifo_capacity);
+    b.kernel(stage_device[0], Box::new(HostSource::new("host.src", pixels)), &[], &[prev]);
+    let mut prev_shape = spec.input;
+    let mut prev_bits = 8u32;
+    // Carried skip stream (produced by an identity-linked residual stage).
+    let mut skip: Option<Wire> = None;
+
+    let mut logits_wire: Option<Wire> = None;
+
+    for (i, (stage, params)) in spec.stages.iter().zip(&net.params).enumerate() {
+        let dev = stage_device[i];
+        prev = b.to_device(prev, dev, prev_bits, (prev_shape.len() * n_images) as u64);
+        if let Some(s) = skip {
+            // Skip crosses the cut only when the consumer needs it.
+            let consumed_here = matches!(stage, Stage::Residual { geom } if geom.downsample.is_none());
+            if consumed_here && s.device != dev {
+                skip = Some(b.to_device(s, dev, 16, (prev_shape.len() * n_images) as u64));
+            }
+        }
+        // Does the *next* stage consume a carried skip?
+        let next_wants_skip = matches!(
+            spec.stages.get(i + 1),
+            Some(Stage::Residual { geom }) if geom.downsample.is_none()
+        );
+
+        match (stage, params) {
+            (Stage::ConvInput { geom }, StageParams::Conv { filters, thresholds }) => {
+                prev = b.conv(
+                    dev,
+                    &format!("conv{i}"),
+                    prev,
+                    geom,
+                    filters,
+                    Some(thresholds),
+                    DotMode::I8,
+                    act_bits,
+                    opts.fifo_capacity,
+                );
+                prev_shape = geom.output();
+                prev_bits = act_bits;
+                skip = None;
+            }
+            (Stage::Conv { geom }, StageParams::Conv { filters, thresholds }) => {
+                prev = b.conv(
+                    dev,
+                    &format!("conv{i}"),
+                    prev,
+                    geom,
+                    filters,
+                    Some(thresholds),
+                    DotMode::Codes { bits: act_bits },
+                    act_bits,
+                    opts.fifo_capacity,
+                );
+                prev_shape = geom.output();
+                prev_bits = act_bits;
+                skip = None;
+            }
+            (Stage::Pool { input, k, stride, pad, kind }, StageParams::Pool) => {
+                let pool_in = if *pad > 0 {
+                    let padded =
+                        b.stream(dev, format!("pool{i}.padded"), act_bits, opts.fifo_capacity);
+                    b.kernel(
+                        dev,
+                        Box::new(PadInserter::new(format!("pool{i}.pad"), *input, *pad, 0)),
+                        &[prev],
+                        &[padded],
+                    );
+                    padded
+                } else {
+                    prev
+                };
+                let padded_shape =
+                    Shape3::new(input.h + 2 * pad, input.w + 2 * pad, input.c);
+                let op = match kind {
+                    PoolKind::Max => PoolOp::Max,
+                    PoolKind::AvgSum => PoolOp::AvgShift,
+                };
+                let kernel = PoolKernel::new(format!("pool{i}"), padded_shape, *k, *stride, op);
+                let out_shape = kernel.output_shape();
+                let out = b.stream(dev, format!("pool{i}.out"), act_bits, opts.fifo_capacity);
+                b.kernel(dev, Box::new(kernel), &[pool_in], &[out]);
+                prev = out;
+                prev_shape = out_shape;
+                prev_bits = act_bits;
+                skip = None;
+            }
+            (
+                Stage::FullyConnected { in_features, out_features, bn_act },
+                StageParams::FullyConnected { filters, thresholds },
+            ) => {
+                // FC is literally a 1×1 convolution over the flattened map
+                // (§III-B4); flattening is the identity in stream order.
+                let geom = ConvGeometry::new(
+                    Shape3::new(1, 1, *in_features),
+                    qnn_tensor::FilterShape::new(1, *in_features, *out_features),
+                    1,
+                    0,
+                );
+                let (thr, out_bits) = if *bn_act {
+                    (Some(thresholds.as_slice()), act_bits)
+                } else {
+                    (None, 32)
+                };
+                prev = b.conv(
+                    dev,
+                    &format!("fc{i}"),
+                    prev,
+                    &geom,
+                    filters,
+                    thr,
+                    DotMode::Codes { bits: 8 },
+                    out_bits,
+                    opts.fifo_capacity,
+                );
+                prev_shape = Shape3::new(1, 1, *out_features);
+                prev_bits = out_bits;
+                skip = None;
+                if !bn_act {
+                    logits_wire = Some(prev);
+                }
+            }
+            (
+                Stage::Residual { geom },
+                StageParams::Residual { filters1, thr_mid, filters2, thr_out, downsample },
+            ) => {
+                let elems = (prev_shape.len() * n_images) as u64;
+                let _ = elems;
+                // --- establish the conv-path input and the skip input ---
+                let (conv_in, skip_in) = match (geom.downsample, downsample) {
+                    (Some(ds_geom), Some(ds_filters)) => {
+                        // Split the regular input; the skip path goes
+                        // through the 1×1 strided downsample conv.
+                        let a = b.stream(dev, format!("res{i}.a"), act_bits, opts.fifo_capacity);
+                        let ds_in =
+                            b.stream(dev, format!("res{i}.dsin"), act_bits, skip_capacity(geom));
+                        b.kernel(
+                            dev,
+                            Box::new(SplitKernel::new(format!("res{i}.split_in"))),
+                            &[prev],
+                            &[a, ds_in],
+                        );
+                        let ds_out = b.conv(
+                            dev,
+                            &format!("res{i}.ds"),
+                            ds_in,
+                            &ds_geom,
+                            ds_filters,
+                            None,
+                            DotMode::Codes { bits: act_bits },
+                            16,
+                            skip_capacity(geom),
+                        );
+                        // Any carried skip is superseded at downsampling
+                        // blocks (shape changes); the lookahead logic never
+                        // produces one in that case.
+                        assert!(skip.is_none(), "carried skip into a downsample block");
+                        (a, ds_out)
+                    }
+                    (None, None) => match skip.take() {
+                        Some(s) => (prev, s),
+                        None => {
+                            // Chain head: skip is the widened regular input.
+                            let a =
+                                b.stream(dev, format!("res{i}.a"), act_bits, opts.fifo_capacity);
+                            let s =
+                                b.stream(dev, format!("res{i}.skipbuf"), 16, skip_capacity(geom));
+                            b.kernel(
+                                dev,
+                                Box::new(SplitKernel::new(format!("res{i}.split_in"))),
+                                &[prev],
+                                &[a, s],
+                            );
+                            (a, s)
+                        }
+                    },
+                    _ => unreachable!("spec/params downsample mismatch"),
+                };
+
+                // --- conv path: conv1 (+BN+act) → conv2 (raw) ---
+                let mid = b.conv(
+                    dev,
+                    &format!("res{i}.conv1"),
+                    conv_in,
+                    &geom.conv1,
+                    filters1,
+                    Some(thr_mid),
+                    DotMode::Codes { bits: act_bits },
+                    act_bits,
+                    opts.fifo_capacity,
+                );
+                let c2 = b.conv(
+                    dev,
+                    &format!("res{i}.conv2"),
+                    mid,
+                    &geom.conv2,
+                    filters2,
+                    None,
+                    DotMode::Codes { bits: act_bits },
+                    16,
+                    opts.fifo_capacity,
+                );
+
+                // --- adder and the output split of Fig. 2 ---
+                let z = b.stream(dev, format!("res{i}.z"), 16, opts.fifo_capacity);
+                b.kernel(dev, Box::new(AddKernel::new(format!("res{i}.add"))), &[c2, skip_in], &[z]);
+
+                let out_shape = geom.output();
+                let thr_in = if next_wants_skip {
+                    // Split z: one copy continues as the next block's skip,
+                    // sized for that block's path delay.
+                    let next_geom = match spec.stages[i + 1] {
+                        Stage::Residual { geom } => geom,
+                        _ => unreachable!("lookahead said residual"),
+                    };
+                    let z_a = b.stream(dev, format!("res{i}.z_a"), 16, opts.fifo_capacity);
+                    let z_skip =
+                        b.stream(dev, format!("res{i}.skipbuf"), 16, skip_capacity(&next_geom));
+                    b.kernel(
+                        dev,
+                        Box::new(SplitKernel::new(format!("res{i}.split_out"))),
+                        &[z],
+                        &[z_a, z_skip],
+                    );
+                    skip = Some(z_skip);
+                    z_a
+                } else {
+                    skip = None;
+                    z
+                };
+                let out = b.stream(dev, format!("res{i}.out"), act_bits, opts.fifo_capacity);
+                b.kernel(
+                    dev,
+                    Box::new(ThresholdKernel::new(format!("res{i}.thr"), thr_out.clone())),
+                    &[thr_in],
+                    &[out],
+                );
+                prev = out;
+                prev_shape = out_shape;
+                prev_bits = act_bits;
+            }
+            _ => unreachable!("stage/params variant mismatch"),
+        }
+    }
+
+    let logits = logits_wire.expect("network must end in a logits FC layer");
+    let classes = spec.classes();
+    let (sink, handle) = HostSink::new("host.sink", classes * n_images);
+    b.kernel(logits.device, Box::new(sink), &[logits], &[]);
+
+    CompiledNetwork { graphs: b.graphs, sink: handle, images: n_images, classes }
+}

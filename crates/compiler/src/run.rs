@@ -1,0 +1,184 @@
+//! Convenience runners: compile + execute + collect logits.
+
+use crate::lower::{compile, CompileOptions, CompiledNetwork};
+use dfe_platform::{threaded, CycleReport, RunError};
+use hw_model::CycleModel;
+use qnn_nn::Network;
+use qnn_tensor::Tensor3;
+
+/// Result of simulating one or more images.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Per-image logits.
+    pub logits: Vec<Vec<i32>>,
+    /// Per-device cycle reports (length 1 for single-DFE runs). For
+    /// multi-device threaded runs the cycle counts are per-device clock
+    /// domains and not directly comparable to the single-device count.
+    pub reports: Vec<CycleReport>,
+}
+
+impl SimResult {
+    /// Argmax of image `i`'s logits.
+    pub fn argmax(&self, i: usize) -> usize {
+        let l = &self.logits[i];
+        let mut best = 0;
+        for (j, &v) in l.iter().enumerate() {
+            if v > l[best] {
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Cycles of the (single-device) run.
+    pub fn cycles(&self) -> u64 {
+        self.reports.iter().map(|r| r.cycles).max().unwrap_or(0)
+    }
+}
+
+/// Generous cycle budget for a run: several times the fully serialized
+/// bound (a correct pipeline finishes far earlier; a wedged one times out).
+fn cycle_budget(net: &Network, images: usize) -> u64 {
+    let serial = CycleModel::analyze(&net.spec).serial_bound();
+    (serial * 8 + 2_000_000) * images as u64
+}
+
+/// Run `images` through the compiled streaming pipeline.
+pub fn run_images(
+    net: &Network,
+    images: &[Tensor3<i8>],
+    opts: &CompileOptions,
+) -> Result<SimResult, RunError> {
+    let CompiledNetwork { mut graphs, sink, classes, .. } = compile(net, images, opts);
+    let budget = cycle_budget(net, images.len());
+    let reports = if graphs.len() == 1 {
+        vec![graphs[0].run(budget)?]
+    } else {
+        threaded::run_devices(graphs, budget)?
+    };
+    let flat = sink.take();
+    assert_eq!(flat.len(), classes * images.len(), "sink under-filled");
+    let logits = flat.chunks_exact(classes).map(<[i32]>::to_vec).collect();
+    Ok(SimResult { logits, reports })
+}
+
+/// Run a single image on a single DFE.
+pub fn run_image(net: &Network, image: &Tensor3<i8>) -> Result<SimResult, RunError> {
+    run_images(net, std::slice::from_ref(image), &CompileOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_nn::models;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn image(side: usize, seed: u64) -> Tensor3<i8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor3::from_fn(qnn_tensor::Shape3::square(side, 3), |_, _, _| {
+            rng.gen_range(-127i8..=127)
+        })
+    }
+
+    #[test]
+    fn streaming_matches_reference_on_test_net() {
+        let net = Network::random(models::test_net(8, 4, 2), 42);
+        let img = image(8, 1);
+        let expect = net.forward(&img).logits;
+        let got = run_image(&net, &img).expect("sim run");
+        assert_eq!(got.logits[0], expect);
+    }
+
+    #[test]
+    fn streaming_matches_reference_multi_image() {
+        let net = Network::random(models::test_net(8, 3, 2), 7);
+        let imgs: Vec<_> = (0..3).map(|s| image(8, s)).collect();
+        let got = run_images(&net, &imgs, &CompileOptions::default()).expect("sim run");
+        for (i, img) in imgs.iter().enumerate() {
+            assert_eq!(got.logits[i], net.forward(img).logits, "image {i}");
+        }
+    }
+
+    #[test]
+    fn binary_activation_network_matches_reference() {
+        let net = Network::random(models::test_net(8, 4, 1), 9);
+        let img = image(8, 2);
+        let got = run_image(&net, &img).expect("sim run");
+        assert_eq!(got.logits[0], net.forward(&img).logits);
+    }
+}
+
+#[cfg(test)]
+mod streamed_param_tests {
+    use super::*;
+    use qnn_nn::models;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn image(side: usize, seed: u64) -> Tensor3<i8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor3::from_fn(qnn_tensor::Shape3::square(side, 3), |_, _, _| {
+            rng.gen_range(-127i8..=127)
+        })
+    }
+
+    /// §III-B1a end to end: parameters streamed as 32-bit floats, binarized
+    /// on the DFE, thresholds decoded from the wire — identical inference.
+    #[test]
+    fn streamed_parameters_match_preloaded_caches() {
+        let net = Network::random(models::test_net(8, 4, 2), 33);
+        let img = image(8, 1);
+        let direct = run_image(&net, &img).expect("direct");
+        let streamed = run_images(
+            &net,
+            std::slice::from_ref(&img),
+            &CompileOptions { stream_parameters: true, ..CompileOptions::default() },
+        )
+        .expect("streamed");
+        assert_eq!(direct.logits, streamed.logits);
+        // The load phase costs cycles: roughly one per parameter word on
+        // the critical path.
+        assert!(
+            streamed.cycles() > direct.cycles(),
+            "parameter load should cost cycles: {} vs {}",
+            streamed.cycles(),
+            direct.cycles()
+        );
+    }
+
+    /// The one-time load amortizes: per-image cycles drop sharply with
+    /// more images ("loaded … only once, before inference of images
+    /// starts").
+    #[test]
+    fn parameter_load_amortizes_over_images() {
+        let net = Network::random(models::test_net(8, 4, 2), 34);
+        let opts = CompileOptions { stream_parameters: true, ..CompileOptions::default() };
+        let one = run_images(&net, &[image(8, 1)], &opts).expect("1 image");
+        let four = run_images(
+            &net,
+            &(0..4).map(|s| image(8, s)).collect::<Vec<_>>(),
+            &opts,
+        )
+        .expect("4 images");
+        let per_image_four = four.cycles() as f64 / 4.0;
+        assert!(
+            per_image_four < one.cycles() as f64 * 0.7,
+            "load did not amortize: {per_image_four} vs {}",
+            one.cycles()
+        );
+    }
+
+    #[test]
+    fn streamed_parameters_work_with_binary_activations() {
+        let net = Network::random(models::test_net(8, 3, 1), 35);
+        let img = image(8, 2);
+        let streamed = run_images(
+            &net,
+            std::slice::from_ref(&img),
+            &CompileOptions { stream_parameters: true, ..CompileOptions::default() },
+        )
+        .expect("streamed");
+        assert_eq!(streamed.logits[0], net.forward(&img).logits);
+    }
+}

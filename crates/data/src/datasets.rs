@@ -1,0 +1,127 @@
+//! Deterministic synthetic image generation shaped like the paper's
+//! datasets (§IV: CIFAR-10, STL-10 — also resized to 144×144 — and
+//! ImageNet).
+
+use qnn_tensor::{Shape3, Tensor3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dataset descriptor: image geometry and label count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dataset {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Square image side.
+    pub side: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+/// CIFAR-10: 32×32, 10 classes.
+pub const CIFAR10: Dataset = Dataset { name: "CIFAR-10", side: 32, classes: 10 };
+/// STL-10: 96×96, 10 classes.
+pub const STL10: Dataset = Dataset { name: "STL-10", side: 96, classes: 10 };
+/// STL-10 resized to 144×144 (paper §IV-B: "STL-10 resized to 144 × 144").
+pub const STL10_144: Dataset = Dataset { name: "STL-10@144", side: 144, classes: 10 };
+/// ImageNet: 224×224 crops, 1000 classes.
+pub const IMAGENET: Dataset = Dataset { name: "ImageNet", side: 224, classes: 1000 };
+
+impl Dataset {
+    /// Image shape (always 3-channel).
+    pub fn shape(&self) -> Shape3 {
+        Shape3::square(self.side, 3)
+    }
+
+    /// Generate image `index` deterministically: a sum of a few random
+    /// low-frequency waves (spatial structure) plus pixel noise, quantized
+    /// to signed 8-bit as the CPU would stream it over PCIe.
+    pub fn image(&self, index: u64) -> Tensor3<i8> {
+        let mut rng = StdRng::seed_from_u64(
+            (index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.side as u64,
+        );
+        // Low-frequency components: random orientation, frequency, phase.
+        const WAVES: usize = 4;
+        let mut waves = [[0.0f32; 5]; WAVES];
+        for w in &mut waves {
+            *w = [
+                rng.gen_range(-0.3f32..0.3),           // kx
+                rng.gen_range(-0.3f32..0.3),           // ky
+                rng.gen_range(0.0f32..std::f32::consts::TAU), // phase
+                rng.gen_range(20.0f32..45.0),          // amplitude
+                rng.gen_range(0.0f32..2.0),            // channel skew
+            ];
+        }
+        let mut noise = StdRng::seed_from_u64(index.wrapping_mul(0xD134_2543_DE82_EF95));
+        Tensor3::from_fn(self.shape(), |y, x, c| {
+            let mut v = 0.0f32;
+            for [kx, ky, phase, amp, skew] in waves {
+                v += amp * (kx * x as f32 + ky * y as f32 + phase + skew * c as f32).sin();
+            }
+            v += noise.gen_range(-12.0f32..12.0);
+            v.clamp(-127.0, 127.0) as i8
+        })
+    }
+
+    /// Generate the first `n` images.
+    pub fn images(&self, n: usize) -> Vec<Tensor3<i8>> {
+        (0..n as u64).map(|i| self.image(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper_datasets() {
+        assert_eq!(CIFAR10.shape(), Shape3::square(32, 3));
+        assert_eq!(STL10.shape(), Shape3::square(96, 3));
+        assert_eq!(STL10_144.shape(), Shape3::square(144, 3));
+        assert_eq!(IMAGENET.shape(), Shape3::square(224, 3));
+        assert_eq!(IMAGENET.classes, 1000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CIFAR10.image(5);
+        let b = CIFAR10.image(5);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let a = CIFAR10.image(0);
+        let b = CIFAR10.image(1);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn images_have_spatial_structure_not_white_noise() {
+        // Adjacent-pixel correlation should be clearly positive thanks to
+        // the low-frequency waves.
+        let img = CIFAR10.image(3);
+        let (mut same, mut diff, mut n) = (0.0f64, 0.0f64, 0);
+        for y in 0..31 {
+            for x in 0..31 {
+                let a = f64::from(img.get(y, x, 0));
+                same += a * f64::from(img.get(y, x + 1, 0));
+                diff += a * f64::from(img.get(31 - y, 31 - x, 0));
+                n += 1;
+            }
+        }
+        assert!(
+            same / n as f64 > diff / n as f64 + 100.0,
+            "no spatial correlation: {} vs {}",
+            same / n as f64,
+            diff / n as f64
+        );
+    }
+
+    #[test]
+    fn pixels_span_the_signed_range() {
+        let img = STL10.image(0);
+        let min = img.as_slice().iter().copied().min().unwrap();
+        let max = img.as_slice().iter().copied().max().unwrap();
+        assert!(min < -60 && max > 60, "dynamic range too small: [{min}, {max}]");
+    }
+}

@@ -1,0 +1,134 @@
+//! Teacher-agreement evaluation — the accuracy substitution.
+//!
+//! `agreement(teacher, student, images)` is the fraction of images on which
+//! the two networks pick the same top-1 class. With the teacher set to an
+//! 8-bit-activation variant sharing the student's weights, this isolates
+//! exactly what the paper's accuracy comparison isolates: the cost of
+//! activation quantization on an otherwise identical inference pipeline.
+
+use crate::datasets::Dataset;
+use qnn_nn::Network;
+
+/// Fraction of `n` dataset images on which both networks agree on top-1.
+///
+/// # Panics
+/// Panics if the networks disagree about input shape or class count.
+pub fn agreement(teacher: &Network, student: &Network, data: &Dataset, n: usize) -> f64 {
+    assert!(n > 0);
+    assert_eq!(teacher.spec.input, student.spec.input, "input shapes differ");
+    assert_eq!(teacher.spec.classes(), student.spec.classes(), "class counts differ");
+    assert_eq!(teacher.spec.input, data.shape(), "dataset does not feed this network");
+    let mut same = 0usize;
+    for i in 0..n as u64 {
+        let img = data.image(i);
+        if teacher.classify(&img) == student.classify(&img) {
+            same += 1;
+        }
+    }
+    same as f64 / n as f64
+}
+
+/// Fraction of `n` images on which the student's top-1 class appears in
+/// the teacher's top-k set — the ImageNet-style top-5 metric transplanted
+/// to the agreement setting.
+pub fn top_k_agreement(
+    teacher: &Network,
+    student: &Network,
+    data: &Dataset,
+    n: usize,
+    k: usize,
+) -> f64 {
+    assert!(n > 0 && k > 0);
+    assert_eq!(teacher.spec.input, data.shape(), "dataset does not feed this network");
+    let mut hits = 0usize;
+    for i in 0..n as u64 {
+        let img = data.image(i);
+        let t_logits = teacher.forward(&img).logits;
+        let s_top = student.classify(&img);
+        if qnn_nn::postprocess::in_top_k(&t_logits, s_top, k) {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+/// Histogram of a network's top-1 predictions over `n` dataset images —
+/// used to check that a network is not collapsed onto one class (a dead
+/// network would make every agreement number meaningless).
+pub fn per_class_histogram(net: &Network, data: &Dataset, n: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; net.spec.classes()];
+    for i in 0..n as u64 {
+        hist[net.classify(&data.image(i))] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+    use qnn_nn::models;
+
+    const TINY: Dataset = Dataset { name: "tiny", side: 16, classes: 6 };
+
+    fn nets(act_bits: u32, seed: u64) -> Network {
+        Network::random(models::test_net(16, 6, act_bits), seed)
+    }
+
+    #[test]
+    fn self_agreement_is_one() {
+        let net = nets(2, 3);
+        assert_eq!(agreement(&net, &net, &TINY, 8), 1.0);
+    }
+
+    #[test]
+    fn same_weights_more_bits_agree_better_than_fewer() {
+        // The paper's ordering (§IV-B3): 2-bit activations track the
+        // high-precision network better than 1-bit ones. Averaged over
+        // several seeds to avoid single-draw flukes.
+        let n = 24;
+        let (mut a2_sum, mut a1_sum) = (0.0, 0.0);
+        for seed in [11u64, 12, 13] {
+            let teacher = nets(8, seed);
+            a2_sum += agreement(&teacher, &nets(2, seed), &TINY, n);
+            a1_sum += agreement(&teacher, &nets(1, seed), &TINY, n);
+        }
+        assert!(
+            a2_sum >= a1_sum,
+            "2-bit agreement {a2_sum} should beat 1-bit {a1_sum}"
+        );
+    }
+
+    #[test]
+    fn top_k_agreement_bounds_top_1() {
+        // Top-5 agreement is always ≥ top-1 agreement, and both are ≤ 1.
+        let teacher = nets(8, 11);
+        let student = nets(2, 11);
+        let a1 = agreement(&teacher, &student, &TINY, 16);
+        let a5 = top_k_agreement(&teacher, &student, &TINY, 16, 5);
+        assert!(a5 >= a1, "top-5 {a5} < top-1 {a1}");
+        assert!(a5 <= 1.0);
+    }
+
+    #[test]
+    fn top_k_with_all_classes_is_one() {
+        let teacher = nets(8, 2);
+        let student = nets(1, 2);
+        assert_eq!(top_k_agreement(&teacher, &student, &TINY, 8, 6), 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_all_images() {
+        let net = nets(2, 5);
+        let h = per_class_histogram(&net, &TINY, 10);
+        assert_eq!(h.iter().sum::<usize>(), 10);
+        assert_eq!(h.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset does not feed")]
+    fn shape_mismatch_panics() {
+        let net = nets(2, 1);
+        let _ = agreement(&net, &net, &crate::datasets::CIFAR10, 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! FPGA device descriptions and resource accounting (paper Table IIb).
+
+/// Fabric clock of the MAX4 (Maia) DFE builds in the paper: 105 MHz.
+pub const MAIA_FCLK_MHZ: f64 = 105.0;
+
+/// Static description of an FPGA device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Device name.
+    pub name: &'static str,
+    /// Logic elements (ALM-equivalent; the paper's "LUT" counts are on this
+    /// scale for the Stratix V 5SGSD8's 262 400 ALMs).
+    pub luts: u64,
+    /// Flip-flops (registers).
+    pub ffs: u64,
+    /// Block-RAM capacity in Kbits (2567 M20K × 20 Kbit for the 5SGSD8).
+    pub bram_kbits: u64,
+    /// Number of physical BRAM blocks.
+    pub bram_blocks: u64,
+    /// Bits per BRAM block.
+    pub bram_block_kbits: u64,
+    /// Minimum addressable depth of one BRAM block; widths shallower than
+    /// this waste the remainder (paper §III-B1a: "the minimal depth of a
+    /// BRAM is 512").
+    pub bram_min_depth: u64,
+    /// Fabric clock in MHz.
+    pub fclk_mhz: f64,
+    /// Fraction of each resource that is realistically placeable/routable
+    /// for a Maxeler design before timing closure fails. The paper's
+    /// multi-DFE splits imply the usable fraction is well below 1.0.
+    pub usable_fraction: f64,
+}
+
+/// Intel Stratix V 5SGSD8 — the FPGA inside each MAX4 (Maia) DFE
+/// (Table IIb: 262 400 ALMs, 2 567 M20K blocks, 1 050 K FFs).
+pub const STRATIX_V_5SGSD8: DeviceSpec = DeviceSpec {
+    name: "Stratix V 5SGSD8",
+    luts: 262_400,
+    ffs: 1_050_000,
+    bram_kbits: 2_567 * 20,
+    bram_blocks: 2_567,
+    bram_block_kbits: 20,
+    bram_min_depth: 512,
+    fclk_mhz: MAIA_FCLK_MHZ,
+    usable_fraction: 0.85,
+};
+
+/// Intel Stratix 10 (GX 2800-class), the paper's §IV-B4 projection target:
+/// "5× higher frequency … fit even bigger networks onto a single FPGA".
+pub const STRATIX_10_GX2800: DeviceSpec = DeviceSpec {
+    name: "Stratix 10 GX2800",
+    luts: 933_120,
+    ffs: 3_732_480,
+    bram_kbits: 11_721 * 20,
+    bram_blocks: 11_721,
+    bram_block_kbits: 20,
+    bram_min_depth: 512,
+    fclk_mhz: 5.0 * MAIA_FCLK_MHZ,
+    usable_fraction: 0.80,
+};
+
+impl DeviceSpec {
+    /// Usable LUT budget for placement.
+    pub fn usable_luts(&self) -> u64 {
+        (self.luts as f64 * self.usable_fraction) as u64
+    }
+
+    /// Usable FF budget.
+    pub fn usable_ffs(&self) -> u64 {
+        (self.ffs as f64 * self.usable_fraction) as u64
+    }
+
+    /// Usable BRAM budget in Kbits.
+    pub fn usable_bram_kbits(&self) -> u64 {
+        (self.bram_kbits as f64 * self.usable_fraction) as u64
+    }
+}
+
+/// Resource usage of a kernel, a DFE, or a whole design.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Logic (ALM-equivalent LUTs).
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// Allocated BRAM in Kbits (after block-shape quantization).
+    pub bram_kbits: u64,
+}
+
+impl ResourceUsage {
+    /// Zero usage.
+    pub const ZERO: Self = Self { luts: 0, ffs: 0, bram_kbits: 0 };
+
+    /// Component-wise sum.
+    pub fn plus(self, other: Self) -> Self {
+        Self {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            bram_kbits: self.bram_kbits + other.bram_kbits,
+        }
+    }
+
+    /// Does this usage fit within the usable budget of `dev`?
+    pub fn fits(&self, dev: &DeviceSpec) -> bool {
+        self.luts <= dev.usable_luts()
+            && self.ffs <= dev.usable_ffs()
+            && self.bram_kbits <= dev.usable_bram_kbits()
+    }
+
+    /// Highest utilization fraction across the three resource classes,
+    /// relative to the device's raw capacity.
+    pub fn utilization(&self, dev: &DeviceSpec) -> f64 {
+        let l = self.luts as f64 / dev.luts as f64;
+        let f = self.ffs as f64 / dev.ffs as f64;
+        let b = self.bram_kbits as f64 / dev.bram_kbits as f64;
+        l.max(f).max(b)
+    }
+}
+
+impl std::iter::Sum for ResourceUsage {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Self::plus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stratix_v_matches_table2b() {
+        assert_eq!(STRATIX_V_5SGSD8.luts, 262_400);
+        assert_eq!(STRATIX_V_5SGSD8.bram_blocks, 2_567);
+        assert_eq!(STRATIX_V_5SGSD8.ffs, 1_050_000);
+        assert_eq!(STRATIX_V_5SGSD8.bram_kbits, 51_340);
+    }
+
+    #[test]
+    fn stratix_10_projection_is_5x_clock() {
+        assert_eq!(STRATIX_10_GX2800.fclk_mhz, 525.0);
+        const { assert!(STRATIX_10_GX2800.luts > 3 * STRATIX_V_5SGSD8.luts) };
+    }
+
+    #[test]
+    fn usage_arithmetic_and_fit() {
+        let a = ResourceUsage { luts: 100_000, ffs: 200_000, bram_kbits: 10_000 };
+        let b = ResourceUsage { luts: 50_000, ffs: 100_000, bram_kbits: 5_000 };
+        let sum = a.plus(b);
+        assert_eq!(sum.luts, 150_000);
+        assert!(sum.fits(&STRATIX_V_5SGSD8));
+        let too_big = ResourceUsage { luts: 300_000, ..ResourceUsage::ZERO };
+        assert!(!too_big.fits(&STRATIX_V_5SGSD8));
+    }
+
+    #[test]
+    fn utilization_takes_binding_resource() {
+        let u = ResourceUsage { luts: 131_200, ffs: 105_000, bram_kbits: 25_670 };
+        // LUTs 50%, FFs 10%, BRAM 50% ⇒ 0.5.
+        assert!((u.utilization(&STRATIX_V_5SGSD8) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![
+            ResourceUsage { luts: 1, ffs: 2, bram_kbits: 3 },
+            ResourceUsage { luts: 10, ffs: 20, bram_kbits: 30 },
+        ];
+        let total: ResourceUsage = parts.into_iter().sum();
+        assert_eq!(total, ResourceUsage { luts: 11, ffs: 22, bram_kbits: 33 });
+    }
+}

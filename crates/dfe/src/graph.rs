@@ -1,0 +1,484 @@
+//! The kernel graph and the deterministic cycle scheduler.
+
+use crate::kernel::{Io, Kernel, Progress};
+use crate::stream::{StreamSpec, StreamState};
+use crate::trace::Trace;
+use std::fmt;
+
+/// Identifier of a stream within a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StreamId(pub(crate) usize);
+
+/// Identifier of a kernel within a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KernelId(pub(crate) usize);
+
+struct Node {
+    kernel: Box<dyn Kernel>,
+    inputs: Vec<usize>,
+    outputs: Vec<usize>,
+    read_used: Vec<bool>,
+    write_used: Vec<bool>,
+    busy: u64,
+    stalled: u64,
+}
+
+/// Why a run stopped abnormally.
+#[derive(Debug)]
+pub enum RunError {
+    /// No kernel made progress for a full cycle while sinks were incomplete.
+    /// Carries a human-readable dump of stream occupancies.
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+        /// Diagnostic description of every stream's state.
+        diagnostics: String,
+    },
+    /// `max_cycles` elapsed before the sinks completed.
+    Timeout {
+        /// The exhausted budget.
+        max_cycles: u64,
+    },
+    /// The graph is malformed (unconnected stream, double writer, …).
+    Invalid(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Deadlock { cycle, diagnostics } => {
+                write!(f, "dataflow deadlock at cycle {cycle}:\n{diagnostics}")
+            }
+            RunError::Timeout { max_cycles } => {
+                write!(f, "run exceeded {max_cycles} cycles")
+            }
+            RunError::Invalid(msg) => write!(f, "invalid graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Per-kernel activity counters.
+#[derive(Clone, Debug)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: String,
+    /// Cycles in which the kernel did useful work.
+    pub busy: u64,
+    /// Cycles in which the kernel was blocked on I/O.
+    pub stalled: u64,
+}
+
+/// Per-stream traffic counters.
+#[derive(Clone, Debug)]
+pub struct StreamStats {
+    /// Stream name.
+    pub name: String,
+    /// Total elements transported.
+    pub pushed: u64,
+    /// High-water mark of occupancy.
+    pub max_occupancy: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+/// Result of a completed run.
+#[derive(Clone, Debug)]
+pub struct CycleReport {
+    /// Clock cycles until the last sink completed.
+    pub cycles: u64,
+    /// Per-kernel counters, index-aligned with kernel ids.
+    pub kernels: Vec<KernelStats>,
+    /// Per-stream counters, index-aligned with stream ids.
+    pub streams: Vec<StreamStats>,
+}
+
+impl CycleReport {
+    /// Wall-clock time for the run at a fabric clock of `fclk_mhz`.
+    pub fn time_ms(&self, fclk_mhz: f64) -> f64 {
+        self.cycles as f64 / (fclk_mhz * 1e3)
+    }
+
+    /// The busiest kernel (pipeline bottleneck).
+    pub fn bottleneck(&self) -> Option<&KernelStats> {
+        self.kernels.iter().max_by_key(|k| k.busy)
+    }
+}
+
+/// A dataflow graph: kernels connected by bounded streams.
+///
+/// Build with [`Graph::add_stream`] / [`Graph::add_kernel`], then execute
+/// with [`Graph::run`]. Every stream must end up with exactly one writer
+/// and one reader (sources/sinks are kernels too).
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    streams: Vec<StreamState>,
+    writers: Vec<Option<usize>>,
+    readers: Vec<Option<usize>>,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a stream.
+    pub fn add_stream(&mut self, spec: StreamSpec) -> StreamId {
+        self.streams.push(StreamState::new(spec));
+        self.writers.push(None);
+        self.readers.push(None);
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Register a kernel with its input and output streams (port order is
+    /// the slice order).
+    ///
+    /// # Panics
+    /// Panics if a stream already has a reader/writer.
+    pub fn add_kernel(
+        &mut self,
+        kernel: Box<dyn Kernel>,
+        inputs: &[StreamId],
+        outputs: &[StreamId],
+    ) -> KernelId {
+        let id = self.nodes.len();
+        for &StreamId(s) in inputs {
+            assert!(
+                self.readers[s].is_none(),
+                "stream '{}' already has a reader",
+                self.streams[s].spec.name
+            );
+            self.readers[s] = Some(id);
+        }
+        for &StreamId(s) in outputs {
+            assert!(
+                self.writers[s].is_none(),
+                "stream '{}' already has a writer",
+                self.streams[s].spec.name
+            );
+            self.writers[s] = Some(id);
+        }
+        self.nodes.push(Node {
+            kernel,
+            inputs: inputs.iter().map(|s| s.0).collect(),
+            outputs: outputs.iter().map(|s| s.0).collect(),
+            read_used: vec![false; inputs.len()],
+            write_used: vec![false; outputs.len()],
+            busy: 0,
+            stalled: 0,
+        });
+        KernelId(id)
+    }
+
+    /// Number of kernels.
+    pub fn num_kernels(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of streams.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Kernel name lookup.
+    pub fn kernel_name(&self, id: KernelId) -> &str {
+        self.nodes[id.0].kernel.name()
+    }
+
+    /// Total FMem bits of all stream FIFOs (for the resource model).
+    pub fn total_fmem_bits(&self) -> usize {
+        self.streams.iter().map(|s| s.spec.fmem_bits()).sum()
+    }
+
+    fn validate(&self) -> Result<(), RunError> {
+        for (i, s) in self.streams.iter().enumerate() {
+            if self.writers[i].is_none() {
+                return Err(RunError::Invalid(format!("stream '{}' has no writer", s.spec.name)));
+            }
+            if self.readers[i].is_none() {
+                return Err(RunError::Invalid(format!("stream '{}' has no reader", s.spec.name)));
+            }
+        }
+        if self.nodes.is_empty() {
+            return Err(RunError::Invalid("graph has no kernels".into()));
+        }
+        Ok(())
+    }
+
+    /// True when every sink kernel (no output ports) reports completion.
+    fn complete(&self) -> bool {
+        self.nodes
+            .iter()
+            .filter(|n| n.outputs.is_empty())
+            .all(|n| n.kernel.is_done())
+    }
+
+    /// Execute until every sink completes or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> Result<CycleReport, RunError> {
+        self.run_opts(max_cycles, true)
+    }
+
+    /// Like [`Graph::run`], with deadlock detection optional.
+    ///
+    /// The threaded multi-DFE executor disables detection because a graph
+    /// legitimately idles while waiting for elements from another device's
+    /// clock domain; it yields the thread instead.
+    pub fn run_opts(
+        &mut self,
+        max_cycles: u64,
+        detect_deadlock: bool,
+    ) -> Result<CycleReport, RunError> {
+        self.run_inner(max_cycles, detect_deadlock, 0).map(|(r, _)| r)
+    }
+
+    /// Run while sampling stream occupancy and kernel activity every
+    /// `sample_every` cycles (see [`Trace`]).
+    pub fn run_traced(
+        &mut self,
+        max_cycles: u64,
+        sample_every: u64,
+    ) -> Result<(CycleReport, Trace), RunError> {
+        assert!(sample_every > 0, "sampling cadence must be positive");
+        self.run_inner(max_cycles, true, sample_every)
+            .map(|(r, t)| (r, t.expect("tracing was requested")))
+    }
+
+    fn run_inner(
+        &mut self,
+        max_cycles: u64,
+        detect_deadlock: bool,
+        sample_every: u64,
+    ) -> Result<(CycleReport, Option<Trace>), RunError> {
+        self.validate()?;
+        let mut trace = (sample_every > 0).then(|| {
+            Trace::new(
+                sample_every,
+                self.streams.iter().map(|s| s.spec.name.clone()).collect(),
+                self.nodes.iter().map(|n| n.kernel.name().to_string()).collect(),
+            )
+        });
+        let mut busy_at_last_sample: Vec<u64> = self.nodes.iter().map(|n| n.busy).collect();
+        let mut cycle: u64 = 0;
+        while !self.complete() {
+            if cycle >= max_cycles {
+                return Err(RunError::Timeout { max_cycles });
+            }
+            let mut any_progress = false;
+            for node in &mut self.nodes {
+                node.read_used.fill(false);
+                node.write_used.fill(false);
+                let mut io = Io::new(
+                    &mut self.streams,
+                    &node.inputs,
+                    &node.outputs,
+                    &mut node.read_used,
+                    &mut node.write_used,
+                );
+                match node.kernel.tick(&mut io) {
+                    Progress::Busy => {
+                        node.busy += 1;
+                        any_progress = true;
+                    }
+                    Progress::Stalled => node.stalled += 1,
+                    Progress::Idle => {}
+                }
+            }
+            let mut committed = false;
+            for s in &mut self.streams {
+                if !s.staged.is_empty() {
+                    committed = true;
+                }
+                s.commit();
+            }
+            if !any_progress && !committed {
+                if detect_deadlock {
+                    return Err(RunError::Deadlock { cycle, diagnostics: self.dump_streams() });
+                }
+                // Waiting on another clock domain: let its thread run.
+                std::thread::yield_now();
+            }
+            cycle += 1;
+            if let Some(t) = &mut trace {
+                if cycle % sample_every == 0 {
+                    t.occupancy.push(self.streams.iter().map(|s| s.queue.len() as u32).collect());
+                    t.busy_delta.push(
+                        self.nodes
+                            .iter()
+                            .zip(&busy_at_last_sample)
+                            .map(|(n, &prev)| (n.busy - prev) as u32)
+                            .collect(),
+                    );
+                    for (slot, n) in busy_at_last_sample.iter_mut().zip(&self.nodes) {
+                        *slot = n.busy;
+                    }
+                }
+            }
+        }
+        Ok((self.report(cycle), trace))
+    }
+
+    fn report(&self, cycles: u64) -> CycleReport {
+        CycleReport {
+            cycles,
+            kernels: self
+                .nodes
+                .iter()
+                .map(|n| KernelStats {
+                    name: n.kernel.name().to_string(),
+                    busy: n.busy,
+                    stalled: n.stalled,
+                })
+                .collect(),
+            streams: self
+                .streams
+                .iter()
+                .map(|s| StreamStats {
+                    name: s.spec.name.clone(),
+                    pushed: s.pushed,
+                    max_occupancy: s.max_occupancy,
+                    capacity: s.spec.capacity,
+                })
+                .collect(),
+        }
+    }
+
+    fn dump_streams(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, s) in self.streams.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  stream {:3} '{}': {}/{} occupied, writer={:?} reader={:?}",
+                i,
+                s.spec.name,
+                s.queue.len(),
+                s.spec.capacity,
+                self.writers[i].map(|k| self.nodes[k].kernel.name()),
+                self.readers[i].map(|k| self.nodes[k].kernel.name()),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostSink, HostSource};
+    use crate::kernel::Progress;
+
+    /// A pass-through kernel that adds a constant, one element per cycle.
+    struct AddConst {
+        c: i32,
+    }
+    impl Kernel for AddConst {
+        fn name(&self) -> &str {
+            "add-const"
+        }
+        fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+            if io.can_read(0) && io.can_write(0) {
+                let v = io.read(0).expect("checked");
+                io.write(0, v + self.c);
+                Progress::Busy
+            } else if io.can_read(0) || io.num_inputs() == 0 {
+                Progress::Stalled
+            } else {
+                Progress::Idle
+            }
+        }
+    }
+
+    fn pipeline(data: Vec<i32>, stages: usize) -> (Graph, crate::host::SinkHandle) {
+        let n = data.len();
+        let mut g = Graph::new();
+        let mut prev = g.add_stream(StreamSpec::new("s0", 8, 4));
+        g.add_kernel(Box::new(HostSource::new("src", data)), &[], &[prev]);
+        for i in 0..stages {
+            let next = g.add_stream(StreamSpec::new(format!("s{}", i + 1), 8, 4));
+            g.add_kernel(Box::new(AddConst { c: 1 }), &[prev], &[next]);
+            prev = next;
+        }
+        let (sink, handle) = HostSink::new("dst", n);
+        g.add_kernel(Box::new(sink), &[prev], &[]);
+        (g, handle)
+    }
+
+    #[test]
+    fn pipeline_computes_and_counts_cycles() {
+        let (mut g, handle) = pipeline(vec![10, 20, 30], 2);
+        let report = g.run(1000).expect("run ok");
+        assert_eq!(handle.take(), vec![12, 22, 32]);
+        // 3 elements through a 4-stage pipeline (src + 2 adders + sink):
+        // latency ≈ depth + n; must be far below the serial bound yet > n.
+        assert!(report.cycles >= 5 && report.cycles <= 20, "cycles = {}", report.cycles);
+    }
+
+    #[test]
+    fn registered_outputs_cost_one_cycle_per_stage() {
+        // A single element through k stages must take ≥ k+1 cycles.
+        let (mut g, _h) = pipeline(vec![1], 5);
+        let report = g.run(100).expect("run ok");
+        assert!(report.cycles >= 6, "combinational ripple detected: {}", report.cycles);
+    }
+
+    #[test]
+    fn throughput_is_one_element_per_cycle() {
+        let n = 100;
+        let (mut g, handle) = pipeline((0..n).collect(), 1);
+        let report = g.run(10_000).expect("run ok");
+        assert_eq!(handle.take().len(), n as usize);
+        // Fully pipelined: cycles ≈ n + small latency.
+        assert!(report.cycles < n as u64 + 10, "cycles = {}", report.cycles);
+    }
+
+    #[test]
+    fn unconnected_stream_is_invalid() {
+        let mut g = Graph::new();
+        let s = g.add_stream(StreamSpec::new("dangling", 2, 4));
+        g.add_kernel(Box::new(HostSource::new("src", vec![1])), &[], &[s]);
+        match g.run(10) {
+            Err(RunError::Invalid(msg)) => assert!(msg.contains("no reader")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starved_sink_deadlocks_with_diagnostics() {
+        // Sink expects 2 elements but the source provides 1.
+        let mut g = Graph::new();
+        let s = g.add_stream(StreamSpec::new("s", 8, 4));
+        g.add_kernel(Box::new(HostSource::new("src", vec![7])), &[], &[s]);
+        let (sink, _h) = HostSink::new("dst", 2);
+        g.add_kernel(Box::new(sink), &[s], &[]);
+        match g.run(1000) {
+            Err(RunError::Deadlock { diagnostics, .. }) => {
+                assert!(diagnostics.contains("'s'"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let (mut g, _h) = pipeline(vec![1, 2, 3], 2);
+        match g.run(2) {
+            Err(RunError::Timeout { max_cycles: 2 }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_account_busy_and_stalls() {
+        let (mut g, _h) = pipeline((0..10).collect(), 1);
+        let report = g.run(1000).expect("run ok");
+        let adder = &report.kernels[1];
+        assert_eq!(adder.name, "add-const");
+        assert_eq!(adder.busy, 10, "one busy cycle per element");
+        let src_stream = &report.streams[0];
+        assert_eq!(src_stream.pushed, 10);
+        assert!(src_stream.max_occupancy <= src_stream.capacity);
+    }
+}

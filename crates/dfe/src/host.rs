@@ -1,0 +1,158 @@
+//! Host-side source and sink kernels — the PCIe boundary of the DFE.
+//!
+//! The paper streams images from the CPU over PCIe and reads logits back;
+//! these kernels model that boundary at one element per fabric cycle (the
+//! PCIe link is far faster than 8 bits × 105 MHz, so the fabric clock is
+//! the binding constraint).
+
+use crate::kernel::{Io, Kernel, Progress};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Feeds a preloaded buffer into its single output stream, one element per
+/// cycle.
+pub struct HostSource {
+    name: String,
+    data: VecDeque<i32>,
+}
+
+impl HostSource {
+    /// Create a source over `data` (already in stream order).
+    pub fn new(name: impl Into<String>, data: Vec<i32>) -> Self {
+        Self { name: name.into(), data: data.into() }
+    }
+}
+
+impl Kernel for HostSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        if self.data.is_empty() {
+            return Progress::Idle;
+        }
+        if io.can_write(0) {
+            let v = self.data.pop_front().expect("checked non-empty");
+            io.write(0, v);
+            Progress::Busy
+        } else {
+            Progress::Stalled
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct SinkState {
+    collected: Vec<i32>,
+}
+
+/// Shared handle to a [`HostSink`]'s collected output.
+#[derive(Clone)]
+pub struct SinkHandle {
+    state: Arc<Mutex<SinkState>>,
+    expected: usize,
+}
+
+impl SinkHandle {
+    /// Take the collected elements (leaves the sink buffer empty).
+    pub fn take(&self) -> Vec<i32> {
+        std::mem::take(&mut self.state.lock().collected)
+    }
+
+    /// Elements collected so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().collected.len()
+    }
+
+    /// True when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when all expected elements arrived.
+    pub fn is_complete(&self) -> bool {
+        self.len() == self.expected
+    }
+}
+
+/// Collects a known number of elements from its single input stream.
+pub struct HostSink {
+    name: String,
+    expected: usize,
+    state: Arc<Mutex<SinkState>>,
+}
+
+impl HostSink {
+    /// Create a sink expecting `expected` elements, returning the kernel and
+    /// a handle for retrieving results after the run.
+    pub fn new(name: impl Into<String>, expected: usize) -> (Self, SinkHandle) {
+        let state = Arc::new(Mutex::new(SinkState::default()));
+        let handle = SinkHandle { state: Arc::clone(&state), expected };
+        (Self { name: name.into(), expected, state }, handle)
+    }
+}
+
+impl Kernel for HostSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        let state = self.state.lock();
+        if state.collected.len() >= self.expected {
+            return Progress::Idle;
+        }
+        drop(state);
+        match io.read(0) {
+            Some(v) => {
+                let mut state = self.state.lock();
+                state.collected.push(v);
+                Progress::Busy
+            }
+            None => Progress::Stalled,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().collected.len() >= self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::stream::StreamSpec;
+
+    #[test]
+    fn source_to_sink_roundtrip() {
+        let mut g = Graph::new();
+        let s = g.add_stream(StreamSpec::new("s", 8, 2));
+        g.add_kernel(Box::new(HostSource::new("src", vec![1, 2, 3, 4])), &[], &[s]);
+        let (sink, handle) = HostSink::new("dst", 4);
+        g.add_kernel(Box::new(sink), &[s], &[]);
+        let report = g.run(100).expect("run ok");
+        assert_eq!(handle.take(), vec![1, 2, 3, 4]);
+        // One element per cycle through a capacity-2 FIFO: n + latency.
+        assert!(report.cycles <= 10);
+    }
+
+    #[test]
+    fn sink_handle_tracks_completion() {
+        let (_sink, handle) = HostSink::new("dst", 2);
+        assert!(!handle.is_complete());
+        assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn empty_source_is_immediately_done() {
+        let src = HostSource::new("src", vec![]);
+        assert!(src.is_done());
+    }
+}

@@ -1,0 +1,166 @@
+//! The kernel abstraction: a clocked state machine with ports.
+
+use crate::stream::StreamState;
+
+/// What a kernel accomplished during one tick; used for busy/stall
+/// accounting and deadlock detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Progress {
+    /// Read or wrote at least one element, or performed internal work.
+    Busy,
+    /// Wanted to work but was blocked on an empty input or full output.
+    Stalled,
+    /// Nothing to do (e.g. source exhausted, sink complete).
+    Idle,
+}
+
+/// Port-level I/O context handed to a kernel on each tick.
+///
+/// Enforces the clocked contract: at most one read per input port and one
+/// write per output port per tick. Writes are staged and become visible to
+/// the consumer on the next cycle.
+pub struct Io<'a> {
+    streams: &'a mut [StreamState],
+    inputs: &'a [usize],
+    outputs: &'a [usize],
+    read_used: &'a mut [bool],
+    write_used: &'a mut [bool],
+}
+
+impl<'a> Io<'a> {
+    pub(crate) fn new(
+        streams: &'a mut [StreamState],
+        inputs: &'a [usize],
+        outputs: &'a [usize],
+        read_used: &'a mut [bool],
+        write_used: &'a mut [bool],
+    ) -> Self {
+        Self { streams, inputs, outputs, read_used, write_used }
+    }
+
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output ports.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Is an element available on input port `p` this cycle?
+    pub fn can_read(&self, p: usize) -> bool {
+        !self.read_used[p] && self.streams[self.inputs[p]].can_read()
+    }
+
+    /// Consume one element from input port `p`. Returns `None` when the
+    /// port is empty or already read this cycle.
+    pub fn read(&mut self, p: usize) -> Option<i32> {
+        if self.read_used[p] {
+            return None;
+        }
+        let s = &mut self.streams[self.inputs[p]];
+        let v = s.queue.pop_front()?;
+        self.read_used[p] = true;
+        Some(v)
+    }
+
+    /// Is there space to write on output port `p` this cycle?
+    pub fn can_write(&self, p: usize) -> bool {
+        !self.write_used[p] && self.streams[self.outputs[p]].can_write()
+    }
+
+    /// Produce one element on output port `p`.
+    ///
+    /// # Panics
+    /// Panics when the port is full or already written this cycle — kernels
+    /// must check [`Io::can_write`] first (a real kernel physically cannot
+    /// emit into a full FIFO).
+    pub fn write(&mut self, p: usize, v: i32) {
+        assert!(!self.write_used[p], "output port {p} written twice in one cycle");
+        let s = &mut self.streams[self.outputs[p]];
+        assert!(
+            s.can_write(),
+            "write into full stream '{}' — kernel must check can_write",
+            s.spec.name
+        );
+        s.staged.push(v);
+        s.pushed += 1;
+        self.write_used[p] = true;
+    }
+}
+
+/// A clocked dataflow kernel.
+///
+/// One `tick` models one fabric clock cycle. Implementations hold all layer
+/// state (shift registers, weight caches, position counters) internally,
+/// exactly like a MaxJ kernel holds it in FMem/FFs.
+pub trait Kernel: Send {
+    /// Kernel instance name for reports.
+    fn name(&self) -> &str;
+
+    /// Advance one clock cycle.
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress;
+
+    /// True once the kernel will never produce further output (used by the
+    /// threaded executor for shutdown; the cycle scheduler stops on sink
+    /// completion instead).
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{StreamSpec, StreamState};
+
+    fn setup() -> Vec<StreamState> {
+        vec![
+            StreamState::new(StreamSpec::new("in", 8, 4)),
+            StreamState::new(StreamSpec::new("out", 8, 1)),
+        ]
+    }
+
+    #[test]
+    fn read_is_once_per_cycle() {
+        let mut streams = setup();
+        streams[0].queue.push_back(1);
+        streams[0].queue.push_back(2);
+        let (inputs, outputs) = (vec![0usize], vec![1usize]);
+        let mut ru = vec![false];
+        let mut wu = vec![false];
+        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu);
+        assert_eq!(io.read(0), Some(1));
+        assert!(!io.can_read(0), "second read in same cycle must be refused");
+        assert_eq!(io.read(0), None);
+    }
+
+    #[test]
+    fn write_is_staged_not_committed() {
+        let mut streams = setup();
+        let (inputs, outputs) = (vec![0usize], vec![1usize]);
+        let mut ru = vec![false];
+        let mut wu = vec![false];
+        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu);
+        assert!(io.can_write(0));
+        io.write(0, 9);
+        assert!(!io.can_write(0));
+        drop(io);
+        assert!(!streams[1].can_read());
+        streams[1].commit();
+        assert_eq!(streams[1].queue.front(), Some(&9));
+    }
+
+    #[test]
+    #[should_panic(expected = "full stream")]
+    fn write_into_full_stream_panics() {
+        let mut streams = setup();
+        streams[1].queue.push_back(0); // capacity 1 ⇒ full
+        let (inputs, outputs) = (vec![0usize], vec![1usize]);
+        let mut ru = vec![false];
+        let mut wu = vec![false];
+        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu);
+        io.write(0, 1);
+    }
+}

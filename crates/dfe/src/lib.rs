@@ -1,0 +1,46 @@
+//! A cycle-approximate dataflow-engine (DFE) platform simulator — the
+//! Maxeler MAX4 substitute used by this reproduction.
+//!
+//! The real platform runs MaxJ kernels on a Stratix V FPGA, connected by
+//! on-chip streams, with multiple DFEs daisy-chained over MaxRing links.
+//! This crate reproduces the *architectural* behaviour the paper's claims
+//! rest on:
+//!
+//! * **Streams** are bounded FIFOs carrying one element per clock cycle.
+//!   An element is one channel value of one pixel (depth-first order); the
+//!   paper's own bandwidth arithmetic ("each pixel is represented by 2
+//!   bits … 210 Mbps at 105 MHz", §III-B6) confirms this scalar
+//!   channel-serial framing.
+//! * **Kernels** are clocked state machines: each `tick` they may consume
+//!   at most one element per input port and produce at most one element per
+//!   output port, with writes becoming visible the *next* cycle (registered
+//!   outputs). Backpressure is structural: a kernel cannot write into a
+//!   full stream and therefore halts, exactly like the paper's
+//!   halt-the-input convolution kernel.
+//! * **The cycle scheduler** steps every kernel once per clock and reports
+//!   cycle counts, per-kernel busy/stall statistics and stream occupancies.
+//!   It detects deadlock (no progress while sinks are incomplete).
+//! * **The threaded executor** runs the same kernel graph with one OS
+//!   thread per kernel connected by bounded channels — functional
+//!   decomposition for real, used to check that the functional result is
+//!   independent of the execution strategy.
+//! * **Devices and MaxRing links** carry resource budgets and bandwidth
+//!   limits so the compiler can place kernels onto multiple DFEs and verify
+//!   link feasibility.
+
+pub mod device;
+pub mod graph;
+pub mod host;
+pub mod kernel;
+pub mod ring;
+pub mod stream;
+pub mod threaded;
+pub mod trace;
+
+pub use device::{DeviceSpec, ResourceUsage, MAIA_FCLK_MHZ, STRATIX_10_GX2800, STRATIX_V_5SGSD8};
+pub use graph::{CycleReport, Graph, KernelId, RunError, StreamId};
+pub use host::{HostSink, HostSource, SinkHandle};
+pub use kernel::{Io, Kernel, Progress};
+pub use ring::MaxRing;
+pub use stream::StreamSpec;
+pub use trace::Trace;

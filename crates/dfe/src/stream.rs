@@ -1,0 +1,134 @@
+//! Bounded streams: the FMem-backed FIFOs connecting kernels.
+
+use std::collections::VecDeque;
+
+/// Static description of a stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Display name (used in reports and deadlock diagnostics).
+    pub name: String,
+    /// Payload width in bits — 2 for activation codes, 8 for input pixels,
+    /// 16 for skip data, 32 for logits. Used for FMem sizing and MaxRing
+    /// bandwidth checks, not for value storage (values are `i32` in the
+    /// simulator).
+    pub bits: u32,
+    /// FIFO capacity in elements. The paper's inter-kernel buffers live in
+    /// FMem and are small; the default used by the compiler is 512.
+    pub capacity: usize,
+}
+
+impl StreamSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, bits: u32, capacity: usize) -> Self {
+        assert!(capacity > 0, "streams need capacity of at least one element");
+        assert!((1..=32).contains(&bits), "stream width must be 1..=32 bits");
+        Self { name: name.into(), bits, capacity }
+    }
+
+    /// FMem bits occupied by the full FIFO.
+    pub fn fmem_bits(&self) -> usize {
+        self.bits as usize * self.capacity
+    }
+
+    /// Bandwidth in megabits per second this stream needs at `fclk_mhz` when
+    /// it carries one element per cycle (paper §III-B6's 2 bit × 105 MHz =
+    /// 210 Mbps example).
+    pub fn bandwidth_mbps(&self, fclk_mhz: f64) -> f64 {
+        self.bits as f64 * fclk_mhz
+    }
+}
+
+/// Runtime state of a stream inside the cycle scheduler.
+///
+/// Writes land in `staged` and are committed to `queue` at the end of the
+/// cycle, modeling registered kernel outputs: a value written in cycle `t`
+/// is readable in cycle `t+1`, regardless of kernel iteration order.
+#[derive(Debug)]
+pub(crate) struct StreamState {
+    pub spec: StreamSpec,
+    pub queue: VecDeque<i32>,
+    pub staged: Vec<i32>,
+    /// Total elements ever pushed (for throughput accounting).
+    pub pushed: u64,
+    /// High-water mark of committed occupancy.
+    pub max_occupancy: usize,
+}
+
+impl StreamState {
+    pub fn new(spec: StreamSpec) -> Self {
+        let cap = spec.capacity;
+        Self {
+            spec,
+            queue: VecDeque::with_capacity(cap),
+            staged: Vec::with_capacity(4),
+            pushed: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Committed + staged occupancy (what a writer must respect).
+    pub fn total_len(&self) -> usize {
+        self.queue.len() + self.staged.len()
+    }
+
+    pub fn can_write(&self) -> bool {
+        self.total_len() < self.spec.capacity
+    }
+
+    pub fn can_read(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    pub fn commit(&mut self) {
+        for v in self.staged.drain(..) {
+            self.queue.push_back(v);
+        }
+        self.max_occupancy = self.max_occupancy.max(self.queue.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_matches_paper_example() {
+        // 2-bit pixels at 105 MHz ⇒ 210 Mbps (paper §III-B6).
+        let s = StreamSpec::new("dfe-link", 2, 512);
+        assert_eq!(s.bandwidth_mbps(105.0), 210.0);
+    }
+
+    #[test]
+    fn staged_writes_are_invisible_until_commit() {
+        let mut st = StreamState::new(StreamSpec::new("s", 2, 4));
+        st.staged.push(7);
+        assert!(!st.can_read());
+        st.commit();
+        assert!(st.can_read());
+        assert_eq!(st.queue.pop_front(), Some(7));
+    }
+
+    #[test]
+    fn capacity_counts_staged_elements() {
+        let mut st = StreamState::new(StreamSpec::new("s", 2, 2));
+        st.staged.push(1);
+        st.staged.push(2);
+        assert!(!st.can_write());
+        st.commit();
+        assert!(!st.can_write());
+        st.queue.pop_front();
+        assert!(st.can_write());
+    }
+
+    #[test]
+    fn fmem_accounting() {
+        let s = StreamSpec::new("s", 16, 1024);
+        assert_eq!(s.fmem_bits(), 16 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = StreamSpec::new("s", 2, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Threaded multi-DFE execution: one OS thread per device graph, connected
+//! by bounded channels standing in for MaxRing hops.
+//!
+//! Each DFE has its own clock domain (its own cycle-stepped scheduler); the
+//! only coupling is the bounded channel, exactly like the real platform's
+//! daisy-chained DFEs coupled by a rate-limited serial link. This executor
+//! demonstrates the paper's scale-out claim: the same kernel graph, cut at
+//! layer boundaries, runs across devices with results identical to the
+//! single-device run.
+
+use crate::graph::{CycleReport, Graph, RunError};
+use crate::kernel::{Io, Kernel, Progress};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+
+/// Create a channel-backed inter-device link of `capacity` elements,
+/// returning the egress kernel (placed on the upstream device) and ingress
+/// kernel (placed on the downstream device).
+pub fn link(
+    name: &str,
+    capacity: usize,
+    expected: u64,
+) -> (ChannelEgress, ChannelIngress) {
+    let (tx, rx) = bounded(capacity);
+    (
+        ChannelEgress { name: format!("{name}.tx"), tx, pending: None, sent: 0, expected },
+        ChannelIngress { name: format!("{name}.rx"), rx, received: 0, expected },
+    )
+}
+
+/// Sends its input stream into an inter-device channel.
+pub struct ChannelEgress {
+    name: String,
+    tx: Sender<i32>,
+    pending: Option<i32>,
+    sent: u64,
+    expected: u64,
+}
+
+impl Kernel for ChannelEgress {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        if self.pending.is_none() {
+            self.pending = io.read(0);
+        }
+        match self.pending {
+            Some(v) => match self.tx.try_send(v) {
+                Ok(()) => {
+                    self.pending = None;
+                    self.sent += 1;
+                    Progress::Busy
+                }
+                Err(TrySendError::Full(_)) => Progress::Stalled,
+                Err(TrySendError::Disconnected(_)) => {
+                    panic!("downstream device of '{}' hung up", self.name)
+                }
+            },
+            None => {
+                if self.sent >= self.expected {
+                    Progress::Idle
+                } else {
+                    Progress::Stalled
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent >= self.expected && self.pending.is_none()
+    }
+}
+
+/// Feeds elements arriving from an inter-device channel into its output
+/// stream.
+pub struct ChannelIngress {
+    name: String,
+    rx: Receiver<i32>,
+    received: u64,
+    expected: u64,
+}
+
+impl Kernel for ChannelIngress {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        if self.received >= self.expected {
+            return Progress::Idle;
+        }
+        if !io.can_write(0) {
+            return Progress::Stalled;
+        }
+        match self.rx.try_recv() {
+            Ok(v) => {
+                io.write(0, v);
+                self.received += 1;
+                Progress::Busy
+            }
+            Err(TryRecvError::Empty) => Progress::Stalled,
+            Err(TryRecvError::Disconnected) => {
+                panic!("upstream device of '{}' hung up early", self.name)
+            }
+        }
+    }
+}
+
+/// Run several device graphs concurrently, one thread each.
+///
+/// Returns each device's cycle report in input order. Deadlock detection is
+/// disabled inside each device (cross-device waits are legitimate); a
+/// `max_cycles` budget per device bounds runaway executions instead.
+pub fn run_devices(
+    graphs: Vec<Graph>,
+    max_cycles: u64,
+) -> Result<Vec<CycleReport>, RunError> {
+    let results = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = graphs
+            .into_iter()
+            .map(|mut g| scope.spawn(move |_| g.run_opts(max_cycles, false)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("device thread panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("executor scope panicked");
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostSink, HostSource};
+    use crate::stream::StreamSpec;
+
+    /// Build a two-device pipeline: device 0 negates, device 1 doubles.
+    fn two_device_setup(data: Vec<i32>) -> (Vec<Graph>, crate::host::SinkHandle) {
+        struct Map(fn(i32) -> i32, &'static str);
+        impl Kernel for Map {
+            fn name(&self) -> &str {
+                self.1
+            }
+            fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+                if io.can_read(0) && io.can_write(0) {
+                    let v = io.read(0).expect("checked");
+                    io.write(0, (self.0)(v));
+                    Progress::Busy
+                } else {
+                    Progress::Stalled
+                }
+            }
+        }
+
+        let n = data.len();
+        let (egress, ingress) = link("ring0", 64, n as u64);
+
+        let mut d0 = Graph::new();
+        let a = d0.add_stream(StreamSpec::new("a", 8, 8));
+        let b = d0.add_stream(StreamSpec::new("b", 8, 8));
+        d0.add_kernel(Box::new(HostSource::new("src", data)), &[], &[a]);
+        d0.add_kernel(Box::new(Map(|v| -v, "negate")), &[a], &[b]);
+        d0.add_kernel(Box::new(egress), &[b], &[]);
+
+        let mut d1 = Graph::new();
+        let c = d1.add_stream(StreamSpec::new("c", 8, 8));
+        let d = d1.add_stream(StreamSpec::new("d", 8, 8));
+        d1.add_kernel(Box::new(ingress), &[], &[c]);
+        d1.add_kernel(Box::new(Map(|v| v * 2, "double")), &[c], &[d]);
+        let (sink, handle) = HostSink::new("dst", n);
+        d1.add_kernel(Box::new(sink), &[d], &[]);
+
+        (vec![d0, d1], handle)
+    }
+
+    #[test]
+    fn two_devices_compute_the_composition() {
+        let (graphs, handle) = two_device_setup(vec![1, 2, 3, 4, 5]);
+        let reports = run_devices(graphs, 1_000_000).expect("run ok");
+        assert_eq!(reports.len(), 2);
+        assert_eq!(handle.take(), vec![-2, -4, -6, -8, -10]);
+    }
+
+    #[test]
+    fn cross_device_ordering_is_preserved_under_load() {
+        let n = 2000;
+        let (graphs, handle) = two_device_setup((0..n).collect());
+        run_devices(graphs, 10_000_000).expect("run ok");
+        let out = handle.take();
+        assert_eq!(out.len(), n as usize);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, -2 * i as i32);
+        }
+    }
+}

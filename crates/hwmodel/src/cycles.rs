@@ -1,0 +1,223 @@
+//! Analytic clock-cycle model (paper §IV-B4).
+//!
+//! Per kernel, one clock moves at most one input element into the window
+//! buffer and emits at most one output (one filter result), and the two
+//! overlap like in any MaxJ kernel — so a layer is busy for
+//! ≈ `max(padded_inputs, outputs)` cycles per image. (The halt-strict
+//! discipline of a literal §III-B1 reading costs `inputs + outputs` and is
+//! kept as an ablation in `qnn-kernels`; the overlapped numbers are the
+//! ones consistent with the paper's measurements.) The pipeline's
+//! steady-state *period* is the maximum busy count over kernels; the
+//! single-image *latency* adds each kernel's window-fill offset, because a
+//! kernel cannot start until its first window arrives.
+//!
+//! The cycle simulator in `dfe-platform` is the ground truth; integration
+//! tests pin this model to it on small networks, then the model scales to
+//! the full-size estimates the benches report.
+
+use qnn_nn::{NetworkSpec, Stage};
+use qnn_tensor::ConvGeometry;
+
+/// Busy-cycle decomposition of one layer (one or more kernels).
+#[derive(Clone, Debug)]
+pub struct LayerCycles {
+    /// Stage label.
+    pub name: String,
+    /// Input elements streamed per image (after padding).
+    pub inputs: u64,
+    /// Output elements (= compute halts for convolutions).
+    pub outputs: u64,
+    /// Busy cycles per image of the stage's busiest kernel.
+    pub busy: u64,
+    /// Cycles before the first output can appear (window fill).
+    pub fill: u64,
+}
+
+fn conv_cycles(name: &str, geom: &ConvGeometry) -> LayerCycles {
+    let padded = geom.padded_input();
+    let inputs = padded.len() as u64;
+    let out = geom.output();
+    let outputs = out.len() as u64;
+    // First window completes after ((K−1)·W + K) · I elements.
+    let fill = ((geom.filter.k - 1) * padded.w + geom.filter.k) as u64 * padded.c as u64;
+    LayerCycles { name: name.to_string(), inputs, outputs, busy: inputs.max(outputs), fill }
+}
+
+/// Whole-network cycle model.
+#[derive(Clone, Debug)]
+pub struct CycleModel {
+    /// Per-stage busy/fill decomposition (residual blocks contribute their
+    /// slowest internal conv).
+    pub layers: Vec<LayerCycles>,
+}
+
+impl CycleModel {
+    /// Analyze a network spec.
+    pub fn analyze(spec: &NetworkSpec) -> Self {
+        let mut layers = Vec::new();
+        for (i, stage) in spec.stages.iter().enumerate() {
+            match stage {
+                Stage::ConvInput { geom } | Stage::Conv { geom } => {
+                    layers.push(conv_cycles(&format!("conv{i}"), geom));
+                }
+                Stage::Pool { input, k, stride, pad, .. } => {
+                    let ph = input.h + 2 * pad;
+                    let pw = input.w + 2 * pad;
+                    let inputs = (ph * pw * input.c) as u64;
+                    let oh = (ph - k) / stride + 1;
+                    let ow = (pw - k) / stride + 1;
+                    let outputs = (oh * ow * input.c) as u64;
+                    let fill = (((k - 1) * pw + k) * input.c) as u64;
+                    layers.push(LayerCycles {
+                        name: format!("pool{i}"),
+                        inputs,
+                        outputs,
+                        // Pooling overlaps I/O (§III-B2).
+                        busy: inputs.max(outputs),
+                        fill,
+                    });
+                }
+                Stage::FullyConnected { in_features, out_features, .. } => {
+                    let inputs = *in_features as u64;
+                    let outputs = *out_features as u64;
+                    layers.push(LayerCycles {
+                        name: format!("fc{i}"),
+                        inputs,
+                        outputs,
+                        busy: inputs.max(outputs),
+                        fill: inputs,
+                    });
+                }
+                Stage::Residual { geom } => {
+                    let c1 = conv_cycles(&format!("res{i}.conv1"), &geom.conv1);
+                    let c2 = conv_cycles(&format!("res{i}.conv2"), &geom.conv2);
+                    layers.push(c1);
+                    layers.push(c2);
+                    if let Some(ds) = &geom.downsample {
+                        layers.push(conv_cycles(&format!("res{i}.ds"), ds));
+                    }
+                }
+            }
+        }
+        Self { layers }
+    }
+
+    /// Steady-state cycles per image (pipeline period): the busiest kernel.
+    pub fn period(&self) -> u64 {
+        self.layers.iter().map(|l| l.busy).max().unwrap_or(0)
+    }
+
+    /// Single-image latency estimate: the bottleneck period plus every
+    /// stage's fill offset (a stage starts only after its first window).
+    pub fn latency(&self) -> u64 {
+        self.period() + self.layers.iter().map(|l| l.fill).sum::<u64>()
+    }
+
+    /// Sum of all busy cycles — the fully serialized bound (what a
+    /// layer-at-a-time accelerator would need).
+    pub fn serial_bound(&self) -> u64 {
+        self.layers.iter().map(|l| l.busy).sum()
+    }
+
+    /// Milliseconds for `cycles` at `fclk_mhz`.
+    pub fn ms(cycles: u64, fclk_mhz: f64) -> f64 {
+        cycles as f64 / (fclk_mhz * 1e3)
+    }
+
+    /// The bottleneck layer.
+    pub fn bottleneck(&self) -> &LayerCycles {
+        self.layers.iter().max_by_key(|l| l.busy).expect("non-empty model")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::paper;
+    use dfe_platform::MAIA_FCLK_MHZ;
+    use qnn_nn::models;
+
+    #[test]
+    fn resnet18_latency_is_in_the_papers_band() {
+        // §IV-B4 estimates ≈1.85×10⁶ clocks/picture; the measured system at
+        // 105 MHz does 16.1 ms ≈ 1.69×10⁶. Our overlapped-I/O model lands
+        // below both (the paper's system carries extra per-layer overheads
+        // our architecture-level model omits); require the same regime
+        // within 2.5×.
+        let m = CycleModel::analyze(&models::resnet18(1000));
+        let est = m.latency() as f64;
+        assert!(
+            est > paper::RESNET18_CLOCKS_ESTIMATE / 2.5
+                && est < paper::RESNET18_CLOCKS_ESTIMATE * 2.5,
+            "latency {est:.3e} vs paper {:.3e}",
+            paper::RESNET18_CLOCKS_ESTIMATE
+        );
+    }
+
+    #[test]
+    fn resnet_bottleneck_is_the_stem() {
+        // conv1's 112×112×64 output traffic and the stem pool that consumes
+        // it are tied for the bottleneck; either name is the stem.
+        let m = CycleModel::analyze(&models::resnet18(1000));
+        let b = &m.bottleneck().name;
+        assert!(b.contains("conv0") || b.contains("pool1"), "bottleneck {b:?}");
+        // The stem pool streams the padded 114×114×64 map.
+        assert_eq!(m.period(), 114 * 114 * 64);
+    }
+
+    #[test]
+    fn resnet_dfe_penalty_much_smaller_than_layer_ratio() {
+        // ResNet-18 has ~2.5× the layer count of AlexNet but the streaming
+        // latency grows far less (paper: +17.5%). Check the model's ratio
+        // stays well under the serial ratio.
+        let res = CycleModel::analyze(&models::resnet18(1000));
+        let alex = CycleModel::analyze(&models::alexnet(1000));
+        let latency_ratio = res.latency() as f64 / alex.latency() as f64;
+        let serial_ratio = res.serial_bound() as f64 / alex.serial_bound() as f64;
+        assert!(latency_ratio < serial_ratio, "overlap does not help?");
+        // The paper reports +17.5%; our model gives more because its
+        // AlexNet stem is far cheaper (stride-4 halts) while ResNet's
+        // stride-2 stem dominates — see EXPERIMENTS.md for the discussion.
+        assert!(
+            (1.0..2.8).contains(&latency_ratio),
+            "ResNet/AlexNet DFE latency ratio {latency_ratio}"
+        );
+    }
+
+    #[test]
+    fn stride_speedup_matches_section_3b1() {
+        // AlexNet conv1 (stride 4): halting at every position instead of
+        // only valid ones would cost ~13× more compute cycles (≈S²·share).
+        let alex = models::alexnet(1000);
+        let Stage::ConvInput { geom } = alex.stages[0] else { panic!("stem") };
+        let strided = conv_cycles("s", &geom);
+        let dense_outputs = {
+            let p = geom.padded_input();
+            ((p.h - geom.filter.k + 1) * (p.w - geom.filter.k + 1) * geom.filter.o) as u64
+        };
+        let speedup = dense_outputs as f64 / strided.outputs as f64;
+        assert!((12.0..18.0).contains(&speedup), "stride-4 halt speedup {speedup:.1}");
+    }
+
+    #[test]
+    fn vgg32_time_in_band() {
+        // Table IV: 0.8 ms per image at 105 MHz for the 32×32 CNV.
+        let m = CycleModel::analyze(&models::vgg_like(32, 10, 2));
+        let ms = CycleModel::ms(m.latency(), MAIA_FCLK_MHZ);
+        assert!(
+            (0.1..2.0).contains(&ms),
+            "VGG-32 latency {ms} ms vs paper {}",
+            paper::VGG32_TIME_MS
+        );
+    }
+
+    #[test]
+    fn period_is_max_and_serial_is_sum() {
+        let m = CycleModel::analyze(&models::vgg_like(32, 10, 2));
+        let max = m.layers.iter().map(|l| l.busy).max().unwrap();
+        let sum: u64 = m.layers.iter().map(|l| l.busy).sum();
+        assert_eq!(m.period(), max);
+        assert_eq!(m.serial_bound(), sum);
+        assert!(m.latency() >= m.period());
+    }
+}

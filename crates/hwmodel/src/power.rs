@@ -1,0 +1,132 @@
+//! Power and energy models (paper Figures 7 and 8).
+//!
+//! FPGA board power = per-DFE static power + a dynamic term proportional to
+//! the occupied fabric (resource utilization is the standard first-order
+//! proxy for switched capacitance at a fixed clock). Calibrated so a
+//! single-DFE CNV design draws the 12 W of Table IVa.
+//!
+//! GPU inference power is a fixed fraction of TDP — single-image inference
+//! keeps Pascal boards near their sustained gaming/compute draw, which is
+//! how the paper's ≥15× power gap at 32×32 arises.
+
+use crate::gpu::GpuSpec;
+use dfe_platform::{DeviceSpec, ResourceUsage};
+
+/// Static power drawn by one powered DFE regardless of design (board,
+/// transceivers, configured-but-idle fabric).
+pub const DFE_STATIC_W: f64 = 6.5;
+/// Dynamic power at 100% fabric utilization and the 105 MHz clock.
+pub const DFE_DYNAMIC_FULL_W: f64 = 9.5;
+/// Fraction of TDP a Pascal GPU draws during single-image inference.
+pub const GPU_INFERENCE_TDP_FRACTION: f64 = 0.72;
+
+/// Static/dynamic decomposition of a DFE design's power.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerBreakdown {
+    /// Static watts (scales with DFE count).
+    pub static_w: f64,
+    /// Dynamic watts (scales with occupied fabric).
+    pub dynamic_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total board power.
+    pub fn total(&self) -> f64 {
+        self.static_w + self.dynamic_w
+    }
+}
+
+/// Board power for a design occupying `usage` spread over `num_dfes`
+/// devices of type `dev`, scaled to fabric clock `fclk_mhz`.
+pub fn dfe_power_watts(
+    usage: ResourceUsage,
+    num_dfes: usize,
+    dev: &DeviceSpec,
+    fclk_mhz: f64,
+) -> PowerBreakdown {
+    assert!(num_dfes >= 1);
+    // Switched-capacitance proxy over the whole deployed fabric: logic
+    // toggles hardest, registers and BRAM contribute less per occupied bit
+    // (standard early-power-estimation weighting).
+    let n = num_dfes as f64;
+    let lut_u = usage.luts as f64 / (dev.luts as f64 * n);
+    let ff_u = usage.ffs as f64 / (dev.ffs as f64 * n);
+    let bram_u = usage.bram_kbits as f64 / (dev.bram_kbits as f64 * n);
+    let util = (0.6 * lut_u + 0.2 * ff_u + 0.2 * bram_u).min(1.0);
+    let clock_scale = fclk_mhz / dev.fclk_mhz;
+    PowerBreakdown {
+        static_w: DFE_STATIC_W * n,
+        dynamic_w: DFE_DYNAMIC_FULL_W * util * n * clock_scale,
+    }
+}
+
+/// GPU board power during single-image inference.
+pub fn gpu_power_watts(spec: &GpuSpec) -> f64 {
+    spec.tdp_w * GPU_INFERENCE_TDP_FRACTION
+}
+
+/// Energy per image in joules for a device drawing `power_w` over
+/// `time_ms`.
+pub fn energy_joules(power_w: f64, time_ms: f64) -> f64 {
+    power_w * time_ms / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{GTX1080, P100};
+    use crate::specs::paper;
+    use dfe_platform::{MAIA_FCLK_MHZ, STRATIX_V_5SGSD8};
+
+    fn vgg32_usage() -> ResourceUsage {
+        ResourceUsage {
+            luts: paper::VGG32_LUT,
+            ffs: paper::VGG32_FF,
+            bram_kbits: paper::VGG32_BRAM_KBITS,
+        }
+    }
+
+    #[test]
+    fn single_dfe_cnv_draws_about_12_watts() {
+        let p = dfe_power_watts(vgg32_usage(), 1, &STRATIX_V_5SGSD8, MAIA_FCLK_MHZ);
+        assert!(
+            (10.0..14.0).contains(&p.total()),
+            "CNV DFE power {} vs Table IVa's 12 W",
+            p.total()
+        );
+    }
+
+    #[test]
+    fn vgg_power_gap_is_at_least_15x() {
+        // Fig. 7: DFE vs GPU power for VGG-like nets is ≥15×.
+        let dfe = dfe_power_watts(vgg32_usage(), 1, &STRATIX_V_5SGSD8, MAIA_FCLK_MHZ).total();
+        for gpu in [P100, GTX1080] {
+            let g = gpu_power_watts(&gpu);
+            assert!(g / dfe >= 10.0, "{}: {g}/{dfe}", gpu.name);
+        }
+        assert!(gpu_power_watts(&P100) / dfe >= 15.0);
+    }
+
+    #[test]
+    fn multi_dfe_power_scales_with_devices() {
+        let one = dfe_power_watts(vgg32_usage(), 1, &STRATIX_V_5SGSD8, MAIA_FCLK_MHZ).total();
+        let three = dfe_power_watts(vgg32_usage(), 3, &STRATIX_V_5SGSD8, MAIA_FCLK_MHZ).total();
+        assert!(three > 2.0 * one / 1.5, "static power must scale: {one} vs {three}");
+        assert!(three < 3.0 * one, "same design on more DFEs is not 3× dynamic");
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        assert!((energy_joules(12.0, 0.8) - 0.0096).abs() < 1e-12);
+        // Table IV regime: FINN 3.6 W × 0.0456 ms vs DFE 12 W × 0.8 ms.
+        let finn = energy_joules(3.6, 0.0456);
+        let dfe = energy_joules(12.0, 0.8);
+        assert!(dfe > finn, "FINN's binary design is more energy-frugal per image");
+    }
+
+    #[test]
+    fn gpu_power_fractions() {
+        assert!((gpu_power_watts(&P100) - 180.0).abs() < 1.0);
+        assert!((gpu_power_watts(&GTX1080) - 129.6).abs() < 1.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Per-stage FPGA resource estimation.
+//!
+//! The *structural* terms come straight from the paper's arithmetic:
+//!
+//! * window (shift-register) buffers of `I·(W·(K−1)+K)` elements — Fig. 4a;
+//! * weight caches of `O` entries × `K·K·I` bits, mapped onto M20K BRAM in
+//!   its 512×40 shape, so a cache with ≤384 entries wastes ≥25% of each
+//!   block (§III-B1a);
+//! * BatchNorm caches of `O` entries × 64 bits (§III-B1a);
+//! * skip buffers sized like a convolution window buffer, carrying 16-bit
+//!   data (§III-B5).
+//!
+//! The *infrastructure* terms (per-kernel stream controllers, manager glue,
+//! pipelined popcount registers) are constants calibrated so that the model
+//! lands on the paper's reported totals for all three networks (Table III
+//! and Table IV); see `specs::paper` and the calibration tests.
+
+use qnn_nn::{NetworkSpec, PoolKind, Stage};
+use qnn_tensor::ConvGeometry;
+
+use dfe_platform::ResourceUsage;
+
+/// LUTs per datapath bit-plane bit: XNOR + pipelined popcount compressor
+/// tree + routing, per window bit per activation plane.
+const LUT_PER_DATAPATH_BIT: f64 = 5.5;
+/// Fixed LUTs per major kernel (convolution/FC): stream control, counters,
+/// address generators, Maxeler manager glue.
+const LUT_MAJOR_FIXED: u64 = 6_300;
+/// Fixed LUTs per minor kernel (pad, pool, add, split, threshold).
+const LUT_MINOR_FIXED: u64 = 1_000;
+/// Global FF multiplier (tool/pipeline overhead over the structural bits).
+const FF_SCALE: f64 = 1.7;
+/// FF base per major kernel.
+const FF_MAJOR_FIXED: u64 = 5_000;
+/// FF base per minor kernel.
+const FF_MINOR_FIXED: u64 = 1_000;
+/// M20K width when configured at its minimum depth of 512.
+const BRAM_WIDTH_BITS: u64 = 40;
+/// Minimum BRAM depth (paper §III-B1a).
+const BRAM_MIN_DEPTH: u64 = 512;
+/// Kbits per M20K block.
+const BRAM_BLOCK_KBITS: u64 = 20;
+/// Housekeeping BRAM per kernel (stream FIFOs, control) in blocks.
+const BRAM_PER_KERNEL_BLOCKS: u64 = 4;
+/// Per-DFE infrastructure BRAM (PCIe/DMA buffers, manager) in blocks.
+const BRAM_PER_DFE_BLOCKS: u64 = 100;
+
+/// Infrastructure BRAM charged per opened device, exposed so the
+/// partitioner and the whole-network estimator stay in lock-step.
+pub const PER_DFE_INFRA_BRAM_KBITS: u64 = BRAM_PER_DFE_BLOCKS * BRAM_BLOCK_KBITS;
+
+/// Resource estimate of one pipeline stage, with its kernel count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageResources {
+    /// Combined usage of every kernel the stage lowers to.
+    pub usage: ResourceUsage,
+    /// Number of dataflow kernels (major + minor).
+    pub kernels: usize,
+}
+
+fn bram_blocks(width_bits: u64, entries: u64) -> u64 {
+    width_bits.div_ceil(BRAM_WIDTH_BITS) * entries.div_ceil(BRAM_MIN_DEPTH)
+}
+
+/// Allocated Kbits for a `entries × width_bits` cache after block-shape
+/// quantization.
+pub fn cache_alloc_kbits(width_bits: u64, entries: u64) -> u64 {
+    bram_blocks(width_bits, entries) * BRAM_BLOCK_KBITS
+}
+
+/// Fraction of allocated weight-cache BRAM that is wasted by shape
+/// quantization — the §III-B1a "at least 25%" effect when `entries < 512`.
+pub fn cache_waste_fraction(width_bits: u64, entries: u64) -> f64 {
+    // A block physically stores 512 × 40 bits regardless of the logical
+    // cache shape mapped onto it.
+    let alloc = (bram_blocks(width_bits, entries) * BRAM_MIN_DEPTH * BRAM_WIDTH_BITS) as f64;
+    let used = (width_bits * entries) as f64;
+    1.0 - used / alloc
+}
+
+/// Estimate one convolution (geometry includes padding; an upstream pad
+/// inserter is charged when `geom.pad > 0`).
+fn conv_resources(geom: &ConvGeometry, elem_bits: u32, planes: u32, with_bn: bool) -> StageResources {
+    let padded = ConvGeometry::new(geom.padded_input(), geom.filter, geom.stride, 0);
+    let n = geom.filter.weights_per_filter() as u64;
+    let o = geom.filter.o as u64;
+    let datapath_bits = n * planes as u64;
+    let window_bits = padded.depth_first_buffer() as u64 * elem_bits as u64;
+
+    let mut luts = (LUT_PER_DATAPATH_BIT * datapath_bits as f64) as u64 + LUT_MAJOR_FIXED;
+    let mut ffs = (FF_SCALE * (window_bits + 2 * datapath_bits + FF_MAJOR_FIXED) as f64) as u64;
+    let mut bram = bram_blocks(n, o); // weight cache
+    if with_bn {
+        bram += bram_blocks(64, o); // normalization cache
+    }
+    bram += BRAM_PER_KERNEL_BLOCKS;
+    let mut kernels = 1;
+    if geom.pad > 0 {
+        luts += LUT_MINOR_FIXED;
+        ffs += (FF_SCALE * FF_MINOR_FIXED as f64) as u64;
+        bram += BRAM_PER_KERNEL_BLOCKS;
+        kernels += 1;
+    }
+    StageResources {
+        usage: ResourceUsage { luts, ffs, bram_kbits: bram * BRAM_BLOCK_KBITS },
+        kernels,
+    }
+}
+
+fn minor_resources(window_bits: u64, count: usize) -> StageResources {
+    StageResources {
+        usage: ResourceUsage {
+            luts: LUT_MINOR_FIXED * count as u64,
+            ffs: (FF_SCALE * (window_bits + FF_MINOR_FIXED * count as u64) as f64) as u64,
+            bram_kbits: BRAM_PER_KERNEL_BLOCKS * count as u64 * BRAM_BLOCK_KBITS,
+        },
+        kernels: count,
+    }
+}
+
+/// Estimate one pipeline stage.
+pub fn estimate_stage(stage: &Stage, act_bits: u32) -> StageResources {
+    match *stage {
+        Stage::ConvInput { geom } => conv_resources(&geom, 8, 8, true),
+        Stage::Conv { geom } => conv_resources(&geom, act_bits, act_bits, true),
+        Stage::Pool { input, k, pad, kind, .. } => {
+            let padded_w = (input.w + 2 * pad) as u64;
+            let window_bits =
+                input.c as u64 * (padded_w * (k as u64 - 1) + k as u64) * act_bits as u64;
+            let kernels = if pad > 0 { 2 } else { 1 };
+            let mut r = minor_resources(window_bits, kernels);
+            if matches!(kind, PoolKind::AvgSum) {
+                // Accumulator per channel.
+                r.usage.luts += 500;
+            }
+            r
+        }
+        Stage::FullyConnected { in_features, out_features, bn_act } => {
+            let geom = ConvGeometry::new(
+                qnn_tensor::Shape3::new(1, 1, in_features),
+                qnn_tensor::FilterShape::new(1, in_features, out_features),
+                1,
+                0,
+            );
+            // FC windows hold activation codes (the avg-pool widening is
+            // folded into thresholds, not stored wider).
+            conv_resources(&geom, act_bits, act_bits, bn_act)
+        }
+        Stage::Residual { geom } => {
+            let mut r = conv_resources(&geom.conv1, act_bits, act_bits, true);
+            let c2 = conv_resources(&geom.conv2, act_bits, act_bits, false);
+            r.usage = r.usage.plus(c2.usage);
+            r.kernels += c2.kernels;
+            if let Some(ds) = geom.downsample {
+                let d = conv_resources(&ds, act_bits, act_bits, false);
+                r.usage = r.usage.plus(d.usage);
+                r.kernels += d.kernels;
+            }
+            // Skip buffer: one convolution-sized buffer of 16-bit data in
+            // BRAM (§III-B5), plus adder, two splits and the post-adder
+            // threshold unit.
+            let skip_elems = ConvGeometry::new(
+                geom.conv2.padded_input(),
+                geom.conv2.filter,
+                geom.conv2.stride,
+                0,
+            )
+            .depth_first_buffer() as u64;
+            let skip_blocks = bram_blocks(16, skip_elems);
+            r.usage.bram_kbits += skip_blocks * BRAM_BLOCK_KBITS;
+            let glue = minor_resources(0, 4); // add + 2 splits + threshold
+            r.usage = r.usage.plus(glue.usage);
+            r.kernels += glue.kernels;
+            r
+        }
+    }
+}
+
+/// Whole-network resource estimate.
+#[derive(Clone, Debug)]
+pub struct NetworkResources {
+    /// Per-stage estimates, index-aligned with the spec.
+    pub stages: Vec<StageResources>,
+    /// Sum over stages (without per-DFE infrastructure).
+    pub design: ResourceUsage,
+    /// Total including per-DFE infrastructure for `num_dfes` devices.
+    pub total: ResourceUsage,
+    /// Number of DFEs assumed for the infrastructure term.
+    pub num_dfes: usize,
+}
+
+/// Estimate a whole network assuming it is spread over `num_dfes` devices.
+pub fn estimate_network(spec: &NetworkSpec, num_dfes: usize) -> NetworkResources {
+    assert!(num_dfes >= 1);
+    let stages: Vec<StageResources> =
+        spec.stages.iter().map(|s| estimate_stage(s, spec.act_bits)).collect();
+    let design: ResourceUsage = stages.iter().map(|s| s.usage).sum();
+    let infra = ResourceUsage {
+        luts: 0,
+        ffs: 0,
+        bram_kbits: BRAM_PER_DFE_BLOCKS * BRAM_BLOCK_KBITS * num_dfes as u64,
+    };
+    NetworkResources { stages, design, total: design.plus(infra), num_dfes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::paper;
+    use qnn_nn::models;
+
+    fn within(actual: u64, reported: u64, tol: f64) -> bool {
+        let (a, r) = (actual as f64, reported as f64);
+        (a - r).abs() / r <= tol
+    }
+
+    /// Calibration: the model must land near the paper's Table III / IV
+    /// totals. Tolerances are deliberately loose (these are estimates of a
+    /// synthesis tool's output) but tight enough to catch regressions.
+    #[test]
+    fn alexnet_matches_table3_bands() {
+        let r = estimate_network(&models::alexnet(1000), 3);
+        assert!(within(r.total.luts, paper::ALEXNET_LUT, 0.30), "LUT {:?}", r.total);
+        assert!(within(r.total.ffs, paper::ALEXNET_FF, 0.35), "FF {:?}", r.total);
+        assert!(
+            within(r.total.bram_kbits, paper::ALEXNET_BRAM_KBITS, 0.30),
+            "BRAM {:?}",
+            r.total
+        );
+    }
+
+    #[test]
+    fn resnet18_matches_table3_bands() {
+        let r = estimate_network(&models::resnet18(1000), 3);
+        assert!(within(r.total.luts, paper::RESNET18_LUT, 0.30), "LUT {:?}", r.total);
+        assert!(within(r.total.ffs, paper::RESNET18_FF, 0.40), "FF {:?}", r.total);
+        assert!(
+            within(r.total.bram_kbits, paper::RESNET18_BRAM_KBITS, 0.45),
+            "BRAM {:?}",
+            r.total
+        );
+    }
+
+    #[test]
+    fn vgg32_matches_table4_bands() {
+        let r = estimate_network(&models::vgg_like(32, 10, 2), 1);
+        assert!(within(r.total.luts, paper::VGG32_LUT, 0.30), "LUT {:?}", r.total);
+        assert!(within(r.total.ffs, paper::VGG32_FF, 0.30), "FF {:?}", r.total);
+    }
+
+    #[test]
+    fn table3_orderings_reproduced() {
+        let alex = estimate_network(&models::alexnet(1000), 3).total;
+        let res = estimate_network(&models::resnet18(1000), 3).total;
+        // ResNet: more LUTs and FFs (more layers); AlexNet: more BRAM (big
+        // FC weight caches) — §IV-B2.
+        assert!(res.luts > alex.luts);
+        assert!(res.ffs > alex.ffs);
+        assert!(alex.bram_kbits > res.bram_kbits);
+        // "ResNet-18 requires ∼75% more LUTs": allow 40–120%.
+        let ratio = res.luts as f64 / alex.luts as f64;
+        assert!((1.4..2.2).contains(&ratio), "LUT ratio {ratio}");
+    }
+
+    #[test]
+    fn bram_quantization_waste_is_at_least_25_percent() {
+        // §III-B1a: max cache entries 384 < depth 512 ⇒ ≥25% waste.
+        for o in [64u64, 128, 256, 384] {
+            let waste = cache_waste_fraction(576, o);
+            assert!(waste >= 0.25, "waste for O={o} is {waste}");
+        }
+        // A 512-entry cache has no depth waste (width may still waste).
+        assert!(cache_waste_fraction(40 * 9, 512) < 0.01);
+    }
+
+    #[test]
+    fn input_size_scaling_is_modest_for_vgg() {
+        // Fig. 6: 32→96 increases resources by only ~5% (weights dominate
+        // and are size-independent; only line buffers grow).
+        let base = estimate_network(&models::vgg_like(32, 10, 2), 1).total;
+        let big = estimate_network(&models::vgg_like(96, 10, 2), 1).total;
+        let ff_growth = big.ffs as f64 / base.ffs as f64 - 1.0;
+        let lut_growth = big.luts as f64 / base.luts as f64 - 1.0;
+        let bram_growth = big.bram_kbits as f64 / base.bram_kbits as f64 - 1.0;
+        assert!(lut_growth.abs() < 0.05, "LUT growth {lut_growth}");
+        assert!(bram_growth.abs() < 0.05, "BRAM growth {bram_growth}");
+        // FFs hold the line buffers, the only structure that scales with
+        // the input width — they grow, but far less than the 9× pixel-count
+        // increase. (The paper claims ~5% here even for FFs, which is hard
+        // to reconcile with its own AlexNet FF total; see EXPERIMENTS.md.)
+        assert!(ff_growth > 0.0 && ff_growth < 1.5, "FF growth {ff_growth}");
+    }
+
+    #[test]
+    fn skip_connection_overhead_is_small() {
+        // §III-B5: "the overhead of the addition of a skip connection is
+        // negligible" in LUTs (one adder); the buffer costs BRAM.
+        let full = estimate_network(&models::resnet18(1000), 3).total;
+        let plain = estimate_network(&models::resnet18_plain(1000), 3).total;
+        let lut_overhead = (full.luts as f64 - plain.luts as f64) / plain.luts as f64;
+        assert!(
+            lut_overhead < 0.15,
+            "skip connections cost {:.1}% extra LUTs",
+            lut_overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn stage_estimates_sum_to_design() {
+        let spec = models::vgg_like(32, 10, 2);
+        let r = estimate_network(&spec, 1);
+        let sum: ResourceUsage = r.stages.iter().map(|s| s.usage).sum();
+        assert_eq!(sum, r.design);
+        assert!(r.total.bram_kbits > r.design.bram_kbits);
+    }
+}

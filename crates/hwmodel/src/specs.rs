@@ -1,0 +1,96 @@
+//! Published reference numbers used for comparison columns.
+
+/// FINN's published results for the CNV network on CIFAR-10 (paper
+/// Table IV, quoting Umuroglu et al.). These are *constants from the
+/// paper*, not something we compute — FINN ran on a Xilinx part with
+/// binary activations and on-chip input storage, so only trends are
+/// comparable (as the paper itself cautions).
+#[derive(Clone, Copy, Debug)]
+pub struct FinnReference {
+    /// Inference time per image, ms.
+    pub time_ms: f64,
+    /// Board power, W.
+    pub power_w: f64,
+    /// CIFAR-10 top-1 accuracy (binary activations).
+    pub accuracy: f64,
+    /// LUTs.
+    pub luts: u64,
+    /// BRAM in Kbits.
+    pub bram_kbits: u64,
+}
+
+/// Table IV FINN column.
+pub const FINN_CNV_CIFAR10: FinnReference = FinnReference {
+    time_ms: 0.0456,
+    power_w: 3.6,
+    accuracy: 0.801,
+    luts: 46_253,
+    bram_kbits: 6_696,
+};
+
+/// Paper-reported DFE numbers, used by tests/benches to compare our model
+/// outputs against the published Tables III and IV.
+pub mod paper {
+    /// Table III, AlexNet column.
+    pub const ALEXNET_LUT: u64 = 343_295;
+    /// Table III, AlexNet BRAM (Kbits).
+    pub const ALEXNET_BRAM_KBITS: u64 = 34_600;
+    /// Table III, AlexNet FFs.
+    pub const ALEXNET_FF: u64 = 664_767;
+    /// Table III, AlexNet runtime (ms).
+    pub const ALEXNET_TIME_MS: f64 = 13.7;
+
+    /// Table III, ResNet-18 column.
+    pub const RESNET18_LUT: u64 = 596_081;
+    /// Table III, ResNet-18 BRAM (Kbits).
+    pub const RESNET18_BRAM_KBITS: u64 = 30_854;
+    /// Table III, ResNet-18 FFs.
+    pub const RESNET18_FF: u64 = 1_175_373;
+    /// Table III, ResNet-18 runtime (ms).
+    pub const RESNET18_TIME_MS: f64 = 16.1;
+
+    /// Table IV, DFE column (VGG-like CNV at 32×32).
+    pub const VGG32_LUT: u64 = 133_887;
+    /// Table IV DFE BRAM (Kbits).
+    pub const VGG32_BRAM_KBITS: u64 = 11_020;
+    /// Table IV DFE FFs.
+    pub const VGG32_FF: u64 = 278_501;
+    /// Table IV DFE time (ms).
+    pub const VGG32_TIME_MS: f64 = 0.8;
+    /// Table IV DFE power (W).
+    pub const VGG32_POWER_W: f64 = 12.0;
+    /// Table IV DFE accuracy (2-bit activations).
+    pub const VGG32_ACCURACY: f64 = 0.842;
+
+    /// §IV-B4: theoretical clocks per picture for ResNet-18.
+    pub const RESNET18_CLOCKS_ESTIMATE: f64 = 1.85e6;
+    /// Abstract: ResNet-18 top-1 on ImageNet.
+    pub const RESNET18_TOP1: f64 = 0.575;
+    /// Abstract: AlexNet top-1 with 2-bit activations (vs 41.8% at 1-bit).
+    pub const ALEXNET_TOP1_2BIT: f64 = 0.5103;
+    /// Abstract: AlexNet top-1 with 1-bit activations.
+    pub const ALEXNET_TOP1_1BIT: f64 = 0.418;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finn_constants_match_table4() {
+        assert_eq!(FINN_CNV_CIFAR10.luts, 46_253);
+        assert!((FINN_CNV_CIFAR10.time_ms - 0.0456).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_table3_ordering_holds() {
+        // ResNet needs ~75% more LUTs than AlexNet; AlexNet needs more BRAM
+        // (§IV-B2) — sanity-check the transcribed constants.
+        let lut_ratio = paper::RESNET18_LUT as f64 / paper::ALEXNET_LUT as f64;
+        assert!((1.6..1.9).contains(&lut_ratio));
+        const { assert!(paper::ALEXNET_BRAM_KBITS > paper::RESNET18_BRAM_KBITS) };
+        // DFE runtime penalty for the deeper net: 17.5%.
+        let t_ratio = paper::RESNET18_TIME_MS / paper::ALEXNET_TIME_MS;
+        assert!((t_ratio - 1.175).abs() < 0.01);
+    }
+}

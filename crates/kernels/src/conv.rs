@@ -1,0 +1,552 @@
+//! The streaming convolution kernel (paper §III-B1, Fig. 3).
+//!
+//! Dataflow per clock cycle:
+//!
+//! * **Fill**: one stream element (one channel value, depth-first order)
+//!   enters the shift-register window buffer of `I·(W·(K−1)+K)` elements —
+//!   the Fig. 4a depth-first buffer, realized here as a ring indexed by the
+//!   element's absolute stream position.
+//! * **Compute**: once every element of the next valid window has arrived,
+//!   the window is latched and the kernel emits one output per clock — one
+//!   filter (XNOR-popcount against one weight-cache entry) per cycle, `O`
+//!   cycles per position — optionally pushing each accumulator through its
+//!   fused BatchNorm+activation thresholds.
+//! * Invalid positions (borders already consumed by the upstream
+//!   [`crate::PadInserter`], stride gaps) never cost compute cycles, which
+//!   is where the stride-4 first layer gets its ~13× speedup (§III-B1).
+//! * **Drain**: trailing input elements that no window needs (bottom rows
+//!   under striding) are still consumed so the upstream never blocks, then
+//!   the kernel resets for the next image.
+//!
+//! Two input-control disciplines are provided:
+//!
+//! * [`ConvKernel::new`] — **overlapped** (default): like any MaxJ kernel,
+//!   one tick can simultaneously absorb an input element and emit an
+//!   output, so a layer is busy for ≈ `max(inputs, outputs)` cycles per
+//!   image. This is the discipline consistent with the paper's *measured*
+//!   numbers (0.8 ms for CNV at 32², > 60 fps at 144²), which are below the
+//!   serialized `inputs + outputs` bound.
+//! * [`ConvKernel::new_halted`] — **halt-strict**: the literal reading of
+//!   §III-B1 ("the kernel halts the input and calculates one output pixel
+//!   per clock cycle"): no input is accepted while a position's filters are
+//!   being emitted, giving `inputs + outputs` busy cycles. Kept as an
+//!   ablation (`cargo bench -p qnn-bench --bench ablations`).
+
+use crate::loader::{LoadStep, ParamLoader};
+use dfe_platform::{Io, Kernel, Progress};
+use qnn_quant::{dot_i8, ActPlanes, ThresholdUnit};
+use qnn_tensor::{BinaryFilters, BitVec, ConvGeometry};
+
+/// Input-operand flavor of the dot-product datapath.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DotMode {
+    /// Signed 8-bit fixed-point pixels (the CPU-fed first layer).
+    I8,
+    /// n-bit activation codes, bit-plane decomposed.
+    Codes {
+        /// Activation bits (2 in the paper).
+        bits: u32,
+    },
+}
+
+/// The streaming convolution kernel.
+pub struct ConvKernel {
+    name: String,
+    geom: ConvGeometry,
+    filters: BinaryFilters,
+    thresholds: Option<Vec<ThresholdUnit>>,
+    mode: DotMode,
+    // --- window buffer ---
+    ring: Vec<i32>,
+    /// Elements of the current image received so far.
+    received: usize,
+    // --- output bookkeeping ---
+    /// Linear output position (oy·W_out + ox) currently awaited/computed.
+    out_pos: usize,
+    /// Next filter to emit for the latched position (None ⇒ filling).
+    emitting: Option<usize>,
+    /// Halt the input while emitting (see the module docs).
+    halt_input: bool,
+    /// Parameter loader, present until the CPU finishes streaming the
+    /// weight/threshold caches over input port 1 (§III-B1a).
+    loader: Option<ParamLoader>,
+    // --- scratch (reused across positions, no per-cycle allocation) ---
+    window_codes: Vec<u8>,
+    window_i8: Vec<i8>,
+    planes: ActPlanes,
+}
+
+impl ConvKernel {
+    /// Create a convolution kernel.
+    ///
+    /// `geom.pad` must be zero: padding is inserted upstream by
+    /// [`crate::PadInserter`], so the kernel sees the padded geometry.
+    pub fn new(
+        name: impl Into<String>,
+        geom: ConvGeometry,
+        filters: BinaryFilters,
+        thresholds: Option<Vec<ThresholdUnit>>,
+        mode: DotMode,
+    ) -> Self {
+        Self::build(name, geom, filters, thresholds, mode, false)
+    }
+
+    /// A kernel whose caches arrive over a second input port as a 32-bit
+    /// parameter stream before inference begins (§III-B1a): weights as
+    /// floats (binarized by `Sign` on arrival), then — when
+    /// `with_thresholds` — the wire-encoded fused BatchNorm units.
+    /// Port 0 is the feature-map stream, port 1 the parameter stream.
+    pub fn new_streamed(
+        name: impl Into<String>,
+        geom: ConvGeometry,
+        mode: DotMode,
+        with_thresholds: bool,
+        act_bits: u32,
+    ) -> Self {
+        let placeholder = BinaryFilters::from_rows(
+            (0..geom.filter.o).map(|_| BitVec::zeros(geom.filter.weights_per_filter())).collect(),
+        );
+        let mut k = Self::build(name, geom, placeholder, None, mode, false);
+        k.loader = Some(ParamLoader::new(
+            geom.filter.weights_per_filter(),
+            geom.filter.o,
+            with_thresholds,
+            act_bits,
+        ));
+        k
+    }
+
+    /// The halt-strict variant of §III-B1 (see the module docs).
+    pub fn new_halted(
+        name: impl Into<String>,
+        geom: ConvGeometry,
+        filters: BinaryFilters,
+        thresholds: Option<Vec<ThresholdUnit>>,
+        mode: DotMode,
+    ) -> Self {
+        Self::build(name, geom, filters, thresholds, mode, true)
+    }
+
+    fn build(
+        name: impl Into<String>,
+        geom: ConvGeometry,
+        filters: BinaryFilters,
+        thresholds: Option<Vec<ThresholdUnit>>,
+        mode: DotMode,
+        halt_input: bool,
+    ) -> Self {
+        assert_eq!(geom.pad, 0, "padding must be inserted upstream of ConvKernel");
+        assert_eq!(filters.num_filters(), geom.filter.o, "filter count mismatch");
+        assert_eq!(
+            filters.bits_per_filter(),
+            geom.filter.weights_per_filter(),
+            "filter width mismatch"
+        );
+        if let Some(t) = &thresholds {
+            assert_eq!(t.len(), geom.filter.o, "one threshold unit per output map");
+        }
+        let wsize = geom.filter.weights_per_filter();
+        let bits = match mode {
+            DotMode::Codes { bits } => bits,
+            DotMode::I8 => 1, // planes unused in i8 mode
+        };
+        Self {
+            name: name.into(),
+            geom,
+            filters,
+            thresholds,
+            mode,
+            ring: vec![0; geom.depth_first_buffer()],
+            received: 0,
+            out_pos: 0,
+            emitting: None,
+            halt_input,
+            loader: None,
+            window_codes: vec![0; wsize],
+            window_i8: vec![0; wsize],
+            planes: ActPlanes::new(bits, wsize),
+        }
+    }
+
+    /// The window-buffer size in elements — the paper's `I·(W·(K−1)+K)`.
+    pub fn buffer_elems(&self) -> usize {
+        self.ring.len()
+    }
+
+    fn positions(&self) -> usize {
+        let out = self.geom.output();
+        out.h * out.w
+    }
+
+    fn total_inputs(&self) -> usize {
+        self.geom.input.len()
+    }
+
+    /// Stream index of the last element of the window for output position
+    /// `pos`, plus one (i.e. the `received` count at which it is complete).
+    fn needed(&self, pos: usize) -> usize {
+        let out_w = self.geom.output().w;
+        let (oy, ox) = (pos / out_w, pos % out_w);
+        let (ty, tx) = (oy * self.geom.stride, ox * self.geom.stride);
+        let k = self.geom.filter.k;
+        let w = self.geom.input.w;
+        let i = self.geom.input.c;
+        ((ty + k - 1) * w + tx + k - 1) * i + i
+    }
+
+    /// Gather the current window from the ring into scratch and (in code
+    /// mode) pack the bit planes.
+    fn latch_window(&mut self) {
+        let out_w = self.geom.output().w;
+        let (oy, ox) = (self.out_pos / out_w, self.out_pos % out_w);
+        let (ty, tx) = (oy * self.geom.stride, ox * self.geom.stride);
+        let k = self.geom.filter.k;
+        let w = self.geom.input.w;
+        let i = self.geom.input.c;
+        let cap = self.ring.len();
+        let mut at = 0;
+        for ky in 0..k {
+            for kx in 0..k {
+                let base = ((ty + ky) * w + tx + kx) * i;
+                for c in 0..i {
+                    let v = self.ring[(base + c) % cap];
+                    match self.mode {
+                        DotMode::Codes { .. } => self.window_codes[at] = v as u8,
+                        DotMode::I8 => self.window_i8[at] = v as i8,
+                    }
+                    at += 1;
+                }
+            }
+        }
+        if let DotMode::Codes { .. } = self.mode {
+            self.planes.pack(&self.window_codes);
+        }
+    }
+
+    /// Accumulator for filter `o` of the latched window.
+    fn accumulate(&self, o: usize) -> i32 {
+        match self.mode {
+            DotMode::Codes { .. } => self.planes.dot(self.filters.filter(o)),
+            DotMode::I8 => dot_i8(self.filters.filter(o), &self.window_i8),
+        }
+    }
+}
+
+impl Kernel for ConvKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        // Parameter-loading phase: one cache word per clock from port 1;
+        // the feature-map port backs up until the caches are complete.
+        if let Some(loader) = &mut self.loader {
+            return match io.read(1) {
+                Some(word) => {
+                    if let LoadStep::Done(filters, thresholds) = loader.push(word) {
+                        self.filters = filters;
+                        if thresholds.is_some() {
+                            self.thresholds = thresholds;
+                        }
+                        self.loader = None;
+                    }
+                    Progress::Busy
+                }
+                None => Progress::Stalled,
+            };
+        }
+
+        let mut progress = Progress::Idle;
+
+        // Latch the next window as soon as it is complete.
+        if self.emitting.is_none()
+            && self.out_pos < self.positions()
+            && self.received >= self.needed(self.out_pos)
+        {
+            self.latch_window();
+            self.emitting = Some(0);
+        }
+
+        // Emit one filter result this clock.
+        let mut did_emit = false;
+        if let Some(o) = self.emitting {
+            if io.can_write(0) {
+                let acc = self.accumulate(o);
+                let out = match &self.thresholds {
+                    Some(t) => i32::from(t[o].activate(acc)),
+                    None => acc,
+                };
+                io.write(0, out);
+                let next = o + 1;
+                if next == self.geom.filter.o {
+                    self.emitting = None;
+                    self.out_pos += 1;
+                } else {
+                    self.emitting = Some(next);
+                }
+                progress = Progress::Busy;
+                did_emit = true;
+            } else {
+                progress = Progress::Stalled;
+            }
+        }
+
+        // Absorb one input element — up to the next unlatched window's last
+        // element (prefetching further would evict ring data another window
+        // still needs), or everything if only the drain remains. In
+        // halt-strict mode no input moves in a cycle that produced output.
+        let read_limit = if self.halt_input && (did_emit || self.emitting.is_some()) {
+            0
+        } else {
+            let next_pos = self.out_pos + usize::from(self.emitting.is_some());
+            if next_pos >= self.positions() {
+                self.total_inputs()
+            } else {
+                self.needed(next_pos)
+            }
+        };
+        if self.received < read_limit {
+            match io.read(0) {
+                Some(v) => {
+                    let cap = self.ring.len();
+                    self.ring[self.received % cap] = v;
+                    self.received += 1;
+                    progress = Progress::Busy;
+                }
+                None => {
+                    if progress == Progress::Idle {
+                        progress = Progress::Stalled;
+                    }
+                }
+            }
+        }
+
+        // Image complete: reset for the next one.
+        if self.out_pos == self.positions()
+            && self.received == self.total_inputs()
+            && self.emitting.is_none()
+        {
+            self.received = 0;
+            self.out_pos = 0;
+        }
+        progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfe_platform::{Graph, HostSink, HostSource, StreamSpec};
+    use qnn_quant::{BnParams, QuantSpec};
+    use qnn_tensor::{FilterShape, Shape3, Tensor3};
+
+    fn filters_for(geom: &ConvGeometry, seed: u64) -> BinaryFilters {
+        let w: Vec<f32> = (0..geom.filter.total_weights())
+            .map(|i| if (i as u64).wrapping_mul(seed * 2 + 1) % 5 < 2 { 1.0 } else { -1.0 })
+            .collect();
+        BinaryFilters::from_float_rows(&w, geom.filter.weights_per_filter())
+    }
+
+    /// Run one or more images through a lone conv kernel in the simulator.
+    fn run_conv_kernel(
+        kernel: ConvKernel,
+        out_len: usize,
+        images: Vec<Vec<i32>>,
+    ) -> (Vec<i32>, dfe_platform::CycleReport) {
+        let data: Vec<i32> = images.into_iter().flatten().collect();
+        let mut g = Graph::new();
+        let a = g.add_stream(StreamSpec::new("in", 8, 32));
+        let b = g.add_stream(StreamSpec::new("out", 16, 32));
+        g.add_kernel(Box::new(HostSource::new("src", data)), &[], &[a]);
+        g.add_kernel(Box::new(kernel), &[a], &[b]);
+        let (sink, handle) = HostSink::new("dst", out_len);
+        g.add_kernel(Box::new(sink), &[b], &[]);
+        let report = g.run(10_000_000).expect("conv run");
+        (handle.take(), report)
+    }
+
+    fn run_conv(
+        geom: ConvGeometry,
+        filters: BinaryFilters,
+        thresholds: Option<Vec<ThresholdUnit>>,
+        mode: DotMode,
+        images: Vec<Vec<i32>>,
+    ) -> (Vec<i32>, dfe_platform::CycleReport) {
+        let out_len = geom.output().len() * images.len();
+        run_conv_kernel(ConvKernel::new("conv", geom, filters, thresholds, mode), out_len, images)
+    }
+
+    fn run_conv_halted(
+        geom: ConvGeometry,
+        filters: BinaryFilters,
+        mode: DotMode,
+        images: Vec<Vec<i32>>,
+    ) -> (Vec<i32>, dfe_platform::CycleReport) {
+        let out_len = geom.output().len() * images.len();
+        run_conv_kernel(ConvKernel::new_halted("conv", geom, filters, None, mode), out_len, images)
+    }
+
+    #[test]
+    fn matches_reference_conv_codes() {
+        let geom = ConvGeometry::new(Shape3::new(6, 5, 3), FilterShape::new(3, 3, 4), 1, 0);
+        let filters = filters_for(&geom, 3);
+        let input = Tensor3::from_fn(geom.input, |y, x, c| ((y * 7 + x * 3 + c) % 4) as u8);
+        let expect = qnn_nn::reference::conv_acc_codes(&geom, &input, &filters, 2);
+        let (got, _) = run_conv(
+            geom,
+            filters,
+            None,
+            DotMode::Codes { bits: 2 },
+            vec![input.as_slice().iter().map(|&q| i32::from(q)).collect()],
+        );
+        assert_eq!(got, expect.as_slice());
+    }
+
+    #[test]
+    fn matches_reference_conv_i8() {
+        let geom = ConvGeometry::new(Shape3::new(5, 5, 2), FilterShape::new(3, 2, 3), 1, 0);
+        let filters = filters_for(&geom, 7);
+        let input = Tensor3::from_fn(geom.input, |y, x, c| ((y * 31 + x * 13 + c * 5) as i32 % 200 - 100) as i8);
+        let expect = qnn_nn::reference::conv_acc_i8(&geom, &input, &filters);
+        let (got, _) = run_conv(
+            geom,
+            filters,
+            None,
+            DotMode::I8,
+            vec![input.as_slice().iter().map(|&p| i32::from(p)).collect()],
+        );
+        assert_eq!(got, expect.as_slice());
+    }
+
+    #[test]
+    fn strided_conv_matches_reference_and_drains() {
+        let geom = ConvGeometry::new(Shape3::new(7, 7, 2), FilterShape::new(3, 2, 2), 2, 0);
+        let filters = filters_for(&geom, 11);
+        let input = Tensor3::from_fn(geom.input, |y, x, c| ((y + 2 * x + c) % 4) as u8);
+        let expect = qnn_nn::reference::conv_acc_codes(&geom, &input, &filters, 2);
+        // Two images back to back: the drain/reset path must keep them aligned.
+        let img: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
+        let (got, _) = run_conv(
+            geom,
+            filters,
+            None,
+            DotMode::Codes { bits: 2 },
+            vec![img.clone(), img],
+        );
+        let mut expect2 = expect.as_slice().to_vec();
+        expect2.extend_from_slice(expect.as_slice());
+        assert_eq!(got, expect2);
+    }
+
+    #[test]
+    fn thresholded_output_matches_reference() {
+        let geom = ConvGeometry::new(Shape3::new(5, 5, 2), FilterShape::new(3, 2, 3), 1, 0);
+        let filters = filters_for(&geom, 5);
+        let spec = QuantSpec::paper_2bit();
+        let thresholds: Vec<ThresholdUnit> = (0..3)
+            .map(|i| {
+                ThresholdUnit::from_batchnorm(
+                    &BnParams::new(1.0, i as f32 - 1.0, 0.5, 1.0),
+                    &spec,
+                )
+            })
+            .collect();
+        let input = Tensor3::from_fn(geom.input, |y, x, c| ((y * x + c) % 4) as u8);
+        let acc = qnn_nn::reference::conv_acc_codes(&geom, &input, &filters, 2);
+        let expect = qnn_nn::reference::apply_thresholds(&acc, &thresholds);
+        let (got, _) = run_conv(
+            geom,
+            filters,
+            Some(thresholds),
+            DotMode::Codes { bits: 2 },
+            vec![input.as_slice().iter().map(|&q| i32::from(q)).collect()],
+        );
+        let got_codes: Vec<u8> = got.iter().map(|&v| v as u8).collect();
+        assert_eq!(got_codes, expect.as_slice());
+    }
+
+    #[test]
+    fn halted_busy_cycles_are_inputs_plus_outputs() {
+        // Halt-strict mode serializes: busy = inputs + outputs (§III-B1).
+        let geom = ConvGeometry::new(Shape3::new(6, 6, 2), FilterShape::new(3, 2, 4), 1, 0);
+        let filters = filters_for(&geom, 13);
+        let input = Tensor3::from_fn(geom.input, |_, _, _| 1u8);
+        let img: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
+        let (_, report) =
+            run_conv_halted(geom, filters, DotMode::Codes { bits: 2 }, vec![img]);
+        let conv_stats = &report.kernels[1];
+        let expect = geom.input.len() as u64 + geom.output().len() as u64;
+        assert_eq!(conv_stats.busy, expect);
+    }
+
+    #[test]
+    fn overlapped_mode_beats_halted_mode() {
+        // Overlapped I/O finishes in ≈max(in, out) cycles; halted needs
+        // in + out. Results must be identical either way.
+        let geom = ConvGeometry::new(Shape3::new(8, 8, 2), FilterShape::new(3, 2, 4), 1, 0);
+        let input = Tensor3::from_fn(geom.input, |y, x, c| ((y + x + c) % 4) as u8);
+        let img: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
+        let (out_o, rep_o) = run_conv(
+            geom,
+            filters_for(&geom, 13),
+            None,
+            DotMode::Codes { bits: 2 },
+            vec![img.clone()],
+        );
+        let (out_h, rep_h) =
+            run_conv_halted(geom, filters_for(&geom, 13), DotMode::Codes { bits: 2 }, vec![img]);
+        assert_eq!(out_o, out_h, "discipline must not change results");
+        let (inputs, outputs) = (geom.input.len() as u64, geom.output().len() as u64);
+        assert!(rep_o.cycles < rep_h.cycles, "overlap must be faster");
+        assert!(rep_o.cycles >= inputs.max(outputs));
+        assert!(rep_h.cycles >= inputs + outputs);
+    }
+
+    #[test]
+    fn stride_skips_halts_giving_first_layer_speedup() {
+        // §III-B1: with stride S the kernel halts at ~1/S² of positions.
+        // Compare halted-mode busy cycles of stride 1 vs stride 2.
+        let mk = |stride| ConvGeometry::new(Shape3::new(9, 9, 1), FilterShape::new(3, 1, 8), stride, 0);
+        let input = Tensor3::from_fn(Shape3::new(9, 9, 1), |y, x, _| ((y + x) % 4) as u8);
+        let img: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
+        let mut busy = Vec::new();
+        for stride in [1usize, 2] {
+            let geom = mk(stride);
+            let (_, report) = run_conv_halted(
+                geom,
+                filters_for(&geom, 17),
+                DotMode::Codes { bits: 2 },
+                vec![img.clone()],
+            );
+            busy.push(report.kernels[1].busy);
+        }
+        // stride 1: 81 + 49·8 = 473; stride 2: 81 + 16·8 = 209.
+        assert_eq!(busy[0], 473);
+        assert_eq!(busy[1], 209);
+    }
+
+    #[test]
+    fn one_by_one_conv_acts_as_fully_connected() {
+        // FC = 1×1 conv over a 1×1×F map (paper §III-B4).
+        let f = 10;
+        let geom = ConvGeometry::new(Shape3::new(1, 1, f), FilterShape::new(1, f, 4), 1, 0);
+        let filters = filters_for(&geom, 23);
+        let codes: Vec<u8> = (0..f).map(|i| (i % 4) as u8).collect();
+        let expect = qnn_nn::reference::fully_connected(&codes, &filters, 2);
+        let (got, _) = run_conv(
+            geom,
+            filters,
+            None,
+            DotMode::Codes { bits: 2 },
+            vec![codes.iter().map(|&q| i32::from(q)).collect()],
+        );
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "padding must be inserted upstream")]
+    fn padded_geometry_rejected() {
+        let geom = ConvGeometry::new(Shape3::new(4, 4, 1), FilterShape::new(3, 1, 1), 1, 1);
+        let _ = ConvKernel::new("c", geom, filters_for(&geom, 1), None, DotMode::Codes { bits: 2 });
+    }
+}

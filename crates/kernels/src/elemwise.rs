@@ -1,0 +1,214 @@
+//! Element-wise kernels: the skip-connection adder and split (paper Fig. 2)
+//! and the standalone fused BatchNorm + activation unit (§III-B3).
+
+use dfe_platform::{Io, Kernel, Progress};
+use qnn_quant::ThresholdUnit;
+
+/// Adds two streams element-wise — the skip-connection adder. One element
+/// per cycle; both operands must be present (the skip buffer upstream
+/// absorbs the path-delay mismatch).
+pub struct AddKernel {
+    name: String,
+}
+
+impl AddKernel {
+    /// Create an adder.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Kernel for AddKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        if io.can_read(0) && io.can_read(1) && io.can_write(0) {
+            let a = io.read(0).expect("checked");
+            let b = io.read(1).expect("checked");
+            io.write(0, a + b);
+            Progress::Busy
+        } else if io.can_read(0) || io.can_read(1) {
+            Progress::Stalled
+        } else {
+            Progress::Idle
+        }
+    }
+}
+
+/// Duplicates a stream onto two outputs — the post-adder split of Fig. 2
+/// ("the result is split into two paths").
+pub struct SplitKernel {
+    name: String,
+}
+
+impl SplitKernel {
+    /// Create a splitter.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl Kernel for SplitKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        if io.can_read(0) && io.can_write(0) && io.can_write(1) {
+            let v = io.read(0).expect("checked");
+            io.write(0, v);
+            io.write(1, v);
+            Progress::Busy
+        } else if io.can_read(0) {
+            Progress::Stalled
+        } else {
+            Progress::Idle
+        }
+    }
+}
+
+/// Fused BatchNorm + n-bit activation over an accumulator stream, one
+/// element per cycle, cycling through the per-channel threshold units in
+/// depth-first order (channel innermost).
+pub struct ThresholdKernel {
+    name: String,
+    units: Vec<ThresholdUnit>,
+    channel: usize,
+}
+
+impl ThresholdKernel {
+    /// Create a threshold kernel with one unit per channel.
+    pub fn new(name: impl Into<String>, units: Vec<ThresholdUnit>) -> Self {
+        assert!(!units.is_empty(), "threshold kernel needs at least one unit");
+        Self { name: name.into(), units, channel: 0 }
+    }
+}
+
+impl Kernel for ThresholdKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        if io.can_read(0) && io.can_write(0) {
+            let a = io.read(0).expect("checked");
+            let q = self.units[self.channel].activate(a);
+            io.write(0, i32::from(q));
+            self.channel = (self.channel + 1) % self.units.len();
+            Progress::Busy
+        } else if io.can_read(0) {
+            Progress::Stalled
+        } else {
+            Progress::Idle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfe_platform::{Graph, HostSink, HostSource, StreamSpec};
+    use qnn_quant::{BnParams, QuantSpec};
+
+    #[test]
+    fn adder_sums_aligned_streams() {
+        let mut g = Graph::new();
+        let a = g.add_stream(StreamSpec::new("a", 16, 8));
+        let b = g.add_stream(StreamSpec::new("b", 16, 8));
+        let c = g.add_stream(StreamSpec::new("c", 16, 8));
+        g.add_kernel(Box::new(HostSource::new("sa", vec![1, 2, 3])), &[], &[a]);
+        g.add_kernel(Box::new(HostSource::new("sb", vec![10, 20, 30])), &[], &[b]);
+        g.add_kernel(Box::new(AddKernel::new("add")), &[a, b], &[c]);
+        let (sink, h) = HostSink::new("dst", 3);
+        g.add_kernel(Box::new(sink), &[c], &[]);
+        g.run(1000).expect("run");
+        assert_eq!(h.take(), vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn adder_waits_for_slow_operand() {
+        // Operand B arrives through a delay line; the adder must stall, not
+        // misalign.
+        use dfe_platform::ring::DelayLine;
+        let mut g = Graph::new();
+        let a = g.add_stream(StreamSpec::new("a", 16, 64));
+        let b0 = g.add_stream(StreamSpec::new("b0", 16, 8));
+        let b = g.add_stream(StreamSpec::new("b", 16, 8));
+        let c = g.add_stream(StreamSpec::new("c", 16, 8));
+        g.add_kernel(Box::new(HostSource::new("sa", (0..20).collect())), &[], &[a]);
+        g.add_kernel(Box::new(HostSource::new("sb", (0..20).map(|v| v * 100).collect())), &[], &[b0]);
+        g.add_kernel(Box::new(DelayLine::new("lag", 10)), &[b0], &[b]);
+        g.add_kernel(Box::new(AddKernel::new("add")), &[a, b], &[c]);
+        let (sink, h) = HostSink::new("dst", 20);
+        g.add_kernel(Box::new(sink), &[c], &[]);
+        g.run(10_000).expect("run");
+        let got = h.take();
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, i as i32 * 101);
+        }
+    }
+
+    #[test]
+    fn split_duplicates_in_order() {
+        let mut g = Graph::new();
+        let a = g.add_stream(StreamSpec::new("a", 16, 8));
+        let b = g.add_stream(StreamSpec::new("b", 16, 8));
+        let c = g.add_stream(StreamSpec::new("c", 16, 8));
+        g.add_kernel(Box::new(HostSource::new("src", vec![5, 6, 7])), &[], &[a]);
+        g.add_kernel(Box::new(SplitKernel::new("split")), &[a], &[b, c]);
+        let (s1, h1) = HostSink::new("d1", 3);
+        let (s2, h2) = HostSink::new("d2", 3);
+        g.add_kernel(Box::new(s1), &[b], &[]);
+        g.add_kernel(Box::new(s2), &[c], &[]);
+        g.run(1000).expect("run");
+        assert_eq!(h1.take(), vec![5, 6, 7]);
+        assert_eq!(h2.take(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn split_halts_until_both_outputs_have_room() {
+        // Second output has capacity 1 and a sink that expects only after
+        // stream fills: splitter must not lose elements.
+        let mut g = Graph::new();
+        let a = g.add_stream(StreamSpec::new("a", 16, 8));
+        let b = g.add_stream(StreamSpec::new("b", 16, 1));
+        let c = g.add_stream(StreamSpec::new("c", 16, 1));
+        g.add_kernel(Box::new(HostSource::new("src", (0..10).collect())), &[], &[a]);
+        g.add_kernel(Box::new(SplitKernel::new("split")), &[a], &[b, c]);
+        let (s1, h1) = HostSink::new("d1", 10);
+        let (s2, h2) = HostSink::new("d2", 10);
+        g.add_kernel(Box::new(s1), &[b], &[]);
+        g.add_kernel(Box::new(s2), &[c], &[]);
+        g.run(10_000).expect("run");
+        assert_eq!(h1.take(), (0..10).collect::<Vec<_>>());
+        assert_eq!(h2.take(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threshold_kernel_cycles_channels() {
+        let spec = QuantSpec::paper_2bit();
+        let units = vec![
+            ThresholdUnit::from_batchnorm(&BnParams::IDENTITY, &spec),
+            ThresholdUnit::from_batchnorm(&BnParams::new(1.0, 10.0, 1.0, 0.0), &spec),
+        ];
+        let mut g = Graph::new();
+        let a = g.add_stream(StreamSpec::new("a", 16, 8));
+        let b = g.add_stream(StreamSpec::new("b", 2, 8));
+        // Stream of (c0, c1) pairs: [2, 12, 0, 10].
+        g.add_kernel(Box::new(HostSource::new("src", vec![2, 12, 0, 10])), &[], &[a]);
+        g.add_kernel(Box::new(ThresholdKernel::new("thr", units)), &[a], &[b]);
+        let (sink, h) = HostSink::new("dst", 4);
+        g.add_kernel(Box::new(sink), &[b], &[]);
+        g.run(1000).expect("run");
+        // c0 identity-clamps, c1 subtracts 10 first.
+        assert_eq!(h.take(), vec![2, 2, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn empty_threshold_units_rejected() {
+        let _ = ThresholdKernel::new("t", vec![]);
+    }
+}

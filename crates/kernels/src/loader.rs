@@ -1,0 +1,237 @@
+//! The CPU→DFE parameter-loading path (paper §III-B1a).
+//!
+//! "All the weights received by the FPGA are represented as 32-bit
+//! floating point numbers. Before storing these parameters in the internal
+//! memory cache, we transformed them into a 1-bit representation, using the
+//! Sign function." And: "The weights and normalization parameters enter
+//! each layer in depth-first order … loaded into their dedicated caches
+//! only once, before inference of images starts."
+//!
+//! [`ParamLoader`] is the on-chip half: it consumes one 32-bit word per
+//! clock from a parameter stream, binarizes weights with `Sign`, decodes
+//! wire-encoded threshold units, and hands the finished caches to the
+//! convolution kernel. The host-side encoders below produce the matching
+//! wire format.
+
+use qnn_quant::ThresholdUnit;
+use qnn_tensor::{BinaryFilters, BitVec};
+
+/// Host-side: encode a binary filter bank as the 32-bit float stream the
+/// CPU sends (one ±1.0 float per weight, row-major in cache-entry order).
+pub fn encode_weights(filters: &BinaryFilters) -> Vec<i32> {
+    let mut out = Vec::with_capacity(filters.storage_bits());
+    for row in filters.iter() {
+        for bit in row.iter() {
+            let f = if bit { 1.0f32 } else { -1.0f32 };
+            out.push(f.to_bits() as i32);
+        }
+    }
+    out
+}
+
+/// Host-side: encode per-channel threshold units (channel-major).
+pub fn encode_thresholds(units: &[ThresholdUnit], act_bits: u32) -> Vec<i32> {
+    units.iter().flat_map(|u| u.to_wire(act_bits)).collect()
+}
+
+/// Host-side: the full parameter blob for one convolution kernel —
+/// weights first, then (optionally) thresholds, exactly the order the
+/// loader consumes.
+pub fn encode_conv_params(
+    filters: &BinaryFilters,
+    thresholds: Option<&[ThresholdUnit]>,
+    act_bits: u32,
+) -> Vec<i32> {
+    let mut out = encode_weights(filters);
+    if let Some(units) = thresholds {
+        out.extend(encode_thresholds(units, act_bits));
+    }
+    out
+}
+
+/// Number of parameter words a conv kernel with `o` filters of
+/// `weights_per_filter` bits expects (`with_thresholds` adds the fused
+/// BatchNorm units).
+pub fn param_words(
+    weights_per_filter: usize,
+    o: usize,
+    with_thresholds: bool,
+    act_bits: u32,
+) -> usize {
+    let w = weights_per_filter * o;
+    if with_thresholds {
+        w + o * ThresholdUnit::wire_words(act_bits)
+    } else {
+        w
+    }
+}
+
+/// On-chip parameter loader state machine: one word per clock.
+#[derive(Debug)]
+pub struct ParamLoader {
+    weights_per_filter: usize,
+    o: usize,
+    with_thresholds: bool,
+    act_bits: u32,
+    received: usize,
+    rows: Vec<BitVec>,
+    thr_buf: Vec<i32>,
+}
+
+/// What [`ParamLoader::push`] produced.
+pub enum LoadStep {
+    /// More words expected.
+    Loading,
+    /// Caches complete: the binarized weights and decoded thresholds.
+    Done(BinaryFilters, Option<Vec<ThresholdUnit>>),
+}
+
+impl ParamLoader {
+    /// Expect parameters for `o` filters of `weights_per_filter` bits.
+    pub fn new(weights_per_filter: usize, o: usize, with_thresholds: bool, act_bits: u32) -> Self {
+        assert!(weights_per_filter > 0 && o > 0);
+        Self {
+            weights_per_filter,
+            o,
+            with_thresholds,
+            act_bits,
+            received: 0,
+            rows: (0..o).map(|_| BitVec::zeros(weights_per_filter)).collect(),
+            thr_buf: Vec::new(),
+        }
+    }
+
+    /// Total words expected.
+    pub fn expected_words(&self) -> usize {
+        param_words(self.weights_per_filter, self.o, self.with_thresholds, self.act_bits)
+    }
+
+    /// Words still outstanding.
+    pub fn remaining(&self) -> usize {
+        self.expected_words() - self.received
+    }
+
+    /// Consume one parameter word (one clock of the loading phase).
+    ///
+    /// # Panics
+    /// Panics if called after completion.
+    pub fn push(&mut self, word: i32) -> LoadStep {
+        let weight_words = self.weights_per_filter * self.o;
+        assert!(self.received < self.expected_words(), "loader overfed");
+        if self.received < weight_words {
+            // Sign binarization of the incoming 32-bit float (§III-B1a).
+            let value = f32::from_bits(word as u32);
+            let idx = self.received;
+            self.rows[idx / self.weights_per_filter]
+                .set(idx % self.weights_per_filter, value >= 0.0);
+        } else {
+            self.thr_buf.push(word);
+        }
+        self.received += 1;
+        if self.received < self.expected_words() {
+            return LoadStep::Loading;
+        }
+        let filters = BinaryFilters::from_rows(std::mem::take(&mut self.rows));
+        let thresholds = if self.with_thresholds {
+            let per = ThresholdUnit::wire_words(self.act_bits);
+            Some(
+                self.thr_buf
+                    .chunks_exact(per)
+                    .map(|c| ThresholdUnit::from_wire(c, self.act_bits))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        LoadStep::Done(filters, thresholds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_quant::{BnParams, QuantSpec};
+
+    fn bank() -> BinaryFilters {
+        let w: Vec<f32> = (0..24).map(|i| if i % 3 == 0 { 0.7 } else { -0.2 }).collect();
+        BinaryFilters::from_float_rows(&w, 8)
+    }
+
+    fn units() -> Vec<ThresholdUnit> {
+        let spec = QuantSpec::paper_2bit();
+        vec![
+            ThresholdUnit::from_batchnorm(&BnParams::IDENTITY, &spec),
+            ThresholdUnit::from_batchnorm(&BnParams::new(-1.0, 2.0, 0.5, 1.0), &spec),
+            ThresholdUnit::from_batchnorm(&BnParams::new(0.0, 0.0, 1.0, 2.2), &spec),
+        ]
+    }
+
+    #[test]
+    fn weights_roundtrip_through_the_float_wire() {
+        let filters = bank();
+        let blob = encode_weights(&filters);
+        assert_eq!(blob.len(), 24);
+        let mut loader = ParamLoader::new(8, 3, false, 2);
+        let mut done = None;
+        for w in blob {
+            if let LoadStep::Done(f, t) = loader.push(w) {
+                done = Some((f, t));
+            }
+        }
+        let (f, t) = done.expect("load completes");
+        assert!(t.is_none());
+        for o in 0..3 {
+            assert_eq!(f.filter(o), filters.filter(o), "row {o}");
+        }
+    }
+
+    #[test]
+    fn full_conv_blob_roundtrips_weights_and_thresholds() {
+        let filters = bank();
+        let thr = units();
+        let blob = encode_conv_params(&filters, Some(&thr), 2);
+        assert_eq!(blob.len(), param_words(8, 3, true, 2));
+        let mut loader = ParamLoader::new(8, 3, true, 2);
+        let mut done = None;
+        for w in blob {
+            if let LoadStep::Done(f, t) = loader.push(w) {
+                done = Some((f, t));
+            }
+        }
+        let (f, t) = done.expect("load completes");
+        let t = t.expect("thresholds decoded");
+        assert_eq!(t.len(), 3);
+        for (got, want) in t.iter().zip(&thr) {
+            for a in -50..=50 {
+                assert_eq!(got.activate(a), want.activate(a));
+            }
+        }
+        assert_eq!(f.filter(1), filters.filter(1));
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut loader = ParamLoader::new(4, 2, true, 2);
+        assert_eq!(loader.expected_words(), 8 + 2 * 4);
+        let blob = encode_conv_params(&bank_small(), Some(&units()[..2]), 2);
+        for (i, w) in blob.iter().enumerate() {
+            assert_eq!(loader.remaining(), 16 - i);
+            let _ = loader.push(*w);
+        }
+        assert_eq!(loader.remaining(), 0);
+    }
+
+    fn bank_small() -> BinaryFilters {
+        let w: Vec<f32> = (0..8).map(|i| i as f32 - 4.0).collect();
+        BinaryFilters::from_float_rows(&w, 4)
+    }
+
+    #[test]
+    #[should_panic(expected = "overfed")]
+    fn overfeeding_panics() {
+        let mut loader = ParamLoader::new(2, 1, false, 2);
+        let _ = loader.push(0);
+        let _ = loader.push(0);
+        let _ = loader.push(0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Border-padding insertion (paper §III-B1).
+//!
+//! "If the image is padded, then, when the kernel is processing padding
+//! pixels, it stops the input stream and inputs padding values into the
+//! buffer instead." We factor that behaviour into its own kernel so the
+//! convolution kernel always sees a pre-padded stream; the clock cost (one
+//! cycle per padded element) is identical.
+
+use dfe_platform::{Io, Kernel, Progress};
+use qnn_tensor::Shape3;
+
+/// Inserts `pad` rows/columns of `fill` around each image of the stream.
+pub struct PadInserter {
+    name: String,
+    input: Shape3,
+    pad: usize,
+    fill: i32,
+    /// Linear index into the *padded* output stream of the current image.
+    out_idx: usize,
+}
+
+impl PadInserter {
+    /// Create a pad inserter for images of shape `input`.
+    pub fn new(name: impl Into<String>, input: Shape3, pad: usize, fill: i32) -> Self {
+        assert!(pad > 0, "useless pad inserter (pad = 0)");
+        Self { name: name.into(), input, pad, fill, out_idx: 0 }
+    }
+
+    /// Shape of the padded output image.
+    pub fn output_shape(&self) -> Shape3 {
+        Shape3::new(self.input.h + 2 * self.pad, self.input.w + 2 * self.pad, self.input.c)
+    }
+
+    /// Is padded-stream element `idx` a border (padding) element?
+    fn is_border(&self, idx: usize) -> bool {
+        let out = self.output_shape();
+        let (y, x, _) = out.coords(idx);
+        y < self.pad || y >= self.pad + self.input.h || x < self.pad || x >= self.pad + self.input.w
+    }
+}
+
+impl Kernel for PadInserter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        if !io.can_write(0) {
+            return Progress::Stalled;
+        }
+        let total = self.output_shape().len();
+        if self.is_border(self.out_idx) {
+            io.write(0, self.fill);
+        } else {
+            match io.read(0) {
+                Some(v) => io.write(0, v),
+                None => return Progress::Stalled,
+            }
+        }
+        self.out_idx += 1;
+        if self.out_idx == total {
+            self.out_idx = 0; // next image
+        }
+        Progress::Busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfe_platform::{Graph, HostSink, HostSource, StreamSpec};
+    use qnn_tensor::Tensor3;
+
+    fn run_pad(input: Tensor3<i32>, pad: usize, fill: i32, images: usize) -> Vec<i32> {
+        let shape = input.shape();
+        let mut data = Vec::new();
+        for _ in 0..images {
+            data.extend_from_slice(input.as_slice());
+        }
+        let padded_len = (shape.h + 2 * pad) * (shape.w + 2 * pad) * shape.c * images;
+        let mut g = Graph::new();
+        let a = g.add_stream(StreamSpec::new("in", 8, 16));
+        let b = g.add_stream(StreamSpec::new("out", 8, 16));
+        g.add_kernel(Box::new(HostSource::new("src", data)), &[], &[a]);
+        g.add_kernel(Box::new(PadInserter::new("pad", shape, pad, fill)), &[a], &[b]);
+        let (sink, handle) = HostSink::new("dst", padded_len);
+        g.add_kernel(Box::new(sink), &[b], &[]);
+        g.run(1_000_000).expect("pad run");
+        handle.take()
+    }
+
+    #[test]
+    fn padded_stream_matches_tensor_pad() {
+        let t = Tensor3::from_fn(Shape3::new(3, 4, 2), |y, x, c| (y * 100 + x * 10 + c) as i32 + 1);
+        let got = run_pad(t.clone(), 2, -1, 1);
+        let expect = t.pad(2, -1);
+        assert_eq!(got, expect.as_slice());
+    }
+
+    #[test]
+    fn multi_image_padding_resets_between_images() {
+        let t = Tensor3::from_fn(Shape3::new(2, 2, 1), |y, x, _| (y * 2 + x) as i32 + 5);
+        let got = run_pad(t.clone(), 1, 0, 3);
+        let one = t.pad(1, 0);
+        let mut expect = Vec::new();
+        for _ in 0..3 {
+            expect.extend_from_slice(one.as_slice());
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "useless pad")]
+    fn zero_pad_rejected() {
+        let _ = PadInserter::new("p", Shape3::new(2, 2, 1), 0, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Streaming pooling kernel (paper §III-B2).
+//!
+//! "Since the pooling has no parameters, output pixels are calculated as
+//! soon as enough data is accumulated inside the internal buffers … we do
+//! not need to wait until input is finished, but can produce output at the
+//! same clock cycle at which the input is received." The kernel therefore
+//! overlaps reading and writing: each tick it may consume one element *and*
+//! emit one pending output.
+
+use dfe_platform::{Io, Kernel, Progress};
+use qnn_tensor::Shape3;
+use std::collections::VecDeque;
+
+/// Pooling operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolOp {
+    /// Maximum over the window (codes are order-preserving).
+    Max,
+    /// Window sum followed by a right shift of ⌊log₂ k²⌋ — the integral
+    /// average pooling used before ResNet-18's classifier.
+    AvgShift,
+}
+
+/// The streaming pooling kernel. Like the convolution kernel it scans
+/// depth-first with an `I·(W·(K−1)+K)`-element window buffer, but per
+/// channel and without weights. Input must be pre-padded (use
+/// [`crate::PadInserter`]).
+pub struct PoolKernel {
+    name: String,
+    input: Shape3,
+    k: usize,
+    stride: usize,
+    op: PoolOp,
+    shift: u32,
+    ring: Vec<i32>,
+    received: usize,
+    out_pos: usize,
+    pending: VecDeque<i32>,
+}
+
+impl PoolKernel {
+    /// Create a pooling kernel over (pre-padded) images of shape `input`.
+    pub fn new(name: impl Into<String>, input: Shape3, k: usize, stride: usize, op: PoolOp) -> Self {
+        assert!(k >= 1 && stride >= 1);
+        assert!(input.h >= k && input.w >= k, "pool window larger than input");
+        let buf = input.c * (input.w * (k - 1) + k);
+        Self {
+            name: name.into(),
+            input,
+            k,
+            stride,
+            op,
+            shift: ((k * k) as u32).ilog2(),
+            ring: vec![0; buf],
+            received: 0,
+            out_pos: 0,
+            pending: VecDeque::with_capacity(input.c),
+        }
+    }
+
+    /// Output shape.
+    pub fn output_shape(&self) -> Shape3 {
+        Shape3::new(
+            (self.input.h - self.k) / self.stride + 1,
+            (self.input.w - self.k) / self.stride + 1,
+            self.input.c,
+        )
+    }
+
+    /// Window-buffer size in elements.
+    pub fn buffer_elems(&self) -> usize {
+        self.ring.len()
+    }
+
+    fn positions(&self) -> usize {
+        let o = self.output_shape();
+        o.h * o.w
+    }
+
+    fn needed(&self, pos: usize) -> usize {
+        let out_w = self.output_shape().w;
+        let (oy, ox) = (pos / out_w, pos % out_w);
+        let (ty, tx) = (oy * self.stride, ox * self.stride);
+        ((ty + self.k - 1) * self.input.w + tx + self.k - 1) * self.input.c + self.input.c
+    }
+
+    /// Compute all `I` channel outputs for the completed position.
+    fn compute_position(&mut self) {
+        let out_w = self.output_shape().w;
+        let (oy, ox) = (self.out_pos / out_w, self.out_pos % out_w);
+        let (ty, tx) = (oy * self.stride, ox * self.stride);
+        let cap = self.ring.len();
+        let i = self.input.c;
+        for c in 0..i {
+            let mut max = i32::MIN;
+            let mut sum = 0i64;
+            for ky in 0..self.k {
+                for kx in 0..self.k {
+                    let idx = ((ty + ky) * self.input.w + tx + kx) * i + c;
+                    let v = self.ring[idx % cap];
+                    max = max.max(v);
+                    sum += i64::from(v);
+                }
+            }
+            let out = match self.op {
+                PoolOp::Max => max,
+                PoolOp::AvgShift => (sum >> self.shift) as i32,
+            };
+            self.pending.push_back(out);
+        }
+        self.out_pos += 1;
+    }
+}
+
+impl Kernel for PoolKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        let mut progress = Progress::Idle;
+
+        // Emit one pending output (same cycle as a read — no halt).
+        if let Some(&v) = self.pending.front() {
+            if io.can_write(0) {
+                io.write(0, v);
+                self.pending.pop_front();
+                progress = Progress::Busy;
+            } else {
+                progress = Progress::Stalled;
+            }
+        }
+
+        // Absorb one input unless the pending queue is at its bound (one
+        // position's worth of outputs keeps state finite).
+        let want_input = self.received < self.input.len() || self.out_pos < self.positions();
+        if self.pending.len() < self.input.c && want_input && self.received < self.input.len() {
+            match io.read(0) {
+                Some(v) => {
+                    let cap = self.ring.len();
+                    self.ring[self.received % cap] = v;
+                    self.received += 1;
+                    progress = Progress::Busy;
+                }
+                None => {
+                    if progress == Progress::Idle {
+                        progress = Progress::Stalled;
+                    }
+                }
+            }
+        }
+
+        // Completed positions become pending outputs (combinational w.r.t.
+        // this model's bookkeeping; the emit itself still costs a cycle).
+        while self.out_pos < self.positions()
+            && self.pending.is_empty()
+            && self.received >= self.needed(self.out_pos)
+        {
+            self.compute_position();
+        }
+
+        // Image finished: reset for the next one.
+        if self.out_pos == self.positions()
+            && self.received == self.input.len()
+            && self.pending.is_empty()
+        {
+            self.received = 0;
+            self.out_pos = 0;
+        }
+        progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfe_platform::{Graph, HostSink, HostSource, StreamSpec};
+    use qnn_tensor::Tensor3;
+
+    fn run_pool(
+        input: &Tensor3<u8>,
+        k: usize,
+        stride: usize,
+        op: PoolOp,
+        images: usize,
+    ) -> (Vec<i32>, dfe_platform::CycleReport) {
+        let shape = input.shape();
+        let kernel = PoolKernel::new("pool", shape, k, stride, op);
+        let out_len = kernel.output_shape().len() * images;
+        let mut data = Vec::new();
+        for _ in 0..images {
+            data.extend(input.as_slice().iter().map(|&q| i32::from(q)));
+        }
+        let mut g = Graph::new();
+        let a = g.add_stream(StreamSpec::new("in", 2, 32));
+        let b = g.add_stream(StreamSpec::new("out", 2, 32));
+        g.add_kernel(Box::new(HostSource::new("src", data)), &[], &[a]);
+        g.add_kernel(Box::new(kernel), &[a], &[b]);
+        let (sink, handle) = HostSink::new("dst", out_len);
+        g.add_kernel(Box::new(sink), &[b], &[]);
+        let report = g.run(1_000_000).expect("pool run");
+        (handle.take(), report)
+    }
+
+    #[test]
+    fn max_pool_matches_reference() {
+        let input = Tensor3::from_fn(Shape3::new(6, 6, 3), |y, x, c| ((y * 5 + x * 2 + c) % 4) as u8);
+        let expect = qnn_nn::reference::max_pool(&input, 2, 2, 0);
+        let (got, _) = run_pool(&input, 2, 2, PoolOp::Max, 1);
+        let got_u8: Vec<u8> = got.iter().map(|&v| v as u8).collect();
+        assert_eq!(got_u8, expect.as_slice());
+    }
+
+    #[test]
+    fn overlapping_max_pool_matches_reference() {
+        // ResNet's stem pool is 3×3 stride 2 (overlapping windows).
+        let input = Tensor3::from_fn(Shape3::new(7, 7, 2), |y, x, c| ((y + x + c) % 4) as u8);
+        let expect = qnn_nn::reference::max_pool(&input, 3, 2, 0);
+        let (got, _) = run_pool(&input, 3, 2, PoolOp::Max, 1);
+        let got_u8: Vec<u8> = got.iter().map(|&v| v as u8).collect();
+        assert_eq!(got_u8, expect.as_slice());
+    }
+
+    #[test]
+    fn avg_shift_pool_matches_reference() {
+        let input = Tensor3::from_fn(Shape3::new(7, 7, 4), |y, x, c| ((y * x + c) % 4) as u8);
+        let expect = qnn_nn::reference::avg_sum_pool(&input, 7, 7);
+        let (got, _) = run_pool(&input, 7, 7, PoolOp::AvgShift, 1);
+        let got_u8: Vec<u8> = got.iter().map(|&v| v as u8).collect();
+        assert_eq!(got_u8, expect.as_slice());
+    }
+
+    #[test]
+    fn multi_image_pooling_stays_aligned() {
+        let input = Tensor3::from_fn(Shape3::new(4, 4, 2), |y, x, c| ((3 * y + x + c) % 4) as u8);
+        let expect = qnn_nn::reference::max_pool(&input, 2, 2, 0);
+        let (got, _) = run_pool(&input, 2, 2, PoolOp::Max, 3);
+        let mut expect3 = Vec::new();
+        for _ in 0..3 {
+            expect3.extend_from_slice(expect.as_slice());
+        }
+        let got_u8: Vec<u8> = got.iter().map(|&v| v as u8).collect();
+        assert_eq!(got_u8, expect3);
+    }
+
+    #[test]
+    fn pooling_overlaps_io_no_halt_penalty() {
+        // Because reads and writes share cycles, a pool's makespan is close
+        // to its input length, not input + output (§III-B2).
+        let input = Tensor3::from_fn(Shape3::new(8, 8, 4), |y, x, c| ((y ^ x ^ c) % 4) as u8);
+        let (_, report) = run_pool(&input, 2, 2, PoolOp::Max, 1);
+        let n = input.shape().len() as u64;
+        assert!(
+            report.cycles <= n + 3 * (n / 4),
+            "pooling serialized I/O: {} cycles for {} inputs",
+            report.cycles,
+            n
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window larger")]
+    fn oversize_window_rejected() {
+        let _ = PoolKernel::new("p", Shape3::new(2, 2, 1), 3, 1, PoolOp::Max);
+    }
+}

@@ -1,0 +1,116 @@
+//! Deterministic random parameter initialization.
+//!
+//! We have no access to the paper's pre-trained ImageNet weights (they come
+//! from Hubara et al.'s training runs), so networks are instantiated with
+//! seeded random parameters whose *statistics* match a trained QNN closely
+//! enough to exercise every datapath: ±1 weights are fair coin flips and
+//! BatchNorm parameters are drawn so that the fused thresholds land inside
+//! the actual accumulator distribution (otherwise every activation would
+//! saturate and the comparison circuitry would be dead logic).
+
+use qnn_quant::BnParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded RNG used across the workspace for reproducible experiments.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Random float weights in [−1, 1); the DFE binarizes them with `Sign` on
+/// load, mirroring the CPU→FPGA parameter path of §III-B1a.
+pub fn random_weights(rng: &mut StdRng, count: usize) -> Vec<f32> {
+    (0..count).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Expected standard deviation of a conv accumulator with `fan_in` inputs.
+///
+/// * `code_levels = 2ⁿ` for hidden layers: inputs are codes `0..2ⁿ−1`,
+///   weights ±1, so `Var[w·q] = E[q²] = Σ q²/2ⁿ`.
+/// * For the first layer (`i8` pixels ~ U[−127,127]), `E[p²] ≈ 127²/3`.
+fn accumulator_std(fan_in: usize, code_levels: Option<u32>) -> f32 {
+    let e_sq = match code_levels {
+        Some(levels) => {
+            let l = levels as f32;
+            // E[q²] for q uniform over {0..levels−1}: (l−1)(2l−1)/6.
+            (l - 1.0) * (2.0 * l - 1.0) / 6.0
+        }
+        None => 127.0 * 127.0 / 3.0,
+    };
+    (fan_in as f32 * e_sq).sqrt()
+}
+
+/// Draw BatchNorm parameters for one neuron such that the fused thresholds
+/// fall inside ±2σ of the accumulator distribution.
+///
+/// `code_levels` is `Some(2ⁿ)` when the layer's inputs are n-bit codes and
+/// `None` for the first (fixed-point) layer. `act_levels` is the output
+/// quantizer's level count (its range is `[0, act_levels)`).
+pub fn random_bn(
+    rng: &mut StdRng,
+    fan_in: usize,
+    code_levels: Option<u32>,
+    act_levels: u32,
+) -> BnParams {
+    let sigma = accumulator_std(fan_in.max(1), code_levels).max(1.0);
+    let mu = rng.gen_range(-0.5f32..0.5) * sigma;
+    let inv_sigma = 1.0 / sigma;
+    // Scale γ with the quantizer's range so the normalized output sweeps
+    // a comparable fraction of [0, act_levels) at every width — without
+    // this, wide (e.g. 8-bit teacher) activations collapse into a few
+    // codes and the network degenerates.
+    let magnitude = rng.gen_range(0.8f32..2.5) * act_levels as f32 / 4.0;
+    let gamma = if rng.gen_bool(0.15) { -magnitude } else { magnitude };
+    // Center the affine output inside [0, act_levels).
+    let beta = rng.gen_range(0.25f32..0.75) * act_levels as f32;
+    BnParams::new(gamma, mu, inv_sigma, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_quant::{QuantSpec, ThresholdUnit};
+
+    #[test]
+    fn weights_are_reproducible() {
+        let a = random_weights(&mut rng(7), 64);
+        let b = random_weights(&mut rng(7), 64);
+        assert_eq!(a, b);
+        let c = random_weights(&mut rng(8), 64);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weights_binarize_to_both_signs() {
+        let w = random_weights(&mut rng(1), 1000);
+        let pos = w.iter().filter(|&&x| x >= 0.0).count();
+        assert!(pos > 300 && pos < 700, "sign balance off: {pos}/1000");
+    }
+
+    #[test]
+    fn random_bn_produces_live_thresholds() {
+        // With codes drawn from a realistic accumulator distribution, the
+        // activation must emit more than one distinct code (not saturated).
+        let mut r = rng(42);
+        let fan_in = 3 * 3 * 64;
+        let spec = QuantSpec::paper_2bit();
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let bn = random_bn(&mut r, fan_in, Some(4), spec.levels());
+            let unit = ThresholdUnit::from_batchnorm(&bn, &spec);
+            let sigma = accumulator_std(fan_in, Some(4));
+            for t in -8..=8 {
+                let a = (t as f32 * sigma / 4.0) as i32;
+                distinct.insert(unit.activate(a));
+            }
+        }
+        assert!(distinct.len() >= 3, "thresholds saturated: {distinct:?}");
+    }
+
+    #[test]
+    fn accumulator_std_scales_with_fan_in() {
+        let s1 = accumulator_std(100, Some(4));
+        let s2 = accumulator_std(400, Some(4));
+        assert!((s2 / s1 - 2.0).abs() < 1e-5);
+    }
+}

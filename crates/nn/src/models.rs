@@ -1,0 +1,398 @@
+//! The paper's three network architectures, plus ablation variants.
+//!
+//! * [`resnet18`] — Table I, for 224×224 ImageNet-class inputs.
+//! * [`alexnet`] — §III-A; the FC width is 2048, which is the width that
+//!   makes the total on-chip weight storage match the paper's reported
+//!   34 600 Kbit BRAM budget for AlexNet (Table III) once the ≥25% BRAM
+//!   shape-quantization waste of §III-B1a is applied. The classic 4096-wide
+//!   FC stack would need ~58 Mbit of weights and could not have fit the
+//!   reported budget, so the authors evidently used a slimmer variant.
+//! * [`vgg_like`] — the CNV-style network "based on one proposed by
+//!   Umuroglu et al." (§IV), three blocks of two convolutions + pooling and
+//!   three FC layers. We insert a global average pool before the FC stack
+//!   (the all-convolutional reduction of §III-B4) so the same topology
+//!   accepts every input size the paper sweeps (32² … 224²) with
+//!   near-constant resources — which is precisely the scaling behaviour
+//!   Fig. 6 reports.
+//! * [`resnet18_plain`] — ResNet-18 with skip connections removed, used by
+//!   the skip-overhead ablation (§IV-B2).
+
+use crate::spec::{NetworkSpec, PoolKind, ResidualGeometry, Stage};
+use qnn_tensor::{ConvGeometry, FilterShape, Shape3};
+
+/// Number of ImageNet classes used throughout the paper.
+pub const IMAGENET_CLASSES: usize = 1000;
+
+fn conv(input: Shape3, k: usize, o: usize, stride: usize, pad: usize) -> ConvGeometry {
+    ConvGeometry::new(input, FilterShape::new(k, input.c, o), stride, pad)
+}
+
+/// One ResNet basic-block pair geometry starting from `input`, producing
+/// `o` channels; `stride` applies to the first conv (and the 1×1 downsample
+/// when shapes change).
+fn basic_block(input: Shape3, o: usize, stride: usize) -> ResidualGeometry {
+    let conv1 = conv(input, 3, o, stride, 1);
+    let conv2 = conv(conv1.output(), 3, o, 1, 1);
+    let downsample = if stride != 1 || input.c != o {
+        Some(ConvGeometry::new(input, FilterShape::new(1, input.c, o), stride, 0))
+    } else {
+        None
+    };
+    ResidualGeometry { conv1, conv2, downsample }
+}
+
+/// ResNet-18 exactly as in Table I: 7×7/64/s2 stem, 3×3 max pool /s2, four
+/// stages of two basic blocks (64, 128, 256, 512), global average pool and
+/// a 1000-way FC.
+pub fn resnet18(classes: usize) -> NetworkSpec {
+    let input = Shape3::square(224, 3);
+    let stem = conv(input, 7, 64, 2, 3); // → 112×112×64
+    let mut stages = vec![Stage::ConvInput { geom: stem }];
+    let after_stem = stem.output();
+    stages.push(Stage::Pool { input: after_stem, k: 3, stride: 2, pad: 1, kind: PoolKind::Max }); // → 56×56×64
+
+    let mut cur = Shape3::square(56, 64);
+    for (o, first_stride) in [(64, 1), (128, 2), (256, 2), (512, 2)] {
+        for b in 0..2 {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let geom = basic_block(cur, o, stride);
+            cur = geom.output();
+            stages.push(Stage::Residual { geom });
+        }
+    }
+    // 7×7 global average pool → 1×1×512, then the classifier.
+    stages.push(Stage::Pool { input: cur, k: 7, stride: 7, pad: 0, kind: PoolKind::AvgSum });
+    stages.push(Stage::FullyConnected { in_features: 512, out_features: classes, bn_act: false });
+    NetworkSpec::new("ResNet-18", input, 2, stages)
+}
+
+/// ResNet-18 with every residual block flattened into two plain convolution
+/// stages (identical compute, no skip buffers/adders) — the ablation
+/// baseline for the skip-connection cost analysis.
+pub fn resnet18_plain(classes: usize) -> NetworkSpec {
+    let full = resnet18(classes);
+    let mut stages = Vec::new();
+    for stage in full.stages {
+        match stage {
+            Stage::Residual { geom } => {
+                stages.push(Stage::Conv { geom: geom.conv1 });
+                stages.push(Stage::Conv { geom: geom.conv2 });
+            }
+            s => stages.push(s),
+        }
+    }
+    NetworkSpec::new("ResNet-18-plain", full.input, full.act_bits, stages)
+}
+
+/// AlexNet for 224×224 inputs (see the module docs for the FC width note).
+pub fn alexnet(classes: usize) -> NetworkSpec {
+    alexnet_with_fc_width(classes, 2048)
+}
+
+/// AlexNet with a configurable FC width, used by the BRAM-budget ablation.
+pub fn alexnet_with_fc_width(classes: usize, fc_width: usize) -> NetworkSpec {
+    let input = Shape3::square(224, 3);
+    let c1 = conv(input, 11, 96, 4, 2); // → 55×55×96
+    let p1_in = c1.output();
+    let c2 = conv(Shape3::square(27, 96), 5, 256, 1, 2); // → 27×27×256
+    let c3 = conv(Shape3::square(13, 256), 3, 384, 1, 1);
+    let c4 = conv(Shape3::square(13, 384), 3, 384, 1, 1);
+    let c5 = conv(Shape3::square(13, 384), 3, 256, 1, 1);
+    let stages = vec![
+        Stage::ConvInput { geom: c1 },
+        Stage::Pool { input: p1_in, k: 3, stride: 2, pad: 0, kind: PoolKind::Max }, // → 27×27×96
+        Stage::Conv { geom: c2 },
+        Stage::Pool { input: c2.output(), k: 3, stride: 2, pad: 0, kind: PoolKind::Max }, // → 13×13×256
+        Stage::Conv { geom: c3 },
+        Stage::Conv { geom: c4 },
+        Stage::Conv { geom: c5 },
+        Stage::Pool { input: c5.output(), k: 3, stride: 2, pad: 0, kind: PoolKind::Max }, // → 6×6×256
+        Stage::FullyConnected { in_features: 6 * 6 * 256, out_features: fc_width, bn_act: true },
+        Stage::FullyConnected { in_features: fc_width, out_features: fc_width, bn_act: true },
+        Stage::FullyConnected { in_features: fc_width, out_features: classes, bn_act: false },
+    ];
+    NetworkSpec::new("AlexNet", input, 2, stages)
+}
+
+/// The VGG-like CNV network of the evaluation (§IV), parameterized by input
+/// side (32 for CIFAR-10, 96/144 for STL-10, 224 for the scaling sweep) and
+/// by activation bits (2 for ours, 1 for the FINN comparison of Table IV).
+pub fn vgg_like(side: usize, classes: usize, act_bits: u32) -> NetworkSpec {
+    assert!(side >= 16 && side % 8 == 0, "vgg_like needs a side divisible by 8, got {side}");
+    let input = Shape3::square(side, 3);
+    let mut stages = Vec::new();
+    let mut cur = input;
+    for (i, o) in [64usize, 128, 256].into_iter().enumerate() {
+        let g1 = conv(cur, 3, o, 1, 1);
+        if i == 0 {
+            stages.push(Stage::ConvInput { geom: g1 });
+        } else {
+            stages.push(Stage::Conv { geom: g1 });
+        }
+        let g2 = conv(g1.output(), 3, o, 1, 1);
+        stages.push(Stage::Conv { geom: g2 });
+        let pin = g2.output();
+        stages.push(Stage::Pool { input: pin, k: 2, stride: 2, pad: 0, kind: PoolKind::Max });
+        cur = Shape3::new(pin.h / 2, pin.w / 2, o);
+    }
+    // Global average pool keeps the FC stack input-size independent.
+    stages.push(Stage::Pool { input: cur, k: cur.h, stride: cur.h, pad: 0, kind: PoolKind::AvgSum });
+    stages.push(Stage::FullyConnected { in_features: 256, out_features: 512, bn_act: true });
+    stages.push(Stage::FullyConnected { in_features: 512, out_features: 512, bn_act: true });
+    stages.push(Stage::FullyConnected { in_features: 512, out_features: classes, bn_act: false });
+    NetworkSpec::new(format!("VGG-like-{side}"), input, act_bits, stages)
+}
+
+/// The exact CNV topology of Umuroglu et al. (FINN), fixed at 32×32:
+/// three blocks of two *unpadded* 3×3 convolutions with 2×2 max pooling
+/// after the first two blocks (32→30→28→14→12→10→5→3→1), then the
+/// 512-wide FC pair and the classifier. Unlike [`vgg_like`] (which adds a
+/// global pool so one topology spans every input size of the Fig. 5/6
+/// sweeps), this is the faithful Table IV network.
+pub fn cnv_finn(classes: usize, act_bits: u32) -> NetworkSpec {
+    let input = Shape3::square(32, 3);
+    let c1 = conv(input, 3, 64, 1, 0); // → 30
+    let c2 = conv(c1.output(), 3, 64, 1, 0); // → 28
+    let p1 = Shape3::square(14, 64);
+    let c3 = conv(p1, 3, 128, 1, 0); // → 12
+    let c4 = conv(c3.output(), 3, 128, 1, 0); // → 10
+    let p2 = Shape3::square(5, 128);
+    let c5 = conv(p2, 3, 256, 1, 0); // → 3
+    let c6 = conv(c5.output(), 3, 256, 1, 0); // → 1
+    let stages = vec![
+        Stage::ConvInput { geom: c1 },
+        Stage::Conv { geom: c2 },
+        Stage::Pool { input: c2.output(), k: 2, stride: 2, pad: 0, kind: PoolKind::Max },
+        Stage::Conv { geom: c3 },
+        Stage::Conv { geom: c4 },
+        Stage::Pool { input: c4.output(), k: 2, stride: 2, pad: 0, kind: PoolKind::Max },
+        Stage::Conv { geom: c5 },
+        Stage::Conv { geom: c6 },
+        Stage::FullyConnected { in_features: 256, out_features: 512, bn_act: true },
+        Stage::FullyConnected { in_features: 512, out_features: 512, bn_act: true },
+        Stage::FullyConnected { in_features: 512, out_features: classes, bn_act: false },
+    ];
+    NetworkSpec::new("CNV", input, act_bits, stages)
+}
+
+/// A depth-doubled VGG-like variant (four convolutions per block instead
+/// of two) used by the depth-penalty ablation: on a streaming architecture
+/// extra layers mostly overlap, while a layer-serial device pays for each.
+pub fn vgg_like_deep(side: usize, classes: usize, act_bits: u32) -> NetworkSpec {
+    assert!(side >= 16 && side % 8 == 0, "vgg_like_deep needs a side divisible by 8");
+    let input = Shape3::square(side, 3);
+    let mut stages = Vec::new();
+    let mut cur = input;
+    for (i, o) in [64usize, 128, 256].into_iter().enumerate() {
+        for j in 0..4 {
+            let g = conv(cur, 3, o, 1, 1);
+            if i == 0 && j == 0 {
+                stages.push(Stage::ConvInput { geom: g });
+            } else {
+                stages.push(Stage::Conv { geom: g });
+            }
+            cur = g.output();
+        }
+        stages.push(Stage::Pool { input: cur, k: 2, stride: 2, pad: 0, kind: PoolKind::Max });
+        cur = Shape3::new(cur.h / 2, cur.w / 2, o);
+    }
+    stages.push(Stage::Pool { input: cur, k: cur.h, stride: cur.h, pad: 0, kind: PoolKind::AvgSum });
+    stages.push(Stage::FullyConnected { in_features: 256, out_features: 512, bn_act: true });
+    stages.push(Stage::FullyConnected { in_features: 512, out_features: 512, bn_act: true });
+    stages.push(Stage::FullyConnected { in_features: 512, out_features: classes, bn_act: false });
+    NetworkSpec::new(format!("VGG-like-deep-{side}"), input, act_bits, stages)
+}
+
+/// A shallow probe network (two strided convolutions + classifier) for the
+/// accuracy-substitution experiment: deep *untrained* networks contract
+/// inter-image differences until every input maps to one class — an
+/// artifact of random initialization, not of quantization. The probe stays
+/// in the signal-preserving regime at every activation width, so teacher
+/// agreement isolates exactly the quantization cost.
+pub fn probe32(classes: usize, act_bits: u32) -> NetworkSpec {
+    let g1 = ConvGeometry::new(Shape3::square(32, 3), FilterShape::new(3, 3, 16), 2, 1);
+    let g2 = ConvGeometry::new(g1.output(), FilterShape::new(3, 16, 16), 2, 1);
+    let n = g2.output().len();
+    NetworkSpec::new(
+        "probe-32",
+        Shape3::square(32, 3),
+        act_bits,
+        vec![
+            Stage::ConvInput { geom: g1 },
+            Stage::Conv { geom: g2 },
+            Stage::FullyConnected { in_features: n, out_features: classes, bn_act: false },
+        ],
+    )
+}
+
+/// A small fully featured network (input conv, hidden conv, residual block,
+/// both pool kinds, FC stack) for fast tests: every datapath of the big
+/// models on an 8× smaller canvas.
+pub fn test_net(side: usize, classes: usize, act_bits: u32) -> NetworkSpec {
+    assert!(side >= 8 && side % 4 == 0, "test_net needs side divisible by 4");
+    let input = Shape3::square(side, 3);
+    let stem = conv(input, 3, 8, 1, 1);
+    let after_pool = Shape3::new(side / 2, side / 2, 8);
+    let block1 = basic_block(after_pool, 8, 1);
+    let block2 = basic_block(after_pool, 16, 2);
+    let cur = block2.output();
+    let stages = vec![
+        Stage::ConvInput { geom: stem },
+        Stage::Pool { input: stem.output(), k: 2, stride: 2, pad: 0, kind: PoolKind::Max },
+        Stage::Residual { geom: block1 },
+        Stage::Residual { geom: block2 },
+        Stage::Pool { input: cur, k: cur.h, stride: cur.h, pad: 0, kind: PoolKind::AvgSum },
+        Stage::FullyConnected { in_features: 16, out_features: 32, bn_act: true },
+        Stage::FullyConnected { in_features: 32, out_features: classes, bn_act: false },
+    ];
+    NetworkSpec::new(format!("test-net-{side}"), input, act_bits, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I verification, stage by stage.
+    #[test]
+    fn resnet18_matches_table1() {
+        let spec = resnet18(IMAGENET_CLASSES);
+        assert_eq!(spec.input, Shape3::square(224, 3));
+        // conv1 output 112×112.
+        assert_eq!(spec.stages[0].output_shape(), Shape3::square(112, 64));
+        // max pool output 56×56.
+        assert_eq!(spec.stages[1].output_shape(), Shape3::square(56, 64));
+        // conv2_x blocks at 56×56×64.
+        assert_eq!(spec.stages[2].output_shape(), Shape3::square(56, 64));
+        assert_eq!(spec.stages[3].output_shape(), Shape3::square(56, 64));
+        // conv3_x at 28×28×128, conv4_x at 14×14×256, conv5_x at 7×7×512.
+        assert_eq!(spec.stages[5].output_shape(), Shape3::square(28, 128));
+        assert_eq!(spec.stages[7].output_shape(), Shape3::square(14, 256));
+        assert_eq!(spec.stages[9].output_shape(), Shape3::square(7, 512));
+        // Global pool + 1000-way classifier.
+        assert_eq!(spec.stages[10].output_shape(), Shape3::new(1, 1, 512));
+        assert_eq!(spec.classes(), 1000);
+        // Eight residual blocks in total.
+        assert_eq!(spec.num_skip_connections(), 8);
+    }
+
+    #[test]
+    fn resnet18_downsample_blocks_are_marked() {
+        let spec = resnet18(10);
+        let mut downsamples = 0;
+        for stage in &spec.stages {
+            if let Stage::Residual { geom } = stage {
+                if geom.downsample.is_some() {
+                    downsamples += 1;
+                }
+            }
+        }
+        // conv3_1, conv4_1, conv5_1 change shape (Table I note).
+        assert_eq!(downsamples, 3);
+    }
+
+    #[test]
+    fn resnet18_weight_budget_is_about_11_mbit() {
+        let bits = resnet18(IMAGENET_CLASSES).total_weight_bits();
+        let mbit = bits as f64 / 1.0e6;
+        assert!((10.0..13.0).contains(&mbit), "ResNet-18 weights = {mbit:.1} Mbit");
+    }
+
+    #[test]
+    fn alexnet_weight_budget_matches_reported_bram_band() {
+        // With 25% BRAM waste the weight storage must land near the paper's
+        // 34 600 Kbit (Table III); see the module docs.
+        let bits = alexnet(IMAGENET_CLASSES).total_weight_bits();
+        let with_waste_kbit = bits as f64 * 1.25 / 1000.0;
+        assert!(
+            (30_000.0..40_000.0).contains(&with_waste_kbit),
+            "AlexNet weights with waste = {with_waste_kbit:.0} Kbit"
+        );
+    }
+
+    #[test]
+    fn alexnet_shapes_chain() {
+        let spec = alexnet(IMAGENET_CLASSES);
+        assert_eq!(spec.stages[0].output_shape(), Shape3::square(55, 96));
+        assert_eq!(spec.stages[1].output_shape(), Shape3::square(27, 96));
+        assert_eq!(spec.stages[7].output_shape(), Shape3::square(6, 256));
+        assert_eq!(spec.classes(), 1000);
+        assert_eq!(spec.num_skip_connections(), 0);
+    }
+
+    #[test]
+    fn plain_resnet_has_same_macs_but_no_skips() {
+        let full = resnet18(10);
+        let plain = resnet18_plain(10);
+        assert_eq!(plain.num_skip_connections(), 0);
+        // Plain variant drops only the downsample 1×1 convs and adders; the
+        // main convolution work is identical.
+        let full_main: u64 = full.total_macs();
+        let plain_main: u64 = plain.total_macs();
+        assert!(plain_main <= full_main);
+        assert!(full_main - plain_main < full_main / 20, "downsample convs are <5% of MACs");
+    }
+
+    #[test]
+    fn vgg_like_is_input_size_stable() {
+        for side in [32, 64, 96, 144, 224] {
+            let spec = vgg_like(side, 10, 2);
+            assert_eq!(spec.classes(), 10);
+            // Weight storage must not depend on the input side (Fig. 6's
+            // near-flat BRAM curve).
+            assert_eq!(spec.total_weight_bits(), vgg_like(32, 10, 2).total_weight_bits());
+        }
+    }
+
+    #[test]
+    fn vgg_like_binary_variant_for_finn() {
+        let spec = vgg_like(32, 10, 1);
+        assert_eq!(spec.act_bits, 1);
+        assert_eq!(spec.activation_spec().levels(), 2);
+    }
+
+    #[test]
+    fn probe32_shapes() {
+        let spec = probe32(10, 2);
+        assert_eq!(spec.stages[0].output_shape(), Shape3::square(16, 16));
+        assert_eq!(spec.stages[1].output_shape(), Shape3::square(8, 16));
+        assert_eq!(spec.classes(), 10);
+    }
+
+    #[test]
+    fn cnv_finn_matches_published_shapes() {
+        let spec = cnv_finn(10, 1);
+        // 32→30→28→14→12→10→5→3→1 (Umuroglu et al., Table 1 of FINN).
+        assert_eq!(spec.stages[0].output_shape(), Shape3::square(30, 64));
+        assert_eq!(spec.stages[1].output_shape(), Shape3::square(28, 64));
+        assert_eq!(spec.stages[2].output_shape(), Shape3::square(14, 64));
+        assert_eq!(spec.stages[4].output_shape(), Shape3::square(10, 128));
+        assert_eq!(spec.stages[5].output_shape(), Shape3::square(5, 128));
+        assert_eq!(spec.stages[7].output_shape(), Shape3::square(1, 256));
+        assert_eq!(spec.classes(), 10);
+        // FINN's CNV holds ~1.6 M binary weights.
+        let mbit = spec.total_weight_bits() as f64 / 1e6;
+        assert!((1.2..2.2).contains(&mbit), "CNV weights {mbit} Mbit");
+    }
+
+    #[test]
+    fn deep_variant_doubles_conv_count() {
+        let base = vgg_like(32, 10, 2);
+        let deep = vgg_like_deep(32, 10, 2);
+        let convs = |s: &NetworkSpec| {
+            s.stages
+                .iter()
+                .filter(|st| matches!(st, Stage::Conv { .. } | Stage::ConvInput { .. }))
+                .count()
+        };
+        assert_eq!(convs(&deep), 2 * convs(&base));
+        assert_eq!(deep.output_shape(), base.output_shape());
+    }
+
+    #[test]
+    fn test_net_validates_and_is_small() {
+        let spec = test_net(8, 4, 2);
+        assert_eq!(spec.classes(), 4);
+        assert!(spec.total_weight_bits() < 50_000);
+        assert_eq!(spec.num_skip_connections(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Host-side post-processing: softmax and top-k.
+//!
+//! The paper's pipeline ends with "a 1000-way softmax, which produces a
+//! distribution over the 1000 class labels" (§III-A), computed on the CPU
+//! after the logits stream back over PCIe — monotone, so classification
+//! itself only needs the integer logits, but downstream consumers (top-5
+//! metrics, calibration) want the distribution.
+
+/// Numerically stable softmax over integer logits.
+///
+/// Logits are scaled by `temperature` before exponentiation; the quantized
+/// networks produce integer scores whose natural scale depends on fan-in,
+/// so callers typically pass the reciprocal of the last layer's input
+/// count.
+pub fn softmax(logits: &[i32], temperature: f64) -> Vec<f64> {
+    assert!(!logits.is_empty(), "softmax of an empty logit vector");
+    assert!(temperature > 0.0, "temperature must be positive");
+    let max = *logits.iter().max().expect("non-empty") as f64;
+    let exps: Vec<f64> =
+        logits.iter().map(|&v| ((v as f64 - max) * temperature).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Indices of the `k` largest logits, best first; ties break toward the
+/// lower index (the same rule as `ForwardResult::argmax`).
+pub fn top_k(logits: &[i32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..logits.len()).collect();
+    idx.sort_by(|&a, &b| logits[b].cmp(&logits[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// Does `label` appear among the top-k logits? (Top-5 is the ImageNet
+/// metric the paper's accuracy numbers accompany.)
+pub fn in_top_k(logits: &[i32], label: usize, k: usize) -> bool {
+    top_k(logits, k).contains(&label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let p = softmax(&[3, 1, -2, 7], 0.5);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x > 0.0));
+        // Largest logit → largest probability.
+        assert!(p[3] > p[0] && p[0] > p[1] && p[1] > p[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1, 2, 3], 1.0);
+        let b = softmax(&[101, 102, 103], 1.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits_without_overflow() {
+        let p = softmax(&[i32::MAX, i32::MIN, 0], 1.0);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn top_k_orders_and_breaks_ties_low_index_first() {
+        let logits = [5, 9, 9, 1, 7];
+        assert_eq!(top_k(&logits, 3), vec![1, 2, 4]);
+        assert_eq!(top_k(&logits, 10), vec![1, 2, 4, 0, 3]);
+    }
+
+    #[test]
+    fn in_top_k_matches_membership() {
+        let logits = [10, 2, 8, 4];
+        assert!(in_top_k(&logits, 0, 1));
+        assert!(!in_top_k(&logits, 2, 1));
+        assert!(in_top_k(&logits, 2, 2));
+        assert!(!in_top_k(&logits, 1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_softmax_panics() {
+        let _ = softmax(&[], 1.0);
+    }
+}

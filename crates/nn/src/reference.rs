@@ -1,0 +1,442 @@
+//! Reference interpreter: executes a [`Network`] layer by layer on whole
+//! tensors.
+//!
+//! This is the "golden model" the streaming DFE pipeline is tested against.
+//! It favors clarity over speed but still uses the bit-plane dot products so
+//! full-size networks run in reasonable time.
+//!
+//! **Canonical window order**: a convolution window is read `ky` (outer),
+//! then `kx`, then channel (inner) — the same depth-first order the stream
+//! arrives in. Weight cache rows are laid out identically, so the streaming
+//! kernels and this interpreter index the same bit for the same weight.
+
+use crate::network::{Network, StageParams};
+use crate::spec::{PoolKind, Stage};
+use qnn_quant::{dot_i8, ActPlanes, ThresholdUnit};
+use qnn_tensor::{BinaryFilters, ConvGeometry, Shape3, Tensor3};
+
+/// Per-image forward statistics used by tests and the hardware models.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ForwardStats {
+    /// Largest |skip value| seen on any skip connection; the paper carries
+    /// skips as 16-bit integers, so tests assert this fits in `i16`.
+    pub max_abs_skip: i64,
+    /// Largest |accumulator| seen at any convolution output.
+    pub max_abs_acc: i64,
+}
+
+impl ForwardStats {
+    fn observe_acc(&mut self, t: &Tensor3<i32>) {
+        for &v in t.as_slice() {
+            self.max_abs_acc = self.max_abs_acc.max(i64::from(v).abs());
+        }
+    }
+    fn observe_skip(&mut self, t: &Tensor3<i32>) {
+        for &v in t.as_slice() {
+            self.max_abs_skip = self.max_abs_skip.max(i64::from(v).abs());
+        }
+    }
+}
+
+/// Convolution over activation codes, returning raw accumulators.
+/// Padding inserts code 0 — the lowest representable level, the analogue of
+/// the paper's −1 padding for BNNs (§III-B1).
+pub fn conv_acc_codes(
+    geom: &ConvGeometry,
+    input: &Tensor3<u8>,
+    filters: &BinaryFilters,
+    act_bits: u32,
+) -> Tensor3<i32> {
+    assert_eq!(input.shape(), geom.input, "conv input shape mismatch");
+    assert_eq!(filters.num_filters(), geom.filter.o);
+    assert_eq!(filters.bits_per_filter(), geom.filter.weights_per_filter());
+    let padded = input.pad(geom.pad, 0u8);
+    let out_shape = geom.output();
+    let k = geom.filter.k;
+    let i = geom.filter.i;
+    let mut out = Tensor3::<i32>::zeros(out_shape);
+    let mut window = vec![0u8; k * k * i];
+    let mut planes = ActPlanes::new(act_bits, window.len());
+    for oy in 0..out_shape.h {
+        for ox in 0..out_shape.w {
+            gather_window(&padded, oy * geom.stride, ox * geom.stride, k, &mut window);
+            planes.pack(&window);
+            for o in 0..geom.filter.o {
+                out.set(oy, ox, o, planes.dot(filters.filter(o)));
+            }
+        }
+    }
+    out
+}
+
+/// First-layer convolution over signed 8-bit pixels. Padding inserts 0.
+pub fn conv_acc_i8(
+    geom: &ConvGeometry,
+    input: &Tensor3<i8>,
+    filters: &BinaryFilters,
+) -> Tensor3<i32> {
+    assert_eq!(input.shape(), geom.input, "conv input shape mismatch");
+    let padded = input.pad(geom.pad, 0i8);
+    let out_shape = geom.output();
+    let k = geom.filter.k;
+    let i = geom.filter.i;
+    let mut out = Tensor3::<i32>::zeros(out_shape);
+    let mut window = vec![0i8; k * k * i];
+    for oy in 0..out_shape.h {
+        for ox in 0..out_shape.w {
+            gather_window(&padded, oy * geom.stride, ox * geom.stride, k, &mut window);
+            for o in 0..geom.filter.o {
+                out.set(oy, ox, o, dot_i8(filters.filter(o), &window));
+            }
+        }
+    }
+    out
+}
+
+/// Gather a `k × k × C` window starting at `(y0, x0)` of the padded input
+/// into `buf`, in the canonical (ky, kx, c) order.
+fn gather_window<T: Copy + Default>(padded: &Tensor3<T>, y0: usize, x0: usize, k: usize, buf: &mut [T]) {
+    let c = padded.shape().c;
+    debug_assert_eq!(buf.len(), k * k * c);
+    let mut at = 0;
+    for ky in 0..k {
+        for kx in 0..k {
+            buf[at..at + c].copy_from_slice(padded.pixel(y0 + ky, x0 + kx));
+            at += c;
+        }
+    }
+}
+
+/// Apply per-channel fused thresholds to an accumulator tensor.
+pub fn apply_thresholds(acc: &Tensor3<i32>, thresholds: &[ThresholdUnit]) -> Tensor3<u8> {
+    assert_eq!(acc.shape().c, thresholds.len(), "one threshold unit per output channel");
+    let shape = acc.shape();
+    Tensor3::from_fn(shape, |y, x, c| thresholds[c].activate(acc.get(y, x, c)))
+}
+
+/// Max pooling over codes (monotone in the code order, so it commutes with
+/// the threshold activation exactly as in the float network).
+pub fn max_pool(input: &Tensor3<u8>, k: usize, stride: usize, pad: usize) -> Tensor3<u8> {
+    let padded = input.pad(pad, 0u8);
+    let p = padded.shape();
+    let out_shape =
+        Shape3::new((p.h - k) / stride + 1, (p.w - k) / stride + 1, p.c);
+    Tensor3::from_fn(out_shape, |oy, ox, c| {
+        let mut m = 0u8;
+        for ky in 0..k {
+            for kx in 0..k {
+                m = m.max(padded.get(oy * stride + ky, ox * stride + kx, c));
+            }
+        }
+        m
+    })
+}
+
+/// The right shift used by [`avg_sum_pool`]: ⌊log₂(k²)⌋, keeping the output
+/// in code range while staying integral (the residual divisor is folded into
+/// downstream thresholds, like every other affine factor).
+pub fn avg_pool_shift(k: usize) -> u32 {
+    ((k * k) as u32).ilog2()
+}
+
+/// Average pooling as a window sum followed by a power-of-two shift.
+pub fn avg_sum_pool(input: &Tensor3<u8>, k: usize, stride: usize) -> Tensor3<u8> {
+    let p = input.shape();
+    assert!(p.h >= k && p.w >= k, "avg pool window larger than input");
+    let shift = avg_pool_shift(k);
+    let out_shape = Shape3::new((p.h - k) / stride + 1, (p.w - k) / stride + 1, p.c);
+    Tensor3::from_fn(out_shape, |oy, ox, c| {
+        let mut sum = 0u32;
+        for ky in 0..k {
+            for kx in 0..k {
+                sum += u32::from(input.get(oy * stride + ky, ox * stride + kx, c));
+            }
+        }
+        let v = sum >> shift;
+        debug_assert!(v <= u32::from(u8::MAX), "avg pool overflowed code width");
+        v as u8
+    })
+}
+
+/// Fully connected layer over the flattened (stream-order) codes.
+///
+/// Inputs are treated as full 8-bit codes: an average-sum pool can legally
+/// emit values above the activation's 2ⁿ−1 ceiling, and unused planes cost
+/// nothing (their popcounts are zero).
+pub fn fully_connected(input: &[u8], filters: &BinaryFilters, _act_bits: u32) -> Vec<i32> {
+    assert_eq!(input.len(), filters.bits_per_filter(), "fc input width mismatch");
+    let planes = ActPlanes::from_codes(8, input);
+    filters.iter().map(|row| planes.dot(row)).collect()
+}
+
+/// Result of running one image through the reference interpreter.
+#[derive(Clone, Debug)]
+pub struct ForwardResult {
+    /// Raw logits from the final layer.
+    pub logits: Vec<i32>,
+    /// Range statistics gathered along the way.
+    pub stats: ForwardStats,
+}
+
+impl ForwardResult {
+    /// Index of the largest logit (ties break toward the lower index, the
+    /// same rule the DFE host code uses).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.logits.iter().enumerate() {
+            if v > self.logits[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl Network {
+    /// Run one image through the network, returning logits and statistics.
+    pub fn forward(&self, image: &Tensor3<i8>) -> ForwardResult {
+        assert_eq!(image.shape(), self.spec.input, "image shape mismatch");
+        let act_bits = self.spec.act_bits;
+        let mut stats = ForwardStats::default();
+        let mut codes: Option<Tensor3<u8>> = None;
+        let mut skip: Option<Tensor3<i32>> = None;
+        let mut logits: Option<Vec<i32>> = None;
+
+        for (stage, params) in self.spec.stages.iter().zip(&self.params) {
+            assert!(logits.is_none(), "stages after the logits layer are not allowed");
+            match (stage, params) {
+                (Stage::ConvInput { geom }, StageParams::Conv { filters, thresholds }) => {
+                    let acc = conv_acc_i8(geom, image, filters);
+                    stats.observe_acc(&acc);
+                    codes = Some(apply_thresholds(&acc, thresholds));
+                    skip = None;
+                }
+                (Stage::Conv { geom }, StageParams::Conv { filters, thresholds }) => {
+                    let input = codes.as_ref().expect("conv needs a predecessor");
+                    let acc = conv_acc_codes(geom, input, filters, act_bits);
+                    stats.observe_acc(&acc);
+                    codes = Some(apply_thresholds(&acc, thresholds));
+                    skip = None;
+                }
+                (Stage::Pool { k, stride, pad, kind, .. }, StageParams::Pool) => {
+                    let input = codes.as_ref().expect("pool needs a predecessor");
+                    codes = Some(match kind {
+                        PoolKind::Max => max_pool(input, *k, *stride, *pad),
+                        PoolKind::AvgSum => {
+                            assert_eq!(*pad, 0, "avg pooling is unpadded in the paper's nets");
+                            avg_sum_pool(input, *k, *stride)
+                        }
+                    });
+                    skip = None;
+                }
+                (
+                    Stage::FullyConnected { bn_act, .. },
+                    StageParams::FullyConnected { filters, thresholds },
+                ) => {
+                    let input = codes.as_ref().expect("fc needs a predecessor");
+                    let out = fully_connected(input.as_slice(), filters, act_bits);
+                    if *bn_act {
+                        let t = Tensor3::from_vec(Shape3::new(1, 1, out.len()), out);
+                        stats.observe_acc(&t);
+                        codes = Some(apply_thresholds(&t, thresholds));
+                    } else {
+                        logits = Some(out);
+                    }
+                    skip = None;
+                }
+                (
+                    Stage::Residual { geom },
+                    StageParams::Residual { filters1, thr_mid, filters2, thr_out, downsample },
+                ) => {
+                    let a_in = codes.take().expect("residual block needs a predecessor");
+                    // Skip input: carried pre-activation, or (for shape-
+                    // changing blocks) the 1×1 strided conv of the regular
+                    // input; at a chain head, the widened codes themselves.
+                    let s_in = match (&geom.downsample, downsample) {
+                        (Some(ds_geom), Some(ds_filters)) => {
+                            conv_acc_codes(ds_geom, &a_in, ds_filters, act_bits)
+                        }
+                        (None, None) => skip
+                            .take()
+                            .unwrap_or_else(|| a_in.map(i32::from)),
+                        _ => unreachable!("spec/params downsample mismatch"),
+                    };
+                    let m = conv_acc_codes(&geom.conv1, &a_in, filters1, act_bits);
+                    stats.observe_acc(&m);
+                    let am = apply_thresholds(&m, thr_mid);
+                    let mut z = conv_acc_codes(&geom.conv2, &am, filters2, act_bits);
+                    for (zv, sv) in z.as_mut_slice().iter_mut().zip(s_in.as_slice()) {
+                        *zv += *sv;
+                    }
+                    stats.observe_acc(&z);
+                    stats.observe_skip(&z);
+                    codes = Some(apply_thresholds(&z, thr_out));
+                    skip = Some(z);
+                }
+                _ => unreachable!("stage/params variant mismatch"),
+            }
+        }
+        ForwardResult { logits: logits.expect("network must end in a logits layer"), stats }
+    }
+
+    /// Convenience: forward + argmax.
+    pub fn classify(&self, image: &Tensor3<i8>) -> usize {
+        self.forward(image).argmax()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_quant::BnParams;
+    use qnn_tensor::{BitVec, FilterShape};
+
+    #[test]
+    fn conv_acc_codes_matches_hand_example() {
+        // 2×2 input, 1 channel, one 2×2 filter of all +1, no padding:
+        // accumulator = sum of codes.
+        let input = Tensor3::from_vec(Shape3::new(2, 2, 1), vec![1u8, 2, 3, 0]);
+        let geom = ConvGeometry::new(Shape3::new(2, 2, 1), FilterShape::new(2, 1, 1), 1, 0);
+        let filters = BinaryFilters::from_rows(vec![BitVec::from_bools(&[true; 4])]);
+        let acc = conv_acc_codes(&geom, &input, &filters, 2);
+        assert_eq!(acc.get(0, 0, 0), 6);
+    }
+
+    #[test]
+    fn conv_padding_uses_code_zero() {
+        // All-ones filter over an all-3 input with pad 1: corner windows see
+        // three real pixels (border fill contributes 0).
+        let input = Tensor3::from_vec(Shape3::new(2, 2, 1), vec![3u8, 3, 3, 3]);
+        let geom = ConvGeometry::new(Shape3::new(2, 2, 1), FilterShape::new(2, 1, 1), 1, 1);
+        let filters = BinaryFilters::from_rows(vec![BitVec::from_bools(&[true; 4])]);
+        let acc = conv_acc_codes(&geom, &input, &filters, 2);
+        assert_eq!(acc.shape(), Shape3::new(3, 3, 1));
+        assert_eq!(acc.get(0, 0, 0), 3); // one real pixel
+        assert_eq!(acc.get(1, 1, 0), 12); // all four
+    }
+
+    #[test]
+    fn conv_window_order_is_ky_kx_c() {
+        // Filter with exactly one −1 bit at position (ky=1, kx=0, c=1) of a
+        // 2×2×2 window; verify the accumulator flips that specific input.
+        let shape = Shape3::new(2, 2, 2);
+        let input = Tensor3::from_fn(shape, |y, x, c| (y * 4 + x * 2 + c) as u8 % 4);
+        let geom = ConvGeometry::new(shape, FilterShape::new(2, 2, 1), 1, 0);
+        let flip_pos = (2 * 2) + 1; // (ky,kx,c) = (1,0,1) → index 5
+        let mut bits = vec![true; 8];
+        bits[flip_pos] = false;
+        let filters = BinaryFilters::from_rows(vec![BitVec::from_bools(&bits)]);
+        let acc = conv_acc_codes(&geom, &input, &filters, 2);
+        let all: i32 = input.as_slice().iter().map(|&q| i32::from(q)).sum();
+        let flipped = i32::from(input.get(1, 0, 1));
+        assert_eq!(acc.get(0, 0, 0), all - 2 * flipped);
+    }
+
+    #[test]
+    fn conv_i8_matches_naive() {
+        let shape = Shape3::new(3, 3, 2);
+        let input = Tensor3::from_fn(shape, |y, x, c| ((y * 31 + x * 7 + c * 3) as i32 - 10) as i8);
+        let geom = ConvGeometry::new(shape, FilterShape::new(3, 2, 2), 1, 0);
+        let rows: Vec<BitVec> = (0..2)
+            .map(|o| BitVec::from_bools(&(0..18).map(|i| (i + o) % 3 != 0).collect::<Vec<_>>()))
+            .collect();
+        let filters = BinaryFilters::from_rows(rows.clone());
+        let acc = conv_acc_i8(&geom, &input, &filters);
+        for (o, row) in rows.iter().enumerate() {
+            let mut expect = 0i32;
+            let mut at = 0;
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    for c in 0..2 {
+                        expect += row.sign(at) * i32::from(input.get(ky, kx, c));
+                        at += 1;
+                    }
+                }
+            }
+            assert_eq!(acc.get(0, 0, o), expect);
+        }
+    }
+
+    #[test]
+    fn strided_conv_skips_positions() {
+        let shape = Shape3::new(5, 5, 1);
+        let input = Tensor3::from_fn(shape, |y, x, _| ((y * 5 + x) % 4) as u8);
+        let geom = ConvGeometry::new(shape, FilterShape::new(3, 1, 1), 2, 0);
+        let filters = BinaryFilters::from_rows(vec![BitVec::from_bools(&[true; 9])]);
+        let acc = conv_acc_codes(&geom, &input, &filters, 2);
+        assert_eq!(acc.shape(), Shape3::new(2, 2, 1));
+        // Output (1,1) reads rows 2..5, cols 2..5.
+        let mut expect = 0;
+        for y in 2..5 {
+            for x in 2..5 {
+                expect += i32::from(input.get(y, x, 0));
+            }
+        }
+        assert_eq!(acc.get(1, 1, 0), expect);
+    }
+
+    #[test]
+    fn max_pool_basics() {
+        let input = Tensor3::from_vec(Shape3::new(2, 2, 1), vec![1u8, 3, 0, 2]);
+        let out = max_pool(&input, 2, 2, 0);
+        assert_eq!(out.shape(), Shape3::new(1, 1, 1));
+        assert_eq!(out.get(0, 0, 0), 3);
+    }
+
+    #[test]
+    fn max_pool_is_per_channel() {
+        let input = Tensor3::from_fn(Shape3::new(2, 2, 2), |y, x, c| {
+            if c == 0 {
+                (y + x) as u8
+            } else {
+                (3 - y - x) as u8
+            }
+        });
+        let out = max_pool(&input, 2, 2, 0);
+        assert_eq!(out.get(0, 0, 0), 2);
+        assert_eq!(out.get(0, 0, 1), 3);
+    }
+
+    #[test]
+    fn avg_sum_pool_uses_floor_shift() {
+        // k = 2 ⇒ shift 2 (exact mean); sum 1+2+3+0 = 6 ⇒ 6 >> 2 = 1.
+        let input = Tensor3::from_vec(Shape3::new(2, 2, 1), vec![1u8, 2, 3, 0]);
+        let out = avg_sum_pool(&input, 2, 2);
+        assert_eq!(out.get(0, 0, 0), 1);
+        // k = 7 ⇒ shift 5 (49 → 32): an all-3 window sums to 147 → 4.
+        let input = Tensor3::from_fn(Shape3::new(7, 7, 1), |_, _, _| 3u8);
+        let out = avg_sum_pool(&input, 7, 7);
+        assert_eq!(out.get(0, 0, 0), 4);
+    }
+
+    #[test]
+    fn fc_equals_manual_dot() {
+        let input: Vec<u8> = vec![0, 1, 2, 3, 2, 1];
+        let row = BitVec::from_bools(&[true, false, true, false, true, true]);
+        let filters = BinaryFilters::from_rows(vec![row.clone()]);
+        let out = fully_connected(&input, &filters, 2);
+        let expect: i32 =
+            input.iter().enumerate().map(|(i, &q)| row.sign(i) * i32::from(q)).sum();
+        assert_eq!(out, vec![expect]);
+    }
+
+    #[test]
+    fn fc_handles_wide_codes_from_avg_pool() {
+        // Codes above 2-bit range (e.g. 7) must still dot correctly.
+        let input: Vec<u8> = vec![7, 5, 0, 9];
+        let row = BitVec::from_bools(&[true, true, false, false]);
+        let filters = BinaryFilters::from_rows(vec![row]);
+        assert_eq!(fully_connected(&input, &filters, 2), vec![(7 + 5) - 9]);
+    }
+
+    #[test]
+    fn threshold_application_is_per_channel() {
+        let acc = Tensor3::from_vec(Shape3::new(1, 1, 2), vec![5, 5]);
+        let spec = qnn_quant::QuantSpec::paper_2bit();
+        let t0 = ThresholdUnit::from_batchnorm(&BnParams::IDENTITY, &spec);
+        let t1 = ThresholdUnit::from_batchnorm(&BnParams::new(1.0, 4.0, 1.0, 0.0), &spec);
+        let out = apply_thresholds(&acc, &[t0, t1]);
+        assert_eq!(out.get(0, 0, 0), 3); // clamp(5)
+        assert_eq!(out.get(0, 0, 1), 1); // 5−4 = 1
+    }
+}

@@ -1,0 +1,369 @@
+//! Network intermediate representation: an ordered list of stages with fully
+//! resolved geometry.
+//!
+//! The spec is shape-checked at construction, so the streaming compiler, the
+//! reference interpreter and the analytic hardware models all consume one
+//! validated description and can never disagree about sizes.
+
+use qnn_tensor::{ConvGeometry, FilterShape, Shape3};
+
+/// Pooling flavor. The paper uses max pooling everywhere except the final
+/// global pooling of ResNet-18, which is an average (paper §III-B2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Sum over the window (average with the divisor folded into the next
+    /// layer's thresholds, keeping arithmetic integral).
+    AvgSum,
+}
+
+/// Geometry of one residual building block (paper Fig. 2 / §III-B5): two
+/// convolutions, an optional 1×1 strided downsample on the skip path, and
+/// the skip buffer + adder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResidualGeometry {
+    /// First convolution (may be strided for downsampling blocks).
+    pub conv1: ConvGeometry,
+    /// Second convolution (always stride 1 in ResNet-18).
+    pub conv2: ConvGeometry,
+    /// Skip-path 1×1 convolution when shape changes (conv3_1, conv4_1,
+    /// conv5_1 in Table I); `None` for identity skips.
+    pub downsample: Option<ConvGeometry>,
+}
+
+impl ResidualGeometry {
+    /// Output shape of the block.
+    pub fn output(&self) -> Shape3 {
+        self.conv2.output()
+    }
+
+    /// Input shape of the block.
+    pub fn input(&self) -> Shape3 {
+        self.conv1.input
+    }
+
+    /// Validate internal consistency.
+    fn validate(&self) {
+        assert_eq!(
+            self.conv1.output(),
+            self.conv2.input,
+            "residual conv1 output must feed conv2"
+        );
+        match self.downsample {
+            Some(ds) => {
+                assert_eq!(ds.input, self.conv1.input, "downsample reads the block input");
+                assert_eq!(ds.output(), self.conv2.output(), "downsample must match block output");
+            }
+            None => assert_eq!(
+                self.conv1.input,
+                self.conv2.output(),
+                "identity skip requires matching input/output shapes"
+            ),
+        }
+    }
+}
+
+/// One pipeline stage. Every stage knows its input shape; output shapes are
+/// derived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// First-layer convolution over signed 8-bit pixels streamed from the
+    /// CPU. `bn_act` is always true in the paper's networks.
+    ConvInput {
+        /// Convolution geometry.
+        geom: ConvGeometry,
+    },
+    /// Hidden convolution over activation codes, followed by fused
+    /// BatchNorm + n-bit activation.
+    Conv {
+        /// Convolution geometry.
+        geom: ConvGeometry,
+    },
+    /// Spatial pooling (no parameters, paper §III-B2).
+    Pool {
+        /// Input feature-map shape.
+        input: Shape3,
+        /// Window side.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric padding (max pooling pads with code 0, the lowest
+        /// representable level, mirroring the paper's −1 padding).
+        pad: usize,
+        /// Max or average-sum.
+        kind: PoolKind,
+    },
+    /// Fully connected layer, implemented as a 1×1 convolution over the
+    /// flattened map (paper §III-B4). When `bn_act` is false this is the
+    /// output layer and produces raw logits.
+    FullyConnected {
+        /// Flattened input features.
+        in_features: usize,
+        /// Output neurons.
+        out_features: usize,
+        /// Apply fused BatchNorm + activation (false for the logits layer).
+        bn_act: bool,
+    },
+    /// Residual building block (two convolutions + skip, paper §III-B5).
+    Residual {
+        /// Block geometry.
+        geom: ResidualGeometry,
+    },
+}
+
+impl Stage {
+    /// Shape of the tensor this stage consumes. FC layers consume the
+    /// flattened form, reported as `1×1×in_features`.
+    pub fn input_shape(&self) -> Shape3 {
+        match *self {
+            Stage::ConvInput { geom } | Stage::Conv { geom } => geom.input,
+            Stage::Pool { input, .. } => input,
+            Stage::FullyConnected { in_features, .. } => Shape3::new(1, 1, in_features),
+            Stage::Residual { geom } => geom.input(),
+        }
+    }
+
+    /// Shape of the tensor this stage produces.
+    pub fn output_shape(&self) -> Shape3 {
+        match *self {
+            Stage::ConvInput { geom } | Stage::Conv { geom } => geom.output(),
+            Stage::Pool { input, k, stride, pad, .. } => {
+                let ph = input.h + 2 * pad;
+                let pw = input.w + 2 * pad;
+                Shape3::new((ph - k) / stride + 1, (pw - k) / stride + 1, input.c)
+            }
+            Stage::FullyConnected { out_features, .. } => Shape3::new(1, 1, out_features),
+            Stage::Residual { geom } => geom.output(),
+        }
+    }
+
+    /// Binary weights held by this stage (0 for pooling).
+    pub fn weight_bits(&self) -> usize {
+        match *self {
+            Stage::ConvInput { geom } | Stage::Conv { geom } => geom.filter.total_weights(),
+            Stage::Pool { .. } => 0,
+            Stage::FullyConnected { in_features, out_features, .. } => in_features * out_features,
+            Stage::Residual { geom } => {
+                geom.conv1.filter.total_weights()
+                    + geom.conv2.filter.total_weights()
+                    + geom.downsample.map_or(0, |d| d.filter.total_weights())
+            }
+        }
+    }
+
+    /// Number of neurons carrying BatchNorm threshold parameters.
+    pub fn bn_neurons(&self) -> usize {
+        match *self {
+            Stage::ConvInput { geom } | Stage::Conv { geom } => geom.filter.o,
+            Stage::Pool { .. } => 0,
+            Stage::FullyConnected { out_features, bn_act, .. } => {
+                if bn_act {
+                    out_features
+                } else {
+                    0
+                }
+            }
+            // Mid BN after conv1 and output BN after the adder.
+            Stage::Residual { geom } => geom.conv1.filter.o + geom.conv2.filter.o,
+        }
+    }
+
+    /// Convolution geometries contained in this stage, in dataflow order.
+    pub fn conv_geometries(&self) -> Vec<ConvGeometry> {
+        match *self {
+            Stage::ConvInput { geom } | Stage::Conv { geom } => vec![geom],
+            Stage::Pool { .. } => Vec::new(),
+            Stage::FullyConnected { in_features, out_features, .. } => {
+                // FC as a 1×1 convolution over a 1×1×in_features map.
+                vec![ConvGeometry::new(
+                    Shape3::new(1, 1, in_features),
+                    FilterShape::new(1, in_features, out_features),
+                    1,
+                    0,
+                )]
+            }
+            Stage::Residual { geom } => {
+                let mut v = vec![geom.conv1, geom.conv2];
+                if let Some(d) = geom.downsample {
+                    v.push(d);
+                }
+                v
+            }
+        }
+    }
+}
+
+/// A validated network description.
+#[derive(Clone, Debug)]
+pub struct NetworkSpec {
+    /// Human-readable model name (used in reports and tables).
+    pub name: String,
+    /// Image input shape (H×W×3 for the paper's datasets).
+    pub input: Shape3,
+    /// Hidden activation bits (2 in the paper; 1 for the FINN comparison).
+    pub act_bits: u32,
+    /// Stages in dataflow order.
+    pub stages: Vec<Stage>,
+}
+
+impl NetworkSpec {
+    /// Build and shape-check a spec.
+    ///
+    /// # Panics
+    /// Panics when consecutive stages disagree about shapes (FC layers accept
+    /// any predecessor whose element count matches).
+    pub fn new(name: impl Into<String>, input: Shape3, act_bits: u32, stages: Vec<Stage>) -> Self {
+        assert!(!stages.is_empty(), "network needs at least one stage");
+        assert!(
+            matches!(stages[0], Stage::ConvInput { .. }),
+            "first stage must be the fixed-point input convolution"
+        );
+        let mut cur = input;
+        for (i, stage) in stages.iter().enumerate() {
+            if let Stage::Residual { geom } = stage {
+                geom.validate();
+            }
+            let expect = stage.input_shape();
+            let ok = if matches!(stage, Stage::FullyConnected { .. }) {
+                expect.len() == cur.len()
+            } else {
+                expect == cur
+            };
+            assert!(
+                ok,
+                "stage {i} of {:?} expects input {expect:?} but receives {cur:?}",
+                stage
+            );
+            cur = stage.output_shape();
+        }
+        Self { name: name.into(), input, act_bits, stages }
+    }
+
+    /// Final output shape (1×1×classes for the paper's networks).
+    pub fn output_shape(&self) -> Shape3 {
+        self.stages.last().expect("validated non-empty").output_shape()
+    }
+
+    /// Number of classes (channels of the final stage).
+    pub fn classes(&self) -> usize {
+        self.output_shape().len()
+    }
+
+    /// Total binary weights in the model.
+    pub fn total_weight_bits(&self) -> usize {
+        self.stages.iter().map(Stage::weight_bits).sum()
+    }
+
+    /// Total BatchNorm-carrying neurons.
+    pub fn total_bn_neurons(&self) -> usize {
+        self.stages.iter().map(Stage::bn_neurons).sum()
+    }
+
+    /// All convolution geometries in dataflow order (FC included as 1×1).
+    pub fn conv_geometries(&self) -> Vec<ConvGeometry> {
+        self.stages.iter().flat_map(Stage::conv_geometries).collect()
+    }
+
+    /// Total multiply–accumulate operations per image.
+    pub fn total_macs(&self) -> u64 {
+        self.conv_geometries().iter().map(ConvGeometry::macs).sum()
+    }
+
+    /// Count of residual blocks (skip connections).
+    pub fn num_skip_connections(&self) -> usize {
+        self.stages.iter().filter(|s| matches!(s, Stage::Residual { .. })).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> NetworkSpec {
+        let g1 = ConvGeometry::new(Shape3::square(8, 3), FilterShape::new(3, 3, 4), 1, 1);
+        let g2 = ConvGeometry::new(Shape3::square(8, 4), FilterShape::new(3, 4, 4), 1, 1);
+        NetworkSpec::new(
+            "tiny",
+            Shape3::square(8, 3),
+            2,
+            vec![
+                Stage::ConvInput { geom: g1 },
+                Stage::Conv { geom: g2 },
+                Stage::Pool { input: Shape3::square(8, 4), k: 2, stride: 2, pad: 0, kind: PoolKind::Max },
+                Stage::FullyConnected { in_features: 4 * 4 * 4, out_features: 10, bn_act: false },
+            ],
+        )
+    }
+
+    #[test]
+    fn tiny_spec_shapes_chain() {
+        let spec = tiny_spec();
+        assert_eq!(spec.output_shape(), Shape3::new(1, 1, 10));
+        assert_eq!(spec.classes(), 10);
+    }
+
+    #[test]
+    fn weight_and_bn_counts() {
+        let spec = tiny_spec();
+        // conv1: 3·3·3·4 = 108; conv2: 3·3·4·4 = 144; fc: 64·10 = 640.
+        assert_eq!(spec.total_weight_bits(), 108 + 144 + 640);
+        // BN on conv1 (4) + conv2 (4); the logits FC has none.
+        assert_eq!(spec.total_bn_neurons(), 8);
+    }
+
+    #[test]
+    fn macs_are_summed_over_stages() {
+        let spec = tiny_spec();
+        let expected: u64 = (8 * 8 * 4 * 27) + (8 * 8 * 4 * 36) + (10 * 64);
+        assert_eq!(spec.total_macs(), expected);
+    }
+
+    #[test]
+    fn residual_geometry_validation_accepts_table1_block() {
+        let c1 = ConvGeometry::new(Shape3::square(56, 64), FilterShape::new(3, 64, 64), 1, 1);
+        let c2 = c1;
+        let geom = ResidualGeometry { conv1: c1, conv2: c2, downsample: None };
+        geom.validate();
+        assert_eq!(geom.output(), Shape3::square(56, 64));
+    }
+
+    #[test]
+    fn residual_downsample_block_validates() {
+        let c1 = ConvGeometry::new(Shape3::square(56, 64), FilterShape::new(3, 64, 128), 2, 1);
+        let c2 = ConvGeometry::new(Shape3::square(28, 128), FilterShape::new(3, 128, 128), 1, 1);
+        let ds = ConvGeometry::new(Shape3::square(56, 64), FilterShape::new(1, 64, 128), 2, 0);
+        let geom = ResidualGeometry { conv1: c1, conv2: c2, downsample: Some(ds) };
+        geom.validate();
+        assert_eq!(geom.output(), Shape3::square(28, 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "identity skip")]
+    fn residual_shape_change_without_downsample_panics() {
+        let c1 = ConvGeometry::new(Shape3::square(56, 64), FilterShape::new(3, 64, 128), 2, 1);
+        let c2 = ConvGeometry::new(Shape3::square(28, 128), FilterShape::new(3, 128, 128), 1, 1);
+        let geom = ResidualGeometry { conv1: c1, conv2: c2, downsample: None };
+        geom.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "expects input")]
+    fn shape_mismatch_between_stages_panics() {
+        let g1 = ConvGeometry::new(Shape3::square(8, 3), FilterShape::new(3, 3, 4), 1, 1);
+        let g2 = ConvGeometry::new(Shape3::square(7, 4), FilterShape::new(3, 4, 4), 1, 1);
+        let _ = NetworkSpec::new(
+            "bad",
+            Shape3::square(8, 3),
+            2,
+            vec![Stage::ConvInput { geom: g1 }, Stage::Conv { geom: g2 }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "first stage")]
+    fn network_must_start_with_input_conv() {
+        let g = ConvGeometry::new(Shape3::square(8, 3), FilterShape::new(3, 3, 4), 1, 1);
+        let _ = NetworkSpec::new("bad", Shape3::square(8, 3), 2, vec![Stage::Conv { geom: g }]);
+    }
+}

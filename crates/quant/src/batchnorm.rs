@@ -1,0 +1,123 @@
+//! Batch-normalization parameters in the paper's notation.
+
+/// Per-neuron BatchNorm parameters Θₖ = (γₖ, µₖ, iₖ, Bₖ) (paper §III-B3,
+/// following FINN's notation):
+///
+/// `BatchNorm(a, Θ) = γ · (a − µ) · i + B`
+///
+/// where `i = 1/σ` is the reciprocal of the running standard deviation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BnParams {
+    /// Scale γ.
+    pub gamma: f32,
+    /// Running mean µ.
+    pub mu: f32,
+    /// Reciprocal standard deviation i = 1/σ.
+    pub inv_sigma: f32,
+    /// Shift B.
+    pub beta: f32,
+}
+
+impl BnParams {
+    /// Identity normalization (γ=1, µ=0, i=1, B=0).
+    pub const IDENTITY: Self = Self { gamma: 1.0, mu: 0.0, inv_sigma: 1.0, beta: 0.0 };
+
+    /// Construct from the four raw parameters.
+    pub fn new(gamma: f32, mu: f32, inv_sigma: f32, beta: f32) -> Self {
+        Self { gamma, mu, inv_sigma, beta }
+    }
+
+    /// Apply the affine normalization to a pre-activation value.
+    #[inline]
+    pub fn apply(&self, a: f32) -> f32 {
+        self.gamma * (a - self.mu) * self.inv_sigma + self.beta
+    }
+
+    /// Combined slope `γ·i` of the affine map. Its sign decides whether the
+    /// map is monotonically increasing or decreasing, which the threshold
+    /// unit must honor.
+    #[inline]
+    pub fn slope(&self) -> f32 {
+        self.gamma * self.inv_sigma
+    }
+
+    /// The zero crossing τ = µ − B/(γ·i) (paper §III-B3). `None` when the
+    /// slope is zero (degenerate constant normalization).
+    pub fn tau(&self) -> Option<f32> {
+        let s = self.slope();
+        if s == 0.0 {
+            None
+        } else {
+            Some(self.mu - self.beta / s)
+        }
+    }
+
+    /// The pre-activation value solving `BatchNorm(t, Θ) = y`:
+    /// `t = τ + y/(γ·i)`. `None` when the slope is zero.
+    pub fn preimage(&self, y: f32) -> Option<f32> {
+        let s = self.slope();
+        if s == 0.0 {
+            None
+        } else {
+            Some(self.mu + (y - self.beta) / s)
+        }
+    }
+
+    /// On-chip storage footprint in bits: the paper stores the two derived
+    /// parameters (τ and the range step) as one 64-bit word per neuron
+    /// (§III-B1a: "stored as a single 64-bit number").
+    pub const STORAGE_BITS: usize = 64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        for a in [-3.5f32, 0.0, 1.0, 100.25] {
+            assert_eq!(BnParams::IDENTITY.apply(a), a);
+        }
+    }
+
+    #[test]
+    fn apply_matches_formula() {
+        let bn = BnParams::new(2.0, 1.0, 0.5, -3.0);
+        // 2·(5−1)·0.5 − 3 = 1
+        assert_eq!(bn.apply(5.0), 1.0);
+    }
+
+    #[test]
+    fn tau_is_zero_crossing() {
+        let bn = BnParams::new(1.5, 2.0, 0.25, -0.75);
+        let tau = bn.tau().unwrap();
+        assert!(bn.apply(tau).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preimage_inverts_apply() {
+        let bn = BnParams::new(-0.8, 3.0, 1.2, 0.4);
+        for y in [-2.0f32, 0.0, 1.0, 7.5] {
+            let t = bn.preimage(y).unwrap();
+            assert!((bn.apply(t) - y).abs() < 1e-4, "y={y} t={t}");
+        }
+    }
+
+    #[test]
+    fn degenerate_slope_yields_none() {
+        let bn = BnParams::new(0.0, 1.0, 1.0, 0.5);
+        assert_eq!(bn.tau(), None);
+        assert_eq!(bn.preimage(1.0), None);
+    }
+
+    #[test]
+    fn preimage_step_is_d_over_slope() {
+        // Endpoints are τ + α·[d/(γ·i)] (paper §III-B3): consecutive
+        // preimages must differ by exactly d/slope.
+        let bn = BnParams::new(1.3, -0.7, 0.9, 0.2);
+        let d = 0.5f32;
+        let t1 = bn.preimage(d).unwrap();
+        let t2 = bn.preimage(2.0 * d).unwrap();
+        assert!(((t2 - t1) - d / bn.slope()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Dot products between binary (±1) weights and the three operand kinds that
+//! occur in the paper's networks.
+//!
+//! | operand | where it appears | primitive |
+//! |---|---|---|
+//! | ±1 activations | pure BNN layers (FINN comparison) | XNOR-popcount |
+//! | n-bit codes `{0..2ⁿ−1}` | hidden layers with 2-bit activations | per-plane AND-popcount |
+//! | `i8` fixed-point pixels | first layer (image input streamed from CPU) | signed add/sub |
+
+use qnn_tensor::BitVec;
+
+/// ±1 · ±1 dot product via XNOR-popcount: `2·agreements − n` (paper §III-B1).
+#[inline]
+pub fn dot_pm1(weights: &BitVec, acts: &BitVec) -> i32 {
+    2 * weights.xnor_popcount(acts) as i32 - weights.len() as i32
+}
+
+/// ±1 weights against one unsigned binary plane (`{0,1}` per element):
+/// `Σ w·b = 2·popcount(w ∧ b) − popcount(b)`.
+#[inline]
+pub fn dot_plane(weights: &BitVec, plane: &BitVec) -> i32 {
+    2 * weights.and_popcount(plane) as i32 - plane.count_ones() as i32
+}
+
+/// ±1 weights against n-bit unsigned activation codes decomposed into bit
+/// planes (`planes[p]` holds bit `p` of every code):
+/// `Σ w·q = Σ_p 2ᵖ · (Σ w·b_p)`.
+#[inline]
+pub fn dot_planes(weights: &BitVec, planes: &[BitVec]) -> i32 {
+    planes
+        .iter()
+        .enumerate()
+        .map(|(p, plane)| dot_plane(weights, plane) << p)
+        .sum()
+}
+
+/// Reference (slow) version of [`dot_planes`] operating on raw codes.
+#[inline]
+pub fn dot_codes(weights: &BitVec, codes: &[u8]) -> i32 {
+    assert_eq!(weights.len(), codes.len(), "dot_codes length mismatch");
+    codes
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| weights.sign(i) * i32::from(q))
+        .sum()
+}
+
+/// ±1 weights against signed 8-bit fixed-point inputs — the first-layer path,
+/// where images are streamed from the CPU at full precision (paper §IV-B3).
+#[inline]
+pub fn dot_i8(weights: &BitVec, pixels: &[i8]) -> i32 {
+    assert_eq!(weights.len(), pixels.len(), "dot_i8 length mismatch");
+    pixels
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| weights.sign(i) * i32::from(v))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_tensor::BitVec;
+
+    fn mk_weights(n: usize, seed: u64) -> (BitVec, Vec<i32>) {
+        let bools: Vec<bool> = (0..n).map(|i| (i as u64).wrapping_mul(seed) % 7 < 3).collect();
+        let signs = bools.iter().map(|&b| if b { 1 } else { -1 }).collect();
+        (BitVec::from_bools(&bools), signs)
+    }
+
+    #[test]
+    fn dot_pm1_matches_naive() {
+        let n = 147; // 7·7·3, the ResNet conv1 filter size
+        let (w, ws) = mk_weights(n, 11);
+        let (x, xs) = mk_weights(n, 29);
+        let naive: i32 = ws.iter().zip(&xs).map(|(a, b)| a * b).sum();
+        assert_eq!(dot_pm1(&w, &x), naive);
+    }
+
+    #[test]
+    fn dot_planes_matches_dot_codes_2bit() {
+        let n = 576; // 3·3·64
+        let (w, _) = mk_weights(n, 13);
+        let codes: Vec<u8> = (0..n).map(|i| ((i * 5) % 4) as u8).collect();
+        let plane0 = BitVec::from_bools(&codes.iter().map(|q| q & 1 == 1).collect::<Vec<_>>());
+        let plane1 = BitVec::from_bools(&codes.iter().map(|q| q & 2 == 2).collect::<Vec<_>>());
+        assert_eq!(dot_planes(&w, &[plane0, plane1]), dot_codes(&w, &codes));
+    }
+
+    #[test]
+    fn dot_planes_handles_more_bits() {
+        let n = 100;
+        let (w, _) = mk_weights(n, 17);
+        let codes: Vec<u8> = (0..n).map(|i| ((i * 7) % 16) as u8).collect();
+        let planes: Vec<BitVec> = (0..4)
+            .map(|p| BitVec::from_bools(&codes.iter().map(|q| (q >> p) & 1 == 1).collect::<Vec<_>>()))
+            .collect();
+        assert_eq!(dot_planes(&w, &planes), dot_codes(&w, &codes));
+    }
+
+    #[test]
+    fn dot_i8_matches_naive() {
+        let n = 363; // 11·11·3, AlexNet conv1
+        let (w, ws) = mk_weights(n, 23);
+        let pixels: Vec<i8> = (0..n).map(|i| ((i as i32 * 37) % 255 - 127) as i8).collect();
+        let naive: i32 = ws.iter().zip(&pixels).map(|(s, &p)| s * i32::from(p)).sum();
+        assert_eq!(dot_i8(&w, &pixels), naive);
+    }
+
+    #[test]
+    fn all_zero_codes_give_zero() {
+        let (w, _) = mk_weights(64, 3);
+        assert_eq!(dot_codes(&w, &[0u8; 64]), 0);
+        assert_eq!(dot_planes(&w, &[BitVec::zeros(64), BitVec::zeros(64)]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_codes_length_mismatch() {
+        let (w, _) = mk_weights(8, 3);
+        let _ = dot_codes(&w, &[0u8; 9]);
+    }
+}

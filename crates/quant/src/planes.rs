@@ -1,0 +1,128 @@
+//! Bit-plane packing of n-bit activation codes.
+//!
+//! A window of `K·K·I` activation codes is decomposed into `n` binary planes
+//! so the convolution can run one AND-popcount per plane per filter — the
+//! multi-bit generalization of the XNOR-popcount pipeline (paper Fig. 3
+//! shows the 2-bit case).
+
+use crate::dot;
+use qnn_tensor::BitVec;
+
+/// A reusable set of `n` bit planes over a fixed element count.
+#[derive(Clone, Debug)]
+pub struct ActPlanes {
+    planes: Vec<BitVec>,
+    len: usize,
+}
+
+impl ActPlanes {
+    /// Allocate planes for `len` codes of `bits` bits each.
+    pub fn new(bits: u32, len: usize) -> Self {
+        assert!((1..=8).contains(&bits), "activation bits must be in 1..=8");
+        Self { planes: (0..bits).map(|_| BitVec::zeros(len)).collect(), len }
+    }
+
+    /// Pack codes into the planes, reusing storage. `codes.len()` must equal
+    /// the configured length.
+    pub fn pack(&mut self, codes: &[u8]) {
+        assert_eq!(codes.len(), self.len, "ActPlanes::pack length mismatch");
+        for (p, plane) in self.planes.iter_mut().enumerate() {
+            for (i, &q) in codes.iter().enumerate() {
+                plane.set(i, (q >> p) & 1 == 1);
+            }
+        }
+    }
+
+    /// Convenience constructor: allocate and pack in one step.
+    pub fn from_codes(bits: u32, codes: &[u8]) -> Self {
+        let mut s = Self::new(bits, codes.len());
+        s.pack(codes);
+        s
+    }
+
+    /// Number of planes (activation bits).
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.planes.len() as u32
+    }
+
+    /// Number of codes per plane.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the planes hold no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying planes, least-significant first.
+    #[inline]
+    pub fn planes(&self) -> &[BitVec] {
+        &self.planes
+    }
+
+    /// Dot product of ±1 weights against the packed codes.
+    #[inline]
+    pub fn dot(&self, weights: &BitVec) -> i32 {
+        dot::dot_planes(weights, &self.planes)
+    }
+
+    /// Recover the code at position `i` (for debugging/verification).
+    pub fn code(&self, i: usize) -> u8 {
+        self.planes
+            .iter()
+            .enumerate()
+            .map(|(p, plane)| u8::from(plane.get(i)) << p)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let codes: Vec<u8> = (0..50).map(|i| (i % 4) as u8).collect();
+        let planes = ActPlanes::from_codes(2, &codes);
+        for (i, &q) in codes.iter().enumerate() {
+            assert_eq!(planes.code(i), q);
+        }
+    }
+
+    #[test]
+    fn dot_equals_reference() {
+        let codes: Vec<u8> = (0..129).map(|i| ((i * 3) % 4) as u8).collect();
+        let planes = ActPlanes::from_codes(2, &codes);
+        let wbools: Vec<bool> = (0..129).map(|i| i % 5 < 2).collect();
+        let w = BitVec::from_bools(&wbools);
+        assert_eq!(planes.dot(&w), dot::dot_codes(&w, &codes));
+    }
+
+    #[test]
+    fn repack_overwrites_previous_contents() {
+        let mut planes = ActPlanes::new(2, 8);
+        planes.pack(&[3, 3, 3, 3, 3, 3, 3, 3]);
+        planes.pack(&[0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(planes.code(0), 0);
+        assert_eq!(planes.code(3), 3);
+        assert_eq!(planes.code(6), 2);
+    }
+
+    #[test]
+    fn binary_planes_have_one_plane() {
+        let planes = ActPlanes::from_codes(1, &[0, 1, 1, 0]);
+        assert_eq!(planes.bits(), 1);
+        assert_eq!(planes.code(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pack_wrong_length_panics() {
+        let mut planes = ActPlanes::new(2, 4);
+        planes.pack(&[0, 1, 2]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the quantization algebra.
+
+use proptest::prelude::*;
+use qnn_quant::{dot_codes, dot_pm1, ActPlanes, BnParams, QuantSpec, ThresholdUnit};
+use qnn_tensor::BitVec;
+
+fn finite_param() -> impl Strategy<Value = f32> {
+    (-8.0f32..8.0).prop_filter("nonzero-ish", |x| x.abs() > 1e-3 || *x == 0.0)
+}
+
+proptest! {
+    /// Fused threshold unit equals BatchNorm followed by uniform quantization
+    /// for every integer accumulator, away from floating-point range-boundary
+    /// ties (where the f32 reference itself is ill-defined).
+    #[test]
+    fn threshold_unit_equals_bn_then_quantize(
+        gamma in finite_param(),
+        mu in finite_param(),
+        inv_sigma in finite_param(),
+        beta in finite_param(),
+        bits in 1u32..5,
+        a in -500i32..500,
+    ) {
+        let bn = BnParams::new(gamma, mu, inv_sigma, beta);
+        let spec = QuantSpec::new(bits, 0.0, (1u32 << bits) as f32);
+        let unit = ThresholdUnit::from_batchnorm(&bn, &spec);
+        let y = f64::from(gamma) * (f64::from(a) - f64::from(mu)) * f64::from(inv_sigma)
+            + f64::from(beta);
+        // Distance from the nearest range endpoint, in units of d (= 1 here).
+        let frac = (y - y.floor()).min(y.ceil() - y);
+        prop_assume!(frac > 1e-4);
+        let expected = (y.floor().clamp(0.0, (spec.levels() - 1) as f64)).max(0.0) as u8;
+        prop_assert_eq!(unit.activate(a), expected);
+    }
+
+    /// Binary search and linear comparator scan always agree.
+    #[test]
+    fn binary_search_equals_comparator_scan(
+        mut ts in proptest::collection::vec(-100i64..100, 0..16),
+        a in -150i32..150,
+    ) {
+        ts.sort_unstable();
+        let unit = ThresholdUnit::from_raw_thresholds(ts);
+        prop_assert_eq!(unit.activate(a), unit.activate_linear(a));
+    }
+
+    /// Plane-decomposed dot product equals the code-level reference for any
+    /// bit width.
+    #[test]
+    fn planes_dot_equals_codes_dot(
+        bits in 1u32..6,
+        seed in any::<u64>(),
+        n in 1usize..200,
+    ) {
+        let mask = ((1u32 << bits) - 1) as u8;
+        let codes: Vec<u8> = (0..n)
+            .map(|i| ((seed.wrapping_mul(i as u64 * 2654435761 + 1) >> 24) as u8) & mask)
+            .collect();
+        let wbools: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let w = BitVec::from_bools(&wbools);
+        let planes = ActPlanes::from_codes(bits, &codes);
+        prop_assert_eq!(planes.dot(&w), dot_codes(&w, &codes));
+    }
+
+    /// XNOR dot is symmetric and bounded by ±n.
+    #[test]
+    fn pm1_dot_bounds(bools_a in proptest::collection::vec(any::<bool>(), 1..128)) {
+        let bools_b: Vec<bool> = bools_a.iter().map(|&b| !b).collect();
+        let a = BitVec::from_bools(&bools_a);
+        let b = BitVec::from_bools(&bools_b);
+        let n = bools_a.len() as i32;
+        prop_assert_eq!(dot_pm1(&a, &b), -n); // full disagreement
+        prop_assert_eq!(dot_pm1(&a, &a), n);  // full agreement
+    }
+
+    /// Quantize is monotone non-decreasing in its argument.
+    #[test]
+    fn quantize_is_monotone(bits in 1u32..8, y1 in -100.0f32..100.0, dy in 0.0f32..50.0) {
+        let spec = QuantSpec::new(bits, -16.0, 16.0);
+        prop_assert!(spec.quantize(y1) <= spec.quantize(y1 + dy));
+    }
+}

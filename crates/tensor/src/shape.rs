@@ -1,0 +1,321 @@
+//! Shape arithmetic for feature maps and filters.
+
+use std::fmt;
+
+/// Shape of a feature map: height × width × channels, channel-innermost.
+///
+/// The linear index of element `(y, x, c)` is `(y * w + x) * c_total + c`,
+/// which is exactly the depth-first stream order of the paper (Fig. 4a).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape3 {
+    /// Height (rows).
+    pub h: usize,
+    /// Width (columns).
+    pub w: usize,
+    /// Channels (feature maps).
+    pub c: usize,
+}
+
+impl Shape3 {
+    /// Create a new shape.
+    #[inline]
+    pub const fn new(h: usize, w: usize, c: usize) -> Self {
+        Self { h, w, c }
+    }
+
+    /// Square spatial shape helper.
+    #[inline]
+    pub const fn square(side: usize, c: usize) -> Self {
+        Self { h: side, w: side, c }
+    }
+
+    /// Total number of scalar elements.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// True when the shape contains no elements.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of spatial positions (pixels).
+    #[inline]
+    pub const fn pixels(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Linear index of `(y, x, c)` in depth-first stream order.
+    #[inline]
+    pub const fn index(&self, y: usize, x: usize, c: usize) -> usize {
+        (y * self.w + x) * self.c + c
+    }
+
+    /// Inverse of [`Shape3::index`].
+    #[inline]
+    pub const fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let c = idx % self.c;
+        let px = idx / self.c;
+        (px / self.w, px % self.w, c)
+    }
+}
+
+impl fmt::Debug for Shape3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+impl fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}×{}×{}", self.h, self.w, self.c)
+    }
+}
+
+/// Shape of a convolution filter bank: `K × K × I` weights per output map,
+/// `O` output maps (paper §III-B1a).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FilterShape {
+    /// Spatial kernel size (square filters only, as in the paper's networks).
+    pub k: usize,
+    /// Input feature maps.
+    pub i: usize,
+    /// Output feature maps.
+    pub o: usize,
+}
+
+impl FilterShape {
+    /// Create a new filter bank shape.
+    #[inline]
+    pub const fn new(k: usize, i: usize, o: usize) -> Self {
+        Self { k, i, o }
+    }
+
+    /// Weights needed to produce one output pixel: `K × K × I`.
+    ///
+    /// One cache *entry* in the weight store holds this many bits so that a
+    /// whole filter can be read in a single cycle (paper §III-B1a).
+    #[inline]
+    pub const fn weights_per_filter(&self) -> usize {
+        self.k * self.k * self.i
+    }
+
+    /// Total number of weights in the bank: `K × K × I × O`.
+    #[inline]
+    pub const fn total_weights(&self) -> usize {
+        self.weights_per_filter() * self.o
+    }
+}
+
+impl fmt::Debug for FilterShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}->{}", self.k, self.k, self.i, self.o)
+    }
+}
+
+/// Full geometry of one convolution (or pooling) layer: input shape, filter
+/// bank, stride and symmetric padding.
+///
+/// This is the unit the analytic cycle/resource models and the streaming
+/// kernels both consume, so the two can never disagree about sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Input feature-map shape.
+    pub input: Shape3,
+    /// Filter bank shape. `filter.i` must equal `input.c`.
+    pub filter: FilterShape,
+    /// Spatial stride (same in both dimensions).
+    pub stride: usize,
+    /// Symmetric spatial padding added on every border.
+    pub pad: usize,
+}
+
+impl ConvGeometry {
+    /// Build a geometry, checking channel agreement.
+    ///
+    /// # Panics
+    /// Panics if `filter.i != input.c`, if the stride is zero, or if the
+    /// padded input is smaller than the kernel.
+    pub fn new(input: Shape3, filter: FilterShape, stride: usize, pad: usize) -> Self {
+        assert_eq!(
+            filter.i, input.c,
+            "filter input channels ({}) must match input shape channels ({})",
+            filter.i, input.c
+        );
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            input.h + 2 * pad >= filter.k && input.w + 2 * pad >= filter.k,
+            "padded input {input:?} smaller than kernel {}",
+            filter.k
+        );
+        Self { input, filter, stride, pad }
+    }
+
+    /// Padded input shape.
+    #[inline]
+    pub fn padded_input(&self) -> Shape3 {
+        Shape3::new(self.input.h + 2 * self.pad, self.input.w + 2 * self.pad, self.input.c)
+    }
+
+    /// Output feature-map shape using the standard floor formula.
+    #[inline]
+    pub fn output(&self) -> Shape3 {
+        let p = self.padded_input();
+        Shape3::new(
+            (p.h - self.filter.k) / self.stride + 1,
+            (p.w - self.filter.k) / self.stride + 1,
+            self.filter.o,
+        )
+    }
+
+    /// Multiply–accumulate operations for one image through this layer.
+    #[inline]
+    pub fn macs(&self) -> u64 {
+        let out = self.output();
+        out.pixels() as u64 * self.filter.o as u64 * self.filter.weights_per_filter() as u64
+            / self.filter.o as u64
+            * self.filter.o as u64
+    }
+
+    /// Size, in elements, of the depth-first (row-scan) window buffer:
+    /// `I·(W·(K−1) + K)` for the padded input width.
+    ///
+    /// This is the paper's §III-B1b expression with H↔W swapped because we
+    /// scan rows rather than columns; the asymptotics — Θ(I·W·K) versus
+    /// Θ(H·W·I) for the width-first scan — are identical.
+    #[inline]
+    pub fn depth_first_buffer(&self) -> usize {
+        let p = self.padded_input();
+        p.c * (p.w * (self.filter.k - 1) + self.filter.k)
+    }
+
+    /// Size, in elements, of the width-first scan buffer:
+    /// `H·W·(I−1) + W·(K−1) + K` (paper Fig. 4b, H↔W swapped).
+    #[inline]
+    pub fn width_first_buffer(&self) -> usize {
+        let p = self.padded_input();
+        p.h * p.w * (p.c - 1) + p.w * (self.filter.k - 1) + self.filter.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_index_roundtrip() {
+        let s = Shape3::new(4, 5, 3);
+        for y in 0..4 {
+            for x in 0..5 {
+                for c in 0..3 {
+                    let idx = s.index(y, x, c);
+                    assert_eq!(s.coords(idx), (y, x, c));
+                }
+            }
+        }
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.pixels(), 20);
+    }
+
+    #[test]
+    fn stream_order_is_depth_first() {
+        // Index must advance channel-first: (0,0,0), (0,0,1), ..., (0,1,0), ...
+        let s = Shape3::new(2, 2, 2);
+        let order: Vec<_> = (0..s.len()).map(|i| s.coords(i)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, 0, 0),
+                (0, 0, 1),
+                (0, 1, 0),
+                (0, 1, 1),
+                (1, 0, 0),
+                (1, 0, 1),
+                (1, 1, 0),
+                (1, 1, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn conv_output_shapes_match_resnet_table1() {
+        // conv1 of ResNet-18: 224×224×3, 7×7×3→64, stride 2, pad 3 → 112×112×64.
+        let g = ConvGeometry::new(
+            Shape3::square(224, 3),
+            FilterShape::new(7, 3, 64),
+            2,
+            3,
+        );
+        assert_eq!(g.output(), Shape3::square(112, 64));
+
+        // conv2_x body: 56×56×64, 3×3×64→64, stride 1, pad 1 → 56×56×64.
+        let g = ConvGeometry::new(Shape3::square(56, 64), FilterShape::new(3, 64, 64), 1, 1);
+        assert_eq!(g.output(), Shape3::square(56, 64));
+
+        // conv3_1 downsample: 56×56×64 → 28×28×128 with stride 2.
+        let g = ConvGeometry::new(Shape3::square(56, 64), FilterShape::new(3, 64, 128), 2, 1);
+        assert_eq!(g.output(), Shape3::square(28, 128));
+    }
+
+    #[test]
+    fn alexnet_conv1_geometry() {
+        // AlexNet conv1: 224×224×3, 11×11×3→64 (Hubara variant), stride 4, pad 2 → 55×55.
+        let g = ConvGeometry::new(
+            Shape3::square(224, 3),
+            FilterShape::new(11, 3, 64),
+            4,
+            2,
+        );
+        assert_eq!(g.output().h, 55);
+        assert_eq!(g.output().w, 55);
+    }
+
+    #[test]
+    fn depth_first_buffer_is_smaller_when_w_exceeds_k() {
+        // Paper §III-B1b: since W > K, depth-first scanning guarantees the
+        // smaller buffer. Check on a realistic layer.
+        let g = ConvGeometry::new(Shape3::square(56, 64), FilterShape::new(3, 64, 64), 1, 1);
+        assert!(g.depth_first_buffer() < g.width_first_buffer());
+        // Θ(I·W·K) vs Θ(H·W·I): ratio should be roughly K/H.
+        let ratio = g.width_first_buffer() as f64 / g.depth_first_buffer() as f64;
+        assert!(ratio > 10.0, "expected order-of-magnitude gap, got {ratio}");
+    }
+
+    #[test]
+    fn width_first_buffer_wins_only_for_degenerate_width() {
+        // If W < K the inequality can flip; the formulas must still agree on
+        // the crossover direction.
+        let g = ConvGeometry::new(Shape3::new(64, 3, 2), FilterShape::new(3, 2, 4), 1, 0);
+        // depth-first: 2*(3*2+3)=18; width-first: 64*3*1 + 3*2 + 3 = 201.
+        assert_eq!(g.depth_first_buffer(), 18);
+        assert_eq!(g.width_first_buffer(), 201);
+    }
+
+    #[test]
+    fn filter_shape_weight_counts() {
+        let f = FilterShape::new(3, 64, 128);
+        assert_eq!(f.weights_per_filter(), 3 * 3 * 64);
+        assert_eq!(f.total_weights(), 3 * 3 * 64 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_channels_panic() {
+        let _ = ConvGeometry::new(Shape3::square(8, 3), FilterShape::new(3, 4, 8), 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn kernel_larger_than_input_panics() {
+        let _ = ConvGeometry::new(Shape3::square(2, 3), FilterShape::new(5, 3, 8), 1, 0);
+    }
+
+    #[test]
+    fn macs_of_resnet_conv1() {
+        let g = ConvGeometry::new(Shape3::square(224, 3), FilterShape::new(7, 3, 64), 2, 3);
+        // 112*112*64 outputs × 7*7*3 MACs each.
+        assert_eq!(g.macs(), 112 * 112 * 64 * 7 * 7 * 3);
+    }
+}

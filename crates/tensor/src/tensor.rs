@@ -1,0 +1,201 @@
+//! Dense 3-D tensors in depth-first (channel-innermost) layout.
+
+use crate::shape::Shape3;
+
+/// A dense `H × W × C` tensor whose backing storage is ordered exactly like
+/// the DFE input stream: channel innermost, then columns, then rows.
+///
+/// `T` is typically `f32` (pre-quantization values), `i32` (accumulators),
+/// `i16` (skip-connection data, paper §III-B5), `u8` (n-bit activation
+/// codes) or `i8` (first-layer fixed-point pixels).
+#[derive(Clone, PartialEq)]
+pub struct Tensor3<T> {
+    shape: Shape3,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor3<T> {
+    /// Create a tensor filled with `T::default()`.
+    pub fn zeros(shape: Shape3) -> Self {
+        Self { shape, data: vec![T::default(); shape.len()] }
+    }
+
+    /// Create a tensor by evaluating `f(y, x, c)` at every element.
+    pub fn from_fn(shape: Shape3, mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for y in 0..shape.h {
+            for x in 0..shape.w {
+                for c in 0..shape.c {
+                    data.push(f(y, x, c));
+                }
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// Wrap an existing buffer already in stream order.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape3, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), shape.len(), "buffer length does not match shape {shape:?}");
+        Self { shape, data }
+    }
+
+    /// Tensor shape.
+    #[inline]
+    pub fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Element at `(y, x, c)`.
+    #[inline]
+    pub fn get(&self, y: usize, x: usize, c: usize) -> T {
+        self.data[self.shape.index(y, x, c)]
+    }
+
+    /// Set element at `(y, x, c)`.
+    #[inline]
+    pub fn set(&mut self, y: usize, x: usize, c: usize, v: T) {
+        let idx = self.shape.index(y, x, c);
+        self.data[idx] = v;
+    }
+
+    /// Backing slice in stream order.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing slice in stream order.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the backing vector (stream order).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterate `(y, x, c, value)` in stream order.
+    pub fn iter_stream(&self) -> impl Iterator<Item = (usize, usize, usize, T)> + '_ {
+        let shape = self.shape;
+        self.data.iter().enumerate().map(move |(i, &v)| {
+            let (y, x, c) = shape.coords(i);
+            (y, x, c, v)
+        })
+    }
+
+    /// Return a new tensor padded by `pad` pixels on every spatial border,
+    /// filled with `fill`.
+    ///
+    /// For BNNs the only representable values are ±1, so the paper pads with
+    /// −1 instead of 0 (§III-B1); the caller picks `fill` accordingly.
+    pub fn pad(&self, pad: usize, fill: T) -> Self {
+        if pad == 0 {
+            return self.clone();
+        }
+        let out_shape = Shape3::new(self.shape.h + 2 * pad, self.shape.w + 2 * pad, self.shape.c);
+        let mut out = Self { shape: out_shape, data: vec![fill; out_shape.len()] };
+        for y in 0..self.shape.h {
+            for x in 0..self.shape.w {
+                let src = self.shape.index(y, x, 0);
+                let dst = out_shape.index(y + pad, x + pad, 0);
+                out.data[dst..dst + self.shape.c]
+                    .copy_from_slice(&self.data[src..src + self.shape.c]);
+            }
+        }
+        out
+    }
+
+    /// Extract the channel vector at a spatial position as a slice.
+    #[inline]
+    pub fn pixel(&self, y: usize, x: usize) -> &[T] {
+        let start = self.shape.index(y, x, 0);
+        &self.data[start..start + self.shape.c]
+    }
+
+    /// Map every element through `f`, producing a tensor of a new type.
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Tensor3<U> {
+        Tensor3 { shape: self.shape, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+}
+
+impl<T: Copy + Default + std::fmt::Debug> std::fmt::Debug for Tensor3<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor3<{}>({:?})", std::any::type_name::<T>(), self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut t = Tensor3::<i32>::zeros(Shape3::new(2, 3, 4));
+        assert_eq!(t.get(1, 2, 3), 0);
+        t.set(1, 2, 3, 42);
+        assert_eq!(t.get(1, 2, 3), 42);
+        assert_eq!(t.as_slice().len(), 24);
+    }
+
+    #[test]
+    fn from_fn_matches_get() {
+        let t = Tensor3::from_fn(Shape3::new(3, 4, 2), |y, x, c| (y * 100 + x * 10 + c) as i32);
+        for y in 0..3 {
+            for x in 0..4 {
+                for c in 0..2 {
+                    assert_eq!(t.get(y, x, c), (y * 100 + x * 10 + c) as i32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_iteration_is_channel_innermost() {
+        let t = Tensor3::from_fn(Shape3::new(1, 2, 2), |_, x, c| (x * 2 + c) as i32);
+        let vals: Vec<i32> = t.iter_stream().map(|(_, _, _, v)| v).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pad_places_fill_on_borders_only() {
+        let t = Tensor3::from_fn(Shape3::new(2, 2, 1), |y, x, _| (y * 2 + x) as i32 + 1);
+        let p = t.pad(1, -1);
+        assert_eq!(p.shape(), Shape3::new(4, 4, 1));
+        // Corners and edges are −1 (the BNN padding value).
+        assert_eq!(p.get(0, 0, 0), -1);
+        assert_eq!(p.get(3, 3, 0), -1);
+        assert_eq!(p.get(0, 2, 0), -1);
+        // Interior preserved.
+        assert_eq!(p.get(1, 1, 0), 1);
+        assert_eq!(p.get(2, 2, 0), 4);
+    }
+
+    #[test]
+    fn pad_zero_is_identity() {
+        let t = Tensor3::from_fn(Shape3::new(2, 2, 3), |y, x, c| (y + x + c) as i32);
+        assert_eq!(t.pad(0, 0), t);
+    }
+
+    #[test]
+    fn pixel_slice_is_channel_vector() {
+        let t = Tensor3::from_fn(Shape3::new(2, 2, 3), |y, x, c| (y * 100 + x * 10 + c) as i32);
+        assert_eq!(t.pixel(1, 0), &[100, 101, 102]);
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let t = Tensor3::from_fn(Shape3::new(2, 2, 1), |y, x, _| (y + x) as i32);
+        let f: Tensor3<f32> = t.map(|v| v as f32 * 0.5);
+        assert_eq!(f.get(1, 1, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Tensor3::from_vec(Shape3::new(2, 2, 2), vec![0i32; 7]);
+    }
+}

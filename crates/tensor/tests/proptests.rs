@@ -1,0 +1,90 @@
+//! Property-based tests for tensor layout and bit-packing invariants.
+
+use proptest::prelude::*;
+use qnn_tensor::{BitVec, ConvGeometry, FilterShape, Shape3, Tensor3};
+
+proptest! {
+    /// index ∘ coords and coords ∘ index are inverse bijections.
+    #[test]
+    fn shape_index_bijection(h in 1usize..12, w in 1usize..12, c in 1usize..12) {
+        let s = Shape3::new(h, w, c);
+        for idx in 0..s.len() {
+            let (y, x, ch) = s.coords(idx);
+            prop_assert!(y < h && x < w && ch < c);
+            prop_assert_eq!(s.index(y, x, ch), idx);
+        }
+    }
+
+    /// XNOR-popcount always equals the naive ±1 dot product.
+    #[test]
+    fn xnor_popcount_matches_naive(bits_a in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let n = bits_a.len();
+        let bits_b: Vec<bool> = bits_a.iter().enumerate().map(|(i, &b)| b ^ (i % 3 == 0)).collect();
+        let a = BitVec::from_bools(&bits_a);
+        let b = BitVec::from_bools(&bits_b);
+        let naive: i32 = bits_a
+            .iter()
+            .zip(&bits_b)
+            .map(|(&x, &y)| (if x { 1 } else { -1 }) * (if y { 1 } else { -1 }))
+            .sum();
+        prop_assert_eq!(2 * a.xnor_popcount(&b) as i32 - n as i32, naive);
+    }
+
+    /// and_popcount equals the naive {0,1} dot product.
+    #[test]
+    fn and_popcount_matches_naive(bits_a in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let bits_b: Vec<bool> = bits_a.iter().enumerate().map(|(i, &b)| b ^ (i % 2 == 0)).collect();
+        let a = BitVec::from_bools(&bits_a);
+        let b = BitVec::from_bools(&bits_b);
+        let naive: u32 = bits_a.iter().zip(&bits_b).map(|(&x, &y)| u32::from(x && y)).sum();
+        prop_assert_eq!(a.and_popcount(&b), naive);
+    }
+
+    /// Padding preserves the interior and fills the border.
+    #[test]
+    fn pad_preserves_interior(h in 1usize..8, w in 1usize..8, c in 1usize..4, pad in 0usize..3) {
+        let t = Tensor3::from_fn(Shape3::new(h, w, c), |y, x, ch| (y * 1000 + x * 10 + ch) as i32);
+        let p = t.pad(pad, -1);
+        prop_assert_eq!(p.shape(), Shape3::new(h + 2 * pad, w + 2 * pad, c));
+        for (y, x, ch, v) in p.iter_stream() {
+            let interior = y >= pad && y < h + pad && x >= pad && x < w + pad;
+            if interior {
+                prop_assert_eq!(v, t.get(y - pad, x - pad, ch));
+            } else {
+                prop_assert_eq!(v, -1);
+            }
+        }
+    }
+
+    /// Conv output shape formula is consistent: every output position maps to
+    /// a window fully inside the padded input.
+    #[test]
+    fn conv_windows_in_bounds(
+        side in 3usize..20,
+        c in 1usize..5,
+        k in 1usize..5,
+        stride in 1usize..3,
+        pad in 0usize..3,
+    ) {
+        prop_assume!(side + 2 * pad >= k);
+        let g = ConvGeometry::new(Shape3::square(side, c), FilterShape::new(k, c, 4), stride, pad);
+        let out = g.output();
+        let p = g.padded_input();
+        let last_y = (out.h - 1) * stride + k;
+        let last_x = (out.w - 1) * stride + k;
+        prop_assert!(last_y <= p.h);
+        prop_assert!(last_x <= p.w);
+        // And the next window would fall off the edge.
+        prop_assert!(out.h * stride + k > p.h);
+        prop_assert!(out.w * stride + k > p.w);
+    }
+
+    /// Depth-first buffer is never larger than width-first when W ≥ K·K
+    /// (sufficient condition; the paper's W > K claim holds in all its nets).
+    #[test]
+    fn depth_first_buffer_smaller(side in 8usize..40, c in 1usize..64, k in 1usize..4) {
+        prop_assume!(side >= k * k && side >= k);
+        let g = ConvGeometry::new(Shape3::square(side, c), FilterShape::new(k, c, 8), 1, 0);
+        prop_assert!(g.depth_first_buffer() <= g.width_first_buffer());
+    }
+}

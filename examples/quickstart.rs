@@ -1,0 +1,42 @@
+//! Quickstart: build a small QNN, run it on the simulated DFE, and verify
+//! against the reference interpreter.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qnn::compiler::run_image;
+use qnn::data::Dataset;
+use qnn::hw::CycleModel;
+use qnn::nn::{models, Network};
+
+fn main() {
+    // A compact network with every architectural feature of the paper:
+    // fixed-point input conv, max pooling, two residual blocks with skip
+    // connections (one downsampling), global average pooling and an FC
+    // classifier — all with 1-bit weights and 2-bit activations.
+    let spec = models::test_net(16, 10, 2);
+    println!("network: {} ({} stages, {} binary weights)", spec.name, spec.stages.len(), spec.total_weight_bits());
+
+    let net = Network::random(spec, 2024);
+    let data = Dataset { name: "demo", side: 16, classes: 10 };
+    let img = data.image(0);
+
+    // Reference (layer-by-layer) inference.
+    let reference = net.forward(&img);
+    println!("reference logits: {:?}", reference.logits);
+
+    // Streaming inference on the cycle-accurate DFE simulator.
+    let sim = run_image(&net, &img).expect("simulation");
+    println!("streaming logits: {:?}", sim.logits[0]);
+    assert_eq!(sim.logits[0], reference.logits, "streaming must be bit-exact");
+
+    let report = &sim.reports[0];
+    println!("\ncycle-accurate run: {} cycles ({:.3} ms at 105 MHz)", report.cycles, report.time_ms(105.0));
+    let bottleneck = report.bottleneck().expect("kernels exist");
+    println!("bottleneck kernel: {} ({} busy cycles)", bottleneck.name, bottleneck.busy);
+
+    let model = CycleModel::analyze(&net.spec);
+    println!("analytic latency estimate: {} cycles", model.latency());
+    println!("\npredicted class: {}", sim.argmax(0));
+}

@@ -1,0 +1,96 @@
+//! Full-architecture runs. The paper-scale 224×224 networks are exercised
+//! end to end; because the cycle simulator executes every fabric clock,
+//! the ImageNet-scale cases are `#[ignore]`d by default and run explicitly
+//! (they are also covered by the benches in release mode):
+//!
+//! ```text
+//! cargo test --release --test full_networks -- --ignored
+//! ```
+
+use qnn::compiler::{run_image, run_images, CompileOptions};
+use qnn::data::{CIFAR10, IMAGENET, STL10};
+use qnn::hw::CycleModel;
+use qnn::nn::{models, Network};
+
+#[test]
+fn cifar10_vgg_runs_and_classifies() {
+    let net = Network::random(models::vgg_like(32, 10, 2), 1);
+    let sim = run_image(&net, &CIFAR10.image(0)).expect("sim");
+    assert_eq!(sim.logits[0].len(), 10);
+    assert!(sim.argmax(0) < 10);
+}
+
+#[test]
+fn simulated_cycles_track_the_analytic_model_vgg32() {
+    // The analytic model and the simulator must agree on the order of
+    // magnitude and reasonably on the value (the model ignores secondary
+    // stalls; see hw-model docs).
+    let net = Network::random(models::vgg_like(32, 10, 2), 2);
+    let sim = run_image(&net, &CIFAR10.image(1)).expect("sim");
+    let model = CycleModel::analyze(&net.spec);
+    let (got, est) = (sim.cycles() as f64, model.latency() as f64);
+    let ratio = got / est;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "simulated {got:.3e} vs analytic {est:.3e} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn resnet_style_blocks_run_at_56x56_scale() {
+    // A ResNet-18 "conv2_x slice": stem + pool + two identity blocks at
+    // reduced channel width, full 2-bit datapath.
+    let net = Network::random(models::test_net(56, 10, 2), 4);
+    let img = qnn::data::Dataset { name: "s", side: 56, classes: 10 }.image(0);
+    let sim = run_image(&net, &img).expect("sim");
+    assert_eq!(sim.logits[0], net.forward(&img).logits);
+}
+
+#[test]
+fn throughput_improves_with_image_count() {
+    // Streaming overlap: per-image cycles for a 4-image run must be lower
+    // than for a 1-image run (pipeline fill amortizes).
+    let net = Network::random(models::vgg_like(32, 10, 2), 5);
+    let one = run_image(&net, &CIFAR10.image(0)).expect("sim");
+    let four = run_images(&net, &CIFAR10.images(4), &CompileOptions::default()).expect("sim");
+    let per_image_four = four.cycles() as f64 / 4.0;
+    assert!(
+        per_image_four < one.cycles() as f64,
+        "no pipelining across images: {per_image_four} vs {}",
+        one.cycles()
+    );
+}
+
+#[test]
+#[ignore = "ImageNet-scale; run with --release -- --ignored"]
+fn resnet18_full_imagenet_scale() {
+    let net = Network::random(models::resnet18(1000), 10);
+    let img = IMAGENET.image(0);
+    let sim = run_image(&net, &img).expect("sim");
+    assert_eq!(sim.logits[0], net.forward(&img).logits);
+    // §IV-B4: ~1.85e6 clocks per picture. Allow a generous band — the
+    // simulator includes stalls the paper's estimate does not.
+    let cycles = sim.cycles() as f64;
+    assert!(
+        (0.8e6..4.0e6).contains(&cycles),
+        "ResNet-18 cycles {cycles:.3e} out of the paper's regime"
+    );
+}
+
+#[test]
+#[ignore = "ImageNet-scale; run with --release -- --ignored"]
+fn alexnet_full_imagenet_scale() {
+    let net = Network::random(models::alexnet(1000), 11);
+    let img = IMAGENET.image(1);
+    let sim = run_image(&net, &img).expect("sim");
+    assert_eq!(sim.logits[0], net.forward(&img).logits);
+}
+
+#[test]
+#[ignore = "STL-scale; run with --release -- --ignored"]
+fn stl10_vgg_96_runs() {
+    let net = Network::random(models::vgg_like(96, 10, 2), 12);
+    let img = STL10.image(0);
+    let sim = run_image(&net, &img).expect("sim");
+    assert_eq!(sim.logits[0], net.forward(&img).logits);
+}

@@ -1,0 +1,165 @@
+//! Cross-cutting qualitative claims from the paper's evaluation, checked
+//! against our models and simulator (quantities recorded in
+//! EXPERIMENTS.md; these tests pin the *orderings*).
+
+use qnn::dfe::{MAIA_FCLK_MHZ, STRATIX_V_5SGSD8};
+use qnn::hw::specs::paper;
+use qnn::hw::{
+    dfe_power_watts, energy_joules, estimate_network, gpu_power_watts, CycleModel, GpuModel,
+    GTX1080, P100,
+};
+use qnn::nn::models;
+
+/// Figure 5's headline: the DFE beats the GPU at 32×32 (kernel-invocation
+/// overhead), loses at 224×224. The paper averages 50 000 images, so the
+/// DFE quantity is the steady-state period.
+#[test]
+fn fig5_crossover_between_32_and_224() {
+    let vgg32 = models::vgg_like(32, 10, 2);
+    let dfe_32 = CycleModel::ms(CycleModel::analyze(&vgg32).period(), MAIA_FCLK_MHZ);
+    for gpu in [GpuModel::new(P100), GpuModel::new(GTX1080)] {
+        let gpu_32 = gpu.time_ms(&vgg32);
+        assert!(dfe_32 < gpu_32, "{}: DFE {dfe_32} ms vs GPU {gpu_32} ms at 32²", gpu.spec.name);
+    }
+    let resnet = models::resnet18(1000);
+    let dfe_224 = CycleModel::ms(CycleModel::analyze(&resnet).period(), MAIA_FCLK_MHZ);
+    for gpu in [GpuModel::new(P100), GpuModel::new(GTX1080)] {
+        let gpu_224 = gpu.time_ms(&resnet);
+        assert!(
+            gpu_224 < dfe_224,
+            "{}: GPU must win at 224² ({gpu_224} vs {dfe_224})",
+            gpu.spec.name
+        );
+        // Abstract: "4× slower ... when compared to the same NN on the
+        // latest Nvidia GPUs". Our overlapped-I/O DFE model is faster than
+        // the paper's measured system, so the gap narrows; require the GPU
+        // win to stay within a 1.2–8× band.
+        let slowdown = dfe_224 / gpu_224;
+        assert!((1.2..8.0).contains(&slowdown), "slowdown {slowdown}");
+    }
+}
+
+/// §IV-B2: on a layer-serial device, doubling the layer count roughly
+/// doubles the time; the streaming architecture overlaps the new layers
+/// almost completely. (The paper demonstrates this with ResNet-18 vs
+/// AlexNet, whose different stems confound the comparison — see
+/// EXPERIMENTS.md; here the clean ablation doubles the depth of the same
+/// topology.)
+#[test]
+fn depth_penalty_dfe_below_gpu() {
+    let base = models::vgg_like(32, 10, 2);
+    let deep = models::vgg_like_deep(32, 10, 2);
+    let dfe_ratio = CycleModel::analyze(&deep).period() as f64
+        / CycleModel::analyze(&base).period() as f64;
+    let gpu_ratio = GpuModel::new(P100).time_ms(&deep) / GpuModel::new(P100).time_ms(&base);
+    assert!(
+        dfe_ratio < 1.2,
+        "doubled depth must be nearly free on the streaming DFE: {dfe_ratio}"
+    );
+    // Doubling the conv count adds ~46% launched ops on the GPU model.
+    assert!(gpu_ratio > 1.35, "the GPU must pay for every extra layer: {gpu_ratio}");
+    assert!(dfe_ratio < gpu_ratio);
+
+    // And the paper's own pairing, reported for the record: the DFE's
+    // ResNet/AlexNet ratio must stay below the GPU's serial ratio bound.
+    let res = CycleModel::analyze(&models::resnet18(1000));
+    let alex = CycleModel::analyze(&models::alexnet(1000));
+    let serial_ratio = res.serial_bound() as f64 / alex.serial_bound() as f64;
+    let stream_ratio = res.latency() as f64 / alex.latency() as f64;
+    assert!(stream_ratio < serial_ratio);
+}
+
+/// Figure 7: single-DFE VGG-like designs draw ≥15× less power than GPUs.
+#[test]
+fn fig7_power_gap() {
+    for side in [32usize, 96, 144] {
+        let spec = models::vgg_like(side, 10, 2);
+        let usage = estimate_network(&spec, 1).total;
+        let dfe = dfe_power_watts(usage, 1, &STRATIX_V_5SGSD8, MAIA_FCLK_MHZ).total();
+        let gpu = gpu_power_watts(&P100);
+        assert!(gpu / dfe >= 15.0, "VGG-{side}: {gpu:.0} W vs {dfe:.1} W = {:.1}×", gpu / dfe);
+    }
+}
+
+/// Figure 8: per-image energy is up to 20× lower on the DFE for VGG-like
+/// nets, and stays lower (≥50% by the paper, here checked ≥25%) even for
+/// the multi-DFE ImageNet networks.
+#[test]
+fn fig8_energy_gap() {
+    // Single-DFE case.
+    let vgg = models::vgg_like(32, 10, 2);
+    let usage = estimate_network(&vgg, 1).total;
+    let dfe_t = CycleModel::ms(CycleModel::analyze(&vgg).latency(), MAIA_FCLK_MHZ);
+    let dfe_e =
+        energy_joules(dfe_power_watts(usage, 1, &STRATIX_V_5SGSD8, MAIA_FCLK_MHZ).total(), dfe_t);
+    let gpu = GpuModel::new(P100);
+    let gpu_e = energy_joules(gpu_power_watts(&P100), gpu.time_ms(&vgg));
+    assert!(gpu_e / dfe_e >= 5.0, "VGG-32 energy gap only {:.1}×", gpu_e / dfe_e);
+
+    // Multi-DFE ImageNet case.
+    let resnet = models::resnet18(1000);
+    let usage = estimate_network(&resnet, 3).total;
+    let dfe_t = CycleModel::ms(CycleModel::analyze(&resnet).period(), MAIA_FCLK_MHZ);
+    let dfe_e =
+        energy_joules(dfe_power_watts(usage, 3, &STRATIX_V_5SGSD8, MAIA_FCLK_MHZ).total(), dfe_t);
+    let gpu_e = energy_joules(gpu_power_watts(&P100), gpu.time_ms(&resnet));
+    assert!(
+        dfe_e < gpu_e * 0.75,
+        "ResNet-18 on 3 DFEs should still save energy: {dfe_e} vs {gpu_e}"
+    );
+}
+
+/// §IV-B4 + §V: real-time capability — more than 60 fps for every input
+/// size, and the Stratix 10 projection lands at 3–4 ms for ResNet-18.
+#[test]
+fn scalability_realtime_and_stratix10_projection() {
+    for (spec, dfes) in [
+        (models::vgg_like(32, 10, 2), 1usize),
+        (models::vgg_like(96, 10, 2), 1),
+        (models::vgg_like(144, 10, 2), 1),
+        (models::alexnet(1000), 3),
+        (models::resnet18(1000), 3),
+    ] {
+        let _ = dfes;
+        let ms = CycleModel::ms(CycleModel::analyze(&spec).latency(), MAIA_FCLK_MHZ);
+        assert!(ms < 1000.0 / 60.0, "{}: {ms:.2} ms misses 60 fps", spec.name);
+    }
+    // Stratix 10 at 5× the clock: same cycle count, 525 MHz.
+    let resnet_cycles = CycleModel::analyze(&models::resnet18(1000)).latency();
+    let s10_ms = CycleModel::ms(resnet_cycles, 5.0 * MAIA_FCLK_MHZ);
+    assert!((1.0..5.0).contains(&s10_ms), "Stratix 10 projection {s10_ms:.2} ms (paper: 3–4)");
+}
+
+/// The §IV-B4 sanity anchor: our analytic ResNet-18 latency vs the paper's
+/// 1.85×10⁶-cycle estimate and 16.1 ms measurement.
+#[test]
+fn resnet18_cycle_estimate_anchor() {
+    let cycles = CycleModel::analyze(&models::resnet18(1000)).latency() as f64;
+    let measured_cycles = paper::RESNET18_TIME_MS * MAIA_FCLK_MHZ * 1e3;
+    assert!(
+        cycles / paper::RESNET18_CLOCKS_ESTIMATE < 2.5
+            && paper::RESNET18_CLOCKS_ESTIMATE / cycles < 2.5,
+        "cycle estimate {cycles:.3e} vs paper {:.3e}",
+        paper::RESNET18_CLOCKS_ESTIMATE
+    );
+    assert!(
+        cycles / measured_cycles < 2.5 && measured_cycles / cycles < 2.5,
+        "cycle estimate {cycles:.3e} vs measured {measured_cycles:.3e}"
+    );
+}
+
+/// Table IV orderings against FINN's published numbers: FINN is faster and
+/// lower-power (binary activations, heavy optimization); our DFE uses more
+/// resources but delivers the multi-bit accuracy advantage.
+#[test]
+fn table4_orderings() {
+    let finn = qnn::hw::specs::FINN_CNV_CIFAR10;
+    let spec = models::vgg_like(32, 10, 2);
+    let usage = estimate_network(&spec, 1).total;
+    let dfe_ms = CycleModel::ms(CycleModel::analyze(&spec).period(), MAIA_FCLK_MHZ);
+    let dfe_w = dfe_power_watts(usage, 1, &STRATIX_V_5SGSD8, MAIA_FCLK_MHZ).total();
+    assert!(finn.time_ms < dfe_ms, "FINN is faster ({} vs {dfe_ms})", finn.time_ms);
+    assert!(finn.power_w < dfe_w, "FINN draws less power");
+    assert!(finn.luts < usage.luts, "FINN uses fewer LUTs");
+    assert!(finn.bram_kbits < usage.bram_kbits, "FINN uses less BRAM");
+}

@@ -1,0 +1,114 @@
+//! Property-based end-to-end equivalence: for *randomized* layer
+//! geometries — kernel sizes, strides, padding, channel counts, activation
+//! widths — the streaming pipeline must match the reference interpreter
+//! exactly. This is the widest net we can cast over the kernel state
+//! machines (ring indexing, drain/reset paths, threshold fusion).
+
+use proptest::prelude::*;
+use qnn::compiler::{run_images, CompileOptions};
+use qnn::nn::{models, Network, NetworkSpec, PoolKind, Stage};
+use qnn::tensor::{ConvGeometry, FilterShape, Shape3, Tensor3};
+
+fn image_for(spec: &NetworkSpec, seed: u64) -> Tensor3<i8> {
+    Tensor3::from_fn(spec.input, |y, x, c| {
+        ((seed as usize)
+            .wrapping_mul(31)
+            .wrapping_add(y * 131 + x * 17 + c * 7)
+            .wrapping_mul(2654435761)
+            >> 16) as i8
+    })
+}
+
+/// A random two-conv network with a pool and a classifier.
+#[allow(clippy::too_many_arguments)] // mirrors the proptest parameter tuple
+fn random_spec(
+    side: usize,
+    k1: usize,
+    stride1: usize,
+    pad1: usize,
+    c1: usize,
+    k2: usize,
+    pad2: usize,
+    c2: usize,
+    act_bits: u32,
+) -> Option<NetworkSpec> {
+    if side + 2 * pad1 < k1 {
+        return None;
+    }
+    let input = Shape3::square(side, 3);
+    let g1 = ConvGeometry::new(input, FilterShape::new(k1, 3, c1), stride1, pad1);
+    let s1 = g1.output();
+    if s1.h + 2 * pad2 < k2 || s1.w + 2 * pad2 < k2 {
+        return None;
+    }
+    let g2 = ConvGeometry::new(s1, FilterShape::new(k2, c1, c2), 1, pad2);
+    let s2 = g2.output();
+    if s2.h < 2 || s2.w < 2 {
+        return None;
+    }
+    let pool_out = Shape3::new((s2.h - 2) / 2 + 1, (s2.w - 2) / 2 + 1, c2);
+    Some(NetworkSpec::new(
+        "prop",
+        input,
+        act_bits,
+        vec![
+            Stage::ConvInput { geom: g1 },
+            Stage::Conv { geom: g2 },
+            Stage::Pool { input: s2, k: 2, stride: 2, pad: 0, kind: PoolKind::Max },
+            Stage::FullyConnected {
+                in_features: pool_out.len(),
+                out_features: 5,
+                bn_act: false,
+            },
+        ],
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Randomized conv/pool/fc chains are bit-exact in the simulator.
+    #[test]
+    fn random_conv_chains_are_bit_exact(
+        side in 5usize..12,
+        k1 in 1usize..4,
+        stride1 in 1usize..3,
+        pad1 in 0usize..2,
+        c1 in 1usize..5,
+        k2 in 1usize..3,
+        pad2 in 0usize..2,
+        c2 in 1usize..4,
+        act_bits in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        let Some(spec) = random_spec(side, k1, stride1, pad1, c1, k2, pad2, c2, act_bits)
+        else {
+            return Ok(());
+        };
+        let net = Network::random(spec, seed);
+        let img = image_for(&net.spec, seed);
+        let expect = net.forward(&img).logits;
+        let sim = run_images(&net, std::slice::from_ref(&img), &CompileOptions::default())
+            .expect("sim");
+        prop_assert_eq!(&sim.logits[0], &expect);
+    }
+
+    /// Residual networks with random seeds and small FIFOs stay bit-exact
+    /// (backpressure stress).
+    #[test]
+    fn residual_nets_bit_exact_under_fifo_stress(
+        seed in 0u64..200,
+        fifo in 4usize..64,
+    ) {
+        let net = Network::random(models::test_net(8, 4, 2), seed);
+        let img = image_for(&net.spec, seed + 7);
+        let expect = net.forward(&img).logits;
+        let sim = run_images(
+            &net,
+            std::slice::from_ref(&img),
+            &CompileOptions { fifo_capacity: fifo, ..CompileOptions::default() },
+        )
+        .expect("sim under FIFO stress");
+        prop_assert_eq!(&sim.logits[0], &expect);
+    }
+}
