@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetic by construction: every step runs with
+# --offline so a registry touch is a hard failure, not a silent fetch.
+# See README "Hermetic builds" — the workspace has no external
+# dependencies, so a clean checkout must pass this on a network-isolated
+# machine with bit-identical test results across runs.
+#
+# Knobs (see crates/testkit):
+#   QNN_TEST_SEED=<u64|0xhex>  base seed for all property suites
+#   QNN_TEST_CASES=<n>         cases per property (default 64)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo build --release --offline
+run cargo test -q --offline
+run cargo clippy --all-targets --offline -- -D warnings
+
+echo "ci.sh: all green"

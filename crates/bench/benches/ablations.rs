@@ -13,12 +13,12 @@
 //!   parameter-load amortization (§III-B1a);
 //! * FIFO-capacity sensitivity of the streaming pipeline.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qnn::compiler::{run_images, CompileOptions};
 use qnn::hw::resources::{cache_alloc_kbits, cache_waste_fraction};
 use qnn::hw::{estimate_network, CycleModel};
 use qnn::nn::{models, Network};
 use qnn_bench::render_table;
+use qnn_testkit::{black_box, Bench};
 
 fn stride_ablation() {
     // AlexNet conv1 halts only at the 55×55 valid stride-4 positions; a
@@ -144,7 +144,7 @@ fn rejected_designs_ablation() {
     }
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     stride_ablation();
     skip_ablation();
     bram_ablation();
@@ -170,24 +170,17 @@ fn bench_ablations(c: &mut Criterion) {
         println!("  capacity {cap:>4}: {} cycles", sim.cycles());
     }
 
-    let mut g = c.benchmark_group("fifo_capacity");
-    g.sample_size(10);
+    let bench = Bench::from_env().with_iters(2, 10);
     for cap in [8usize, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
-            b.iter(|| {
-                black_box(
-                    run_images(
-                        &net,
-                        &images,
-                        &CompileOptions { fifo_capacity: cap, ..CompileOptions::default() },
-                    )
-                    .expect("run"),
+        bench.run(&format!("fifo_capacity/{cap}"), || {
+            black_box(
+                run_images(
+                    &net,
+                    &images,
+                    &CompileOptions { fifo_capacity: cap, ..CompileOptions::default() },
                 )
-            })
+                .expect("run"),
+            )
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

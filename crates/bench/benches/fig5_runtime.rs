@@ -5,10 +5,10 @@
 //! table adds the analytic DFE numbers for the 224×224 networks and the
 //! GPU baseline model columns.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qnn::data::CIFAR10;
 use qnn::nn::models;
 use qnn_bench::{comparison_row, render_table, simulate_one, sweep_specs};
+use qnn_testkit::Bench;
 
 fn fig5_table() {
     let mut rows = Vec::new();
@@ -27,22 +27,17 @@ fn fig5_table() {
     );
 }
 
-fn bench_fig5(c: &mut Criterion) {
+fn main() {
     fig5_table();
-    let mut g = c.benchmark_group("fig5_dfe_simulation");
-    g.sample_size(10);
     // Cycle-accurate simulation per image; 32² in the timing loop, larger
     // sizes once (printed) to keep bench wall-time sane.
-    g.bench_with_input(BenchmarkId::new("vgg_like", 32), &32usize, |b, _| {
-        b.iter(|| simulate_one(&models::vgg_like(32, 10, 2), &CIFAR10, 3))
+    let bench = Bench::from_env().with_iters(2, 10);
+    bench.run("fig5_dfe_simulation/vgg_like/32", || {
+        simulate_one(&models::vgg_like(32, 10, 2), &CIFAR10, 3)
     });
-    g.finish();
     for side in [96usize, 144] {
         let data = qnn::data::Dataset { name: "sweep", side, classes: 10 };
         let (cycles, ms) = simulate_one(&models::vgg_like(side, 10, 2), &data, 3);
         println!("[sim] VGG-like @ {side}×{side}: {cycles} cycles = {ms:.3} ms/image");
     }
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

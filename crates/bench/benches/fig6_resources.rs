@@ -2,10 +2,10 @@
 //! baseline). The timed quantity is the resource estimator + partitioner;
 //! the printed table is the figure's data series.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qnn::hw::estimate_network;
 use qnn::nn::models;
 use qnn_bench::{place, render_table};
+use qnn_testkit::{black_box, Bench};
 
 fn fig6_table() {
     let base = estimate_network(&models::vgg_like(32, 10, 2), 1).total;
@@ -32,18 +32,13 @@ fn fig6_table() {
     );
 }
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
     fig6_table();
-    c.bench_function("estimate_and_place_vgg_sweep", |b| {
-        b.iter(|| {
-            for side in [32usize, 64, 96, 144, 224] {
-                let spec = models::vgg_like(side, 10, 2);
-                black_box(estimate_network(&spec, 1).total);
-                black_box(place(&spec).num_dfes());
-            }
-        })
+    Bench::from_env().run("estimate_and_place_vgg_sweep", || {
+        for side in [32usize, 64, 96, 144, 224] {
+            let spec = models::vgg_like(side, 10, 2);
+            black_box(estimate_network(&spec, 1).total);
+            black_box(place(&spec).num_dfes());
+        }
     });
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Figures 7 & 8 — power and energy comparisons across the workload sweep.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qnn_bench::{comparison_row, render_table, sweep_specs};
+use qnn_testkit::{black_box, Bench};
 
 fn print_tables() {
     let mut p_rows = Vec::new();
@@ -33,16 +33,11 @@ fn print_tables() {
     );
 }
 
-fn bench_fig7_fig8(c: &mut Criterion) {
+fn main() {
     print_tables();
-    c.bench_function("power_energy_sweep", |b| {
-        b.iter(|| {
-            for (label, spec) in sweep_specs() {
-                black_box(comparison_row(&label, &spec));
-            }
-        })
+    Bench::from_env().run("power_energy_sweep", || {
+        for (label, spec) in sweep_specs() {
+            black_box(comparison_row(&label, &spec));
+        }
     });
 }
-
-criterion_group!(benches, bench_fig7_fig8);
-criterion_main!(benches);

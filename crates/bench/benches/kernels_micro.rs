@@ -1,82 +1,71 @@
 //! Microbenchmarks of the QNN arithmetic primitives — the per-cycle work
 //! the simulator performs for each datapath operation.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qnn::quant::{dot_codes, dot_i8, ActPlanes, BnParams, QuantSpec, ThresholdUnit};
 use qnn::tensor::BitVec;
+use qnn_testkit::{black_box, Bench};
 
 fn mk_bits(n: usize, seed: u64) -> BitVec {
     BitVec::from_bools(&(0..n).map(|i| (i as u64 * seed) % 3 == 0).collect::<Vec<_>>())
 }
 
-fn bench_xnor_dot(c: &mut Criterion) {
-    let mut g = c.benchmark_group("xnor_popcount_dot");
+fn bench_xnor_dot(bench: &Bench) {
     // Filter sizes of the paper's networks: ResNet conv1, conv2_x, conv5_x,
     // AlexNet fc6.
     for n in [147usize, 576, 4608, 9216] {
         let w = mk_bits(n, 3);
         let x = mk_bits(n, 7);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| qnn::quant::dot_pm1(black_box(&w), black_box(&x)))
+        bench.run(&format!("xnor_popcount_dot/{n}"), || {
+            qnn::quant::dot_pm1(black_box(&w), black_box(&x))
         });
     }
-    g.finish();
 }
 
-fn bench_plane_dot_vs_code_dot(c: &mut Criterion) {
-    let mut g = c.benchmark_group("2bit_window_dot");
+fn bench_plane_dot_vs_code_dot(bench: &Bench) {
     for n in [576usize, 2304, 4608] {
         let w = mk_bits(n, 5);
         let codes: Vec<u8> = (0..n).map(|i| (i % 4) as u8).collect();
         let planes = ActPlanes::from_codes(2, &codes);
-        g.bench_with_input(BenchmarkId::new("bit_planes", n), &n, |b, _| {
-            b.iter(|| black_box(&planes).dot(black_box(&w)))
+        bench.run(&format!("2bit_window_dot/bit_planes/{n}"), || {
+            black_box(&planes).dot(black_box(&w))
         });
-        g.bench_with_input(BenchmarkId::new("naive_codes", n), &n, |b, _| {
-            b.iter(|| dot_codes(black_box(&w), black_box(&codes)))
+        bench.run(&format!("2bit_window_dot/naive_codes/{n}"), || {
+            dot_codes(black_box(&w), black_box(&codes))
         });
     }
-    g.finish();
 }
 
-fn bench_plane_packing(c: &mut Criterion) {
+fn bench_plane_packing(bench: &Bench) {
     let n = 4608;
     let codes: Vec<u8> = (0..n).map(|i| ((i * 7) % 4) as u8).collect();
     let mut planes = ActPlanes::new(2, n);
-    c.bench_function("pack_window_4608x2bit", |b| {
-        b.iter(|| planes.pack(black_box(&codes)))
-    });
+    bench.run("pack_window_4608x2bit", || planes.pack(black_box(&codes)));
 }
 
-fn bench_first_layer_dot(c: &mut Criterion) {
+fn bench_first_layer_dot(bench: &Bench) {
     let n = 363; // AlexNet conv1: 11·11·3
     let w = mk_bits(n, 9);
     let px: Vec<i8> = (0..n).map(|i| ((i * 37) % 255) as i8).collect();
-    c.bench_function("i8_dot_363", |b| b.iter(|| dot_i8(black_box(&w), black_box(&px))));
+    bench.run("i8_dot_363", || dot_i8(black_box(&w), black_box(&px)));
 }
 
-fn bench_threshold_activate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("threshold_activate");
+fn bench_threshold_activate(bench: &Bench) {
     for bits in [1u32, 2, 4, 8] {
         let spec = QuantSpec::new(bits, 0.0, (1u32 << bits) as f32);
         let unit = ThresholdUnit::from_batchnorm(&BnParams::new(1.2, 10.0, 0.01, 1.0), &spec);
-        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
-            let mut a = -500i32;
-            b.iter(|| {
-                a = (a + 7) % 1000;
-                unit.activate(black_box(a))
-            })
+        let mut a = -500i32;
+        bench.run(&format!("threshold_activate/{bits}"), || {
+            a = (a + 7) % 1000;
+            unit.activate(black_box(a))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_xnor_dot,
-    bench_plane_dot_vs_code_dot,
-    bench_plane_packing,
-    bench_first_layer_dot,
-    bench_threshold_activate
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_env();
+    bench_xnor_dot(&bench);
+    bench_plane_dot_vs_code_dot(&bench);
+    bench_plane_packing(&bench);
+    bench_first_layer_dot(&bench);
+    bench_threshold_activate(&bench);
+}

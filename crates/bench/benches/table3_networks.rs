@@ -6,12 +6,12 @@
 //! alongside. For full-size cycle simulation use
 //! `cargo run --release -p qnn-bench --bin paper-tables -- table3 --sim`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use qnn::dfe::MAIA_FCLK_MHZ;
 use qnn::hw::specs::paper;
 use qnn::hw::{estimate_network, CycleModel};
 use qnn::nn::models;
 use qnn_bench::{place, render_table, simulate_one};
+use qnn_testkit::Bench;
 
 fn table3() {
     let mut rows = Vec::new();
@@ -50,17 +50,11 @@ fn table3() {
     );
 }
 
-fn bench_table3(c: &mut Criterion) {
+fn main() {
     table3();
-    let mut g = c.benchmark_group("table3_sim_56x56_proxies");
-    g.sample_size(10);
     let data = qnn::data::Dataset { name: "proxy", side: 56, classes: 10 };
     // Residual-family proxy (skip connections) vs plain-conv family proxy.
-    g.bench_function("residual_family", |b| {
-        b.iter(|| simulate_one(&models::test_net(56, 10, 2), &data, 4))
+    Bench::from_env().with_iters(2, 10).run("table3_sim_56x56_proxies/residual_family", || {
+        simulate_one(&models::test_net(56, 10, 2), &data, 4)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

@@ -11,9 +11,10 @@ use qnn_tensor::Tensor3;
 pub struct SimResult {
     /// Per-image logits.
     pub logits: Vec<Vec<i32>>,
-    /// Per-device cycle reports (length 1 for single-DFE runs). For
-    /// multi-device threaded runs the cycle counts are per-device clock
-    /// domains and not directly comparable to the single-device count.
+    /// Per-device cycle reports (length 1 for single-DFE runs).
+    /// Multi-device runs use the lockstep executor, so each device's count
+    /// is its share of the one global clock and the reports are
+    /// bit-identical across repeated runs of the same compile.
     pub reports: Vec<CycleReport>,
 }
 
@@ -71,11 +72,10 @@ pub fn run_image(net: &Network, image: &Tensor3<i8>) -> Result<SimResult, RunErr
 mod tests {
     use super::*;
     use qnn_nn::models;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use qnn_testkit::Rng;
 
     fn image(side: usize, seed: u64) -> Tensor3<i8> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         Tensor3::from_fn(qnn_tensor::Shape3::square(side, 3), |_, _, _| {
             rng.gen_range(-127i8..=127)
         })
@@ -113,11 +113,10 @@ mod tests {
 mod streamed_param_tests {
     use super::*;
     use qnn_nn::models;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use qnn_testkit::Rng;
 
     fn image(side: usize, seed: u64) -> Tensor3<i8> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         Tensor3::from_fn(qnn_tensor::Shape3::square(side, 3), |_, _, _| {
             rng.gen_range(-127i8..=127)
         })

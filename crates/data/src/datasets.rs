@@ -3,8 +3,7 @@
 //! ImageNet).
 
 use qnn_tensor::{Shape3, Tensor3};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qnn_testkit::Rng;
 
 /// A dataset descriptor: image geometry and label count.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,7 +35,7 @@ impl Dataset {
     /// low-frequency waves (spatial structure) plus pixel noise, quantized
     /// to signed 8-bit as the CPU would stream it over PCIe.
     pub fn image(&self, index: u64) -> Tensor3<i8> {
-        let mut rng = StdRng::seed_from_u64(
+        let mut rng = Rng::seed_from_u64(
             (index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.side as u64,
         );
         // Low-frequency components: random orientation, frequency, phase.
@@ -51,7 +50,7 @@ impl Dataset {
                 rng.gen_range(0.0f32..2.0),            // channel skew
             ];
         }
-        let mut noise = StdRng::seed_from_u64(index.wrapping_mul(0xD134_2543_DE82_EF95));
+        let mut noise = Rng::seed_from_u64(index.wrapping_mul(0xD134_2543_DE82_EF95));
         Tensor3::from_fn(self.shape(), |y, x, c| {
             let mut v = 0.0f32;
             for [kx, ky, phase, amp, skew] in waves {

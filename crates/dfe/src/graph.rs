@@ -60,7 +60,7 @@ impl fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// Per-kernel activity counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KernelStats {
     /// Kernel name.
     pub name: String,
@@ -71,7 +71,7 @@ pub struct KernelStats {
 }
 
 /// Per-stream traffic counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StreamStats {
     /// Stream name.
     pub name: String,
@@ -84,7 +84,7 @@ pub struct StreamStats {
 }
 
 /// Result of a completed run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CycleReport {
     /// Clock cycles until the last sink completed.
     pub cycles: u64,
@@ -193,7 +193,7 @@ impl Graph {
         self.streams.iter().map(|s| s.spec.fmem_bits()).sum()
     }
 
-    fn validate(&self) -> Result<(), RunError> {
+    pub(crate) fn validate(&self) -> Result<(), RunError> {
         for (i, s) in self.streams.iter().enumerate() {
             if self.writers[i].is_none() {
                 return Err(RunError::Invalid(format!("stream '{}' has no writer", s.spec.name)));
@@ -209,7 +209,7 @@ impl Graph {
     }
 
     /// True when every sink kernel (no output ports) reports completion.
-    fn complete(&self) -> bool {
+    pub(crate) fn complete(&self) -> bool {
         self.nodes
             .iter()
             .filter(|n| n.outputs.is_empty())
@@ -266,33 +266,7 @@ impl Graph {
             if cycle >= max_cycles {
                 return Err(RunError::Timeout { max_cycles });
             }
-            let mut any_progress = false;
-            for node in &mut self.nodes {
-                node.read_used.fill(false);
-                node.write_used.fill(false);
-                let mut io = Io::new(
-                    &mut self.streams,
-                    &node.inputs,
-                    &node.outputs,
-                    &mut node.read_used,
-                    &mut node.write_used,
-                );
-                match node.kernel.tick(&mut io) {
-                    Progress::Busy => {
-                        node.busy += 1;
-                        any_progress = true;
-                    }
-                    Progress::Stalled => node.stalled += 1,
-                    Progress::Idle => {}
-                }
-            }
-            let mut committed = false;
-            for s in &mut self.streams {
-                if !s.staged.is_empty() {
-                    committed = true;
-                }
-                s.commit();
-            }
+            let (any_progress, committed) = self.step_cycle();
             if !any_progress && !committed {
                 if detect_deadlock {
                     return Err(RunError::Deadlock { cycle, diagnostics: self.dump_streams() });
@@ -320,7 +294,44 @@ impl Graph {
         Ok((self.report(cycle), trace))
     }
 
-    fn report(&self, cycles: u64) -> CycleReport {
+    /// Advance every kernel by one cycle and commit staged stream writes.
+    ///
+    /// Returns `(any_progress, committed)`: whether any kernel reported
+    /// [`Progress::Busy`] and whether any stream element moved from staging
+    /// into its FIFO. The lockstep multi-device executor drives this
+    /// directly, one call per global clock edge.
+    pub(crate) fn step_cycle(&mut self) -> (bool, bool) {
+        let mut any_progress = false;
+        for node in &mut self.nodes {
+            node.read_used.fill(false);
+            node.write_used.fill(false);
+            let mut io = Io::new(
+                &mut self.streams,
+                &node.inputs,
+                &node.outputs,
+                &mut node.read_used,
+                &mut node.write_used,
+            );
+            match node.kernel.tick(&mut io) {
+                Progress::Busy => {
+                    node.busy += 1;
+                    any_progress = true;
+                }
+                Progress::Stalled => node.stalled += 1,
+                Progress::Idle => {}
+            }
+        }
+        let mut committed = false;
+        for s in &mut self.streams {
+            if !s.staged.is_empty() {
+                committed = true;
+            }
+            s.commit();
+        }
+        (any_progress, committed)
+    }
+
+    pub(crate) fn report(&self, cycles: u64) -> CycleReport {
         CycleReport {
             cycles,
             kernels: self
@@ -345,7 +356,7 @@ impl Graph {
         }
     }
 
-    fn dump_streams(&self) -> String {
+    pub(crate) fn dump_streams(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         for (i, s) in self.streams.iter().enumerate() {

@@ -6,9 +6,8 @@
 //! the binding constraint).
 
 use crate::kernel::{Io, Kernel, Progress};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Feeds a preloaded buffer into its single output stream, one element per
 /// cycle.
@@ -59,15 +58,21 @@ pub struct SinkHandle {
     expected: usize,
 }
 
+/// Lock a sink's state, surviving poisoning: a panicking device thread
+/// must not hide the elements already collected from the test harness.
+fn lock_state(state: &Mutex<SinkState>) -> MutexGuard<'_, SinkState> {
+    state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl SinkHandle {
     /// Take the collected elements (leaves the sink buffer empty).
     pub fn take(&self) -> Vec<i32> {
-        std::mem::take(&mut self.state.lock().collected)
+        std::mem::take(&mut lock_state(&self.state).collected)
     }
 
     /// Elements collected so far.
     pub fn len(&self) -> usize {
-        self.state.lock().collected.len()
+        lock_state(&self.state).collected.len()
     }
 
     /// True when nothing has been collected.
@@ -104,14 +109,14 @@ impl Kernel for HostSink {
     }
 
     fn tick(&mut self, io: &mut Io<'_>) -> Progress {
-        let state = self.state.lock();
+        let state = lock_state(&self.state);
         if state.collected.len() >= self.expected {
             return Progress::Idle;
         }
         drop(state);
         match io.read(0) {
             Some(v) => {
-                let mut state = self.state.lock();
+                let mut state = lock_state(&self.state);
                 state.collected.push(v);
                 Progress::Busy
             }
@@ -120,7 +125,7 @@ impl Kernel for HostSink {
     }
 
     fn is_done(&self) -> bool {
-        self.state.lock().collected.len() >= self.expected
+        lock_state(&self.state).collected.len() >= self.expected
     }
 }
 

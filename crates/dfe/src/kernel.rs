@@ -146,7 +146,6 @@ mod tests {
         assert!(io.can_write(0));
         io.write(0, 9);
         assert!(!io.can_write(0));
-        drop(io);
         assert!(!streams[1].can_read());
         streams[1].commit();
         assert_eq!(streams[1].queue.front(), Some(&9));

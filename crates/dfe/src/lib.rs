@@ -20,10 +20,12 @@
 //! * **The cycle scheduler** steps every kernel once per clock and reports
 //!   cycle counts, per-kernel busy/stall statistics and stream occupancies.
 //!   It detects deadlock (no progress while sinks are incomplete).
-//! * **The threaded executor** runs the same kernel graph with one OS
-//!   thread per kernel connected by bounded channels — functional
-//!   decomposition for real, used to check that the functional result is
-//!   independent of the execution strategy.
+//! * **The multi-device executors** run the same kernel graph cut across
+//!   devices connected by bounded channels. The lockstep default steps
+//!   every device on one global clock, so outputs and cycle reports are
+//!   bit-identical across runs; the free-running threaded variant (one OS
+//!   thread per device) checks that the functional result is independent
+//!   of the execution strategy.
 //! * **Devices and MaxRing links** carry resource budgets and bandwidth
 //!   limits so the compiler can place kernels onto multiple DFEs and verify
 //!   link feasibility.

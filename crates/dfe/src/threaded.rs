@@ -1,26 +1,42 @@
-//! Threaded multi-DFE execution: one OS thread per device graph, connected
-//! by bounded channels standing in for MaxRing hops.
+//! Multi-DFE execution: device graphs connected by bounded channels
+//! standing in for MaxRing hops.
 //!
-//! Each DFE has its own clock domain (its own cycle-stepped scheduler); the
-//! only coupling is the bounded channel, exactly like the real platform's
-//! daisy-chained DFEs coupled by a rate-limited serial link. This executor
-//! demonstrates the paper's scale-out claim: the same kernel graph, cut at
-//! layer boundaries, runs across devices with results identical to the
-//! single-device run.
+//! Two executors share the same [`link`] kernels:
+//!
+//! * [`run_devices`] — the default, **lockstep** executor. One global
+//!   clock; every device is stepped exactly once per edge, in device
+//!   order. Cycle reports (including per-kernel busy/stall tallies) are
+//!   bit-identical across runs, which is what regression gating and the
+//!   paper's cycle-count claims need.
+//! * [`run_devices_threaded`] — one OS thread per device, each free-running
+//!   its own clock domain, exactly like the real platform's daisy-chained
+//!   DFEs coupled by a rate-limited serial link. Outputs are identical to
+//!   the lockstep run (FIFO links preserve order), but cycle counts depend
+//!   on OS scheduling, so reports are *not* reproducible.
+//!
+//! Both demonstrate the paper's scale-out claim: the same kernel graph,
+//! cut at layer boundaries, runs across devices with results identical to
+//! the single-device run.
 
 use crate::graph::{CycleReport, Graph, RunError};
 use crate::kernel::{Io, Kernel, Progress};
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
 
 /// Create a channel-backed inter-device link of `capacity` elements,
 /// returning the egress kernel (placed on the upstream device) and ingress
 /// kernel (placed on the downstream device).
+///
+/// `std::sync::mpsc::sync_channel` is a bounded rendezvous-or-buffered
+/// queue: `try_send` fails with `Full` once `capacity` elements are in
+/// flight, which is exactly the MaxRing backpressure the egress kernel
+/// translates into a pipeline stall.
 pub fn link(
     name: &str,
     capacity: usize,
     expected: u64,
 ) -> (ChannelEgress, ChannelIngress) {
-    let (tx, rx) = bounded(capacity);
+    assert!(capacity > 0, "a zero-capacity link can never make progress");
+    let (tx, rx) = sync_channel(capacity);
     (
         ChannelEgress { name: format!("{name}.tx"), tx, pending: None, sent: 0, expected },
         ChannelIngress { name: format!("{name}.rx"), rx, received: 0, expected },
@@ -30,7 +46,7 @@ pub fn link(
 /// Sends its input stream into an inter-device channel.
 pub struct ChannelEgress {
     name: String,
-    tx: Sender<i32>,
+    tx: SyncSender<i32>,
     pending: Option<i32>,
     sent: u64,
     expected: u64,
@@ -107,26 +123,85 @@ impl Kernel for ChannelIngress {
     }
 }
 
-/// Run several device graphs concurrently, one thread each.
+/// Run several device graphs in lockstep on one global clock.
+///
+/// Each global cycle steps every still-running device exactly once, in
+/// device order; a device stops ticking once its sinks complete, so its
+/// report covers only the cycles it was live. An element the upstream
+/// egress sends on cycle `c` is visible to a *later-indexed* device's
+/// ingress on the same cycle and to an earlier-indexed one on `c + 1` —
+/// a fixed one-hop latency model, the same every run. The entire schedule
+/// is a deterministic function of the graphs, so outputs **and** cycle
+/// reports are bit-identical across runs.
+///
+/// Deadlock detection is global: if a full cycle passes in which no device
+/// makes progress or commits a stream element, no future cycle can differ,
+/// and the combined stream dump of every device is reported.
+pub fn run_devices(
+    mut graphs: Vec<Graph>,
+    max_cycles: u64,
+) -> Result<Vec<CycleReport>, RunError> {
+    for g in &graphs {
+        g.validate()?;
+    }
+    let mut done: Vec<bool> = graphs.iter().map(Graph::complete).collect();
+    let mut device_cycles = vec![0u64; graphs.len()];
+    let mut cycle: u64 = 0;
+    while done.iter().any(|d| !d) {
+        if cycle >= max_cycles {
+            return Err(RunError::Timeout { max_cycles });
+        }
+        let mut any_activity = false;
+        for (i, g) in graphs.iter_mut().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let (progress, committed) = g.step_cycle();
+            any_activity |= progress || committed;
+            device_cycles[i] += 1;
+            if g.complete() {
+                done[i] = true;
+            }
+        }
+        cycle += 1;
+        if !any_activity {
+            let mut diagnostics = String::new();
+            for (i, g) in graphs.iter().enumerate() {
+                diagnostics.push_str(&format!(" device {i}:\n{}", g.dump_streams()));
+            }
+            return Err(RunError::Deadlock { cycle, diagnostics });
+        }
+    }
+    Ok(graphs
+        .iter()
+        .zip(device_cycles)
+        .map(|(g, cycles)| g.report(cycles))
+        .collect())
+}
+
+/// Run several device graphs concurrently, one free-running thread each.
 ///
 /// Returns each device's cycle report in input order. Deadlock detection is
 /// disabled inside each device (cross-device waits are legitimate); a
 /// `max_cycles` budget per device bounds runaway executions instead.
-pub fn run_devices(
+///
+/// Outputs match [`run_devices`] exactly (the links are FIFOs), but the
+/// per-device cycle and stall counts depend on how the OS interleaves the
+/// threads — use the lockstep executor when reports must be reproducible.
+pub fn run_devices_threaded(
     graphs: Vec<Graph>,
     max_cycles: u64,
 ) -> Result<Vec<CycleReport>, RunError> {
-    let results = crossbeam::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = graphs
             .into_iter()
-            .map(|mut g| scope.spawn(move |_| g.run_opts(max_cycles, false)))
+            .map(|mut g| scope.spawn(move || g.run_opts(max_cycles, false)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("device thread panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("executor scope panicked");
+    });
     results.into_iter().collect()
 }
 
@@ -192,6 +267,60 @@ mod tests {
         assert_eq!(out.len(), n as usize);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, -2 * i as i32);
+        }
+    }
+
+    #[test]
+    fn threaded_executor_matches_lockstep_outputs() {
+        let data: Vec<i32> = (0..500).collect();
+        let (graphs, handle) = two_device_setup(data.clone());
+        run_devices(graphs, 10_000_000).expect("lockstep ok");
+        let lockstep_out = handle.take();
+
+        let (graphs, handle) = two_device_setup(data);
+        let reports = run_devices_threaded(graphs, 10_000_000).expect("threaded ok");
+        assert_eq!(reports.len(), 2);
+        assert_eq!(handle.take(), lockstep_out);
+    }
+
+    #[test]
+    fn lockstep_reports_are_reproducible() {
+        let run_once = || {
+            let (graphs, handle) = two_device_setup((0..200).collect());
+            let reports = run_devices(graphs, 10_000_000).expect("run ok");
+            (reports, handle.take())
+        };
+        let (reports, out) = run_once();
+        for _ in 0..3 {
+            let (r, o) = run_once();
+            assert_eq!(r, reports, "cycle reports must be bit-identical");
+            assert_eq!(o, out);
+        }
+    }
+
+    #[test]
+    fn lockstep_detects_cross_device_deadlock() {
+        // Device 0 promises 3 elements over the link but only sources 2;
+        // device 1's sink then starves with both devices stalled.
+        let (egress, ingress) = link("ring0", 4, 3);
+
+        let mut d0 = Graph::new();
+        let a = d0.add_stream(StreamSpec::new("a", 8, 8));
+        d0.add_kernel(Box::new(HostSource::new("src", vec![1, 2])), &[], &[a]);
+        d0.add_kernel(Box::new(egress), &[a], &[]);
+
+        let mut d1 = Graph::new();
+        let c = d1.add_stream(StreamSpec::new("c", 8, 8));
+        d1.add_kernel(Box::new(ingress), &[], &[c]);
+        let (sink, _handle) = HostSink::new("dst", 3);
+        d1.add_kernel(Box::new(sink), &[c], &[]);
+
+        match run_devices(vec![d0, d1], 1_000_000) {
+            Err(RunError::Deadlock { diagnostics, .. }) => {
+                assert!(diagnostics.contains("device 0"), "got:\n{diagnostics}");
+                assert!(diagnostics.contains("device 1"), "got:\n{diagnostics}");
+            }
+            other => panic!("expected cross-device deadlock, got {other:?}"),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! interpreter, over randomized geometries and execution conditions.
 
 use dfe_platform::{Graph, HostSink, HostSource, StreamSpec};
-use proptest::prelude::*;
+use qnn_testkit::{any, prop_assert_eq, prop_assume, props};
 use qnn_kernels::{ConvKernel, DotMode, PadInserter, PoolKernel, PoolOp};
 use qnn_tensor::{BinaryFilters, ConvGeometry, FilterShape, Shape3, Tensor3};
 
@@ -30,9 +30,7 @@ fn filters_for(geom: &ConvGeometry, seed: u64) -> BinaryFilters {
     BinaryFilters::from_float_rows(&w, geom.filter.weights_per_filter())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
+props! {
     /// Random conv geometries (both I/O disciplines) match the reference.
     #[test]
     fn conv_kernel_matches_reference(

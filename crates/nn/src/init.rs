@@ -9,17 +9,16 @@
 //! saturate and the comparison circuitry would be dead logic).
 
 use qnn_quant::BnParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qnn_testkit::Rng;
 
 /// Seeded RNG used across the workspace for reproducible experiments.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// Random float weights in [−1, 1); the DFE binarizes them with `Sign` on
 /// load, mirroring the CPU→FPGA parameter path of §III-B1a.
-pub fn random_weights(rng: &mut StdRng, count: usize) -> Vec<f32> {
+pub fn random_weights(rng: &mut Rng, count: usize) -> Vec<f32> {
     (0..count).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
 
@@ -47,7 +46,7 @@ fn accumulator_std(fan_in: usize, code_levels: Option<u32>) -> f32 {
 /// `None` for the first (fixed-point) layer. `act_levels` is the output
 /// quantizer's level count (its range is `[0, act_levels)`).
 pub fn random_bn(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     fan_in: usize,
     code_levels: Option<u32>,
     act_levels: u32,

@@ -4,7 +4,7 @@ use crate::init;
 use crate::spec::{NetworkSpec, Stage};
 use qnn_quant::{QuantSpec, ThresholdUnit};
 use qnn_tensor::{BinaryFilters, ConvGeometry};
-use rand::rngs::StdRng;
+use qnn_testkit::Rng;
 
 /// Parameters of one pipeline stage, mirroring [`Stage`].
 #[derive(Clone, Debug)]
@@ -51,13 +51,13 @@ pub struct Network {
     pub params: Vec<StageParams>,
 }
 
-fn conv_filters(rng: &mut StdRng, geom: &ConvGeometry) -> BinaryFilters {
+fn conv_filters(rng: &mut Rng, geom: &ConvGeometry) -> BinaryFilters {
     let w = init::random_weights(rng, geom.filter.total_weights());
     BinaryFilters::from_float_rows(&w, geom.filter.weights_per_filter())
 }
 
 fn conv_thresholds(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     geom: &ConvGeometry,
     code_levels: Option<u32>,
     act: &QuantSpec,

@@ -3,11 +3,10 @@
 use qnn_nn::models;
 use qnn_nn::Network;
 use qnn_tensor::Tensor3;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qnn_testkit::Rng;
 
 fn random_image(side: usize, seed: u64) -> Tensor3<i8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     Tensor3::from_fn(qnn_tensor::Shape3::square(side, 3), |_, _, _| rng.gen_range(-127i8..=127))
 }
 

@@ -1,14 +1,14 @@
 //! Property tests for the quantization algebra.
 
-use proptest::prelude::*;
+use qnn_testkit::{any, prop_assert, prop_assert_eq, prop_assume, props, Strategy};
 use qnn_quant::{dot_codes, dot_pm1, ActPlanes, BnParams, QuantSpec, ThresholdUnit};
 use qnn_tensor::BitVec;
 
-fn finite_param() -> impl Strategy<Value = f32> {
+fn finite_param() -> impl qnn_testkit::Strategy<Value = f32> {
     (-8.0f32..8.0).prop_filter("nonzero-ish", |x| x.abs() > 1e-3 || *x == 0.0)
 }
 
-proptest! {
+props! {
     /// Fused threshold unit equals BatchNorm followed by uniform quantization
     /// for every integer accumulator, away from floating-point range-boundary
     /// ties (where the f32 reference itself is ill-defined).
@@ -36,7 +36,7 @@ proptest! {
     /// Binary search and linear comparator scan always agree.
     #[test]
     fn binary_search_equals_comparator_scan(
-        mut ts in proptest::collection::vec(-100i64..100, 0..16),
+        mut ts in qnn_testkit::vec(-100i64..100, 0..16),
         a in -150i32..150,
     ) {
         ts.sort_unstable();
@@ -64,7 +64,7 @@ proptest! {
 
     /// XNOR dot is symmetric and bounded by ±n.
     #[test]
-    fn pm1_dot_bounds(bools_a in proptest::collection::vec(any::<bool>(), 1..128)) {
+    fn pm1_dot_bounds(bools_a in qnn_testkit::vec(any::<bool>(), 1..128)) {
         let bools_b: Vec<bool> = bools_a.iter().map(|&b| !b).collect();
         let a = BitVec::from_bools(&bools_a);
         let b = BitVec::from_bools(&bools_b);

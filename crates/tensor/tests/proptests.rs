@@ -1,9 +1,9 @@
 //! Property-based tests for tensor layout and bit-packing invariants.
 
-use proptest::prelude::*;
+use qnn_testkit::{any, prop_assert, prop_assert_eq, prop_assume, props};
 use qnn_tensor::{BitVec, ConvGeometry, FilterShape, Shape3, Tensor3};
 
-proptest! {
+props! {
     /// index ∘ coords and coords ∘ index are inverse bijections.
     #[test]
     fn shape_index_bijection(h in 1usize..12, w in 1usize..12, c in 1usize..12) {
@@ -17,7 +17,7 @@ proptest! {
 
     /// XNOR-popcount always equals the naive ±1 dot product.
     #[test]
-    fn xnor_popcount_matches_naive(bits_a in proptest::collection::vec(any::<bool>(), 1..300)) {
+    fn xnor_popcount_matches_naive(bits_a in qnn_testkit::vec(any::<bool>(), 1..300)) {
         let n = bits_a.len();
         let bits_b: Vec<bool> = bits_a.iter().enumerate().map(|(i, &b)| b ^ (i % 3 == 0)).collect();
         let a = BitVec::from_bools(&bits_a);
@@ -32,7 +32,7 @@ proptest! {
 
     /// and_popcount equals the naive {0,1} dot product.
     #[test]
-    fn and_popcount_matches_naive(bits_a in proptest::collection::vec(any::<bool>(), 1..300)) {
+    fn and_popcount_matches_naive(bits_a in qnn_testkit::vec(any::<bool>(), 1..300)) {
         let bits_b: Vec<bool> = bits_a.iter().enumerate().map(|(i, &b)| b ^ (i % 2 == 0)).collect();
         let a = BitVec::from_bools(&bits_a);
         let b = BitVec::from_bools(&bits_b);

@@ -1,0 +1,147 @@
+//! A tiny wall-clock bench runner for `harness = false` benches.
+//!
+//! Criterion replacement scaled to what this repo's benches need: warmup,
+//! N timed iterations, median and p95 printed in a stable one-line format
+//! so runs diff cleanly. Not a statistical framework — the simulated
+//! workloads here differ by orders of magnitude, and median/p95 over ~15
+//! iterations resolves that fine.
+//!
+//! Environment knobs: `QNN_BENCH_WARMUP` (default 3 iterations),
+//! `QNN_BENCH_ITERS` (default 15).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| panic!("{name}={v:?} is not a usize")),
+        Err(_) => default,
+    }
+}
+
+/// Format a duration with a unit that keeps 3–4 significant digits.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Measurements of one benchmark: sorted per-iteration wall times.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// Per-iteration wall-clock times, ascending.
+    pub sorted: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Median iteration time.
+    pub fn median(&self) -> Duration {
+        let n = self.sorted.len();
+        if n % 2 == 1 {
+            self.sorted[n / 2]
+        } else {
+            (self.sorted[n / 2 - 1] + self.sorted[n / 2]) / 2
+        }
+    }
+
+    /// 95th-percentile iteration time (nearest-rank).
+    pub fn p95(&self) -> Duration {
+        let n = self.sorted.len();
+        let rank = (n * 95).div_ceil(100).max(1);
+        self.sorted[rank - 1]
+    }
+}
+
+/// Wall-clock bench runner; construct once per bench binary.
+pub struct Bench {
+    warmup: usize,
+    iters: usize,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Bench {
+    /// Runner configured from `QNN_BENCH_WARMUP` / `QNN_BENCH_ITERS`.
+    pub fn from_env() -> Self {
+        Self {
+            warmup: env_usize("QNN_BENCH_WARMUP", 3),
+            iters: env_usize("QNN_BENCH_ITERS", 15).max(1),
+        }
+    }
+
+    /// Override iteration counts (used by slow simulation benches).
+    pub fn with_iters(mut self, warmup: usize, iters: usize) -> Self {
+        self.warmup = warmup;
+        self.iters = iters.max(1);
+        self
+    }
+
+    /// Time `f`, print `name  median …  p95 …`, and return the samples.
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Measurement {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.iters);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        samples.sort_unstable();
+        let m = Measurement { name: name.to_string(), sorted: samples };
+        println!(
+            "bench {:<44} median {:>10}   p95 {:>10}   ({} iters)",
+            m.name,
+            fmt_duration(m.median()),
+            fmt_duration(m.p95()),
+            self.iters
+        );
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_p95_of_known_samples() {
+        let m = Measurement {
+            name: "t".into(),
+            sorted: (1..=20).map(Duration::from_micros).collect(),
+        };
+        assert_eq!(m.median(), Duration::from_nanos(10_500));
+        assert_eq!(m.p95(), Duration::from_micros(19));
+    }
+
+    #[test]
+    fn run_collects_requested_iterations() {
+        let bench = Bench::from_env().with_iters(0, 5);
+        let mut calls = 0u32;
+        let m = bench.run("counting", || calls += 1);
+        assert_eq!(m.sorted.len(), 5);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(123)), "123 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(123)), "123.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(123)), "123.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+}

@@ -4,7 +4,7 @@
 //! exactly. This is the widest net we can cast over the kernel state
 //! machines (ring indexing, drain/reset paths, threshold fusion).
 
-use proptest::prelude::*;
+use qnn_testkit::{prop_assert_eq, props};
 use qnn::compiler::{run_images, CompileOptions};
 use qnn::nn::{models, Network, NetworkSpec, PoolKind, Stage};
 use qnn::tensor::{ConvGeometry, FilterShape, Shape3, Tensor3};
@@ -20,7 +20,7 @@ fn image_for(spec: &NetworkSpec, seed: u64) -> Tensor3<i8> {
 }
 
 /// A random two-conv network with a pool and a classifier.
-#[allow(clippy::too_many_arguments)] // mirrors the proptest parameter tuple
+#[allow(clippy::too_many_arguments)] // mirrors the property parameter tuple
 fn random_spec(
     side: usize,
     k1: usize,
@@ -64,9 +64,7 @@ fn random_spec(
     ))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
+props! {
     /// Randomized conv/pool/fc chains are bit-exact in the simulator.
     #[test]
     fn random_conv_chains_are_bit_exact(

@@ -6,11 +6,10 @@ use qnn::compiler::{run_image, run_images, CompileOptions};
 use qnn::data::Dataset;
 use qnn::nn::{models, Network};
 use qnn::tensor::{Shape3, Tensor3};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qnn_testkit::Rng;
 
 fn image(side: usize, seed: u64) -> Tensor3<i8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     Tensor3::from_fn(Shape3::square(side, 3), |_, _, _| rng.gen_range(-127i8..=127))
 }
 
