@@ -8,6 +8,12 @@
 # Knobs (see crates/testkit):
 #   QNN_TEST_SEED=<u64|0xhex>  base seed for all property suites
 #   QNN_TEST_CASES=<n>         cases per property (default 64)
+#
+# Modes:
+#   ci.sh        tier-1: offline release build + full test suite + clippy
+#   ci.sh soak   NOT tier-1: the property suites only, in release, at
+#                QNN_TEST_CASES=1024 (overridable) — a long-running hunt
+#                for rare ring-buffer/stall/shrink bugs (see README).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,6 +21,19 @@ run() {
   echo "==> $*"
   "$@"
 }
+
+if [[ "${1:-}" == "soak" ]]; then
+  export QNN_TEST_CASES="${QNN_TEST_CASES:-1024}"
+  echo "ci.sh soak: QNN_TEST_CASES=$QNN_TEST_CASES QNN_TEST_SEED=${QNN_TEST_SEED:-<default>}"
+  run cargo test -q --release --offline -p qnn-tensor --test proptests
+  run cargo test -q --release --offline -p qnn-quant --test proptests
+  run cargo test -q --release --offline -p qnn-kernels --test proptests
+  run cargo test -q --release --offline -p qnn-kernels --test stall_injection
+  run cargo test -q --release --offline -p dfe-platform --test proptests
+  run cargo test -q --release --offline -p qnn --test property_streaming
+  echo "ci.sh soak: all green"
+  exit 0
+fi
 
 run cargo build --release --offline
 run cargo test -q --offline

@@ -1,0 +1,99 @@
+//! Serving throughput vs replica count — scaling of the batch-parallel
+//! host runtime (`qnn-serve`).
+//!
+//! Pushes a fixed 16-request trace through the serving runtime at 1, 2
+//! and 4 replicas of the test network's pipeline and reports two
+//! throughput numbers per point:
+//!
+//! * **device images/sec** — at the modeled Maia fabric clock, where the
+//!   makespan is the *maximum per-replica cycle load* (replicas model
+//!   independent DFE cards running concurrently). Deterministic for a
+//!   fixed trace, and the quantity the scaling assertion checks.
+//! * **host images/sec** — wall clock of the whole serve call. This one
+//!   only scales when the host actually has spare cores for the extra
+//!   replica workers, so it is printed for context, not asserted.
+
+use qnn::dfe::MAIA_FCLK_MHZ;
+use qnn::nn::{models, Network};
+use qnn::serve::{serve, ServerConfig, ServerReport, Ticket};
+use qnn::tensor::{Shape3, Tensor3};
+use qnn_bench::render_table;
+use qnn_testkit::{Bench, Rng};
+use std::time::Duration;
+
+const REQUESTS: usize = 16;
+
+fn trace() -> Vec<Tensor3<i8>> {
+    let mut rng = Rng::seed_from_u64(11);
+    (0..REQUESTS)
+        .map(|_| {
+            Tensor3::from_fn(Shape3::square(8, 3), |_, _, _| rng.gen_range(-127i8..=127))
+        })
+        .collect()
+}
+
+fn serve_trace(net: &Network, images: &[Tensor3<i8>], replicas: usize) -> ServerReport {
+    // Long flush deadline: the burst always fills batches to max_batch,
+    // so the round-robin shard sizes (and the cycle makespan) are
+    // deterministic run to run.
+    let config = ServerConfig {
+        replicas,
+        max_batch: 2,
+        flush_deadline: Duration::from_secs(1),
+        ..ServerConfig::default()
+    };
+    let ((), report) = serve(net, &config, |client| {
+        let tickets: Vec<Ticket> =
+            images.iter().map(|i| client.submit(i.clone()).expect("admitted")).collect();
+        for t in tickets {
+            t.wait().expect("answered");
+        }
+    });
+    assert_eq!(report.completed, REQUESTS as u64);
+    report
+}
+
+fn main() {
+    let net = Network::random(models::test_net(8, 4, 2), 42);
+    let images = trace();
+    let bench = Bench::from_env().with_iters(1, 7);
+
+    let mut points = Vec::new();
+    for replicas in [1usize, 2, 4] {
+        let mut device_ips = 0.0f64;
+        let mut host_ips = 0.0f64;
+        bench.run(&format!("serve_throughput/replicas/{replicas}"), || {
+            let report = serve_trace(&net, &images, replicas);
+            device_ips = report.device_images_per_sec(MAIA_FCLK_MHZ);
+            host_ips = host_ips.max(report.images_per_sec());
+        });
+        points.push((replicas, device_ips, host_ips));
+    }
+
+    let (base_dev, base_host) = (points[0].1, points[0].2);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|&(r, dev, host)| {
+            vec![
+                r.to_string(),
+                format!("{dev:.0}"),
+                format!("{:.2}x", dev / base_dev),
+                format!("{:.0}%", 100.0 * dev / base_dev / r as f64),
+                format!("{host:.1}"),
+                format!("{:.2}x", host / base_host),
+            ]
+        })
+        .collect();
+    println!(
+        "\n== serving scaling ({REQUESTS} requests, max_batch 2, device clock {MAIA_FCLK_MHZ} MHz) ==\n{}",
+        render_table(
+            &["replicas", "device img/s", "speedup", "efficiency", "host img/s", "host speedup"],
+            &rows
+        )
+    );
+
+    let two = points.iter().find(|&&(r, ..)| r == 2).expect("2-replica row").1;
+    let speedup = two / base_dev;
+    println!("1 -> 2 replica device-clock speedup: {speedup:.2}x (target >= 1.7x)");
+    assert!(speedup >= 1.7, "replica scaling regressed: {speedup:.2}x < 1.7x");
+}

@@ -17,8 +17,10 @@
 
 pub mod lower;
 pub mod partition;
+pub mod replicate;
 pub mod run;
 
 pub use lower::{compile, CompileOptions, CompiledNetwork};
 pub use partition::{partition, partition_balanced, Partition, PartitionError};
+pub use replicate::{compile_replicas, Replica};
 pub use run::{run_image, run_images, SimResult};

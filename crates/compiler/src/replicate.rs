@@ -1,0 +1,134 @@
+//! Pipeline replication for batch parallelism.
+//!
+//! The paper scales *one* image stream across devices (model parallelism
+//! over MaxRing); a serving deployment additionally replicates the whole
+//! compiled pipeline N times and shards *images* across the replicas —
+//! FINN-R's "multiple accelerator instances" pattern. A [`Replica`] is an
+//! independent instance of a partitioned pipeline: it owns a clone of the
+//! network parameters and compile options (including any `stage_device`
+//! placement), and materializes a fresh device graph per batch, because a
+//! compiled [`crate::CompiledNetwork`] bakes the batch's pixels into its
+//! `HostSource` (the PCIe burst of §III-B6).
+//!
+//! Replicas share nothing mutable, so they can run concurrently on worker
+//! threads with bit-identical per-image results: each batch goes through
+//! exactly the same [`crate::run_images`] path a direct single-pipeline run
+//! uses.
+
+use crate::lower::CompileOptions;
+use crate::run::{run_images, SimResult};
+use dfe_platform::RunError;
+use qnn_nn::Network;
+use qnn_tensor::Tensor3;
+
+/// One independent instance of a compiled device pipeline.
+pub struct Replica {
+    id: usize,
+    net: Network,
+    opts: CompileOptions,
+}
+
+impl Replica {
+    /// Replica index within its group (0-based).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The network this replica serves.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Compile options (placement, FIFO sizing) this replica was built with.
+    pub fn options(&self) -> &CompileOptions {
+        &self.opts
+    }
+
+    /// Run one batch of images through this replica's pipeline.
+    ///
+    /// Identical to calling [`run_images`] on the replica's network and
+    /// options directly — the serving runtime's 1-replica path is therefore
+    /// bit-identical to direct execution (logits *and* cycle reports).
+    pub fn run_batch(&self, images: &[Tensor3<i8>]) -> Result<SimResult, RunError> {
+        run_images(&self.net, images, &self.opts)
+    }
+}
+
+/// Clone a partitioned pipeline into `n` independent replica instances.
+///
+/// Each replica carries its own copy of the parameters and placement, so
+/// the returned instances can be moved onto separate worker threads and
+/// driven concurrently without any shared state.
+///
+/// # Panics
+/// Panics when `n == 0` — a serving pool needs at least one pipeline.
+pub fn compile_replicas(net: &Network, n: usize, opts: &CompileOptions) -> Vec<Replica> {
+    assert!(n > 0, "a replica group needs at least one pipeline");
+    (0..n)
+        .map(|id| Replica { id, net: net.clone(), opts: opts.clone() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn_nn::models;
+    use qnn_testkit::Rng;
+
+    fn image(side: usize, seed: u64) -> Tensor3<i8> {
+        let mut rng = Rng::seed_from_u64(seed);
+        Tensor3::from_fn(qnn_tensor::Shape3::square(side, 3), |_, _, _| {
+            rng.gen_range(-127i8..=127)
+        })
+    }
+
+    #[test]
+    fn replicas_match_direct_execution_bit_for_bit() {
+        let net = Network::random(models::test_net(8, 4, 2), 21);
+        let imgs: Vec<_> = (0..3).map(|s| image(8, s)).collect();
+        let opts = CompileOptions::default();
+        let direct = run_images(&net, &imgs, &opts).expect("direct");
+        for r in compile_replicas(&net, 3, &opts) {
+            let got = r.run_batch(&imgs).expect("replica");
+            assert_eq!(got.logits, direct.logits, "replica {}", r.id());
+            assert_eq!(got.reports, direct.reports, "replica {} cycle report", r.id());
+        }
+    }
+
+    #[test]
+    fn replicas_preserve_partitioned_placement() {
+        let spec = models::test_net(8, 4, 2);
+        let cut = spec.stages.len() / 2;
+        let stage_device: Vec<usize> =
+            (0..spec.stages.len()).map(|i| usize::from(i >= cut)).collect();
+        let net = Network::random(spec, 22);
+        let opts =
+            CompileOptions { stage_device: Some(stage_device), ..CompileOptions::default() };
+        let imgs = vec![image(8, 9)];
+        let direct = run_images(&net, &imgs, &opts).expect("direct");
+        assert_eq!(direct.reports.len(), 2, "expected a two-device split");
+        let replicas = compile_replicas(&net, 2, &opts);
+        for r in &replicas {
+            let got = r.run_batch(&imgs).expect("replica");
+            assert_eq!(got.reports.len(), 2, "replica {} lost the placement", r.id());
+            assert_eq!(got.logits, direct.logits);
+        }
+    }
+
+    #[test]
+    fn replica_ids_are_sequential() {
+        let net = Network::random(models::test_net(8, 3, 2), 23);
+        let ids: Vec<usize> = compile_replicas(&net, 4, &CompileOptions::default())
+            .iter()
+            .map(Replica::id)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pipeline")]
+    fn zero_replicas_rejected() {
+        let net = Network::random(models::test_net(8, 3, 2), 24);
+        let _ = compile_replicas(&net, 0, &CompileOptions::default());
+    }
+}

@@ -35,6 +35,7 @@ pub mod graph;
 pub mod host;
 pub mod kernel;
 pub mod ring;
+pub mod stall;
 pub mod stream;
 pub mod threaded;
 pub mod trace;
@@ -44,5 +45,6 @@ pub use graph::{CycleReport, Graph, KernelId, RunError, StreamId};
 pub use host::{HostSink, HostSource, SinkHandle};
 pub use kernel::{Io, Kernel, Progress};
 pub use ring::MaxRing;
+pub use stall::StallInjector;
 pub use stream::StreamSpec;
 pub use trace::Trace;

@@ -131,10 +131,15 @@ impl Kernel for PoolKernel {
             }
         }
 
-        // Absorb one input unless the pending queue is at its bound (one
-        // position's worth of outputs keeps state finite).
-        let want_input = self.received < self.input.len() || self.out_pos < self.positions();
-        if self.pending.len() < self.input.c && want_input && self.received < self.input.len() {
+        // Absorb one input, but never past the completing element of the
+        // current uncomputed position: element `e` overwrites ring slot
+        // `e % buf`, and `needed(out_pos)` equals the window start plus
+        // exactly `buf`, so reading beyond it would clobber window data
+        // that `compute_position` still needs. (Gating on the *pending*
+        // length instead is wrong: under output backpressure the queue can
+        // sit partially drained for many cycles while reads run ahead.)
+        let ahead_ok = self.out_pos >= self.positions() || self.received < self.needed(self.out_pos);
+        if ahead_ok && self.received < self.input.len() {
             match io.read(0) {
                 Some(v) => {
                     let cap = self.ring.len();

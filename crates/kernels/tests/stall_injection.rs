@@ -1,0 +1,208 @@
+//! Stall-injection property suite: streaming kernels must be *timing
+//! insensitive* — their output streams depend only on the data, never on
+//! when elements happen to arrive or when downstream accepts them.
+//!
+//! Each property runs the same kernel cell twice at `Kernel::tick`
+//! granularity: once clean, once with every node (sources, the kernel
+//! under test, sinks) wrapped in a [`StallInjector`] that suppresses a
+//! random subset of ticks. The injected pattern models clock-domain
+//! jitter, PCIe arbitration and MaxRing credit delays; the outputs must be
+//! bit-identical regardless. Deadlock detection is disabled because an
+//! injected stall can legitimately produce a full no-progress cycle (see
+//! the `dfe_platform::stall` module docs); the cycle budget still bounds
+//! every run.
+
+use dfe_platform::{Graph, HostSink, HostSource, Kernel, StallInjector, StreamSpec};
+use qnn_kernels::{AddKernel, PoolKernel, PoolOp, SplitKernel, ThresholdKernel};
+use qnn_quant::{BnParams, QuantSpec, ThresholdUnit};
+use qnn_tensor::{Shape3, Tensor3};
+use qnn_testkit::{any, prop_assert_eq, prop_assume, props};
+
+const MAX_CYCLES: u64 = 100_000_000;
+
+/// Derive a per-node injector seed so each node gets its own pattern.
+fn node_seed(base: u64, node: u64) -> u64 {
+    base ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Run one kernel between host sources and sinks, optionally with every
+/// node stall-injected, and return each output stream.
+fn run_cell(
+    make: &dyn Fn() -> Box<dyn Kernel>,
+    inputs: &[Vec<i32>],
+    out_lens: &[usize],
+    cap: usize,
+    stall: Option<(u64, u8)>,
+) -> Vec<Vec<i32>> {
+    let inject = |k: Box<dyn Kernel>, node: u64| match stall {
+        Some((seed, pct)) => StallInjector::wrap(k, node_seed(seed, node), pct),
+        None => k,
+    };
+    let mut g = Graph::new();
+    let ins: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, data)| {
+            let s = g.add_stream(StreamSpec::new(format!("in{i}"), 32, cap));
+            let src = inject(Box::new(HostSource::new(format!("src{i}"), data.clone())), i as u64);
+            g.add_kernel(src, &[], &[s]);
+            s
+        })
+        .collect();
+    let outs: Vec<_> = (0..out_lens.len())
+        .map(|i| g.add_stream(StreamSpec::new(format!("out{i}"), 32, cap)))
+        .collect();
+    g.add_kernel(inject(make(), 100), &ins, &outs);
+    let handles: Vec<_> = out_lens
+        .iter()
+        .zip(&outs)
+        .enumerate()
+        .map(|(i, (&n, &s))| {
+            let (sink, h) = HostSink::new(format!("dst{i}"), n);
+            g.add_kernel(inject(Box::new(sink), 200 + i as u64), &[s], &[]);
+            h
+        })
+        .collect();
+    g.run_opts(MAX_CYCLES, false).expect("cell run");
+    handles.into_iter().map(|h| h.take()).collect()
+}
+
+props! {
+    /// Pooling (both ops) is bit-identical under random stall injection,
+    /// and still matches the analytic reference.
+    #[test]
+    fn pool_kernel_is_timing_insensitive(
+        side in 3usize..10,
+        c in 1usize..4,
+        k in 1usize..4,
+        stride in 1usize..3,
+        avg in any::<bool>(),
+        cap in 2usize..16,
+        seed in any::<u64>(),
+        stall in 5u8..60,
+    ) {
+        prop_assume!(side >= k);
+        let shape = Shape3::new(side, side, c);
+        let input = Tensor3::from_fn(shape, |y, x, ch| {
+            ((seed as usize).wrapping_add(y * 13 + x * 5 + ch * 3) % 4) as u8
+        });
+        let (op, expect) = if avg {
+            (PoolOp::AvgShift, qnn_nn::reference::avg_sum_pool(&input, k, stride))
+        } else {
+            (PoolOp::Max, qnn_nn::reference::max_pool(&input, k, stride, 0))
+        };
+        let data: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
+        let make = || Box::new(PoolKernel::new("p", shape, k, stride, op)) as Box<dyn Kernel>;
+        let out_len = expect.shape().len();
+        let clean = run_cell(&make, std::slice::from_ref(&data), &[out_len], cap, None);
+        let stalled = run_cell(&make, &[data], &[out_len], cap, Some((seed, stall)));
+        prop_assert_eq!(&stalled, &clean, "stall injection changed the output");
+        let clean_u8: Vec<u8> = clean[0].iter().map(|&v| v as u8).collect();
+        prop_assert_eq!(clean_u8.as_slice(), expect.as_slice());
+    }
+
+    /// The fused BatchNorm+activation kernel is bit-identical under random
+    /// stall injection for random per-channel parameters.
+    #[test]
+    fn threshold_kernel_is_timing_insensitive(
+        c in 1usize..5,
+        pixels in 2usize..40,
+        cap in 2usize..16,
+        seed in any::<u64>(),
+        stall in 5u8..60,
+    ) {
+        let spec = QuantSpec::paper_2bit();
+        let make = move || {
+            let units: Vec<ThresholdUnit> = (0..c)
+                .map(|ch| {
+                    let bn = BnParams::new(
+                        0.25 + 0.5 * ch as f32,
+                        (seed % 11) as f32 - 5.0,
+                        0.5,
+                        0.1 * ch as f32,
+                    );
+                    ThresholdUnit::from_batchnorm(&bn, &spec)
+                })
+                .collect();
+            Box::new(ThresholdKernel::new("thr", units)) as Box<dyn Kernel>
+        };
+        let data: Vec<i32> = (0..pixels * c)
+            .map(|i| ((seed.wrapping_add(i as u64 * 37) % 41) as i32) - 20)
+            .collect();
+        let n = data.len();
+        let clean = run_cell(&make, std::slice::from_ref(&data), &[n], cap, None);
+        let stalled = run_cell(&make, &[data], &[n], cap, Some((seed, stall)));
+        prop_assert_eq!(stalled, clean);
+    }
+
+    /// The skip-connection adder with two independently stalled operand
+    /// streams never misaligns them.
+    #[test]
+    fn add_kernel_keeps_operands_aligned_under_stalls(
+        n in 1usize..60,
+        cap in 2usize..16,
+        seed in any::<u64>(),
+        stall in 5u8..60,
+    ) {
+        let a: Vec<i32> = (0..n).map(|i| (seed.wrapping_add(i as u64) % 100) as i32).collect();
+        let b: Vec<i32> = (0..n).map(|i| (seed.wrapping_mul(3).wrapping_add(i as u64 * 7) % 100) as i32 * 100).collect();
+        let expect: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let make = || Box::new(AddKernel::new("add")) as Box<dyn Kernel>;
+        let stalled =
+            run_cell(&make, &[a.clone(), b.clone()], &[n], cap, Some((seed, stall)));
+        prop_assert_eq!(&stalled[0], &expect, "operand streams misaligned");
+    }
+
+    /// The post-adder split keeps both fan-out copies identical and
+    /// in-order even when each path backpressures at random.
+    #[test]
+    fn split_kernel_duplicates_faithfully_under_stalls(
+        n in 1usize..60,
+        cap in 2usize..16,
+        seed in any::<u64>(),
+        stall in 5u8..60,
+    ) {
+        let data: Vec<i32> = (0..n).map(|i| (seed.wrapping_add(i as u64 * 13) % 1000) as i32).collect();
+        let make = || Box::new(SplitKernel::new("split")) as Box<dyn Kernel>;
+        let stalled = run_cell(&make, std::slice::from_ref(&data), &[n, n], cap, Some((seed, stall)));
+        prop_assert_eq!(&stalled[0], &data, "first copy corrupted");
+        prop_assert_eq!(&stalled[1], &data, "second copy corrupted");
+    }
+}
+
+/// Whole skip cell (split → two paths → add) under independent stall
+/// patterns on every node: the classic place where a flow-control bug
+/// shows up as path misalignment.
+#[test]
+fn skip_cell_survives_independent_stall_patterns() {
+    for seed in 0..8u64 {
+        let n = 40usize;
+        let data: Vec<i32> = (0..n as i32).map(|v| v * 3 + 1).collect();
+        let mut g = Graph::new();
+        let s_in = g.add_stream(StreamSpec::new("in", 32, 4));
+        let s_a = g.add_stream(StreamSpec::new("path_a", 32, 4));
+        let s_b = g.add_stream(StreamSpec::new("path_b", 32, 4));
+        let s_out = g.add_stream(StreamSpec::new("out", 32, 4));
+        let pct = 30 + (seed % 3) as u8 * 10;
+        g.add_kernel(
+            StallInjector::wrap(Box::new(HostSource::new("src", data.clone())), seed, pct),
+            &[],
+            &[s_in],
+        );
+        g.add_kernel(
+            StallInjector::wrap(Box::new(SplitKernel::new("split")), seed ^ 1, pct),
+            &[s_in],
+            &[s_a, s_b],
+        );
+        g.add_kernel(
+            StallInjector::wrap(Box::new(AddKernel::new("add")), seed ^ 2, pct),
+            &[s_a, s_b],
+            &[s_out],
+        );
+        let (sink, h) = HostSink::new("dst", n);
+        g.add_kernel(StallInjector::wrap(Box::new(sink), seed ^ 3, pct), &[s_out], &[]);
+        g.run_opts(MAX_CYCLES, false).expect("skip cell run");
+        let expect: Vec<i32> = data.iter().map(|v| v * 2).collect();
+        assert_eq!(h.take(), expect, "seed {seed}");
+    }
+}

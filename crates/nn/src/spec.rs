@@ -195,7 +195,7 @@ impl Stage {
 }
 
 /// A validated network description.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NetworkSpec {
     /// Human-readable model name (used in reports and tables).
     pub name: String,

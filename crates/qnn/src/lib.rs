@@ -14,6 +14,7 @@
 //! | [`compiler`] | lowering, multi-DFE partitioning, run helpers |
 //! | [`hw`] | resource / cycle / power models and the GPU baseline |
 //! | [`data`] | synthetic datasets and teacher-agreement evaluation |
+//! | [`serve`] | batch-parallel serving runtime over replicated pipelines |
 //!
 //! ## Quickstart
 //!
@@ -43,4 +44,5 @@ pub use qnn_data as data;
 pub use qnn_kernels as kernels;
 pub use qnn_nn as nn;
 pub use qnn_quant as quant;
+pub use qnn_serve as serve;
 pub use qnn_tensor as tensor;

@@ -1,0 +1,87 @@
+//! Serving-runtime configuration.
+
+use qnn_compiler::CompileOptions;
+use std::time::Duration;
+
+/// What `submit` does when the bounded submission queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until the queue drains (backpressure
+    /// propagates to the traffic source, like a PCIe link asserting halt).
+    Block,
+    /// Fail fast with [`crate::SubmitError::QueueFull`], returning the
+    /// image to the caller (load shedding at the admission edge).
+    Reject,
+}
+
+/// Configuration of a [`crate::serve`] runtime instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of independent pipeline replicas (worker threads). Each
+    /// replica runs the lockstep device executor on its own thread;
+    /// batches are dispatched round-robin across replicas.
+    pub replicas: usize,
+    /// Maximum images per batch. A full batch dispatches immediately.
+    pub max_batch: usize,
+    /// Maximum wall time a partial batch may wait for more requests,
+    /// measured from its first queued request. Mirrors the paper's PCIe
+    /// burst assembly: the host trades a little latency for occupancy.
+    pub flush_deadline: Duration,
+    /// Depth of the bounded submission queue (requests, not batches).
+    pub queue_depth: usize,
+    /// Behaviour when the submission queue is full.
+    pub admission: AdmissionPolicy,
+    /// Compile options shared by every replica (placement, FIFO sizing,
+    /// parameter streaming).
+    pub compile: CompileOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 1,
+            max_batch: 8,
+            flush_deadline: Duration::from_millis(2),
+            queue_depth: 64,
+            admission: AdmissionPolicy::Block,
+            compile: CompileOptions::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Panic on nonsensical settings (zero replicas/batch/queue).
+    pub(crate) fn validate(&self) {
+        assert!(self.replicas > 0, "serving needs at least one replica");
+        assert!(self.max_batch > 0, "batches must hold at least one image");
+        assert!(self.queue_depth > 0, "the submission queue cannot be zero-depth");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ServerConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        ServerConfig { replicas: 0, ..ServerConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one image")]
+    fn zero_batch_rejected() {
+        ServerConfig { max_batch: 0, ..ServerConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-depth")]
+    fn zero_queue_rejected() {
+        ServerConfig { queue_depth: 0, ..ServerConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,60 @@
+//! `qnn-serve` — a batch-parallel inference serving runtime for the
+//! streaming-QNN pipeline.
+//!
+//! The paper's architecture hides layer latency by overlapping images
+//! *inside one pipeline*; the host side of a production deployment must
+//! additionally keep **several** pipelines fed at line rate (FINN-R's
+//! batching runtime makes the same point for their accelerator). This
+//! crate is that host runtime:
+//!
+//! * a **bounded submission queue** with configurable admission (block
+//!   for backpressure, or reject-when-full for load shedding);
+//! * a **batcher** that assembles requests into batches, dispatching on
+//!   whichever comes first — the batch filling to `max_batch` (the PCIe
+//!   image burst of §III-B6) or a flush deadline expiring (latency bound
+//!   for trickle traffic);
+//! * **N replica workers**, each owning an independent clone of the
+//!   compiled pipeline ([`qnn_compiler::compile_replicas`]) and running
+//!   the existing lockstep device executor on its own thread; batches are
+//!   sharded round-robin, so throughput scales with cores while every
+//!   image's logits stay bit-identical to direct execution;
+//! * **per-request and aggregate statistics** — queue wait, batch
+//!   occupancy, p50/p95 latency, images/sec — via `qnn-testkit`'s bench
+//!   helpers;
+//! * **graceful drop-driven shutdown** that drains every in-flight batch
+//!   before returning.
+//!
+//! Everything is `std`-only (`std::sync::mpsc` + `std::thread::scope`),
+//! per the workspace's hermetic-build policy.
+//!
+//! ## Example
+//!
+//! ```
+//! use qnn_nn::{models, Network};
+//! use qnn_serve::{serve, ServerConfig};
+//! use qnn_tensor::{Shape3, Tensor3};
+//!
+//! let net = Network::random(models::test_net(8, 4, 2), 42);
+//! let config = ServerConfig { replicas: 2, max_batch: 4, ..ServerConfig::default() };
+//! let (responses, report) = serve(&net, &config, |client| {
+//!     let tickets: Vec<_> = (0..4)
+//!         .map(|s| {
+//!             let img = Tensor3::from_fn(Shape3::square(8, 3), |y, x, c| {
+//!                 ((s + y * 31 + x * 7 + c) % 255) as i8
+//!             });
+//!             client.submit(img).expect("admitted")
+//!         })
+//!         .collect();
+//!     tickets.into_iter().map(|t| t.wait().expect("answered")).collect::<Vec<_>>()
+//! });
+//! assert_eq!(responses.len(), 4);
+//! assert_eq!(report.completed, 4);
+//! ```
+
+mod config;
+mod server;
+mod stats;
+
+pub use config::{AdmissionPolicy, ServerConfig};
+pub use server::{serve, Client, Response, SubmitError, Ticket};
+pub use stats::{LatencySummary, ReplicaStats, RequestStats, ServerReport};

@@ -1,0 +1,370 @@
+//! The serving runtime: submission queue → batcher → replica workers.
+//!
+//! Thread topology (all `std::sync::mpsc` + `std::thread::scope`, per the
+//! hermetic-build policy):
+//!
+//! ```text
+//!  client threads ──submit──▶ [bounded submission queue]
+//!                                     │
+//!                                 batcher thread
+//!                        (size- and deadline-triggered flush)
+//!                        │           │           │
+//!                   [batch q]   [batch q]   [batch q]      (depth 1 each)
+//!                        │           │           │
+//!                    replica 0   replica 1   replica 2     (worker threads,
+//!                        │           │           │     lockstep executor each)
+//!                        └──per-request reply channels──▶ tickets
+//! ```
+//!
+//! Shutdown is drop-driven and drains: when the `body` closure returns,
+//! the [`Client`] (sole submission sender) is dropped, the batcher sees
+//! the queue disconnect, flushes its partial batch, and drops the batch
+//! senders; each worker drains its remaining batches and returns its
+//! counters. Every admitted request is answered before [`serve`] returns.
+
+use crate::config::{AdmissionPolicy, ServerConfig};
+use crate::stats::{LatencySummary, ReplicaStats, RequestStats, ServerReport};
+use qnn_compiler::{compile_replicas, Replica};
+use qnn_nn::Network;
+use qnn_tensor::Tensor3;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+
+/// One completed inference.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Request id assigned at submission (monotonic per server).
+    pub id: u64,
+    /// The image's logits.
+    pub logits: Vec<i32>,
+    /// Timing and placement breakdown.
+    pub stats: RequestStats,
+}
+
+impl Response {
+    /// Index of the winning class.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (j, &v) in self.logits.iter().enumerate() {
+            if v > self.logits[best] {
+                best = j;
+            }
+        }
+        best
+    }
+}
+
+/// Why a submission was not admitted.
+pub enum SubmitError {
+    /// The bounded queue is full ([`AdmissionPolicy::Reject`] only); the
+    /// image is handed back to the caller.
+    QueueFull(Box<Tensor3<i8>>),
+    /// The runtime is no longer accepting requests.
+    Stopped,
+}
+
+impl fmt::Debug for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull(img) => {
+                write!(f, "QueueFull({:?})", img.shape())
+            }
+            SubmitError::Stopped => write!(f, "Stopped"),
+        }
+    }
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => write!(f, "submission queue full"),
+            SubmitError::Stopped => write!(f, "serving runtime stopped"),
+        }
+    }
+}
+
+/// Claim ticket for an in-flight request.
+pub struct Ticket {
+    id: u64,
+    rx: Receiver<Response>,
+}
+
+impl Ticket {
+    /// The request id this ticket redeems.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the response arrives. Returns `None` only if the
+    /// runtime was torn down without answering (a worker panic).
+    pub fn wait(self) -> Option<Response> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<Response> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Submission-side handle passed to the `body` closure of [`serve`].
+///
+/// `&Client` is `Sync`: the closure may hand references to multiple
+/// threads (e.g. via `std::thread::scope`) to model concurrent traffic.
+pub struct Client<'a> {
+    tx: SyncSender<Request>,
+    admission: AdmissionPolicy,
+    next_id: &'a AtomicU64,
+    submitted: &'a AtomicU64,
+    rejected: &'a AtomicU64,
+}
+
+impl Client<'_> {
+    /// Submit one image for inference.
+    pub fn submit(&self, image: Tensor3<i8>) -> Result<Ticket, SubmitError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = sync_channel(1);
+        let req = Request { id, image, submitted_at: Instant::now(), reply };
+        match self.admission {
+            AdmissionPolicy::Block => {
+                self.tx.send(req).map_err(|_| SubmitError::Stopped)?;
+            }
+            AdmissionPolicy::Reject => match self.tx.try_send(req) {
+                Ok(()) => {}
+                Err(TrySendError::Full(req)) => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::QueueFull(Box::new(req.image)));
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(SubmitError::Stopped),
+            },
+        }
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket { id, rx })
+    }
+}
+
+struct Request {
+    id: u64,
+    image: Tensor3<i8>,
+    submitted_at: Instant,
+    reply: SyncSender<Response>,
+}
+
+struct Batch {
+    requests: Vec<Request>,
+}
+
+#[derive(Default)]
+struct BatcherStats {
+    batches: u64,
+    occupancy_sum: u64,
+}
+
+/// Assemble requests into batches and dispatch them round-robin.
+fn run_batcher(
+    rx: Receiver<Request>,
+    replica_txs: Vec<SyncSender<Batch>>,
+    max_batch: usize,
+    deadline: Duration,
+) -> BatcherStats {
+    let mut stats = BatcherStats::default();
+    let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
+    let mut first_at: Option<Instant> = None;
+    let mut seq: usize = 0;
+
+    fn flush(
+        batch: &mut Vec<Request>,
+        first_at: &mut Option<Instant>,
+        seq: &mut usize,
+        txs: &[SyncSender<Batch>],
+        stats: &mut BatcherStats,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        stats.batches += 1;
+        stats.occupancy_sum += batch.len() as u64;
+        let target = *seq % txs.len();
+        *seq += 1;
+        *first_at = None;
+        // Blocking send: if every replica is busy and its batch slot is
+        // occupied, backpressure propagates through the batcher to the
+        // bounded submission queue and ultimately to the admission edge.
+        txs[target]
+            .send(Batch { requests: std::mem::take(batch) })
+            .unwrap_or_else(|_| panic!("replica {target} hung up before shutdown"));
+    }
+
+    loop {
+        let msg = match first_at {
+            // Empty batch: nothing to flush, wait indefinitely.
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            // Partial batch: wait out the remainder of its deadline.
+            Some(t0) => rx.recv_timeout(deadline.saturating_sub(t0.elapsed())),
+        };
+        match msg {
+            Ok(req) => {
+                if batch.is_empty() {
+                    first_at = Some(Instant::now());
+                }
+                batch.push(req);
+                if batch.len() >= max_batch {
+                    flush(&mut batch, &mut first_at, &mut seq, &replica_txs, &mut stats);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                flush(&mut batch, &mut first_at, &mut seq, &replica_txs, &mut stats);
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                flush(&mut batch, &mut first_at, &mut seq, &replica_txs, &mut stats);
+                return stats;
+            }
+        }
+    }
+}
+
+struct WorkerOutput {
+    stats: ReplicaStats,
+    queue_waits: Vec<Duration>,
+    latencies: Vec<Duration>,
+}
+
+/// Execute batches on one replica until its queue disconnects (drain).
+fn run_worker(replica: Replica, rx: Receiver<Batch>) -> WorkerOutput {
+    let mut out = WorkerOutput {
+        stats: ReplicaStats {
+            replica: replica.id(),
+            batches: 0,
+            images: 0,
+            busy: Duration::ZERO,
+            cycles: 0,
+        },
+        queue_waits: Vec::new(),
+        latencies: Vec::new(),
+    };
+    while let Ok(batch) = rx.recv() {
+        let started = Instant::now();
+        let images: Vec<Tensor3<i8>> =
+            batch.requests.iter().map(|r| r.image.clone()).collect();
+        // A RunError here (deadlock/timeout) means the compiled pipeline
+        // itself is broken — a programming error, not a load condition —
+        // so it propagates as a panic with the executor's diagnostics.
+        let sim = replica.run_batch(&images).unwrap_or_else(|e| {
+            panic!("replica {}: batch of {} failed: {e}", replica.id(), images.len())
+        });
+        let busy = started.elapsed();
+        out.stats.batches += 1;
+        out.stats.images += batch.requests.len() as u64;
+        out.stats.busy += busy;
+        out.stats.cycles += sim.cycles();
+        let n = batch.requests.len();
+        for (i, req) in batch.requests.into_iter().enumerate() {
+            let queue_wait = started.saturating_duration_since(req.submitted_at);
+            let latency = req.submitted_at.elapsed();
+            out.queue_waits.push(queue_wait);
+            out.latencies.push(latency);
+            let response = Response {
+                id: req.id,
+                logits: sim.logits[i].clone(),
+                stats: RequestStats {
+                    queue_wait,
+                    latency,
+                    batch_size: n,
+                    replica: replica.id(),
+                    cycles: sim.cycles(),
+                },
+            };
+            // The ticket may have been dropped; the request still counts
+            // as completed (the work was done).
+            let _ = req.reply.send(response);
+        }
+    }
+    out
+}
+
+/// Run a serving session: spin up the batcher and `config.replicas` worker
+/// threads, hand a [`Client`] to `body`, and after `body` returns drain
+/// every in-flight batch before tearing down.
+///
+/// Returns `body`'s result and the aggregate [`ServerReport`].
+pub fn serve<R>(
+    net: &Network,
+    config: &ServerConfig,
+    body: impl FnOnce(&Client<'_>) -> R,
+) -> (R, ServerReport) {
+    config.validate();
+    let replicas = compile_replicas(net, config.replicas, &config.compile);
+    let next_id = AtomicU64::new(0);
+    let submitted = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let started = Instant::now();
+
+    let (result, batcher_stats, workers) = std::thread::scope(|scope| {
+        let (sub_tx, sub_rx) = sync_channel::<Request>(config.queue_depth);
+        let mut replica_txs = Vec::with_capacity(replicas.len());
+        let mut worker_handles = Vec::with_capacity(replicas.len());
+        for replica in replicas {
+            // Depth 1: one batch may queue while the previous one runs, so
+            // a replica never idles between back-to-back batches, but the
+            // batcher cannot run arbitrarily far ahead of slow replicas.
+            let (tx, rx) = sync_channel::<Batch>(1);
+            replica_txs.push(tx);
+            worker_handles.push(scope.spawn(move || run_worker(replica, rx)));
+        }
+        let (max_batch, deadline) = (config.max_batch, config.flush_deadline);
+        let batcher =
+            scope.spawn(move || run_batcher(sub_rx, replica_txs, max_batch, deadline));
+
+        let client = Client {
+            tx: sub_tx,
+            admission: config.admission,
+            next_id: &next_id,
+            submitted: &submitted,
+            rejected: &rejected,
+        };
+        let result = body(&client);
+        // Graceful shutdown: dropping the only submission sender lets the
+        // batcher flush and disconnect the workers, which drain in turn.
+        drop(client);
+
+        let batcher_stats = batcher.join().expect("batcher thread panicked");
+        let workers: Vec<WorkerOutput> = worker_handles
+            .into_iter()
+            .map(|h| h.join().expect("replica worker panicked"))
+            .collect();
+        (result, batcher_stats, workers)
+    });
+    let wall = started.elapsed();
+
+    let mut queue_waits = Vec::new();
+    let mut latencies = Vec::new();
+    let mut per_replica = Vec::with_capacity(workers.len());
+    let mut completed = 0u64;
+    for w in workers {
+        completed += w.stats.images;
+        queue_waits.extend(w.queue_waits);
+        latencies.extend(w.latencies);
+        per_replica.push(w.stats);
+    }
+    per_replica.sort_by_key(|r| r.replica);
+
+    let report = ServerReport {
+        replicas: config.replicas,
+        submitted: submitted.load(Ordering::Relaxed),
+        completed,
+        rejected: rejected.load(Ordering::Relaxed),
+        batches: batcher_stats.batches,
+        wall,
+        mean_batch_occupancy: if batcher_stats.batches > 0 {
+            batcher_stats.occupancy_sum as f64 / batcher_stats.batches as f64
+        } else {
+            0.0
+        },
+        queue_wait: LatencySummary::from_samples("queue_wait", queue_waits),
+        latency: LatencySummary::from_samples("latency", latencies),
+        per_replica,
+    };
+    (result, report)
+}

@@ -1,0 +1,200 @@
+//! Per-request and aggregate serving statistics.
+
+use qnn_testkit::bench::Measurement;
+use std::time::Duration;
+
+/// Timing breakdown attached to every completed request.
+#[derive(Clone, Debug)]
+pub struct RequestStats {
+    /// Submission → the batch containing this request started executing.
+    pub queue_wait: Duration,
+    /// Submission → response produced (queue wait + service time).
+    pub latency: Duration,
+    /// Number of images in the batch this request rode in.
+    pub batch_size: usize,
+    /// Replica index that executed the batch.
+    pub replica: usize,
+    /// Simulated fabric cycles of the batch run (bit-identical across
+    /// runs; the wall-clock fields above are not).
+    pub cycles: u64,
+}
+
+/// Per-replica aggregate counters, returned by each worker at shutdown.
+#[derive(Clone, Debug)]
+pub struct ReplicaStats {
+    /// Replica index.
+    pub replica: usize,
+    /// Batches executed.
+    pub batches: u64,
+    /// Images executed.
+    pub images: u64,
+    /// Wall time spent inside pipeline execution.
+    pub busy: Duration,
+    /// Simulated fabric cycles executed, summed over batches.
+    pub cycles: u64,
+}
+
+/// p50/p95/max over a set of duration samples (via `qnn-testkit`'s
+/// median/p95 bench helpers, so serving reports and bench output agree on
+/// percentile arithmetic).
+#[derive(Clone, Copy, Debug)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile (nearest-rank).
+    pub p95: Duration,
+    /// Worst observed sample.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarize `samples`; `None` when no requests completed.
+    pub fn from_samples(name: &str, mut samples: Vec<Duration>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let max = *samples.last().expect("non-empty");
+        let m = Measurement { name: name.to_string(), sorted: samples };
+        Some(Self { p50: m.median(), p95: m.p95(), max })
+    }
+}
+
+/// Aggregate report returned by [`crate::serve`] after the drain completes.
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Configured replica count.
+    pub replicas: usize,
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests that completed with a response.
+    pub completed: u64,
+    /// Requests refused at admission (only under
+    /// [`crate::AdmissionPolicy::Reject`]).
+    pub rejected: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Wall time from server start to the end of the drain.
+    pub wall: Duration,
+    /// Mean images per dispatched batch.
+    pub mean_batch_occupancy: f64,
+    /// Queue-wait distribution across completed requests.
+    pub queue_wait: Option<LatencySummary>,
+    /// End-to-end latency distribution across completed requests.
+    pub latency: Option<LatencySummary>,
+    /// Per-replica counters.
+    pub per_replica: Vec<ReplicaStats>,
+}
+
+impl ServerReport {
+    /// Sustained throughput over the serving window.
+    pub fn images_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 { self.completed as f64 / secs } else { 0.0 }
+    }
+
+    /// Throughput at the modeled device clock (`fclk_mhz`, e.g. the Maia
+    /// fabric clock).
+    ///
+    /// Replicas model *independent DFE cards* running concurrently, so the
+    /// modeled makespan is the **maximum** per-replica cycle load — unlike
+    /// [`Self::images_per_sec`], whose wall clock serializes the replica
+    /// workers when the host has fewer cores than replicas. This is the
+    /// number that exhibits replica scaling regardless of host hardware,
+    /// and it is bit-deterministic across runs for a fixed trace.
+    pub fn device_images_per_sec(&self, fclk_mhz: f64) -> f64 {
+        let makespan = self.per_replica.iter().map(|r| r.cycles).max().unwrap_or(0);
+        if makespan == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * fclk_mhz * 1e6 / makespan as f64
+    }
+
+    /// Render a human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replicas {}  submitted {}  completed {}  rejected {}  batches {} \
+             (mean occupancy {:.2})",
+            self.replicas,
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.batches,
+            self.mean_batch_occupancy,
+        );
+        let _ = writeln!(
+            out,
+            "wall {:.3} ms  throughput {:.1} images/sec",
+            self.wall.as_secs_f64() * 1e3,
+            self.images_per_sec(),
+        );
+        let fmt = |s: &Option<LatencySummary>| match s {
+            Some(l) => format!(
+                "p50 {:.3} ms  p95 {:.3} ms  max {:.3} ms",
+                l.p50.as_secs_f64() * 1e3,
+                l.p95.as_secs_f64() * 1e3,
+                l.max.as_secs_f64() * 1e3
+            ),
+            None => "no completed requests".to_string(),
+        };
+        let _ = writeln!(out, "queue wait  {}", fmt(&self.queue_wait));
+        let _ = writeln!(out, "latency     {}", fmt(&self.latency));
+        for r in &self.per_replica {
+            let _ = writeln!(
+                out,
+                "replica {}: {} batches, {} images, busy {:.3} ms, {} cycles",
+                r.replica,
+                r.batches,
+                r.images,
+                r.busy.as_secs_f64() * 1e3,
+                r.cycles,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_orders_percentiles() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = LatencySummary::from_samples("t", samples).expect("non-empty");
+        assert!(s.p50 <= s.p95 && s.p95 <= s.max);
+        assert_eq!(s.max, Duration::from_micros(100));
+        assert_eq!(s.p95, Duration::from_micros(95));
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert!(LatencySummary::from_samples("t", Vec::new()).is_none());
+    }
+
+    #[test]
+    fn report_renders_and_computes_throughput() {
+        let report = ServerReport {
+            replicas: 2,
+            submitted: 10,
+            completed: 10,
+            rejected: 0,
+            batches: 5,
+            wall: Duration::from_millis(100),
+            mean_batch_occupancy: 2.0,
+            queue_wait: None,
+            latency: LatencySummary::from_samples(
+                "l",
+                vec![Duration::from_millis(1), Duration::from_millis(3)],
+            ),
+            per_replica: vec![],
+        };
+        assert!((report.images_per_sec() - 100.0).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("replicas 2"), "render was: {text}");
+        assert!(text.contains("images/sec"), "render was: {text}");
+    }
+}

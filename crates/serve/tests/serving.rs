@@ -1,0 +1,285 @@
+//! Integration tests for the serving runtime: correctness of responses,
+//! batching policy, admission control, drain-on-shutdown, and statistics
+//! invariants. Everything uses the small `test_net` so the whole file runs
+//! in tier-1 time.
+
+use qnn_compiler::{run_images, CompileOptions};
+use qnn_nn::{models, Network};
+use qnn_serve::{serve, AdmissionPolicy, ServerConfig, SubmitError, Ticket};
+use qnn_tensor::{Shape3, Tensor3};
+use qnn_testkit::Rng;
+use std::time::Duration;
+
+fn image(side: usize, seed: u64) -> Tensor3<i8> {
+    let mut rng = Rng::seed_from_u64(seed);
+    Tensor3::from_fn(Shape3::square(side, 3), |_, _, _| rng.gen_range(-127i8..=127))
+}
+
+fn net() -> Network {
+    Network::random(models::test_net(8, 4, 2), 42)
+}
+
+#[test]
+fn responses_match_the_reference_interpreter() {
+    let net = net();
+    let imgs: Vec<_> = (0..6).map(|s| image(8, s)).collect();
+    let config = ServerConfig { replicas: 2, max_batch: 3, ..ServerConfig::default() };
+    let (responses, report) = serve(&net, &config, |client| {
+        let tickets: Vec<Ticket> =
+            imgs.iter().map(|i| client.submit(i.clone()).expect("admitted")).collect();
+        tickets.into_iter().map(|t| t.wait().expect("answered")).collect::<Vec<_>>()
+    });
+    assert_eq!(report.completed, imgs.len() as u64);
+    assert_eq!(report.rejected, 0);
+    for (resp, img) in responses.iter().zip(&imgs) {
+        assert_eq!(resp.logits, net.forward(img).logits, "request {}", resp.id);
+    }
+}
+
+#[test]
+fn responses_are_matched_to_their_requests_not_merely_in_order() {
+    // Submit distinct images and redeem tickets in reverse order; each
+    // ticket must still carry its own image's logits.
+    let net = net();
+    let imgs: Vec<_> = (0..5).map(|s| image(8, 100 + s)).collect();
+    let config = ServerConfig { replicas: 3, max_batch: 2, ..ServerConfig::default() };
+    let (responses, _) = serve(&net, &config, |client| {
+        let tickets: Vec<Ticket> =
+            imgs.iter().map(|i| client.submit(i.clone()).expect("admitted")).collect();
+        let mut out: Vec<_> =
+            tickets.into_iter().rev().map(|t| t.wait().expect("answered")).collect();
+        out.reverse();
+        out
+    });
+    for (resp, img) in responses.iter().zip(&imgs) {
+        assert_eq!(resp.logits, net.forward(img).logits, "request {}", resp.id);
+    }
+}
+
+#[test]
+fn single_replica_serve_is_bit_identical_to_direct_execution() {
+    // One replica, one batch covering the whole trace: the serve path must
+    // produce the same logits as run_images on the same batch.
+    let net = net();
+    let imgs: Vec<_> = (0..4).map(|s| image(8, 50 + s)).collect();
+    let direct = run_images(&net, &imgs, &CompileOptions::default()).expect("direct");
+    let config = ServerConfig {
+        replicas: 1,
+        max_batch: imgs.len(),
+        flush_deadline: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let (logits, report) = serve(&net, &config, |client| {
+        let tickets: Vec<Ticket> =
+            imgs.iter().map(|i| client.submit(i.clone()).expect("admitted")).collect();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().expect("answered").logits)
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(logits, direct.logits);
+    assert_eq!(report.completed, imgs.len() as u64);
+}
+
+#[test]
+fn shutdown_drains_every_admitted_request() {
+    // Return from the body without waiting on any ticket: the drain must
+    // still execute every admitted request, and the buffered responses
+    // must be redeemable afterwards.
+    let net = net();
+    let imgs: Vec<_> = (0..5).map(|s| image(8, 200 + s)).collect();
+    let config = ServerConfig { replicas: 2, max_batch: 2, ..ServerConfig::default() };
+    let (tickets, report) = serve(&net, &config, |client| {
+        imgs.iter()
+            .map(|i| client.submit(i.clone()).expect("admitted"))
+            .collect::<Vec<Ticket>>()
+    });
+    assert_eq!(report.completed, imgs.len() as u64, "drain lost requests");
+    for (t, img) in tickets.into_iter().zip(&imgs) {
+        let resp = t.wait().expect("response was buffered before shutdown");
+        assert_eq!(resp.logits, net.forward(img).logits);
+    }
+}
+
+#[test]
+fn deadline_flushes_partial_batches() {
+    // One request against a huge max_batch: only the deadline can flush
+    // it. The request completing at all proves the deadline path works.
+    let net = net();
+    let config = ServerConfig {
+        replicas: 1,
+        max_batch: 64,
+        flush_deadline: Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    let ((), report) = serve(&net, &config, |client| {
+        let t = client.submit(image(8, 7)).expect("admitted");
+        let resp = t.wait().expect("deadline must flush the batch");
+        assert_eq!(resp.stats.batch_size, 1);
+    });
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.batches, 1);
+}
+
+#[test]
+fn reject_admission_sheds_load_without_losing_accepted_requests() {
+    // Tiny queue + reject policy + a fast submission burst: every attempt
+    // either completes or is cleanly rejected with its image handed back.
+    let net = net();
+    let attempts = 24usize;
+    let config = ServerConfig {
+        replicas: 1,
+        max_batch: 2,
+        queue_depth: 1,
+        admission: AdmissionPolicy::Reject,
+        ..ServerConfig::default()
+    };
+    let (outcome, report) = serve(&net, &config, |client| {
+        let mut tickets = Vec::new();
+        let mut rejected = 0u64;
+        for s in 0..attempts {
+            match client.submit(image(8, 300 + s as u64)) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::QueueFull(img)) => {
+                    assert_eq!(img.shape(), Shape3::square(8, 3), "image handed back");
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected submit error: {e:?}"),
+            }
+        }
+        let mut completed = 0u64;
+        for t in tickets {
+            t.wait().expect("accepted requests must complete");
+            completed += 1;
+        }
+        (completed, rejected)
+    });
+    let (completed, rejected) = outcome;
+    assert_eq!(completed + rejected, attempts as u64, "an attempt vanished");
+    assert_eq!(report.completed, completed);
+    assert_eq!(report.rejected, rejected);
+    assert!(completed >= 1, "nothing was ever admitted");
+}
+
+#[test]
+fn report_statistics_are_internally_consistent() {
+    let net = net();
+    let n = 8usize;
+    let config = ServerConfig { replicas: 2, max_batch: 4, ..ServerConfig::default() };
+    let ((), report) = serve(&net, &config, |client| {
+        let tickets: Vec<Ticket> =
+            (0..n).map(|s| client.submit(image(8, s as u64)).expect("admitted")).collect();
+        for t in tickets {
+            let resp = t.wait().expect("answered");
+            assert!(resp.stats.batch_size >= 1 && resp.stats.batch_size <= 4);
+            assert!(resp.stats.replica < 2);
+            assert!(resp.stats.queue_wait <= resp.stats.latency);
+            assert!(resp.stats.cycles > 0);
+        }
+    });
+    assert_eq!(report.submitted, n as u64);
+    assert_eq!(report.completed, n as u64);
+    assert!(report.batches >= (n as u64).div_ceil(4), "too few batches");
+    assert!(report.mean_batch_occupancy >= 1.0 && report.mean_batch_occupancy <= 4.0);
+    assert!(report.images_per_sec() > 0.0);
+    let lat = report.latency.expect("completed requests imply a summary");
+    let qw = report.queue_wait.expect("completed requests imply a summary");
+    assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.max);
+    assert!(qw.p50 <= lat.max, "queue wait cannot exceed worst latency");
+    let per_replica_images: u64 = report.per_replica.iter().map(|r| r.images).sum();
+    assert_eq!(per_replica_images, n as u64);
+    assert!(!report.render().is_empty());
+}
+
+#[test]
+fn work_is_sharded_across_replicas() {
+    // With more batches than replicas and round-robin dispatch, every
+    // replica must execute at least one batch.
+    let net = net();
+    let n = 12usize;
+    let config = ServerConfig {
+        replicas: 3,
+        max_batch: 1,
+        flush_deadline: Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    let ((), report) = serve(&net, &config, |client| {
+        let tickets: Vec<Ticket> =
+            (0..n).map(|s| client.submit(image(8, s as u64)).expect("admitted")).collect();
+        for t in tickets {
+            t.wait().expect("answered");
+        }
+    });
+    assert_eq!(report.per_replica.len(), 3);
+    for r in &report.per_replica {
+        assert!(r.batches >= 1, "replica {} never ran a batch", r.replica);
+        assert!(r.busy > Duration::ZERO);
+    }
+}
+
+#[test]
+fn serving_works_over_a_partitioned_pipeline() {
+    // Replicas of a two-device placement: the serve path must route
+    // through the multi-DFE lockstep executor and stay bit-exact.
+    let spec = models::test_net(8, 4, 2);
+    let cut = spec.stages.len() / 2;
+    let stage_device: Vec<usize> =
+        (0..spec.stages.len()).map(|i| usize::from(i >= cut)).collect();
+    let net = Network::random(spec, 9);
+    let config = ServerConfig {
+        replicas: 2,
+        max_batch: 2,
+        compile: CompileOptions { stage_device: Some(stage_device), ..CompileOptions::default() },
+        ..ServerConfig::default()
+    };
+    let imgs: Vec<_> = (0..4).map(|s| image(8, 400 + s)).collect();
+    let (responses, _) = serve(&net, &config, |client| {
+        let tickets: Vec<Ticket> =
+            imgs.iter().map(|i| client.submit(i.clone()).expect("admitted")).collect();
+        tickets.into_iter().map(|t| t.wait().expect("answered")).collect::<Vec<_>>()
+    });
+    for (resp, img) in responses.iter().zip(&imgs) {
+        assert_eq!(resp.logits, net.forward(img).logits);
+    }
+}
+
+#[test]
+fn concurrent_submitters_share_one_client() {
+    // &Client is Sync: several scoped threads submit through it at once.
+    let net = net();
+    let net = &net;
+    let per_thread = 3usize;
+    let config = ServerConfig { replicas: 2, max_batch: 4, ..ServerConfig::default() };
+    let (all, report) = serve(net, &config, |client| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3u64)
+                .map(|t| {
+                    s.spawn(move || {
+                        (0..per_thread)
+                            .map(|i| {
+                                let img = image(8, 1000 * t + i as u64);
+                                let expect = net.forward(&img).logits;
+                                let got = client
+                                    .submit(img)
+                                    .expect("admitted")
+                                    .wait()
+                                    .expect("answered")
+                                    .logits;
+                                (got, expect)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter"))
+                .collect::<Vec<_>>()
+        })
+    });
+    assert_eq!(all.len(), 9);
+    for (got, expect) in all {
+        assert_eq!(got, expect);
+    }
+    assert_eq!(report.completed, 9);
+}

@@ -21,5 +21,5 @@ pub mod prop;
 pub mod rng;
 
 pub use bench::{black_box, Bench};
-pub use prop::{any, vec, Strategy};
+pub use prop::{any, map, vec, Strategy};
 pub use rng::{splitmix64, Rng};

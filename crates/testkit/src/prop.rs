@@ -232,6 +232,64 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
     }
 }
 
+/// `map(inner, f, inv)` — generate by applying `f` to `inner`'s values,
+/// shrink *through* the mapping: a failing mapped value is inverted back
+/// into the inner domain with `inv`, shrunk there, and re-mapped.
+///
+/// Plain proptest-style `map` loses shrinking because the mapped domain
+/// has no strategy to ask for candidates; supplying the (partial) inverse
+/// restores it. `inv` may return `None` for values it cannot invert
+/// (e.g. a constructor that rejected the parameters) — those simply don't
+/// shrink. The composite generators in the end-to-end property suites
+/// (random network specs built from geometry tuples) use this so that a
+/// failing spec minimizes toward small sides/kernels/channels instead of
+/// being frozen at whatever geometry first failed.
+pub fn map<S, T, F, I>(inner: S, f: F, inv: I) -> Map<S, F, I>
+where
+    S: Strategy,
+    T: Clone + Debug + PartialEq,
+    F: Fn(S::Value) -> T,
+    I: Fn(&T) -> Option<S::Value>,
+{
+    Map { inner, f, inv }
+}
+
+/// See [`map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F, I> {
+    inner: S,
+    f: F,
+    inv: I,
+}
+
+impl<S, T, F, I> Strategy for Map<S, F, I>
+where
+    S: Strategy,
+    T: Clone + Debug + PartialEq,
+    F: Fn(S::Value) -> T,
+    I: Fn(&T) -> Option<S::Value>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let Some(source) = (self.inv)(value) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for cand in self.inner.shrink(&source) {
+            let mapped = (self.f)(cand);
+            if mapped != *value && !out.contains(&mapped) {
+                out.push(mapped);
+            }
+        }
+        out
+    }
+}
+
 /// See [`Strategy::prop_filter`].
 #[derive(Clone, Debug)]
 pub struct Filter<S, F> {
@@ -654,6 +712,51 @@ mod tests {
         .expect_err("must exhaust rejections");
         let msg = report.downcast_ref::<String>().expect("string panic");
         assert!(msg.contains("rejections"), "report was:\n{msg}");
+    }
+
+    #[test]
+    fn map_generates_through_the_function() {
+        run(
+            "tk_map_gen",
+            Some(64),
+            (map(0u32..10, |v| v * 2 + 1, |t: &u32| Some((t - 1) / 2)),),
+            |(v,)| {
+                crate::prop_assert!(v % 2 == 1 && v < 21);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn map_shrinks_through_the_inverse() {
+        // Property fails for mapped values >= 800, i.e. inner >= 400.
+        // Inverse-aware shrinking must walk the inner domain down to the
+        // boundary and land exactly on 800.
+        let report = panic::catch_unwind(|| {
+            run(
+                "tk_map_shrink",
+                Some(64),
+                (map(0u64..1000, |v| v * 2, |t: &u64| Some(t / 2)),),
+                |(v,)| {
+                    crate::prop_assert!(v < 800, "too big: {v}");
+                    Ok(())
+                },
+            );
+        })
+        .expect_err("must fail");
+        let msg = report.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("shrunk     : (800,)"), "report was:\n{msg}");
+    }
+
+    #[test]
+    fn unmappable_values_do_not_shrink() {
+        let s = map(0u32..100, |v| v + 1, |_t: &u32| None::<u32>);
+        assert!(s.shrink(&50).is_empty());
+        // And with a working inverse the candidates pass back through f.
+        let s = map(0u32..100, |v| v + 1, |t: &u32| t.checked_sub(1));
+        let cands = s.shrink(&51);
+        assert!(cands.contains(&1), "inner 50 -> 0 -> mapped 1, got {cands:?}");
+        assert!(!cands.contains(&51));
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Determinism guarantees of the serving runtime.
+//!
+//! The serving path adds host-side concurrency (batcher + replica worker
+//! threads) on top of the lockstep device executor; these tests pin down
+//! that none of it leaks into results. A fixed request trace must produce
+//! (a) bit-identical logits to the direct `run_images` path with one
+//! replica, and (b) identical responses across repeated runs with several
+//! replicas, even though batch boundaries and replica assignment are
+//! timing-dependent.
+
+use qnn::compiler::{run_images, CompileOptions};
+use qnn::nn::{models, Network};
+use qnn::serve::{serve, ServerConfig, Ticket};
+use qnn::tensor::{Shape3, Tensor3};
+use qnn_testkit::Rng;
+
+fn trace(n: usize) -> Vec<Tensor3<i8>> {
+    let mut rng = Rng::seed_from_u64(0xD57);
+    (0..n)
+        .map(|_| {
+            Tensor3::from_fn(Shape3::square(8, 3), |_, _, _| rng.gen_range(-127i8..=127))
+        })
+        .collect()
+}
+
+fn serve_trace(net: &Network, images: &[Tensor3<i8>], config: &ServerConfig) -> Vec<Vec<i32>> {
+    let (logits, report) = serve(net, config, |client| {
+        let tickets: Vec<Ticket> =
+            images.iter().map(|i| client.submit(i.clone()).expect("admitted")).collect();
+        tickets.into_iter().map(|t| t.wait().expect("answered").logits).collect::<Vec<_>>()
+    });
+    assert_eq!(report.completed, images.len() as u64);
+    logits
+}
+
+#[test]
+fn one_replica_trace_matches_direct_run_devices_path_bit_for_bit() {
+    let net = Network::random(models::test_net(8, 4, 2), 21);
+    let images = trace(6);
+    let direct = run_images(&net, &images, &CompileOptions::default()).expect("direct");
+    // max_batch covers the trace, so the single replica sees the very same
+    // batch the direct path compiled.
+    let config = ServerConfig {
+        replicas: 1,
+        max_batch: images.len(),
+        flush_deadline: std::time::Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    assert_eq!(serve_trace(&net, &images, &config), direct.logits);
+}
+
+#[test]
+fn multi_replica_serving_is_identical_across_ten_runs() {
+    // Batch composition and replica assignment vary run to run with the
+    // thread scheduler; the logits must not.
+    let net = Network::random(models::test_net(8, 4, 2), 22);
+    let images = trace(8);
+    let config = ServerConfig { replicas: 3, max_batch: 2, ..ServerConfig::default() };
+    let reference = serve_trace(&net, &images, &config);
+    let expected: Vec<Vec<i32>> = images.iter().map(|i| net.forward(i).logits).collect();
+    assert_eq!(reference, expected, "serving diverged from the interpreter");
+    for run in 1..10 {
+        assert_eq!(serve_trace(&net, &images, &config), reference, "run {run} diverged");
+    }
+}
