@@ -10,10 +10,15 @@
 #   QNN_TEST_CASES=<n>         cases per property (default 64)
 #
 # Modes:
-#   ci.sh        tier-1: offline release build + full test suite + clippy
-#   ci.sh soak   NOT tier-1: the property suites only, in release, at
-#                QNN_TEST_CASES=1024 (overridable) — a long-running hunt
-#                for rare ring-buffer/stall/shrink bugs (see README).
+#   ci.sh                tier-1: offline release build + full test suite
+#                        + clippy
+#   ci.sh soak           NOT tier-1: the property suites only, in release,
+#                        at QNN_TEST_CASES=1024 (overridable) — a
+#                        long-running hunt for rare ring-buffer/stall/
+#                        scheduler/shrink bugs (see README).
+#   ci.sh release-tests  NOT tier-1: the `#[ignore]`d ImageNet/STL-scale
+#                        full-network runs, in release (minutes, not
+#                        tier-1 seconds).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,7 +36,14 @@ if [[ "${1:-}" == "soak" ]]; then
   run cargo test -q --release --offline -p qnn-kernels --test stall_injection
   run cargo test -q --release --offline -p dfe-platform --test proptests
   run cargo test -q --release --offline -p qnn --test property_streaming
+  run cargo test -q --release --offline -p qnn --test scheduler_equivalence
   echo "ci.sh soak: all green"
+  exit 0
+fi
+
+if [[ "${1:-}" == "release-tests" ]]; then
+  run cargo test -q --release --offline -p qnn --test full_networks -- --ignored
+  echo "ci.sh release-tests: all green"
   exit 0
 fi
 

@@ -1,0 +1,116 @@
+//! Scheduler micro-benchmark: dense stepping vs the event-driven
+//! ready-list stepper on full-network simulations.
+//!
+//! Both modes are bit-identical in outputs and `CycleReport`s (asserted
+//! here per workload, and property-tested in
+//! `tests/scheduler_equivalence.rs`), so the *entire* difference is
+//! scheduler overhead: the dense stepper pays a virtual tick for every
+//! kernel every cycle, while the ready-list stepper skips parked kernels
+//! for the price of an array read. Deep pipelines spend most kernel-cycles
+//! starved or backpressured — the deeper and more staged the network, the
+//! larger the win.
+//!
+//! Run via `cargo bench --bench scheduler_overhead` (tier-1 only builds
+//! it). The ≥2× assertion below backs the PR's acceptance criterion.
+
+use qnn::compiler::{run_images, CompileOptions, SimResult};
+use qnn::data::Dataset;
+use qnn::dfe::SchedulerMode;
+use qnn::nn::{models, Network, NetworkSpec};
+use qnn_bench::render_table;
+use qnn_testkit::black_box;
+use std::time::Instant;
+
+fn run_mode(net: &Network, images: &[qnn::tensor::Tensor3<i8>], mode: SchedulerMode) -> SimResult {
+    let opts = CompileOptions {
+        scheduler: mode,
+        ..CompileOptions::default()
+    };
+    run_images(net, images, &opts).expect("sim")
+}
+
+/// Iterations per scheduler (after one untimed warmup pair).
+const ITERS: usize = 5;
+
+/// Time one workload under both schedulers; returns (dense ms, ready ms,
+/// speedup) after asserting bit-identity of logits and reports.
+///
+/// The two modes are timed in *interleaved* dense/ready pairs rather than
+/// as two back-to-back blocks: the resnet18 run takes seconds per
+/// iteration, long enough for ambient machine drift (frequency scaling,
+/// co-tenants) to skew whichever block runs later. Pairing exposes both
+/// modes to the same drift, and the median of each side makes the ratio
+/// robust to one noisy pair.
+fn measure(label: &str, spec: NetworkSpec, classes: usize, n_images: usize) -> (f64, f64, f64) {
+    let side = spec.input.h;
+    let data = Dataset {
+        name: "bench",
+        side,
+        classes,
+    };
+    let net = Network::random(spec, 3);
+    let images = data.images(n_images);
+
+    let dense = run_mode(&net, &images, SchedulerMode::Dense);
+    let ready = run_mode(&net, &images, SchedulerMode::ReadyList);
+    assert_eq!(
+        dense.logits, ready.logits,
+        "{label}: outputs must be bit-identical"
+    );
+    assert_eq!(
+        dense.reports, ready.reports,
+        "{label}: reports must be bit-identical"
+    );
+
+    let mut t_dense = Vec::with_capacity(ITERS);
+    let mut t_ready = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        black_box(run_mode(&net, &images, SchedulerMode::Dense));
+        t_dense.push(t.elapsed());
+        let t = Instant::now();
+        black_box(run_mode(&net, &images, SchedulerMode::ReadyList));
+        t_ready.push(t.elapsed());
+    }
+    t_dense.sort();
+    t_ready.sort();
+    let d = t_dense[ITERS / 2].as_secs_f64() * 1e3;
+    let r = t_ready[ITERS / 2].as_secs_f64() * 1e3;
+    (d, r, d / r)
+}
+
+fn main() {
+    // CIFAR-scale nets are bounded by conv compute (busy ticks are ~1/3 of
+    // the dense tick grid), so the win there is modest; the ISSUE's target
+    // workload is ImageNet scale, where a 67-kernel pipeline idles behind
+    // conv1's 112×112 output and dense stepping wastes ~5 of every 6 ticks.
+    let workloads = [
+        ("test_net/16 residual", models::test_net(16, 4, 2), 10, 2),
+        ("vgg_like/32", models::vgg_like(32, 10, 2), 10, 2),
+        ("vgg_like_deep/32", models::vgg_like_deep(32, 10, 2), 10, 1),
+        ("resnet18/224", models::resnet18(1000), 1000, 1),
+    ];
+    let mut rows = Vec::new();
+    let mut imagenet_speedup = 0.0;
+    for (label, spec, classes, n) in workloads {
+        let (d, r, s) = measure(label, spec, classes, n);
+        if label.starts_with("resnet18") {
+            imagenet_speedup = s;
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{d:.1}"),
+            format!("{r:.1}"),
+            format!("{s:.2}x"),
+        ]);
+    }
+    println!(
+        "\n== Scheduler overhead (wall-clock per batch, bit-identical results) ==\n{}",
+        render_table(&["workload", "dense ms", "ready ms", "speedup"], &rows)
+    );
+    assert!(
+        imagenet_speedup >= 2.0,
+        "ready-list scheduler should be >=2x on an ImageNet-scale full-network sim, \
+         got {imagenet_speedup:.2}x"
+    );
+}

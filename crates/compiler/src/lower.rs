@@ -1,9 +1,13 @@
 //! Lowering: network spec + parameters → streaming kernel graph(s).
 
 use dfe_platform::threaded::link;
-use dfe_platform::{Graph, HostSink, HostSource, Kernel, SinkHandle, StreamId, StreamSpec};
+use dfe_platform::{
+    Graph, HostSink, HostSource, Kernel, SchedulerMode, SinkHandle, StreamId, StreamSpec,
+};
 use qnn_kernels::loader::encode_conv_params;
-use qnn_kernels::{AddKernel, ConvKernel, DotMode, PadInserter, PoolKernel, PoolOp, SplitKernel, ThresholdKernel};
+use qnn_kernels::{
+    AddKernel, ConvKernel, DotMode, PadInserter, PoolKernel, PoolOp, SplitKernel, ThresholdKernel,
+};
 use qnn_nn::{Network, PoolKind, Stage, StageParams};
 use qnn_quant::ThresholdUnit;
 use qnn_tensor::{BinaryFilters, ConvGeometry, Shape3, Tensor3};
@@ -24,6 +28,11 @@ pub struct CompileOptions {
     /// (§III-B1a) instead of instantiating pre-filled caches. Functionally
     /// identical; adds the one-time load cycles to the run.
     pub stream_parameters: bool,
+    /// Cycle-stepping strategy for every compiled device graph (and, via
+    /// `compile_replicas`, every `qnn-serve` replica worker). Dense and
+    /// ReadyList are bit-identical in outputs and reports; the default
+    /// follows `QNN_SCHEDULER` (ReadyList when unset).
+    pub scheduler: SchedulerMode,
 }
 
 impl Default for CompileOptions {
@@ -33,6 +42,7 @@ impl Default for CompileOptions {
             ring_capacity: 4096,
             stage_device: None,
             stream_parameters: false,
+            scheduler: SchedulerMode::default(),
         }
     }
 }
@@ -68,7 +78,9 @@ struct Builder {
 impl Builder {
     fn new(devices: usize, opts: &CompileOptions, act_bits: u32) -> Self {
         Self {
-            graphs: (0..devices).map(|_| Graph::new()).collect(),
+            graphs: (0..devices)
+                .map(|_| Graph::with_scheduler(opts.scheduler))
+                .collect(),
             fifo_capacity: opts.fifo_capacity,
             ring_capacity: opts.ring_capacity,
             links: 0,
@@ -86,14 +98,20 @@ impl Builder {
         let ins: Vec<StreamId> = inputs
             .iter()
             .map(|w| {
-                assert_eq!(w.device, device, "input wire crosses devices without a link");
+                assert_eq!(
+                    w.device, device,
+                    "input wire crosses devices without a link"
+                );
                 w.id
             })
             .collect();
         let outs: Vec<StreamId> = outputs
             .iter()
             .map(|w| {
-                assert_eq!(w.device, device, "output wire crosses devices without a link");
+                assert_eq!(
+                    w.device, device,
+                    "output wire crosses devices without a link"
+                );
                 w.id
             })
             .collect();
@@ -144,7 +162,12 @@ impl Builder {
             );
             self.kernel(
                 device,
-                Box::new(PadInserter::new(format!("{label}.pad"), geom.input, geom.pad, 0)),
+                Box::new(PadInserter::new(
+                    format!("{label}.pad"),
+                    geom.input,
+                    geom.pad,
+                    0,
+                )),
                 &[input],
                 &[padded],
             );
@@ -158,8 +181,7 @@ impl Builder {
             // §III-B1a: caches are filled from a CPU parameter stream
             // before the first image; the kernel binarizes on arrival.
             let blob = encode_conv_params(filters, thresholds, self.act_bits);
-            let params =
-                self.stream(device, format!("{label}.params"), 32, self.fifo_capacity);
+            let params = self.stream(device, format!("{label}.params"), 32, self.fifo_capacity);
             self.kernel(
                 device,
                 Box::new(HostSource::new(format!("{label}.param_src"), blob)),
@@ -199,10 +221,20 @@ impl Builder {
 /// Skip-buffer capacity covering the convolution path's worst-case lead:
 /// both window fills plus one position of compute halts and slack.
 fn skip_capacity(geom: &qnn_nn::ResidualGeometry) -> usize {
-    let b1 = ConvGeometry::new(geom.conv1.padded_input(), geom.conv1.filter, geom.conv1.stride, 0)
-        .depth_first_buffer();
-    let b2 = ConvGeometry::new(geom.conv2.padded_input(), geom.conv2.filter, geom.conv2.stride, 0)
-        .depth_first_buffer();
+    let b1 = ConvGeometry::new(
+        geom.conv1.padded_input(),
+        geom.conv1.filter,
+        geom.conv1.stride,
+        0,
+    )
+    .depth_first_buffer();
+    let b2 = ConvGeometry::new(
+        geom.conv2.padded_input(),
+        geom.conv2.filter,
+        geom.conv2.stride,
+        0,
+    )
+    .depth_first_buffer();
     b1 + b2 + geom.conv2.filter.o + 256
 }
 
@@ -216,7 +248,11 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
         .stage_device
         .clone()
         .unwrap_or_else(|| vec![0; spec.stages.len()]);
-    assert_eq!(stage_device.len(), spec.stages.len(), "one device per stage");
+    assert_eq!(
+        stage_device.len(),
+        spec.stages.len(),
+        "one device per stage"
+    );
     let devices = stage_device.iter().max().copied().unwrap_or(0) + 1;
 
     let mut b = Builder::new(devices, opts, act_bits);
@@ -228,7 +264,12 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
         pixels.extend(img.as_slice().iter().map(|&p| i32::from(p)));
     }
     let mut prev = b.stream(stage_device[0], "image".into(), 8, opts.fifo_capacity);
-    b.kernel(stage_device[0], Box::new(HostSource::new("host.src", pixels)), &[], &[prev]);
+    b.kernel(
+        stage_device[0],
+        Box::new(HostSource::new("host.src", pixels)),
+        &[],
+        &[prev],
+    );
     let mut prev_shape = spec.input;
     let mut prev_bits = 8u32;
     // Carried skip stream (produced by an identity-linked residual stage).
@@ -241,7 +282,8 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
         prev = b.to_device(prev, dev, prev_bits, (prev_shape.len() * n_images) as u64);
         if let Some(s) = skip {
             // Skip crosses the cut only when the consumer needs it.
-            let consumed_here = matches!(stage, Stage::Residual { geom } if geom.downsample.is_none());
+            let consumed_here =
+                matches!(stage, Stage::Residual { geom } if geom.downsample.is_none());
             if consumed_here && s.device != dev {
                 skip = Some(b.to_device(s, dev, 16, (prev_shape.len() * n_images) as u64));
             }
@@ -253,7 +295,13 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
         );
 
         match (stage, params) {
-            (Stage::ConvInput { geom }, StageParams::Conv { filters, thresholds }) => {
+            (
+                Stage::ConvInput { geom },
+                StageParams::Conv {
+                    filters,
+                    thresholds,
+                },
+            ) => {
                 prev = b.conv(
                     dev,
                     &format!("conv{i}"),
@@ -269,7 +317,13 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
                 prev_bits = act_bits;
                 skip = None;
             }
-            (Stage::Conv { geom }, StageParams::Conv { filters, thresholds }) => {
+            (
+                Stage::Conv { geom },
+                StageParams::Conv {
+                    filters,
+                    thresholds,
+                },
+            ) => {
                 prev = b.conv(
                     dev,
                     &format!("conv{i}"),
@@ -285,7 +339,16 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
                 prev_bits = act_bits;
                 skip = None;
             }
-            (Stage::Pool { input, k, stride, pad, kind }, StageParams::Pool) => {
+            (
+                Stage::Pool {
+                    input,
+                    k,
+                    stride,
+                    pad,
+                    kind,
+                },
+                StageParams::Pool,
+            ) => {
                 let pool_in = if *pad > 0 {
                     let padded =
                         b.stream(dev, format!("pool{i}.padded"), act_bits, opts.fifo_capacity);
@@ -299,8 +362,7 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
                 } else {
                     prev
                 };
-                let padded_shape =
-                    Shape3::new(input.h + 2 * pad, input.w + 2 * pad, input.c);
+                let padded_shape = Shape3::new(input.h + 2 * pad, input.w + 2 * pad, input.c);
                 let op = match kind {
                     PoolKind::Max => PoolOp::Max,
                     PoolKind::AvgSum => PoolOp::AvgShift,
@@ -315,8 +377,15 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
                 skip = None;
             }
             (
-                Stage::FullyConnected { in_features, out_features, bn_act },
-                StageParams::FullyConnected { filters, thresholds },
+                Stage::FullyConnected {
+                    in_features,
+                    out_features,
+                    bn_act,
+                },
+                StageParams::FullyConnected {
+                    filters,
+                    thresholds,
+                },
             ) => {
                 // FC is literally a 1×1 convolution over the flattened map
                 // (§III-B4); flattening is the identity in stream order.
@@ -351,7 +420,13 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
             }
             (
                 Stage::Residual { geom },
-                StageParams::Residual { filters1, thr_mid, filters2, thr_out, downsample },
+                StageParams::Residual {
+                    filters1,
+                    thr_mid,
+                    filters2,
+                    thr_out,
+                    downsample,
+                },
             ) => {
                 let elems = (prev_shape.len() * n_images) as u64;
                 let _ = elems;
@@ -432,7 +507,12 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
 
                 // --- adder and the output split of Fig. 2 ---
                 let z = b.stream(dev, format!("res{i}.z"), 16, opts.fifo_capacity);
-                b.kernel(dev, Box::new(AddKernel::new(format!("res{i}.add"))), &[c2, skip_in], &[z]);
+                b.kernel(
+                    dev,
+                    Box::new(AddKernel::new(format!("res{i}.add"))),
+                    &[c2, skip_in],
+                    &[z],
+                );
 
                 let out_shape = geom.output();
                 let thr_in = if next_wants_skip {
@@ -443,8 +523,12 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
                         _ => unreachable!("lookahead said residual"),
                     };
                     let z_a = b.stream(dev, format!("res{i}.z_a"), 16, opts.fifo_capacity);
-                    let z_skip =
-                        b.stream(dev, format!("res{i}.skipbuf"), 16, skip_capacity(&next_geom));
+                    let z_skip = b.stream(
+                        dev,
+                        format!("res{i}.skipbuf"),
+                        16,
+                        skip_capacity(&next_geom),
+                    );
                     b.kernel(
                         dev,
                         Box::new(SplitKernel::new(format!("res{i}.split_out"))),
@@ -477,5 +561,10 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
     let (sink, handle) = HostSink::new("host.sink", classes * n_images);
     b.kernel(logits.device, Box::new(sink), &[logits], &[]);
 
-    CompiledNetwork { graphs: b.graphs, sink: handle, images: n_images, classes }
+    CompiledNetwork {
+        graphs: b.graphs,
+        sink: handle,
+        images: n_images,
+        classes,
+    }
 }

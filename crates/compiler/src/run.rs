@@ -45,12 +45,21 @@ fn cycle_budget(net: &Network, images: usize) -> u64 {
 }
 
 /// Run `images` through the compiled streaming pipeline.
+///
+/// The cycle-stepping strategy comes from `opts.scheduler`
+/// (`QNN_SCHEDULER` by default); Dense and ReadyList runs return
+/// bit-identical logits and reports, differing only in wall-clock time.
 pub fn run_images(
     net: &Network,
     images: &[Tensor3<i8>],
     opts: &CompileOptions,
 ) -> Result<SimResult, RunError> {
-    let CompiledNetwork { mut graphs, sink, classes, .. } = compile(net, images, opts);
+    let CompiledNetwork {
+        mut graphs,
+        sink,
+        classes,
+        ..
+    } = compile(net, images, opts);
     let budget = cycle_budget(net, images.len());
     let reports = if graphs.len() == 1 {
         vec![graphs[0].run(budget)?]
@@ -132,7 +141,10 @@ mod streamed_param_tests {
         let streamed = run_images(
             &net,
             std::slice::from_ref(&img),
-            &CompileOptions { stream_parameters: true, ..CompileOptions::default() },
+            &CompileOptions {
+                stream_parameters: true,
+                ..CompileOptions::default()
+            },
         )
         .expect("streamed");
         assert_eq!(direct.logits, streamed.logits);
@@ -152,7 +164,10 @@ mod streamed_param_tests {
     #[test]
     fn parameter_load_amortizes_over_images() {
         let net = Network::random(models::test_net(8, 4, 2), 34);
-        let opts = CompileOptions { stream_parameters: true, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            stream_parameters: true,
+            ..CompileOptions::default()
+        };
         let one = run_images(&net, &[image(8, 1)], &opts).expect("1 image");
         let four = run_images(
             &net,
@@ -175,7 +190,10 @@ mod streamed_param_tests {
         let streamed = run_images(
             &net,
             std::slice::from_ref(&img),
-            &CompileOptions { stream_parameters: true, ..CompileOptions::default() },
+            &CompileOptions {
+                stream_parameters: true,
+                ..CompileOptions::default()
+            },
         )
         .expect("streamed");
         assert_eq!(streamed.logits[0], net.forward(&img).logits);

@@ -5,7 +5,7 @@
 //! PCIe link is far faster than 8 bits × 105 MHz, so the fabric clock is
 //! the binding constraint).
 
-use crate::kernel::{Io, Kernel, Progress};
+use crate::kernel::{Io, Kernel, Progress, WakeHint};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -19,7 +19,10 @@ pub struct HostSource {
 impl HostSource {
     /// Create a source over `data` (already in stream order).
     pub fn new(name: impl Into<String>, data: Vec<i32>) -> Self {
-        Self { name: name.into(), data: data.into() }
+        Self {
+            name: name.into(),
+            data: data.into(),
+        }
     }
 }
 
@@ -44,6 +47,12 @@ impl Kernel for HostSource {
     fn is_done(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Stalls only on a full output (woken by the reader's pop); idles only
+    /// once exhausted (never wakes again). Both are port-inert fixed points.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Parkable
+    }
 }
 
 #[derive(Default)]
@@ -61,7 +70,9 @@ pub struct SinkHandle {
 /// Lock a sink's state, surviving poisoning: a panicking device thread
 /// must not hide the elements already collected from the test harness.
 fn lock_state(state: &Mutex<SinkState>) -> MutexGuard<'_, SinkState> {
-    state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl SinkHandle {
@@ -98,8 +109,18 @@ impl HostSink {
     /// a handle for retrieving results after the run.
     pub fn new(name: impl Into<String>, expected: usize) -> (Self, SinkHandle) {
         let state = Arc::new(Mutex::new(SinkState::default()));
-        let handle = SinkHandle { state: Arc::clone(&state), expected };
-        (Self { name: name.into(), expected, state }, handle)
+        let handle = SinkHandle {
+            state: Arc::clone(&state),
+            expected,
+        };
+        (
+            Self {
+                name: name.into(),
+                expected,
+                state,
+            },
+            handle,
+        )
     }
 }
 
@@ -127,6 +148,12 @@ impl Kernel for HostSink {
     fn is_done(&self) -> bool {
         lock_state(&self.state).collected.len() >= self.expected
     }
+
+    /// Stalls only on an empty input (woken by the writer's commit); idles
+    /// only once complete.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Parkable
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +166,11 @@ mod tests {
     fn source_to_sink_roundtrip() {
         let mut g = Graph::new();
         let s = g.add_stream(StreamSpec::new("s", 8, 2));
-        g.add_kernel(Box::new(HostSource::new("src", vec![1, 2, 3, 4])), &[], &[s]);
+        g.add_kernel(
+            Box::new(HostSource::new("src", vec![1, 2, 3, 4])),
+            &[],
+            &[s],
+        );
         let (sink, handle) = HostSink::new("dst", 4);
         g.add_kernel(Box::new(sink), &[s], &[]);
         let report = g.run(100).expect("run ok");

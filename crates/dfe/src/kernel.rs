@@ -14,6 +14,31 @@ pub enum Progress {
     Idle,
 }
 
+/// How the ready-list scheduler may treat a kernel whose tick did not
+/// report [`Progress::Busy`] (see [`Kernel::wake_hint`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WakeHint {
+    /// Tick the kernel every cycle regardless of stream events — the safe
+    /// default, behaviourally identical to the dense stepper. Required for
+    /// kernels whose tick has effects beyond the ports: advancing an
+    /// internal clock or RNG, polling an external channel, shifting a
+    /// non-empty delay line.
+    #[default]
+    AlwaysTick,
+    /// The kernel may be *parked* after a `Stalled`/`Idle` tick and not
+    /// ticked again until an input stream commits an element or an output
+    /// stream's reader frees space.
+    ///
+    /// Contract (checked by a debug assertion in the scheduler): a tick
+    /// that returns `Stalled` or `Idle` must be a **fixed point** — it
+    /// must not have read or written any port, and re-running the kernel
+    /// against unchanged stream state would return the same verdict with
+    /// no internal-state change. Under that contract, skipping the
+    /// repeated ticks is unobservable and the per-kernel busy/stall
+    /// counters can be replayed exactly.
+    Parkable,
+}
+
 /// Port-level I/O context handed to a kernel on each tick.
 ///
 /// Enforces the clocked contract: at most one read per input port and one
@@ -35,7 +60,13 @@ impl<'a> Io<'a> {
         read_used: &'a mut [bool],
         write_used: &'a mut [bool],
     ) -> Self {
-        Self { streams, inputs, outputs, read_used, write_used }
+        Self {
+            streams,
+            inputs,
+            outputs,
+            read_used,
+            write_used,
+        }
     }
 
     /// Number of input ports.
@@ -77,7 +108,10 @@ impl<'a> Io<'a> {
     /// must check [`Io::can_write`] first (a real kernel physically cannot
     /// emit into a full FIFO).
     pub fn write(&mut self, p: usize, v: i32) {
-        assert!(!self.write_used[p], "output port {p} written twice in one cycle");
+        assert!(
+            !self.write_used[p],
+            "output port {p} written twice in one cycle"
+        );
         let s = &mut self.streams[self.outputs[p]];
         assert!(
             s.can_write(),
@@ -105,8 +139,26 @@ pub trait Kernel: Send {
     /// True once the kernel will never produce further output (used by the
     /// threaded executor for shutdown; the cycle scheduler stops on sink
     /// completion instead).
+    ///
+    /// Contract: for a sink kernel (no output streams), the value may only
+    /// change as a result of a tick that returned [`Progress::Busy`]. Run
+    /// loops rely on this to re-check graph completion only after a cycle
+    /// with sink progress; every in-tree sink completes by collecting its
+    /// final element, which is a `Busy` tick.
     fn is_done(&self) -> bool {
         false
+    }
+
+    /// May the ready-list scheduler park this kernel after a non-`Busy`
+    /// tick? Consulted at park time, so the answer may depend on current
+    /// internal state (a delay line is parkable only while empty).
+    ///
+    /// Defaults to [`WakeHint::AlwaysTick`], which preserves the dense
+    /// stepper's every-cycle ticking for custom kernels; override to
+    /// [`WakeHint::Parkable`] only if the kernel honours the fixed-point
+    /// contract documented on [`WakeHint`].
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::AlwaysTick
     }
 }
 

@@ -17,9 +17,14 @@
 //!   outputs). Backpressure is structural: a kernel cannot write into a
 //!   full stream and therefore halts, exactly like the paper's
 //!   halt-the-input convolution kernel.
-//! * **The cycle scheduler** steps every kernel once per clock and reports
-//!   cycle counts, per-kernel busy/stall statistics and stream occupancies.
-//!   It detects deadlock (no progress while sinks are incomplete).
+//! * **The cycle scheduler** advances the graph one clock at a time and
+//!   reports cycle counts, per-kernel busy/stall statistics and stream
+//!   occupancies. It detects deadlock (no progress while sinks are
+//!   incomplete). Two stepping strategies exist — the dense reference
+//!   stepper and an event-driven ready-list stepper that parks
+//!   stalled/idle kernels until a stream event — selected by
+//!   [`SchedulerMode`] (env `QNN_SCHEDULER`); they are bit-identical in
+//!   outputs and reports.
 //! * **The multi-device executors** run the same kernel graph cut across
 //!   devices connected by bounded channels. The lockstep default steps
 //!   every device on one global clock, so outputs and cycle reports are
@@ -35,6 +40,7 @@ pub mod graph;
 pub mod host;
 pub mod kernel;
 pub mod ring;
+pub mod sched;
 pub mod stall;
 pub mod stream;
 pub mod threaded;
@@ -43,8 +49,9 @@ pub mod trace;
 pub use device::{DeviceSpec, ResourceUsage, MAIA_FCLK_MHZ, STRATIX_10_GX2800, STRATIX_V_5SGSD8};
 pub use graph::{CycleReport, Graph, KernelId, RunError, StreamId};
 pub use host::{HostSink, HostSource, SinkHandle};
-pub use kernel::{Io, Kernel, Progress};
+pub use kernel::{Io, Kernel, Progress, WakeHint};
 pub use ring::MaxRing;
+pub use sched::SchedulerMode;
 pub use stall::StallInjector;
 pub use stream::StreamSpec;
 pub use trace::Trace;

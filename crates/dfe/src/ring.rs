@@ -7,7 +7,7 @@
 //! that arithmetic; [`DelayLine`] models the extra pipeline latency the hop
 //! introduces in the cycle simulator.
 
-use crate::kernel::{Io, Kernel, Progress};
+use crate::kernel::{Io, Kernel, Progress, WakeHint};
 use std::collections::VecDeque;
 
 /// A MaxRing link between two adjacent DFEs.
@@ -23,7 +23,10 @@ impl Default for MaxRing {
     fn default() -> Self {
         // "up to several Gbps": a conservative 4 Gbps configuration, and a
         // realistic ~16-cycle serialization/deserialization latency.
-        Self { rate_gbps: 4.0, latency_cycles: 16 }
+        Self {
+            rate_gbps: 4.0,
+            latency_cycles: 16,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ impl DelayLine {
     /// Create a delay line of `latency ≥ 1` cycles.
     pub fn new(name: impl Into<String>, latency: u32) -> Self {
         assert!(latency >= 1, "delay line needs at least one stage");
-        Self { name: name.into(), slots: (0..latency).map(|_| None).collect() }
+        Self {
+            name: name.into(),
+            slots: (0..latency).map(|_| None).collect(),
+        }
     }
 }
 
@@ -84,6 +90,17 @@ impl Kernel for DelayLine {
             Progress::Idle
         }
     }
+
+    /// A delay line is a timer: while elements are in flight, even a tick
+    /// that touches no port shifts them toward the output, so it must keep
+    /// ticking. Only a fully drained line is a fixed point.
+    fn wake_hint(&self) -> WakeHint {
+        if self.slots.iter().all(Option::is_none) {
+            WakeHint::Parkable
+        } else {
+            WakeHint::AlwaysTick
+        }
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +121,10 @@ mod tests {
 
     #[test]
     fn wide_cut_can_saturate_ring() {
-        let ring = MaxRing { rate_gbps: 1.0, latency_cycles: 16 };
+        let ring = MaxRing {
+            rate_gbps: 1.0,
+            latency_cycles: 16,
+        };
         // Twenty 16-bit streams at 105 MHz = 33.6 Gbps > 1 Gbps.
         let cut = [16u32; 20];
         assert!(!ring.supports(&cut, 105.0));
@@ -117,7 +137,11 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_stream(StreamSpec::new("a", 8, 4));
         let b = g.add_stream(StreamSpec::new("b", 8, 4));
-        g.add_kernel(Box::new(HostSource::new("src", (0..n as i32).collect())), &[], &[a]);
+        g.add_kernel(
+            Box::new(HostSource::new("src", (0..n as i32).collect())),
+            &[],
+            &[a],
+        );
         g.add_kernel(Box::new(DelayLine::new("hop", latency)), &[a], &[b]);
         let (sink, handle) = HostSink::new("dst", n);
         g.add_kernel(Box::new(sink), &[b], &[]);

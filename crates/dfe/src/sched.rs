@@ -1,0 +1,85 @@
+//! Scheduler mode selection for the cycle simulator.
+//!
+//! The graph executor has two cycle-stepping strategies that produce
+//! **bit-identical** outputs and [`CycleReport`](crate::CycleReport)s:
+//!
+//! * [`SchedulerMode::Dense`] — the original stepper: every kernel is
+//!   ticked on every cycle, in node order. Simple, obviously correct,
+//!   and O(kernels) work per cycle even when the pipeline is mostly
+//!   drained or starved.
+//! * [`SchedulerMode::ReadyList`] — the event-driven stepper: a kernel
+//!   that reported [`Stalled`](crate::Progress::Stalled) or
+//!   [`Idle`](crate::Progress::Idle) and whose
+//!   [`wake_hint`](crate::Kernel::wake_hint) is
+//!   [`Parkable`](crate::kernel::WakeHint::Parkable) is *parked* and not
+//!   ticked again until one of its streams sees an event (an input gains
+//!   an element at commit, or an output gains free space when its reader
+//!   pops). While parked, the kernel's last verdict is replayed into the
+//!   busy/stall counters, so reports match the dense stepper exactly.
+//!   See DESIGN.md §"Ready-list scheduler" for the equivalence argument.
+//!
+//! The default mode is read once from the `QNN_SCHEDULER` environment
+//! variable (`dense` or `ready`; unset ⇒ `ready`) and cached for the
+//! process, so every `Graph::new()` — including the ones built inside
+//! `qnn-serve` replica workers — picks it up without plumbing. Call sites
+//! that need a specific mode (the differential test battery, the
+//! `scheduler_overhead` bench) set it explicitly via
+//! [`Graph::set_scheduler`](crate::Graph::set_scheduler) or the
+//! compiler's `CompileOptions::scheduler`.
+
+use std::sync::OnceLock;
+
+/// Which cycle-stepping strategy a [`Graph`](crate::Graph) uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedulerMode {
+    /// Tick every kernel every cycle (the reference stepper).
+    Dense,
+    /// Skip parked kernels until a stream event wakes them.
+    ReadyList,
+}
+
+impl SchedulerMode {
+    /// Resolve the mode from `QNN_SCHEDULER` (`dense` / `ready`,
+    /// case-insensitive; unset defaults to `ReadyList`).
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a typo silently falling back to a
+    /// default would make benchmark A/B runs lie.
+    pub fn from_env() -> Self {
+        match std::env::var("QNN_SCHEDULER") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "dense" => SchedulerMode::Dense,
+                "ready" | "readylist" | "ready-list" => SchedulerMode::ReadyList,
+                other => panic!("QNN_SCHEDULER='{other}' (expected 'dense' or 'ready')"),
+            },
+            Err(_) => SchedulerMode::ReadyList,
+        }
+    }
+
+    /// Process-wide default: `from_env`, resolved once and cached.
+    pub(crate) fn default_mode() -> Self {
+        static MODE: OnceLock<SchedulerMode> = OnceLock::new();
+        *MODE.get_or_init(Self::from_env)
+    }
+}
+
+impl Default for SchedulerMode {
+    /// The process default (see [`SchedulerMode::from_env`]).
+    fn default() -> Self {
+        Self::default_mode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ready_list_when_env_unset() {
+        // The test harness does not set QNN_SCHEDULER; the cached default
+        // must be the event-driven mode.
+        if std::env::var("QNN_SCHEDULER").is_err() {
+            assert_eq!(SchedulerMode::default(), SchedulerMode::ReadyList);
+        }
+    }
+}

@@ -20,7 +20,7 @@
 //! [`Graph::run_opts`](crate::Graph::run_opts) and deadlock detection
 //! disabled (the timeout budget still bounds the run).
 
-use crate::kernel::{Io, Kernel, Progress};
+use crate::kernel::{Io, Kernel, Progress, WakeHint};
 
 /// Wraps a kernel and randomly suppresses its ticks. See the module docs.
 pub struct StallInjector {
@@ -38,8 +38,16 @@ impl StallInjector {
     /// Panics when `stall_percent >= 100` — a kernel that never ticks
     /// cannot make progress and every run would time out.
     pub fn new(inner: Box<dyn Kernel>, seed: u64, stall_percent: u8) -> Self {
-        assert!(stall_percent < 100, "stall_percent {stall_percent} leaves no progress cycles");
-        Self { inner, state: seed, stall_percent, injected: 0 }
+        assert!(
+            stall_percent < 100,
+            "stall_percent {stall_percent} leaves no progress cycles"
+        );
+        Self {
+            inner,
+            state: seed,
+            stall_percent,
+            injected: 0,
+        }
     }
 
     /// Boxed convenience for `Graph::add_kernel` call sites.
@@ -81,6 +89,13 @@ impl Kernel for StallInjector {
     fn is_done(&self) -> bool {
         self.inner.is_done()
     }
+
+    /// Never parkable, whatever the wrapped kernel says: the injector's RNG
+    /// advances on every tick, so skipping ticks would shift the stall
+    /// pattern and change cycle timing relative to the dense scheduler.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::AlwaysTick
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +128,11 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_stream(StreamSpec::new("a", 16, 4));
         let b = g.add_stream(StreamSpec::new("b", 16, 4));
-        g.add_kernel(Box::new(HostSource::new("src", (0..50).collect())), &[], &[a]);
+        g.add_kernel(
+            Box::new(HostSource::new("src", (0..50).collect())),
+            &[],
+            &[a],
+        );
         let inc: Box<dyn Kernel> = Box::new(Inc);
         let inc = match stall {
             Some((seed, pct)) => StallInjector::wrap(inc, seed, pct),

@@ -20,9 +20,16 @@ pub struct StreamSpec {
 impl StreamSpec {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, bits: u32, capacity: usize) -> Self {
-        assert!(capacity > 0, "streams need capacity of at least one element");
+        assert!(
+            capacity > 0,
+            "streams need capacity of at least one element"
+        );
         assert!((1..=32).contains(&bits), "stream width must be 1..=32 bits");
-        Self { name: name.into(), bits, capacity }
+        Self {
+            name: name.into(),
+            bits,
+            capacity,
+        }
     }
 
     /// FMem bits occupied by the full FIFO.
@@ -79,11 +86,22 @@ impl StreamState {
         !self.queue.is_empty()
     }
 
-    pub fn commit(&mut self) {
+    /// Drain staged writes into the FIFO; returns how many elements were
+    /// committed.
+    ///
+    /// `max_occupancy` is sampled *after* the drain, so the high-water mark
+    /// reflects committed end-of-cycle occupancy. Both schedulers rely on
+    /// this ordering: the ready-list stepper commits only streams written
+    /// this cycle, which is safe exactly because occupancy can only grow at
+    /// a commit — an uncommitted stream's queue either shrank (reader pop)
+    /// or held still, so skipping its sample never misses a new maximum.
+    pub fn commit(&mut self) -> usize {
+        let n = self.staged.len();
         for v in self.staged.drain(..) {
             self.queue.push_back(v);
         }
         self.max_occupancy = self.max_occupancy.max(self.queue.len());
+        n
     }
 }
 
@@ -118,6 +136,22 @@ mod tests {
         assert!(!st.can_write());
         st.queue.pop_front();
         assert!(st.can_write());
+    }
+
+    #[test]
+    fn commit_reports_count_and_samples_occupancy_after_drain() {
+        let mut st = StreamState::new(StreamSpec::new("s", 2, 8));
+        st.staged.push(1);
+        st.staged.push(2);
+        assert_eq!(
+            st.max_occupancy, 0,
+            "occupancy must not count staged elements"
+        );
+        assert_eq!(st.commit(), 2);
+        assert_eq!(st.max_occupancy, 2, "sampled after the drain");
+        st.queue.pop_front();
+        assert_eq!(st.commit(), 0, "empty commit moves nothing");
+        assert_eq!(st.max_occupancy, 2, "high-water mark never regresses");
     }
 
     #[test]

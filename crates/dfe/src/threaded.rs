@@ -19,7 +19,7 @@
 //! the single-device run.
 
 use crate::graph::{CycleReport, Graph, RunError};
-use crate::kernel::{Io, Kernel, Progress};
+use crate::kernel::{Io, Kernel, Progress, WakeHint};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
 
 /// Create a channel-backed inter-device link of `capacity` elements,
@@ -30,16 +30,23 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendE
 /// queue: `try_send` fails with `Full` once `capacity` elements are in
 /// flight, which is exactly the MaxRing backpressure the egress kernel
 /// translates into a pipeline stall.
-pub fn link(
-    name: &str,
-    capacity: usize,
-    expected: u64,
-) -> (ChannelEgress, ChannelIngress) {
+pub fn link(name: &str, capacity: usize, expected: u64) -> (ChannelEgress, ChannelIngress) {
     assert!(capacity > 0, "a zero-capacity link can never make progress");
     let (tx, rx) = sync_channel(capacity);
     (
-        ChannelEgress { name: format!("{name}.tx"), tx, pending: None, sent: 0, expected },
-        ChannelIngress { name: format!("{name}.rx"), rx, received: 0, expected },
+        ChannelEgress {
+            name: format!("{name}.tx"),
+            tx,
+            pending: None,
+            sent: 0,
+            expected,
+        },
+        ChannelIngress {
+            name: format!("{name}.rx"),
+            rx,
+            received: 0,
+            expected,
+        },
     )
 }
 
@@ -86,6 +93,14 @@ impl Kernel for ChannelEgress {
     fn is_done(&self) -> bool {
         self.sent >= self.expected && self.pending.is_none()
     }
+
+    /// Never parkable: channel capacity is external state — the remote
+    /// ingress draining the channel is invisible to this device's streams,
+    /// so no local stream event would ever wake a parked egress. (Its
+    /// stalled tick can also follow a successful read into `pending`.)
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::AlwaysTick
+    }
 }
 
 /// Feeds elements arriving from an inter-device channel into its output
@@ -121,6 +136,12 @@ impl Kernel for ChannelIngress {
             }
         }
     }
+
+    /// Never parkable: elements arrive on the external channel with no
+    /// local stream event, so the ingress must poll every cycle.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::AlwaysTick
+    }
 }
 
 /// Run several device graphs in lockstep on one global clock.
@@ -137,10 +158,7 @@ impl Kernel for ChannelIngress {
 /// Deadlock detection is global: if a full cycle passes in which no device
 /// makes progress or commits a stream element, no future cycle can differ,
 /// and the combined stream dump of every device is reported.
-pub fn run_devices(
-    mut graphs: Vec<Graph>,
-    max_cycles: u64,
-) -> Result<Vec<CycleReport>, RunError> {
+pub fn run_devices(mut graphs: Vec<Graph>, max_cycles: u64) -> Result<Vec<CycleReport>, RunError> {
     for g in &graphs {
         g.validate()?;
     }
@@ -159,7 +177,9 @@ pub fn run_devices(
             let (progress, committed) = g.step_cycle();
             any_activity |= progress || committed;
             device_cycles[i] += 1;
-            if g.complete() {
+            // Completion can only flip after a sink `Busy` tick, so skip
+            // the O(kernels) + mutex re-check on all other cycles.
+            if g.made_sink_progress() && g.complete() {
                 done[i] = true;
             }
         }

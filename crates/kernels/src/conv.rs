@@ -33,7 +33,7 @@
 //!   ablation (`cargo bench -p qnn-bench --bench ablations`).
 
 use crate::loader::{LoadStep, ParamLoader};
-use dfe_platform::{Io, Kernel, Progress};
+use dfe_platform::{Io, Kernel, Progress, WakeHint};
 use qnn_quant::{dot_i8, ActPlanes, ThresholdUnit};
 use qnn_tensor::{BinaryFilters, BitVec, ConvGeometry};
 
@@ -60,6 +60,13 @@ pub struct ConvKernel {
     ring: Vec<i32>,
     /// Elements of the current image received so far.
     received: usize,
+    /// Ring slot the next element lands in (≡ `received % ring.len()`,
+    /// kept incrementally — the hot loop runs once per clock).
+    wr: usize,
+    /// Memo of the last `needed(pos)` query: `(pos, value)`. The tick loop
+    /// asks about the same position for thousands of consecutive clocks,
+    /// and the div/mod inside `needed` is measurable at ImageNet scale.
+    needed_memo: (usize, usize),
     // --- output bookkeeping ---
     /// Linear output position (oy·W_out + ox) currently awaited/computed.
     out_pos: usize,
@@ -104,7 +111,9 @@ impl ConvKernel {
         act_bits: u32,
     ) -> Self {
         let placeholder = BinaryFilters::from_rows(
-            (0..geom.filter.o).map(|_| BitVec::zeros(geom.filter.weights_per_filter())).collect(),
+            (0..geom.filter.o)
+                .map(|_| BitVec::zeros(geom.filter.weights_per_filter()))
+                .collect(),
         );
         let mut k = Self::build(name, geom, placeholder, None, mode, false);
         k.loader = Some(ParamLoader::new(
@@ -135,8 +144,15 @@ impl ConvKernel {
         mode: DotMode,
         halt_input: bool,
     ) -> Self {
-        assert_eq!(geom.pad, 0, "padding must be inserted upstream of ConvKernel");
-        assert_eq!(filters.num_filters(), geom.filter.o, "filter count mismatch");
+        assert_eq!(
+            geom.pad, 0,
+            "padding must be inserted upstream of ConvKernel"
+        );
+        assert_eq!(
+            filters.num_filters(),
+            geom.filter.o,
+            "filter count mismatch"
+        );
         assert_eq!(
             filters.bits_per_filter(),
             geom.filter.weights_per_filter(),
@@ -158,6 +174,8 @@ impl ConvKernel {
             mode,
             ring: vec![0; geom.depth_first_buffer()],
             received: 0,
+            wr: 0,
+            needed_memo: (usize::MAX, 0),
             out_pos: 0,
             emitting: None,
             halt_input,
@@ -194,6 +212,15 @@ impl ConvKernel {
         ((ty + k - 1) * w + tx + k - 1) * i + i
     }
 
+    /// `needed(pos)` through the single-entry memo.
+    #[inline]
+    fn needed_cached(&mut self, pos: usize) -> usize {
+        if self.needed_memo.0 != pos {
+            self.needed_memo = (pos, self.needed(pos));
+        }
+        self.needed_memo.1
+    }
+
     /// Gather the current window from the ring into scratch and (in code
     /// mode) pack the bit planes.
     fn latch_window(&mut self) {
@@ -208,8 +235,13 @@ impl ConvKernel {
         for ky in 0..k {
             for kx in 0..k {
                 let base = ((ty + ky) * w + tx + kx) * i;
-                for c in 0..i {
-                    let v = self.ring[(base + c) % cap];
+                let mut idx = base % cap; // channels are contiguous: wrap incrementally
+                for _ in 0..i {
+                    let v = self.ring[idx];
+                    idx += 1;
+                    if idx == cap {
+                        idx = 0;
+                    }
                     match self.mode {
                         DotMode::Codes { .. } => self.window_codes[at] = v as u8,
                         DotMode::I8 => self.window_i8[at] = v as i8,
@@ -261,7 +293,7 @@ impl Kernel for ConvKernel {
         // Latch the next window as soon as it is complete.
         if self.emitting.is_none()
             && self.out_pos < self.positions()
-            && self.received >= self.needed(self.out_pos)
+            && self.received >= self.needed_cached(self.out_pos)
         {
             self.latch_window();
             self.emitting = Some(0);
@@ -302,14 +334,17 @@ impl Kernel for ConvKernel {
             if next_pos >= self.positions() {
                 self.total_inputs()
             } else {
-                self.needed(next_pos)
+                self.needed_cached(next_pos)
             }
         };
         if self.received < read_limit {
             match io.read(0) {
                 Some(v) => {
-                    let cap = self.ring.len();
-                    self.ring[self.received % cap] = v;
+                    self.ring[self.wr] = v;
+                    self.wr += 1;
+                    if self.wr == self.ring.len() {
+                        self.wr = 0;
+                    }
                     self.received += 1;
                     progress = Progress::Busy;
                 }
@@ -327,9 +362,17 @@ impl Kernel for ConvKernel {
             && self.emitting.is_none()
         {
             self.received = 0;
+            self.wr = 0;
             self.out_pos = 0;
         }
         progress
+    }
+
+    /// Every non-`Busy` verdict (loader waiting on a parameter word, input
+    /// starved, output or halt-strict window blocked) is port-inert and
+    /// repeats unchanged until a stream event, so the kernel can park.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Parkable
     }
 }
 
@@ -342,7 +385,13 @@ mod tests {
 
     fn filters_for(geom: &ConvGeometry, seed: u64) -> BinaryFilters {
         let w: Vec<f32> = (0..geom.filter.total_weights())
-            .map(|i| if (i as u64).wrapping_mul(seed * 2 + 1) % 5 < 2 { 1.0 } else { -1.0 })
+            .map(|i| {
+                if (i as u64).wrapping_mul(seed * 2 + 1) % 5 < 2 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
         BinaryFilters::from_float_rows(&w, geom.filter.weights_per_filter())
     }
@@ -373,7 +422,11 @@ mod tests {
         images: Vec<Vec<i32>>,
     ) -> (Vec<i32>, dfe_platform::CycleReport) {
         let out_len = geom.output().len() * images.len();
-        run_conv_kernel(ConvKernel::new("conv", geom, filters, thresholds, mode), out_len, images)
+        run_conv_kernel(
+            ConvKernel::new("conv", geom, filters, thresholds, mode),
+            out_len,
+            images,
+        )
     }
 
     fn run_conv_halted(
@@ -383,7 +436,11 @@ mod tests {
         images: Vec<Vec<i32>>,
     ) -> (Vec<i32>, dfe_platform::CycleReport) {
         let out_len = geom.output().len() * images.len();
-        run_conv_kernel(ConvKernel::new_halted("conv", geom, filters, None, mode), out_len, images)
+        run_conv_kernel(
+            ConvKernel::new_halted("conv", geom, filters, None, mode),
+            out_len,
+            images,
+        )
     }
 
     #[test]
@@ -406,7 +463,9 @@ mod tests {
     fn matches_reference_conv_i8() {
         let geom = ConvGeometry::new(Shape3::new(5, 5, 2), FilterShape::new(3, 2, 3), 1, 0);
         let filters = filters_for(&geom, 7);
-        let input = Tensor3::from_fn(geom.input, |y, x, c| ((y * 31 + x * 13 + c * 5) as i32 % 200 - 100) as i8);
+        let input = Tensor3::from_fn(geom.input, |y, x, c| {
+            ((y * 31 + x * 13 + c * 5) as i32 % 200 - 100) as i8
+        });
         let expect = qnn_nn::reference::conv_acc_i8(&geom, &input, &filters);
         let (got, _) = run_conv(
             geom,
@@ -445,10 +504,7 @@ mod tests {
         let spec = QuantSpec::paper_2bit();
         let thresholds: Vec<ThresholdUnit> = (0..3)
             .map(|i| {
-                ThresholdUnit::from_batchnorm(
-                    &BnParams::new(1.0, i as f32 - 1.0, 0.5, 1.0),
-                    &spec,
-                )
+                ThresholdUnit::from_batchnorm(&BnParams::new(1.0, i as f32 - 1.0, 0.5, 1.0), &spec)
             })
             .collect();
         let input = Tensor3::from_fn(geom.input, |y, x, c| ((y * x + c) % 4) as u8);
@@ -472,8 +528,7 @@ mod tests {
         let filters = filters_for(&geom, 13);
         let input = Tensor3::from_fn(geom.input, |_, _, _| 1u8);
         let img: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
-        let (_, report) =
-            run_conv_halted(geom, filters, DotMode::Codes { bits: 2 }, vec![img]);
+        let (_, report) = run_conv_halted(geom, filters, DotMode::Codes { bits: 2 }, vec![img]);
         let conv_stats = &report.kernels[1];
         let expect = geom.input.len() as u64 + geom.output().len() as u64;
         assert_eq!(conv_stats.busy, expect);
@@ -493,8 +548,12 @@ mod tests {
             DotMode::Codes { bits: 2 },
             vec![img.clone()],
         );
-        let (out_h, rep_h) =
-            run_conv_halted(geom, filters_for(&geom, 13), DotMode::Codes { bits: 2 }, vec![img]);
+        let (out_h, rep_h) = run_conv_halted(
+            geom,
+            filters_for(&geom, 13),
+            DotMode::Codes { bits: 2 },
+            vec![img],
+        );
         assert_eq!(out_o, out_h, "discipline must not change results");
         let (inputs, outputs) = (geom.input.len() as u64, geom.output().len() as u64);
         assert!(rep_o.cycles < rep_h.cycles, "overlap must be faster");
@@ -506,7 +565,8 @@ mod tests {
     fn stride_skips_halts_giving_first_layer_speedup() {
         // §III-B1: with stride S the kernel halts at ~1/S² of positions.
         // Compare halted-mode busy cycles of stride 1 vs stride 2.
-        let mk = |stride| ConvGeometry::new(Shape3::new(9, 9, 1), FilterShape::new(3, 1, 8), stride, 0);
+        let mk =
+            |stride| ConvGeometry::new(Shape3::new(9, 9, 1), FilterShape::new(3, 1, 8), stride, 0);
         let input = Tensor3::from_fn(Shape3::new(9, 9, 1), |y, x, _| ((y + x) % 4) as u8);
         let img: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
         let mut busy = Vec::new();
@@ -547,6 +607,12 @@ mod tests {
     #[should_panic(expected = "padding must be inserted upstream")]
     fn padded_geometry_rejected() {
         let geom = ConvGeometry::new(Shape3::new(4, 4, 1), FilterShape::new(3, 1, 1), 1, 1);
-        let _ = ConvKernel::new("c", geom, filters_for(&geom, 1), None, DotMode::Codes { bits: 2 });
+        let _ = ConvKernel::new(
+            "c",
+            geom,
+            filters_for(&geom, 1),
+            None,
+            DotMode::Codes { bits: 2 },
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Element-wise kernels: the skip-connection adder and split (paper Fig. 2)
 //! and the standalone fused BatchNorm + activation unit (§III-B3).
 
-use dfe_platform::{Io, Kernel, Progress};
+use dfe_platform::{Io, Kernel, Progress, WakeHint};
 use qnn_quant::ThresholdUnit;
 
 /// Adds two streams element-wise — the skip-connection adder. One element
@@ -35,6 +35,12 @@ impl Kernel for AddKernel {
             Progress::Idle
         }
     }
+
+    /// Pure element-wise stage: every non-`Busy` tick is a port-inert
+    /// fixed point, so the kernel can park until a stream event.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Parkable
+    }
 }
 
 /// Duplicates a stream onto two outputs — the post-adder split of Fig. 2
@@ -67,6 +73,12 @@ impl Kernel for SplitKernel {
             Progress::Idle
         }
     }
+
+    /// Pure element-wise stage: every non-`Busy` tick is a port-inert
+    /// fixed point, so the kernel can park until a stream event.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Parkable
+    }
 }
 
 /// Fused BatchNorm + n-bit activation over an accumulator stream, one
@@ -81,8 +93,15 @@ pub struct ThresholdKernel {
 impl ThresholdKernel {
     /// Create a threshold kernel with one unit per channel.
     pub fn new(name: impl Into<String>, units: Vec<ThresholdUnit>) -> Self {
-        assert!(!units.is_empty(), "threshold kernel needs at least one unit");
-        Self { name: name.into(), units, channel: 0 }
+        assert!(
+            !units.is_empty(),
+            "threshold kernel needs at least one unit"
+        );
+        Self {
+            name: name.into(),
+            units,
+            channel: 0,
+        }
     }
 }
 
@@ -96,13 +115,22 @@ impl Kernel for ThresholdKernel {
             let a = io.read(0).expect("checked");
             let q = self.units[self.channel].activate(a);
             io.write(0, i32::from(q));
-            self.channel = (self.channel + 1) % self.units.len();
+            self.channel += 1;
+            if self.channel == self.units.len() {
+                self.channel = 0;
+            }
             Progress::Busy
         } else if io.can_read(0) {
             Progress::Stalled
         } else {
             Progress::Idle
         }
+    }
+
+    /// Pure element-wise stage: every non-`Busy` tick is a port-inert
+    /// fixed point, so the kernel can park until a stream event.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Parkable
     }
 }
 
@@ -137,8 +165,16 @@ mod tests {
         let b0 = g.add_stream(StreamSpec::new("b0", 16, 8));
         let b = g.add_stream(StreamSpec::new("b", 16, 8));
         let c = g.add_stream(StreamSpec::new("c", 16, 8));
-        g.add_kernel(Box::new(HostSource::new("sa", (0..20).collect())), &[], &[a]);
-        g.add_kernel(Box::new(HostSource::new("sb", (0..20).map(|v| v * 100).collect())), &[], &[b0]);
+        g.add_kernel(
+            Box::new(HostSource::new("sa", (0..20).collect())),
+            &[],
+            &[a],
+        );
+        g.add_kernel(
+            Box::new(HostSource::new("sb", (0..20).map(|v| v * 100).collect())),
+            &[],
+            &[b0],
+        );
         g.add_kernel(Box::new(DelayLine::new("lag", 10)), &[b0], &[b]);
         g.add_kernel(Box::new(AddKernel::new("add")), &[a, b], &[c]);
         let (sink, h) = HostSink::new("dst", 20);
@@ -175,7 +211,11 @@ mod tests {
         let a = g.add_stream(StreamSpec::new("a", 16, 8));
         let b = g.add_stream(StreamSpec::new("b", 16, 1));
         let c = g.add_stream(StreamSpec::new("c", 16, 1));
-        g.add_kernel(Box::new(HostSource::new("src", (0..10).collect())), &[], &[a]);
+        g.add_kernel(
+            Box::new(HostSource::new("src", (0..10).collect())),
+            &[],
+            &[a],
+        );
         g.add_kernel(Box::new(SplitKernel::new("split")), &[a], &[b, c]);
         let (s1, h1) = HostSink::new("d1", 10);
         let (s2, h2) = HostSink::new("d2", 10);
@@ -197,7 +237,11 @@ mod tests {
         let a = g.add_stream(StreamSpec::new("a", 16, 8));
         let b = g.add_stream(StreamSpec::new("b", 2, 8));
         // Stream of (c0, c1) pairs: [2, 12, 0, 10].
-        g.add_kernel(Box::new(HostSource::new("src", vec![2, 12, 0, 10])), &[], &[a]);
+        g.add_kernel(
+            Box::new(HostSource::new("src", vec![2, 12, 0, 10])),
+            &[],
+            &[a],
+        );
         g.add_kernel(Box::new(ThresholdKernel::new("thr", units)), &[a], &[b]);
         let (sink, h) = HostSink::new("dst", 4);
         g.add_kernel(Box::new(sink), &[b], &[]);

@@ -6,7 +6,7 @@
 //! convolution kernel always sees a pre-padded stream; the clock cost (one
 //! cycle per padded element) is identical.
 
-use dfe_platform::{Io, Kernel, Progress};
+use dfe_platform::{Io, Kernel, Progress, WakeHint};
 use qnn_tensor::Shape3;
 
 /// Inserts `pad` rows/columns of `fill` around each image of the stream.
@@ -15,27 +15,59 @@ pub struct PadInserter {
     input: Shape3,
     pad: usize,
     fill: i32,
-    /// Linear index into the *padded* output stream of the current image.
-    out_idx: usize,
+    /// Position in the *padded* output image, kept as explicit (y, x, c)
+    /// counters — the kernel runs once per clock, and deriving the
+    /// coordinates from a linear index would cost two divisions per tick.
+    y: usize,
+    x: usize,
+    c: usize,
 }
 
 impl PadInserter {
     /// Create a pad inserter for images of shape `input`.
     pub fn new(name: impl Into<String>, input: Shape3, pad: usize, fill: i32) -> Self {
         assert!(pad > 0, "useless pad inserter (pad = 0)");
-        Self { name: name.into(), input, pad, fill, out_idx: 0 }
+        Self {
+            name: name.into(),
+            input,
+            pad,
+            fill,
+            y: 0,
+            x: 0,
+            c: 0,
+        }
     }
 
     /// Shape of the padded output image.
     pub fn output_shape(&self) -> Shape3 {
-        Shape3::new(self.input.h + 2 * self.pad, self.input.w + 2 * self.pad, self.input.c)
+        Shape3::new(
+            self.input.h + 2 * self.pad,
+            self.input.w + 2 * self.pad,
+            self.input.c,
+        )
     }
 
-    /// Is padded-stream element `idx` a border (padding) element?
-    fn is_border(&self, idx: usize) -> bool {
-        let out = self.output_shape();
-        let (y, x, _) = out.coords(idx);
+    /// Is the current (y, x) position a border (padding) element?
+    fn is_border(&self) -> bool {
+        let (y, x) = (self.y, self.x);
         y < self.pad || y >= self.pad + self.input.h || x < self.pad || x >= self.pad + self.input.w
+    }
+
+    /// Advance the (y, x, c) counters one element, wrapping at image end.
+    fn advance(&mut self) {
+        let out = self.output_shape();
+        self.c += 1;
+        if self.c == out.c {
+            self.c = 0;
+            self.x += 1;
+            if self.x == out.w {
+                self.x = 0;
+                self.y += 1;
+                if self.y == out.h {
+                    self.y = 0; // next image
+                }
+            }
+        }
     }
 }
 
@@ -48,8 +80,7 @@ impl Kernel for PadInserter {
         if !io.can_write(0) {
             return Progress::Stalled;
         }
-        let total = self.output_shape().len();
-        if self.is_border(self.out_idx) {
+        if self.is_border() {
             io.write(0, self.fill);
         } else {
             match io.read(0) {
@@ -57,11 +88,14 @@ impl Kernel for PadInserter {
                 None => return Progress::Stalled,
             }
         }
-        self.out_idx += 1;
-        if self.out_idx == total {
-            self.out_idx = 0; // next image
-        }
+        self.advance();
         Progress::Busy
+    }
+
+    /// Stalls only on output backpressure or a starved interior pixel;
+    /// both are port-inert and resolve only via stream events.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Parkable
     }
 }
 
@@ -82,7 +116,11 @@ mod tests {
         let a = g.add_stream(StreamSpec::new("in", 8, 16));
         let b = g.add_stream(StreamSpec::new("out", 8, 16));
         g.add_kernel(Box::new(HostSource::new("src", data)), &[], &[a]);
-        g.add_kernel(Box::new(PadInserter::new("pad", shape, pad, fill)), &[a], &[b]);
+        g.add_kernel(
+            Box::new(PadInserter::new("pad", shape, pad, fill)),
+            &[a],
+            &[b],
+        );
         let (sink, handle) = HostSink::new("dst", padded_len);
         g.add_kernel(Box::new(sink), &[b], &[]);
         g.run(1_000_000).expect("pad run");
@@ -91,7 +129,9 @@ mod tests {
 
     #[test]
     fn padded_stream_matches_tensor_pad() {
-        let t = Tensor3::from_fn(Shape3::new(3, 4, 2), |y, x, c| (y * 100 + x * 10 + c) as i32 + 1);
+        let t = Tensor3::from_fn(Shape3::new(3, 4, 2), |y, x, c| {
+            (y * 100 + x * 10 + c) as i32 + 1
+        });
         let got = run_pad(t.clone(), 2, -1, 1);
         let expect = t.pad(2, -1);
         assert_eq!(got, expect.as_slice());

@@ -7,7 +7,7 @@
 //! overlaps reading and writing: each tick it may consume one element *and*
 //! emit one pending output.
 
-use dfe_platform::{Io, Kernel, Progress};
+use dfe_platform::{Io, Kernel, Progress, WakeHint};
 use qnn_tensor::Shape3;
 use std::collections::VecDeque;
 
@@ -34,15 +34,29 @@ pub struct PoolKernel {
     shift: u32,
     ring: Vec<i32>,
     received: usize,
+    /// Ring slot the next element lands in (≡ `received % ring.len()`).
+    wr: usize,
     out_pos: usize,
+    /// Memo of the last `needed(pos)` query: `(pos, value)` — same
+    /// per-clock div/mod avoidance as the convolution kernel.
+    needed_memo: (usize, usize),
     pending: VecDeque<i32>,
 }
 
 impl PoolKernel {
     /// Create a pooling kernel over (pre-padded) images of shape `input`.
-    pub fn new(name: impl Into<String>, input: Shape3, k: usize, stride: usize, op: PoolOp) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        input: Shape3,
+        k: usize,
+        stride: usize,
+        op: PoolOp,
+    ) -> Self {
         assert!(k >= 1 && stride >= 1);
-        assert!(input.h >= k && input.w >= k, "pool window larger than input");
+        assert!(
+            input.h >= k && input.w >= k,
+            "pool window larger than input"
+        );
         let buf = input.c * (input.w * (k - 1) + k);
         Self {
             name: name.into(),
@@ -53,7 +67,9 @@ impl PoolKernel {
             shift: ((k * k) as u32).ilog2(),
             ring: vec![0; buf],
             received: 0,
+            wr: 0,
             out_pos: 0,
+            needed_memo: (usize::MAX, 0),
             pending: VecDeque::with_capacity(input.c),
         }
     }
@@ -82,6 +98,15 @@ impl PoolKernel {
         let (oy, ox) = (pos / out_w, pos % out_w);
         let (ty, tx) = (oy * self.stride, ox * self.stride);
         ((ty + self.k - 1) * self.input.w + tx + self.k - 1) * self.input.c + self.input.c
+    }
+
+    /// `needed(pos)` through the single-entry memo.
+    #[inline]
+    fn needed_cached(&mut self, pos: usize) -> usize {
+        if self.needed_memo.0 != pos {
+            self.needed_memo = (pos, self.needed(pos));
+        }
+        self.needed_memo.1
     }
 
     /// Compute all `I` channel outputs for the completed position.
@@ -138,12 +163,16 @@ impl Kernel for PoolKernel {
         // that `compute_position` still needs. (Gating on the *pending*
         // length instead is wrong: under output backpressure the queue can
         // sit partially drained for many cycles while reads run ahead.)
-        let ahead_ok = self.out_pos >= self.positions() || self.received < self.needed(self.out_pos);
+        let ahead_ok =
+            self.out_pos >= self.positions() || self.received < self.needed_cached(self.out_pos);
         if ahead_ok && self.received < self.input.len() {
             match io.read(0) {
                 Some(v) => {
-                    let cap = self.ring.len();
-                    self.ring[self.received % cap] = v;
+                    self.ring[self.wr] = v;
+                    self.wr += 1;
+                    if self.wr == self.ring.len() {
+                        self.wr = 0;
+                    }
                     self.received += 1;
                     progress = Progress::Busy;
                 }
@@ -159,7 +188,7 @@ impl Kernel for PoolKernel {
         // this model's bookkeeping; the emit itself still costs a cycle).
         while self.out_pos < self.positions()
             && self.pending.is_empty()
-            && self.received >= self.needed(self.out_pos)
+            && self.received >= self.needed_cached(self.out_pos)
         {
             self.compute_position();
         }
@@ -170,9 +199,17 @@ impl Kernel for PoolKernel {
             && self.pending.is_empty()
         {
             self.received = 0;
+            self.wr = 0;
             self.out_pos = 0;
         }
         progress
+    }
+
+    /// Pooling decisions are made within the tick that has the data; a
+    /// stalled or idle tick touches nothing and repeats until its input
+    /// commits or its output drains.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Parkable
     }
 }
 
@@ -209,7 +246,9 @@ mod tests {
 
     #[test]
     fn max_pool_matches_reference() {
-        let input = Tensor3::from_fn(Shape3::new(6, 6, 3), |y, x, c| ((y * 5 + x * 2 + c) % 4) as u8);
+        let input = Tensor3::from_fn(Shape3::new(6, 6, 3), |y, x, c| {
+            ((y * 5 + x * 2 + c) % 4) as u8
+        });
         let expect = qnn_nn::reference::max_pool(&input, 2, 2, 0);
         let (got, _) = run_pool(&input, 2, 2, PoolOp::Max, 1);
         let got_u8: Vec<u8> = got.iter().map(|&v| v as u8).collect();

@@ -21,6 +21,7 @@ pub mod network;
 pub mod postprocess;
 pub mod reference;
 pub mod spec;
+pub mod specgen;
 
 pub use network::{Network, StageParams};
 pub use spec::{NetworkSpec, PoolKind, ResidualGeometry, Stage};

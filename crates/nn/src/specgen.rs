@@ -1,0 +1,124 @@
+//! Randomized [`NetworkSpec`] generation for property and differential
+//! test suites.
+//!
+//! Lives in `qnn-nn` (rather than `qnn-testkit`) because spec construction
+//! needs the network types and `qnn-nn` already depends on the testkit —
+//! the reverse dependency would be a cycle. Used by
+//! `tests/property_streaming.rs` (bit-exactness vs the reference
+//! interpreter) and `tests/scheduler_equivalence.rs` (Dense vs ReadyList
+//! differential battery).
+
+use crate::spec::{NetworkSpec, PoolKind, Stage};
+use qnn_tensor::{ConvGeometry, FilterShape, Shape3};
+use qnn_testkit::{map, Strategy};
+
+/// A random two-conv network with a pool and a classifier, or `None` when
+/// the sampled geometry is inconsistent (kernel larger than its padded
+/// input, pool window not fitting, …).
+#[allow(clippy::too_many_arguments)] // mirrors the property parameter tuple
+pub fn random_spec(
+    side: usize,
+    k1: usize,
+    stride1: usize,
+    pad1: usize,
+    c1: usize,
+    k2: usize,
+    pad2: usize,
+    c2: usize,
+    act_bits: u32,
+) -> Option<NetworkSpec> {
+    if side + 2 * pad1 < k1 {
+        return None;
+    }
+    let input = Shape3::square(side, 3);
+    let g1 = ConvGeometry::new(input, FilterShape::new(k1, 3, c1), stride1, pad1);
+    let s1 = g1.output();
+    if s1.h + 2 * pad2 < k2 || s1.w + 2 * pad2 < k2 {
+        return None;
+    }
+    let g2 = ConvGeometry::new(s1, FilterShape::new(k2, c1, c2), 1, pad2);
+    let s2 = g2.output();
+    if s2.h < 2 || s2.w < 2 {
+        return None;
+    }
+    let pool_out = Shape3::new((s2.h - 2) / 2 + 1, (s2.w - 2) / 2 + 1, c2);
+    Some(NetworkSpec::new(
+        "prop",
+        input,
+        act_bits,
+        vec![
+            Stage::ConvInput { geom: g1 },
+            Stage::Conv { geom: g2 },
+            Stage::Pool {
+                input: s2,
+                k: 2,
+                stride: 2,
+                pad: 0,
+                kind: PoolKind::Max,
+            },
+            Stage::FullyConnected {
+                in_features: pool_out.len(),
+                out_features: 5,
+                bn_act: false,
+            },
+        ],
+    ))
+}
+
+/// Strategy over whole network specs: a geometry tuple mapped through
+/// [`random_spec`], with the inverse recovering the tuple from the built
+/// spec so a failing network shrinks toward small sides/kernels/channels
+/// (plain mapping would freeze shrinking at the first failing geometry).
+pub fn spec_strategy() -> impl Strategy<Value = Option<NetworkSpec>> {
+    map(
+        (
+            5usize..12, // side
+            1usize..4,  // k1
+            1usize..3,  // stride1
+            0usize..2,  // pad1
+            1usize..5,  // c1
+            1usize..3,  // k2
+            0usize..2,  // pad2
+            1usize..4,  // c2
+            1u32..4,    // act_bits
+        ),
+        |(side, k1, stride1, pad1, c1, k2, pad2, c2, act_bits)| {
+            random_spec(side, k1, stride1, pad1, c1, k2, pad2, c2, act_bits)
+        },
+        |spec| {
+            let spec = spec.as_ref()?;
+            let (Stage::ConvInput { geom: g1 }, Stage::Conv { geom: g2 }) =
+                (&spec.stages[0], &spec.stages[1])
+            else {
+                return None;
+            };
+            Some((
+                spec.input.h,
+                g1.filter.k,
+                g1.stride,
+                g1.pad,
+                g1.filter.o,
+                g2.filter.k,
+                g2.pad,
+                g2.filter.o,
+                spec.act_bits,
+            ))
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_geometries_are_rejected() {
+        // Kernel bigger than the padded input.
+        assert!(random_spec(5, 6, 1, 0, 1, 1, 0, 1, 2).is_none());
+        // Second conv bigger than the first conv's output.
+        assert!(random_spec(5, 4, 1, 0, 1, 3, 0, 1, 2).is_none());
+        // A sane small geometry builds.
+        let spec = random_spec(8, 3, 1, 1, 2, 2, 0, 2, 2).expect("valid spec");
+        assert_eq!(spec.stages.len(), 4);
+    }
+}

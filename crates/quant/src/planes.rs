@@ -5,13 +5,17 @@
 //! multi-bit generalization of the XNOR-popcount pipeline (paper Fig. 3
 //! shows the 2-bit case).
 
-use crate::dot;
+use qnn_tensor::bits::WORD_BITS;
 use qnn_tensor::BitVec;
 
 /// A reusable set of `n` bit planes over a fixed element count.
 #[derive(Clone, Debug)]
 pub struct ActPlanes {
     planes: Vec<BitVec>,
+    /// Per-plane popcount, maintained by [`ActPlanes::pack`] so the dot
+    /// product does not rescan the plane once per filter — all `O` filters
+    /// of a convolution share one packed window.
+    ones: Vec<i32>,
     len: usize,
 }
 
@@ -19,17 +23,31 @@ impl ActPlanes {
     /// Allocate planes for `len` codes of `bits` bits each.
     pub fn new(bits: u32, len: usize) -> Self {
         assert!((1..=8).contains(&bits), "activation bits must be in 1..=8");
-        Self { planes: (0..bits).map(|_| BitVec::zeros(len)).collect(), len }
+        Self {
+            planes: (0..bits).map(|_| BitVec::zeros(len)).collect(),
+            ones: vec![0; bits as usize],
+            len,
+        }
     }
 
     /// Pack codes into the planes, reusing storage. `codes.len()` must equal
-    /// the configured length.
+    /// the configured length. Packing is word-at-a-time: each plane word is
+    /// assembled in a register and stored once, and the per-plane popcount
+    /// is accumulated on the way through.
     pub fn pack(&mut self, codes: &[u8]) {
         assert_eq!(codes.len(), self.len, "ActPlanes::pack length mismatch");
-        for (p, plane) in self.planes.iter_mut().enumerate() {
-            for (i, &q) in codes.iter().enumerate() {
-                plane.set(i, (q >> p) & 1 == 1);
+        for (p, (plane, ones)) in self.planes.iter_mut().zip(&mut self.ones).enumerate() {
+            let mut count = 0u32;
+            let words = plane.words_mut();
+            for (w, chunk) in codes.chunks(WORD_BITS).enumerate() {
+                let mut word = 0u64;
+                for (b, &q) in chunk.iter().enumerate() {
+                    word |= u64::from((q >> p) & 1) << b;
+                }
+                words[w] = word;
+                count += word.count_ones();
             }
+            *ones = count as i32;
         }
     }
 
@@ -65,9 +83,17 @@ impl ActPlanes {
     }
 
     /// Dot product of ±1 weights against the packed codes.
+    ///
+    /// Identical to [`crate::dot::dot_planes`] over [`ActPlanes::planes`], but uses
+    /// the popcounts cached at pack time instead of rescanning each plane.
     #[inline]
     pub fn dot(&self, weights: &BitVec) -> i32 {
-        dot::dot_planes(weights, &self.planes)
+        self.planes
+            .iter()
+            .zip(&self.ones)
+            .enumerate()
+            .map(|(p, (plane, &ones))| (2 * weights.and_popcount(plane) as i32 - ones) << p)
+            .sum()
     }
 
     /// Recover the code at position `i` (for debugging/verification).
@@ -83,6 +109,7 @@ impl ActPlanes {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dot;
 
     #[test]
     fn pack_unpack_roundtrip() {
@@ -100,6 +127,22 @@ mod tests {
         let wbools: Vec<bool> = (0..129).map(|i| i % 5 < 2).collect();
         let w = BitVec::from_bools(&wbools);
         assert_eq!(planes.dot(&w), dot::dot_codes(&w, &codes));
+        assert_eq!(planes.dot(&w), dot::dot_planes(&w, planes.planes()));
+    }
+
+    #[test]
+    fn cached_popcounts_survive_repacking() {
+        // `dot` relies on the per-plane popcounts being refreshed by `pack`.
+        let mut planes = ActPlanes::new(2, 70);
+        let w = BitVec::from_bools(&(0..70).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        for round in 0..3u8 {
+            let codes: Vec<u8> = (0..70)
+                .map(|i| ((i as u8).wrapping_mul(round + 1)) % 4)
+                .collect();
+            planes.pack(&codes);
+            assert_eq!(planes.dot(&w), dot::dot_planes(&w, planes.planes()));
+            assert_eq!(planes.dot(&w), dot::dot_codes(&w, &codes));
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct BitVec {
 impl BitVec {
     /// All-zeros (all −1 weights) vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        Self { len, words: vec![0; len.div_ceil(WORD_BITS)] }
+        Self {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
     }
 
     /// Build from a boolean slice (`true` ⇒ bit 1 ⇒ +1).
@@ -96,6 +99,14 @@ impl BitVec {
         &self.words
     }
 
+    /// Mutable access to the packed words for bulk rewrites. Callers must
+    /// keep trailing bits beyond `len` zero — `count_ones` and the popcount
+    /// primitives rely on it.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Population count (number of 1 bits).
     #[inline]
     pub fn count_ones(&self) -> u32 {
@@ -128,7 +139,11 @@ impl BitVec {
     /// unsigned `{0,1}` per plane rather than ±1.
     pub fn and_popcount(&self, other: &Self) -> u32 {
         assert_eq!(self.len, other.len, "and_popcount length mismatch");
-        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones()).sum()
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
     }
 
     /// Bits as an iterator of bools.
@@ -162,8 +177,14 @@ impl BinaryFilters {
             weights.len(),
             bits_per_filter
         );
-        let filters = weights.chunks_exact(bits_per_filter).map(BitVec::from_signs).collect();
-        Self { bits_per_filter, filters }
+        let filters = weights
+            .chunks_exact(bits_per_filter)
+            .map(BitVec::from_signs)
+            .collect();
+        Self {
+            bits_per_filter,
+            filters,
+        }
     }
 
     /// Assemble from pre-packed rows.
@@ -176,7 +197,10 @@ impl BinaryFilters {
             filters.iter().all(|f| f.len() == bits_per_filter),
             "all filters must have equal length"
         );
-        Self { bits_per_filter, filters }
+        Self {
+            bits_per_filter,
+            filters,
+        }
     }
 
     /// Number of filters (`O`, cache entries).
@@ -236,8 +260,12 @@ mod tests {
         // ±1 dot product = 2·agreements − n, on a length that is not a
         // multiple of the word size to exercise the tail mask.
         let n = 100;
-        let a_sign: Vec<i32> = (0..n).map(|i| if (i * 7) % 3 == 0 { 1 } else { -1 }).collect();
-        let b_sign: Vec<i32> = (0..n).map(|i| if (i * 5) % 4 < 2 { 1 } else { -1 }).collect();
+        let a_sign: Vec<i32> = (0..n)
+            .map(|i| if (i * 7) % 3 == 0 { 1 } else { -1 })
+            .collect();
+        let b_sign: Vec<i32> = (0..n)
+            .map(|i| if (i * 5) % 4 < 2 { 1 } else { -1 })
+            .collect();
         let a = BitVec::from_bools(&a_sign.iter().map(|&s| s > 0).collect::<Vec<_>>());
         let b = BitVec::from_bools(&b_sign.iter().map(|&s| s > 0).collect::<Vec<_>>());
         let dot = 2 * a.xnor_popcount(&b) as i32 - n;
@@ -272,7 +300,9 @@ mod tests {
     #[test]
     fn binary_filters_geometry() {
         // 4 filters of 3·3·2 = 18 bits each.
-        let weights: Vec<f32> = (0..72).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let weights: Vec<f32> = (0..72)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let bank = BinaryFilters::from_float_rows(&weights, 18);
         assert_eq!(bank.num_filters(), 4);
         assert_eq!(bank.bits_per_filter(), 18);

@@ -1,10 +1,11 @@
 //! Full-architecture runs. The paper-scale 224×224 networks are exercised
 //! end to end; because the cycle simulator executes every fabric clock,
-//! the ImageNet-scale cases are `#[ignore]`d by default and run explicitly
-//! (they are also covered by the benches in release mode):
+//! the ImageNet-scale cases are `#[ignore]`d by default and promoted to
+//! the `./ci.sh release-tests` stage (they are also covered by the
+//! benches in release mode):
 //!
 //! ```text
-//! cargo test --release --test full_networks -- --ignored
+//! ./ci.sh release-tests   # == cargo test --release --test full_networks -- --ignored
 //! ```
 
 use qnn::compiler::{run_image, run_images, CompileOptions};
@@ -41,7 +42,12 @@ fn resnet_style_blocks_run_at_56x56_scale() {
     // A ResNet-18 "conv2_x slice": stem + pool + two identity blocks at
     // reduced channel width, full 2-bit datapath.
     let net = Network::random(models::test_net(56, 10, 2), 4);
-    let img = qnn::data::Dataset { name: "s", side: 56, classes: 10 }.image(0);
+    let img = qnn::data::Dataset {
+        name: "s",
+        side: 56,
+        classes: 10,
+    }
+    .image(0);
     let sim = run_image(&net, &img).expect("sim");
     assert_eq!(sim.logits[0], net.forward(&img).logits);
 }
@@ -62,7 +68,7 @@ fn throughput_improves_with_image_count() {
 }
 
 #[test]
-#[ignore = "ImageNet-scale; run with --release -- --ignored"]
+#[ignore = "ImageNet-scale; run via ./ci.sh release-tests"]
 fn resnet18_full_imagenet_scale() {
     let net = Network::random(models::resnet18(1000), 10);
     let img = IMAGENET.image(0);
@@ -78,7 +84,7 @@ fn resnet18_full_imagenet_scale() {
 }
 
 #[test]
-#[ignore = "ImageNet-scale; run with --release -- --ignored"]
+#[ignore = "ImageNet-scale; run via ./ci.sh release-tests"]
 fn alexnet_full_imagenet_scale() {
     let net = Network::random(models::alexnet(1000), 11);
     let img = IMAGENET.image(1);
@@ -87,7 +93,7 @@ fn alexnet_full_imagenet_scale() {
 }
 
 #[test]
-#[ignore = "STL-scale; run with --release -- --ignored"]
+#[ignore = "STL-scale; run via ./ci.sh release-tests"]
 fn stl10_vgg_96_runs() {
     let net = Network::random(models::vgg_like(96, 10, 2), 12);
     let img = STL10.image(0);
