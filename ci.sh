@@ -19,6 +19,10 @@
 #   ci.sh release-tests  NOT tier-1: the `#[ignore]`d ImageNet/STL-scale
 #                        full-network runs, in release (minutes, not
 #                        tier-1 seconds).
+#   ci.sh bench-smoke    NOT tier-1: every bench once in quick mode
+#                        (QNN_BENCH_QUICK=1: 1 iteration, no warmup,
+#                        speedup assertions off) — catches bench-harness
+#                        rot without waiting for real measurement runs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -37,7 +41,18 @@ if [[ "${1:-}" == "soak" ]]; then
   run cargo test -q --release --offline -p dfe-platform --test proptests
   run cargo test -q --release --offline -p qnn --test property_streaming
   run cargo test -q --release --offline -p qnn --test scheduler_equivalence
+  run cargo test -q --release --offline -p qnn --test conv_datapath_equivalence
   echo "ci.sh soak: all green"
+  exit 0
+fi
+
+if [[ "${1:-}" == "bench-smoke" ]]; then
+  export QNN_BENCH_QUICK=1
+  for bench in table3_networks fig5_runtime fig6_resources fig7_fig8_power_energy \
+               ablations kernels_micro scheduler_overhead serve_throughput conv_datapath; do
+    run cargo bench -q --offline -p qnn-bench --bench "$bench"
+  done
+  echo "ci.sh bench-smoke: all green"
   exit 0
 fi
 

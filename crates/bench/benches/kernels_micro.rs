@@ -1,8 +1,11 @@
 //! Microbenchmarks of the QNN arithmetic primitives — the per-cycle work
 //! the simulator performs for each datapath operation.
 
-use qnn::quant::{dot_codes, dot_i8, ActPlanes, BnParams, QuantSpec, ThresholdUnit};
-use qnn::tensor::BitVec;
+use qnn::quant::{
+    conv_accumulate_all, conv_accumulate_all_reference, dot_codes, dot_i8, ActPlanes, BnParams,
+    PlaneRing, QuantSpec, ThresholdUnit,
+};
+use qnn::tensor::{BinaryFilters, BitVec};
 use qnn_testkit::{black_box, Bench};
 
 fn mk_bits(n: usize, seed: u64) -> BitVec {
@@ -61,6 +64,57 @@ fn bench_threshold_activate(bench: &Bench) {
     }
 }
 
+fn bench_window_latch(bench: &Bench) {
+    // ResNet conv2_x shape: K=3, I=64, W=56 → the latch moves 3 rows of
+    // 192 codes out of a ring of I·(W·(K−1)+K) slots. Scalar reference:
+    // gather every code and repack the planes; packed: 3 bit-span copies
+    // per plane (what `ConvKernel` does under each datapath).
+    let (k, i, w) = (3usize, 64usize, 56usize);
+    let cap = i * (w * (k - 1) + k);
+    let (row_len, row_stride, n) = (k * i, w * i, k * k * i);
+    let scalar_ring: Vec<i32> = (0..cap).map(|s| ((s * 7 + 3) % 4) as i32).collect();
+    let mut ring = PlaneRing::new(2, cap);
+    for (s, &v) in scalar_ring.iter().enumerate() {
+        ring.set(s, v as u8);
+    }
+    let start = 17 * i;
+    let mut window = ActPlanes::new(2, n);
+    bench.run("window_latch/packed_spans_576x2bit", || {
+        ring.extract_window(black_box(start), k, row_len, row_stride, &mut window)
+    });
+    let mut codes = vec![0u8; n];
+    let mut planes = ActPlanes::new(2, n);
+    bench.run("window_latch/scalar_gather_pack_576x2bit", || {
+        let mut at = 0;
+        for r in 0..k {
+            let base = black_box(start) + r * row_stride;
+            for j in 0..row_len {
+                codes[at] = scalar_ring[(base + j) % cap] as u8;
+                at += 1;
+            }
+        }
+        planes.pack(&codes)
+    });
+}
+
+fn bench_accumulate_all(bench: &Bench) {
+    // conv2_x: 64 filters of 576 bits — one latched position's emit loop.
+    let (o, n) = (64usize, 576usize);
+    let weights: Vec<f32> = (0..o * n)
+        .map(|x| if (x * 11 + 5) % 3 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let filters = BinaryFilters::from_float_rows(&weights, n);
+    let codes: Vec<u8> = (0..n).map(|x| ((x * 13 + 1) % 4) as u8).collect();
+    let window = ActPlanes::from_codes(2, &codes);
+    let mut acc = vec![0i32; o];
+    bench.run("accumulate_all/blocked_gemm_64x576", || {
+        conv_accumulate_all(black_box(&filters), black_box(&window), &mut acc)
+    });
+    bench.run("accumulate_all/per_filter_dot_64x576", || {
+        conv_accumulate_all_reference(black_box(&filters), black_box(&window), &mut acc)
+    });
+}
+
 fn main() {
     let bench = Bench::from_env();
     bench_xnor_dot(&bench);
@@ -68,4 +122,6 @@ fn main() {
     bench_plane_packing(&bench);
     bench_first_layer_dot(&bench);
     bench_threshold_activate(&bench);
+    bench_window_latch(&bench);
+    bench_accumulate_all(&bench);
 }

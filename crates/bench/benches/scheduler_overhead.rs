@@ -18,7 +18,7 @@ use qnn::data::Dataset;
 use qnn::dfe::SchedulerMode;
 use qnn::nn::{models, Network, NetworkSpec};
 use qnn_bench::render_table;
-use qnn_testkit::black_box;
+use qnn_testkit::{black_box, Bench};
 use std::time::Instant;
 
 fn run_mode(net: &Network, images: &[qnn::tensor::Tensor3<i8>], mode: SchedulerMode) -> SimResult {
@@ -61,6 +61,9 @@ fn measure(label: &str, spec: NetworkSpec, classes: usize, n_images: usize) -> (
         dense.reports, ready.reports,
         "{label}: reports must be bit-identical"
     );
+    if Bench::quick_mode() {
+        return (0.0, 0.0, 1.0);
+    }
 
     let mut t_dense = Vec::with_capacity(ITERS);
     let mut t_ready = Vec::with_capacity(ITERS);
@@ -108,6 +111,10 @@ fn main() {
         "\n== Scheduler overhead (wall-clock per batch, bit-identical results) ==\n{}",
         render_table(&["workload", "dense ms", "ready ms", "speedup"], &rows)
     );
+    if Bench::quick_mode() {
+        println!("(quick mode: workloads executed once, speedup assertion skipped)");
+        return;
+    }
     assert!(
         imagenet_speedup >= 2.0,
         "ready-list scheduler should be >=2x on an ImageNet-scale full-network sim, \

@@ -6,7 +6,8 @@ use dfe_platform::{
 };
 use qnn_kernels::loader::encode_conv_params;
 use qnn_kernels::{
-    AddKernel, ConvKernel, DotMode, PadInserter, PoolKernel, PoolOp, SplitKernel, ThresholdKernel,
+    AddKernel, ConvDatapath, ConvKernel, DotMode, PadInserter, PoolKernel, PoolOp, SplitKernel,
+    ThresholdKernel,
 };
 use qnn_nn::{Network, PoolKind, Stage, StageParams};
 use qnn_quant::ThresholdUnit;
@@ -33,6 +34,10 @@ pub struct CompileOptions {
     /// ReadyList are bit-identical in outputs and reports; the default
     /// follows `QNN_SCHEDULER` (ReadyList when unset).
     pub scheduler: SchedulerMode,
+    /// Busy-path datapath for every convolution kernel. Packed and
+    /// ScalarReference are bit-identical in outputs and reports; the
+    /// default follows `QNN_CONV_DATAPATH` (Packed when unset).
+    pub conv_datapath: ConvDatapath,
 }
 
 impl Default for CompileOptions {
@@ -43,6 +48,7 @@ impl Default for CompileOptions {
             stage_device: None,
             stream_parameters: false,
             scheduler: SchedulerMode::default(),
+            conv_datapath: ConvDatapath::default(),
         }
     }
 }
@@ -73,6 +79,7 @@ struct Builder {
     links: usize,
     stream_parameters: bool,
     act_bits: u32,
+    conv_datapath: ConvDatapath,
 }
 
 impl Builder {
@@ -86,6 +93,7 @@ impl Builder {
             links: 0,
             stream_parameters: opts.stream_parameters,
             act_bits,
+            conv_datapath: opts.conv_datapath,
         }
     }
 
@@ -190,26 +198,32 @@ impl Builder {
             );
             self.kernel(
                 device,
-                Box::new(ConvKernel::new_streamed(
-                    label.to_string(),
-                    padded_geom,
-                    mode,
-                    thresholds.is_some(),
-                    self.act_bits,
-                )),
+                Box::new(
+                    ConvKernel::new_streamed(
+                        label.to_string(),
+                        padded_geom,
+                        mode,
+                        thresholds.is_some(),
+                        self.act_bits,
+                    )
+                    .with_datapath(self.conv_datapath),
+                ),
                 &[conv_in, params],
                 &[out],
             );
         } else {
             self.kernel(
                 device,
-                Box::new(ConvKernel::new(
-                    label.to_string(),
-                    padded_geom,
-                    filters.clone(),
-                    thresholds.map(<[ThresholdUnit]>::to_vec),
-                    mode,
-                )),
+                Box::new(
+                    ConvKernel::new(
+                        label.to_string(),
+                        padded_geom,
+                        filters.clone(),
+                        thresholds.map(<[ThresholdUnit]>::to_vec),
+                        mode,
+                    )
+                    .with_datapath(self.conv_datapath),
+                ),
                 &[conv_in],
                 &[out],
             );

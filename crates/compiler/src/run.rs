@@ -160,7 +160,8 @@ mod streamed_param_tests {
 
     /// The one-time load amortizes: per-image cycles drop sharply with
     /// more images ("loaded … only once, before inference of images
-    /// starts").
+    /// starts"). Cycle counts are deterministic — measured factor 0.33,
+    /// bound tightened from 0.7 in the conv-datapath PR.
     #[test]
     fn parameter_load_amortizes_over_images() {
         let net = Network::random(models::test_net(8, 4, 2), 34);
@@ -177,7 +178,7 @@ mod streamed_param_tests {
         .expect("4 images");
         let per_image_four = four.cycles() as f64 / 4.0;
         assert!(
-            per_image_four < one.cycles() as f64 * 0.7,
+            per_image_four < one.cycles() as f64 * 0.45,
             "load did not amortize: {per_image_four} vs {}",
             one.cycles()
         );

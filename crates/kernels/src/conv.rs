@@ -31,11 +31,38 @@
 //!   per clock cycle"): no input is accepted while a position's filters are
 //!   being emitted, giving `inputs + outputs` busy cycles. Kept as an
 //!   ablation (`cargo bench -p qnn-bench --bench ablations`).
+//!
+//! # Busy-path datapaths
+//!
+//! The *modeled* cycle behavior above is fixed; how the simulator computes
+//! each busy cycle's arithmetic is selected by [`ConvDatapath`]:
+//!
+//! * [`ConvDatapath::Packed`] (default) — pack-on-arrival: code-mode inputs
+//!   land directly in a [`PlaneRing`] (O(bits) bit writes per input tick),
+//!   a window latch is `K` contiguous bit-span copies per plane, and all
+//!   `O` filter accumulators are precomputed in one weights-stationary
+//!   blocked bit-GEMM ([`qnn_quant::conv_accumulate_all`]); each emit tick
+//!   pops one. The i8 first layer keeps its scalar ring but still
+//!   precomputes accumulators at latch time.
+//! * [`ConvDatapath::ScalarReference`] — the original datapath: a scalar
+//!   `Vec<i32>` ring, a gather-and-repack at every latch, and one full
+//!   window dot product per emit tick.
+//!
+//! Both datapaths make identical `tick` I/O decisions and per-filter
+//! arithmetic (`(2·agree − ones) << p`, planes ascending), so outputs *and*
+//! [`CycleReport`](dfe_platform::CycleReport)s are bit-identical — enforced
+//! by the `conv_datapath_equivalence` differential suite, the golden
+//! vectors, and the scheduler-equivalence battery. The process default is
+//! read once from `QNN_CONV_DATAPATH` (`packed` / `scalar`; unset ⇒
+//! `packed`), mirroring `QNN_SCHEDULER`.
 
 use crate::loader::{LoadStep, ParamLoader};
 use dfe_platform::{Io, Kernel, Progress, WakeHint};
-use qnn_quant::{dot_i8, ActPlanes, ThresholdUnit};
+use qnn_quant::{
+    conv_accumulate_all, conv_accumulate_all_i8, dot_i8, ActPlanes, PlaneRing, ThresholdUnit,
+};
 use qnn_tensor::{BinaryFilters, BitVec, ConvGeometry};
+use std::sync::OnceLock;
 
 /// Input-operand flavor of the dot-product datapath.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +76,67 @@ pub enum DotMode {
     },
 }
 
+/// How the simulator computes the arithmetic of each modeled busy cycle
+/// (see the module docs — the cycle model itself is datapath-independent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConvDatapath {
+    /// Pack-on-arrival plane ring + blocked accumulator precompute.
+    Packed,
+    /// Scalar window ring, one full window dot per emit tick. Kept callable
+    /// for the differential suite and the `kernels_micro`/`conv_datapath`
+    /// benches.
+    ScalarReference,
+}
+
+impl ConvDatapath {
+    /// Resolve the datapath from `QNN_CONV_DATAPATH` (`packed` / `scalar`,
+    /// case-insensitive; unset defaults to `Packed`).
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a typo silently falling back to a
+    /// default would make benchmark A/B runs lie.
+    pub fn from_env() -> Self {
+        match std::env::var("QNN_CONV_DATAPATH") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "packed" => ConvDatapath::Packed,
+                "scalar" | "scalar-reference" | "reference" => ConvDatapath::ScalarReference,
+                other => panic!("QNN_CONV_DATAPATH='{other}' (expected 'packed' or 'scalar')"),
+            },
+            Err(_) => ConvDatapath::Packed,
+        }
+    }
+
+    /// Process-wide default: `from_env`, resolved once and cached.
+    fn default_mode() -> Self {
+        static MODE: OnceLock<ConvDatapath> = OnceLock::new();
+        *MODE.get_or_init(Self::from_env)
+    }
+}
+
+impl Default for ConvDatapath {
+    /// The process default (see [`ConvDatapath::from_env`]).
+    fn default() -> Self {
+        Self::default_mode()
+    }
+}
+
+/// The depth-first window buffer, in whichever representation the active
+/// datapath uses. Slot `s` always holds the element whose stream index
+/// satisfies `idx % capacity == s`.
+enum WindowRing {
+    Scalar(Vec<i32>),
+    Packed(PlaneRing),
+}
+
+impl WindowRing {
+    fn capacity(&self) -> usize {
+        match self {
+            WindowRing::Scalar(r) => r.len(),
+            WindowRing::Packed(r) => r.capacity(),
+        }
+    }
+}
+
 /// The streaming convolution kernel.
 pub struct ConvKernel {
     name: String,
@@ -56,8 +144,9 @@ pub struct ConvKernel {
     filters: BinaryFilters,
     thresholds: Option<Vec<ThresholdUnit>>,
     mode: DotMode,
+    datapath: ConvDatapath,
     // --- window buffer ---
-    ring: Vec<i32>,
+    ring: WindowRing,
     /// Elements of the current image received so far.
     received: usize,
     /// Ring slot the next element lands in (≡ `received % ring.len()`,
@@ -81,6 +170,9 @@ pub struct ConvKernel {
     window_codes: Vec<u8>,
     window_i8: Vec<i8>,
     planes: ActPlanes,
+    /// Accumulators precomputed at latch time (packed datapath); emit tick
+    /// `o` pops `acc[o]`.
+    acc: Vec<i32>,
 }
 
 impl ConvKernel {
@@ -166,13 +258,15 @@ impl ConvKernel {
             DotMode::Codes { bits } => bits,
             DotMode::I8 => 1, // planes unused in i8 mode
         };
+        let datapath = ConvDatapath::default();
         Self {
             name: name.into(),
             geom,
             filters,
             thresholds,
             mode,
-            ring: vec![0; geom.depth_first_buffer()],
+            datapath,
+            ring: Self::make_ring(geom, mode, datapath),
             received: 0,
             wr: 0,
             needed_memo: (usize::MAX, 0),
@@ -183,12 +277,40 @@ impl ConvKernel {
             window_codes: vec![0; wsize],
             window_i8: vec![0; wsize],
             planes: ActPlanes::new(bits, wsize),
+            acc: vec![0; geom.filter.o],
         }
+    }
+
+    /// The window buffer for a mode/datapath pair: code streams pack on
+    /// arrival under the packed datapath; the i8 first layer and the scalar
+    /// reference keep the `Vec<i32>` ring.
+    fn make_ring(geom: ConvGeometry, mode: DotMode, datapath: ConvDatapath) -> WindowRing {
+        match (mode, datapath) {
+            (DotMode::Codes { bits }, ConvDatapath::Packed) => {
+                WindowRing::Packed(PlaneRing::new(bits, geom.depth_first_buffer()))
+            }
+            _ => WindowRing::Scalar(vec![0; geom.depth_first_buffer()]),
+        }
+    }
+
+    /// Rebuild this kernel with an explicit busy-path datapath (tests,
+    /// the differential suite, and benches; production call sites take the
+    /// process default). Must be applied before any input is streamed.
+    pub fn with_datapath(mut self, datapath: ConvDatapath) -> Self {
+        assert_eq!(self.received, 0, "datapath change mid-stream");
+        self.datapath = datapath;
+        self.ring = Self::make_ring(self.geom, self.mode, datapath);
+        self
+    }
+
+    /// The active busy-path datapath.
+    pub fn datapath(&self) -> ConvDatapath {
+        self.datapath
     }
 
     /// The window-buffer size in elements — the paper's `I·(W·(K−1)+K)`.
     pub fn buffer_elems(&self) -> usize {
-        self.ring.len()
+        self.ring.capacity()
     }
 
     fn positions(&self) -> usize {
@@ -221,8 +343,11 @@ impl ConvKernel {
         self.needed_memo.1
     }
 
-    /// Gather the current window from the ring into scratch and (in code
-    /// mode) pack the bit planes.
+    /// Latch the current window out of the ring. Scalar datapath: gather
+    /// into scratch and (in code mode) repack the bit planes; accumulators
+    /// are then computed one per emit tick. Packed datapath: span-copy the
+    /// packed planes (or gather the i8 scratch) and precompute *all* filter
+    /// accumulators now — the emit loop just pops them.
     fn latch_window(&mut self) {
         let out_w = self.geom.output().w;
         let (oy, ox) = (self.out_pos / out_w, self.out_pos % out_w);
@@ -230,36 +355,53 @@ impl ConvKernel {
         let k = self.geom.filter.k;
         let w = self.geom.input.w;
         let i = self.geom.input.c;
-        let cap = self.ring.len();
-        let mut at = 0;
-        for ky in 0..k {
-            for kx in 0..k {
-                let base = ((ty + ky) * w + tx + kx) * i;
-                let mut idx = base % cap; // channels are contiguous: wrap incrementally
-                for _ in 0..i {
-                    let v = self.ring[idx];
-                    idx += 1;
-                    if idx == cap {
-                        idx = 0;
+        match &self.ring {
+            WindowRing::Packed(ring) => {
+                // K contiguous bit-spans of K·I slots, one ring row apart.
+                let start = ((ty * w + tx) * i) % ring.capacity();
+                ring.extract_window(start, k, k * i, w * i, &mut self.planes);
+                conv_accumulate_all(&self.filters, &self.planes, &mut self.acc);
+            }
+            WindowRing::Scalar(ring) => {
+                let cap = ring.len();
+                let mut at = 0;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let base = ((ty + ky) * w + tx + kx) * i;
+                        let mut idx = base % cap; // channels are contiguous: wrap incrementally
+                        for _ in 0..i {
+                            let v = ring[idx];
+                            idx += 1;
+                            if idx == cap {
+                                idx = 0;
+                            }
+                            match self.mode {
+                                DotMode::Codes { .. } => self.window_codes[at] = v as u8,
+                                DotMode::I8 => self.window_i8[at] = v as i8,
+                            }
+                            at += 1;
+                        }
                     }
-                    match self.mode {
-                        DotMode::Codes { .. } => self.window_codes[at] = v as u8,
-                        DotMode::I8 => self.window_i8[at] = v as i8,
+                }
+                match (self.mode, self.datapath) {
+                    (DotMode::Codes { .. }, _) => self.planes.pack(&self.window_codes),
+                    (DotMode::I8, ConvDatapath::Packed) => {
+                        conv_accumulate_all_i8(&self.filters, &self.window_i8, &mut self.acc);
                     }
-                    at += 1;
+                    (DotMode::I8, ConvDatapath::ScalarReference) => {}
                 }
             }
-        }
-        if let DotMode::Codes { .. } = self.mode {
-            self.planes.pack(&self.window_codes);
         }
     }
 
     /// Accumulator for filter `o` of the latched window.
     fn accumulate(&self, o: usize) -> i32 {
-        match self.mode {
-            DotMode::Codes { .. } => self.planes.dot(self.filters.filter(o)),
-            DotMode::I8 => dot_i8(self.filters.filter(o), &self.window_i8),
+        match self.datapath {
+            ConvDatapath::Packed => self.acc[o],
+            ConvDatapath::ScalarReference => match self.mode {
+                DotMode::Codes { .. } => self.planes.dot(self.filters.filter(o)),
+                DotMode::I8 => dot_i8(self.filters.filter(o), &self.window_i8),
+            },
         }
     }
 }
@@ -340,9 +482,14 @@ impl Kernel for ConvKernel {
         if self.received < read_limit {
             match io.read(0) {
                 Some(v) => {
-                    self.ring[self.wr] = v;
+                    match &mut self.ring {
+                        WindowRing::Scalar(ring) => ring[self.wr] = v,
+                        // Pack on arrival: O(bits) plane writes, high bits
+                        // dropped exactly as the scalar repack drops them.
+                        WindowRing::Packed(ring) => ring.set(self.wr, v as u8),
+                    }
                     self.wr += 1;
-                    if self.wr == self.ring.len() {
+                    if self.wr == self.ring.capacity() {
                         self.wr = 0;
                     }
                     self.received += 1;
@@ -601,6 +748,35 @@ mod tests {
             vec![codes.iter().map(|&q| i32::from(q)).collect()],
         );
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scalar_and_packed_datapaths_are_bit_identical() {
+        // Same images, both datapaths, both dot modes: outputs AND cycle
+        // reports must match exactly (the full property version lives in
+        // tests/conv_datapath_equivalence.rs).
+        let geom = ConvGeometry::new(Shape3::new(7, 6, 3), FilterShape::new(3, 3, 5), 2, 0);
+        let filters = filters_for(&geom, 29);
+        let input = Tensor3::from_fn(geom.input, |y, x, c| ((y * 11 + x * 5 + c * 3) % 4) as u8);
+        let img: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
+        for mode in [DotMode::Codes { bits: 2 }, DotMode::I8] {
+            let out_len = geom.output().len() * 2;
+            let mk = |dp| {
+                ConvKernel::new("conv", geom, filters.clone(), None, mode).with_datapath(dp)
+            };
+            let (out_p, rep_p) = run_conv_kernel(
+                mk(ConvDatapath::Packed),
+                out_len,
+                vec![img.clone(), img.clone()],
+            );
+            let (out_s, rep_s) = run_conv_kernel(
+                mk(ConvDatapath::ScalarReference),
+                out_len,
+                vec![img.clone(), img.clone()],
+            );
+            assert_eq!(out_p, out_s, "{mode:?}: outputs diverge");
+            assert_eq!(rep_p, rep_s, "{mode:?}: cycle reports diverge");
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod loader;
 pub mod pad;
 pub mod pool;
 
-pub use conv::{ConvKernel, DotMode};
+pub use conv::{ConvDatapath, ConvKernel, DotMode};
 pub use loader::{encode_conv_params, ParamLoader};
 pub use elemwise::{AddKernel, SplitKernel, ThresholdKernel};
 pub use pad::PadInserter;

@@ -21,10 +21,14 @@
 
 pub mod batchnorm;
 pub mod dot;
+pub mod gemm;
 pub mod planes;
+pub mod ring;
 pub mod threshold;
 
 pub use batchnorm::BnParams;
 pub use dot::{dot_codes, dot_i8, dot_planes, dot_pm1};
+pub use gemm::{conv_accumulate_all, conv_accumulate_all_i8, conv_accumulate_all_reference};
 pub use planes::ActPlanes;
+pub use ring::PlaneRing;
 pub use threshold::{QuantSpec, ThresholdUnit};

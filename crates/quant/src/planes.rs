@@ -82,6 +82,21 @@ impl ActPlanes {
         &self.planes
     }
 
+    /// Cached popcount of plane `p` (maintained by [`ActPlanes::pack`] and
+    /// by [`crate::PlaneRing::extract_window`]).
+    #[inline]
+    pub fn plane_ones(&self, p: usize) -> i32 {
+        self.ones[p]
+    }
+
+    /// Mutable access to the planes and their cached popcounts for bulk
+    /// rewrites (the plane-ring window extractor). Callers must leave each
+    /// `ones[p]` equal to plane `p`'s popcount and keep trailing bits zero.
+    #[inline]
+    pub(crate) fn parts_mut(&mut self) -> (&mut [BitVec], &mut [i32]) {
+        (&mut self.planes, &mut self.ones)
+    }
+
     /// Dot product of ±1 weights against the packed codes.
     ///
     /// Identical to [`crate::dot::dot_planes`] over [`ActPlanes::planes`], but uses

@@ -14,12 +14,27 @@ pub enum AdmissionPolicy {
     Reject,
 }
 
+/// How the batcher picks the replica for a flushed batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Shortest-queue-first: the replica with the fewest in-flight images
+    /// (queued + running, ties to the lowest id). A slow or busy replica
+    /// stops attracting work until it drains — the sensible default for
+    /// heterogeneous load.
+    #[default]
+    LeastLoaded,
+    /// Cycle through replicas in id order regardless of load. Shard
+    /// sizes depend only on the flush sequence, which makes per-replica
+    /// cycle counts reproducible — used by the scaling bench.
+    RoundRobin,
+}
+
 /// Configuration of a [`crate::serve`] runtime instance.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Number of independent pipeline replicas (worker threads). Each
     /// replica runs the lockstep device executor on its own thread;
-    /// batches are dispatched round-robin across replicas.
+    /// batches are dispatched across replicas per [`DispatchPolicy`].
     pub replicas: usize,
     /// Maximum images per batch. A full batch dispatches immediately.
     pub max_batch: usize,
@@ -31,6 +46,12 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Behaviour when the submission queue is full.
     pub admission: AdmissionPolicy,
+    /// Replica-selection policy for flushed batches.
+    pub dispatch: DispatchPolicy,
+    /// Test/bench knob: extra busy time injected per batch on replica
+    /// `i`, modeling a slower card or a co-tenant. Empty (the default)
+    /// injects nothing; otherwise the length must equal `replicas`.
+    pub synthetic_replica_delay: Vec<Duration>,
     /// Compile options shared by every replica (placement, FIFO sizing,
     /// parameter streaming).
     pub compile: CompileOptions,
@@ -44,6 +65,8 @@ impl Default for ServerConfig {
             flush_deadline: Duration::from_millis(2),
             queue_depth: 64,
             admission: AdmissionPolicy::Block,
+            dispatch: DispatchPolicy::default(),
+            synthetic_replica_delay: Vec::new(),
             compile: CompileOptions::default(),
         }
     }
@@ -55,6 +78,11 @@ impl ServerConfig {
         assert!(self.replicas > 0, "serving needs at least one replica");
         assert!(self.max_batch > 0, "batches must hold at least one image");
         assert!(self.queue_depth > 0, "the submission queue cannot be zero-depth");
+        assert!(
+            self.synthetic_replica_delay.is_empty()
+                || self.synthetic_replica_delay.len() == self.replicas,
+            "synthetic_replica_delay must be empty or name every replica"
+        );
     }
 }
 

@@ -15,9 +15,11 @@
 //!   for trickle traffic);
 //! * **N replica workers**, each owning an independent clone of the
 //!   compiled pipeline ([`qnn_compiler::compile_replicas`]) and running
-//!   the existing lockstep device executor on its own thread; batches are
-//!   sharded round-robin, so throughput scales with cores while every
-//!   image's logits stay bit-identical to direct execution;
+//!   the existing lockstep device executor on its own thread; batches go
+//!   to the replica with the fewest in-flight images (least-loaded
+//!   dispatch, with round-robin as a [`DispatchPolicy`] option), so
+//!   throughput scales with cores while every image's logits stay
+//!   bit-identical to direct execution;
 //! * **per-request and aggregate statistics** — queue wait, batch
 //!   occupancy, p50/p95 latency, images/sec — via `qnn-testkit`'s bench
 //!   helpers;
@@ -55,6 +57,6 @@ mod config;
 mod server;
 mod stats;
 
-pub use config::{AdmissionPolicy, ServerConfig};
+pub use config::{AdmissionPolicy, DispatchPolicy, ServerConfig};
 pub use server::{serve, Client, Response, SubmitError, Ticket};
 pub use stats::{LatencySummary, ReplicaStats, RequestStats, ServerReport};

@@ -7,7 +7,8 @@
 //!  client threads ──submit──▶ [bounded submission queue]
 //!                                     │
 //!                                 batcher thread
-//!                        (size- and deadline-triggered flush)
+//!                        (size- and deadline-triggered flush,
+//!                     least-loaded or round-robin dispatch)
 //!                        │           │           │
 //!                   [batch q]   [batch q]   [batch q]      (depth 1 each)
 //!                        │           │           │
@@ -16,13 +17,20 @@
 //!                        └──per-request reply channels──▶ tickets
 //! ```
 //!
+//! Under [`DispatchPolicy::LeastLoaded`] (the default) the batcher tracks
+//! per-replica in-flight image counts: incremented at dispatch, decremented
+//! by the worker once the batch is answered. A flush goes to the replica
+//! with the fewest in-flight images (ties to the lowest id), so a slow
+//! replica stops attracting batches while drained replicas keep pulling
+//! work; [`DispatchPolicy::RoundRobin`] keeps the old id-order rotation.
+//!
 //! Shutdown is drop-driven and drains: when the `body` closure returns,
 //! the [`Client`] (sole submission sender) is dropped, the batcher sees
 //! the queue disconnect, flushes its partial batch, and drops the batch
 //! senders; each worker drains its remaining batches and returns its
 //! counters. Every admitted request is answered before [`serve`] returns.
 
-use crate::config::{AdmissionPolicy, ServerConfig};
+use crate::config::{AdmissionPolicy, DispatchPolicy, ServerConfig};
 use crate::stats::{LatencySummary, ReplicaStats, RequestStats, ServerReport};
 use qnn_compiler::{compile_replicas, Replica};
 use qnn_nn::Network;
@@ -162,40 +170,54 @@ struct BatcherStats {
     occupancy_sum: u64,
 }
 
-/// Assemble requests into batches and dispatch them round-robin.
+/// Assemble requests into batches and dispatch them per the policy.
 fn run_batcher(
     rx: Receiver<Request>,
     replica_txs: Vec<SyncSender<Batch>>,
     max_batch: usize,
     deadline: Duration,
+    dispatch: DispatchPolicy,
+    in_flight: &[AtomicU64],
 ) -> BatcherStats {
     let mut stats = BatcherStats::default();
     let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
     let mut first_at: Option<Instant> = None;
     let mut seq: usize = 0;
 
-    fn flush(
-        batch: &mut Vec<Request>,
-        first_at: &mut Option<Instant>,
-        seq: &mut usize,
-        txs: &[SyncSender<Batch>],
-        stats: &mut BatcherStats,
-    ) {
+    let mut flush = |batch: &mut Vec<Request>,
+                     first_at: &mut Option<Instant>,
+                     stats: &mut BatcherStats| {
         if batch.is_empty() {
             return;
         }
         stats.batches += 1;
         stats.occupancy_sum += batch.len() as u64;
-        let target = *seq % txs.len();
-        *seq += 1;
+        let target = match dispatch {
+            DispatchPolicy::RoundRobin => {
+                let t = seq % replica_txs.len();
+                seq += 1;
+                t
+            }
+            // Fewest in-flight images wins, ties to the lowest id. The
+            // loads move underneath us (workers decrement as batches
+            // finish), but only the batcher increments, so the chosen
+            // replica can only be less loaded than observed.
+            DispatchPolicy::LeastLoaded => in_flight
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, load)| load.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("at least one replica"),
+        };
+        in_flight[target].fetch_add(batch.len() as u64, Ordering::Relaxed);
         *first_at = None;
         // Blocking send: if every replica is busy and its batch slot is
         // occupied, backpressure propagates through the batcher to the
         // bounded submission queue and ultimately to the admission edge.
-        txs[target]
+        replica_txs[target]
             .send(Batch { requests: std::mem::take(batch) })
             .unwrap_or_else(|_| panic!("replica {target} hung up before shutdown"));
-    }
+    };
 
     loop {
         let msg = match first_at {
@@ -211,14 +233,14 @@ fn run_batcher(
                 }
                 batch.push(req);
                 if batch.len() >= max_batch {
-                    flush(&mut batch, &mut first_at, &mut seq, &replica_txs, &mut stats);
+                    flush(&mut batch, &mut first_at, &mut stats);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
-                flush(&mut batch, &mut first_at, &mut seq, &replica_txs, &mut stats);
+                flush(&mut batch, &mut first_at, &mut stats);
             }
             Err(RecvTimeoutError::Disconnected) => {
-                flush(&mut batch, &mut first_at, &mut seq, &replica_txs, &mut stats);
+                flush(&mut batch, &mut first_at, &mut stats);
                 return stats;
             }
         }
@@ -232,7 +254,16 @@ struct WorkerOutput {
 }
 
 /// Execute batches on one replica until its queue disconnects (drain).
-fn run_worker(replica: Replica, rx: Receiver<Batch>) -> WorkerOutput {
+/// `in_flight` is this replica's dispatch-side image count: decremented
+/// once a batch is fully answered, so the batcher's least-loaded view
+/// covers queued *and* running work. `synthetic_delay` injects extra busy
+/// time per batch (test/bench knob modeling a slow card).
+fn run_worker(
+    replica: Replica,
+    rx: Receiver<Batch>,
+    in_flight: &AtomicU64,
+    synthetic_delay: Duration,
+) -> WorkerOutput {
     let mut out = WorkerOutput {
         stats: ReplicaStats {
             replica: replica.id(),
@@ -254,6 +285,9 @@ fn run_worker(replica: Replica, rx: Receiver<Batch>) -> WorkerOutput {
         let sim = replica.run_batch(&images).unwrap_or_else(|e| {
             panic!("replica {}: batch of {} failed: {e}", replica.id(), images.len())
         });
+        if !synthetic_delay.is_zero() {
+            std::thread::sleep(synthetic_delay);
+        }
         let busy = started.elapsed();
         out.stats.batches += 1;
         out.stats.images += batch.requests.len() as u64;
@@ -280,6 +314,7 @@ fn run_worker(replica: Replica, rx: Receiver<Batch>) -> WorkerOutput {
             // as completed (the work was done).
             let _ = req.reply.send(response);
         }
+        in_flight.fetch_sub(n as u64, Ordering::Relaxed);
     }
     out
 }
@@ -301,21 +336,30 @@ pub fn serve<R>(
     let rejected = AtomicU64::new(0);
     let started = Instant::now();
 
+    let in_flight: Vec<AtomicU64> =
+        (0..config.replicas).map(|_| AtomicU64::new(0)).collect();
     let (result, batcher_stats, workers) = std::thread::scope(|scope| {
         let (sub_tx, sub_rx) = sync_channel::<Request>(config.queue_depth);
         let mut replica_txs = Vec::with_capacity(replicas.len());
         let mut worker_handles = Vec::with_capacity(replicas.len());
-        for replica in replicas {
+        for (i, replica) in replicas.into_iter().enumerate() {
             // Depth 1: one batch may queue while the previous one runs, so
             // a replica never idles between back-to-back batches, but the
             // batcher cannot run arbitrarily far ahead of slow replicas.
             let (tx, rx) = sync_channel::<Batch>(1);
             replica_txs.push(tx);
-            worker_handles.push(scope.spawn(move || run_worker(replica, rx)));
+            let load = &in_flight[i];
+            let delay = config
+                .synthetic_replica_delay
+                .get(i)
+                .copied()
+                .unwrap_or(Duration::ZERO);
+            worker_handles.push(scope.spawn(move || run_worker(replica, rx, load, delay)));
         }
         let (max_batch, deadline) = (config.max_batch, config.flush_deadline);
-        let batcher =
-            scope.spawn(move || run_batcher(sub_rx, replica_txs, max_batch, deadline));
+        let (dispatch, loads) = (config.dispatch, &in_flight);
+        let batcher = scope
+            .spawn(move || run_batcher(sub_rx, replica_txs, max_batch, deadline, dispatch, loads));
 
         let client = Client {
             tx: sub_tx,

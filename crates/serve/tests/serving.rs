@@ -5,7 +5,7 @@
 
 use qnn_compiler::{run_images, CompileOptions};
 use qnn_nn::{models, Network};
-use qnn_serve::{serve, AdmissionPolicy, ServerConfig, SubmitError, Ticket};
+use qnn_serve::{serve, AdmissionPolicy, DispatchPolicy, ServerConfig, SubmitError, Ticket};
 use qnn_tensor::{Shape3, Tensor3};
 use qnn_testkit::Rng;
 use std::time::Duration;
@@ -194,13 +194,15 @@ fn report_statistics_are_internally_consistent() {
 #[test]
 fn work_is_sharded_across_replicas() {
     // With more batches than replicas and round-robin dispatch, every
-    // replica must execute at least one batch.
+    // replica must execute at least one batch (round-robin pinned: the
+    // guarantee is policy-specific).
     let net = net();
     let n = 12usize;
     let config = ServerConfig {
         replicas: 3,
         max_batch: 1,
         flush_deadline: Duration::from_millis(1),
+        dispatch: DispatchPolicy::RoundRobin,
         ..ServerConfig::default()
     };
     let ((), report) = serve(&net, &config, |client| {
@@ -215,6 +217,42 @@ fn work_is_sharded_across_replicas() {
         assert!(r.batches >= 1, "replica {} never ran a batch", r.replica);
         assert!(r.busy > Duration::ZERO);
     }
+}
+
+#[test]
+fn least_loaded_dispatch_steers_work_away_from_a_slow_replica() {
+    // Replica 0 is artificially slowed by 60 ms per batch; replica 1 runs
+    // at full speed. Under least-loaded dispatch the slow replica's
+    // in-flight count stays pinned high, so after the first few flushes
+    // every batch goes to the drained fast replica. Round-robin would
+    // split the 12 single-image batches 6/6; least-loaded must give the
+    // fast replica strictly more (in practice ~3/9).
+    let net = net();
+    let n = 12usize;
+    let config = ServerConfig {
+        replicas: 2,
+        max_batch: 1,
+        flush_deadline: Duration::from_millis(1),
+        synthetic_replica_delay: vec![Duration::from_millis(60), Duration::ZERO],
+        ..ServerConfig::default()
+    };
+    assert_eq!(config.dispatch, DispatchPolicy::LeastLoaded, "the default policy");
+    let ((), report) = serve(&net, &config, |client| {
+        let tickets: Vec<Ticket> =
+            (0..n).map(|s| client.submit(image(8, 500 + s as u64)).expect("admitted")).collect();
+        for t in tickets {
+            t.wait().expect("answered");
+        }
+    });
+    assert_eq!(report.completed, n as u64);
+    let slow = report.per_replica.iter().find(|r| r.replica == 0).expect("replica 0");
+    let fast = report.per_replica.iter().find(|r| r.replica == 1).expect("replica 1");
+    assert!(
+        fast.batches > slow.batches,
+        "least-loaded dispatch kept feeding the slow replica: slow {} vs fast {}",
+        slow.batches,
+        fast.batches
+    );
 }
 
 #[test]

@@ -150,6 +150,96 @@ impl BitVec {
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.get(i))
     }
+
+    /// Copy `len` bits from `src` starting at bit `src_off` into `self`
+    /// starting at bit `dst_off` (shift-based, word-at-a-time).
+    ///
+    /// This is the window-extraction primitive of the packed conv datapath:
+    /// one call moves a whole row of a convolution window between a
+    /// plane ring and a packed window, replacing `len` scalar get/set
+    /// pairs. Bits outside the target range are untouched, so the
+    /// trailing-bits-zero invariant is preserved.
+    ///
+    /// # Panics
+    /// Panics if either range runs past the corresponding vector.
+    #[inline]
+    pub fn copy_bitrange_from(&mut self, dst_off: usize, src: &Self, src_off: usize, len: usize) {
+        assert!(src_off + len <= src.len, "copy_bitrange source overrun");
+        assert!(dst_off + len <= self.len, "copy_bitrange destination overrun");
+        copy_bitrange(&mut self.words, dst_off, &src.words, src_off, len);
+    }
+
+    /// Popcount of the `len`-bit span starting at bit `off`.
+    ///
+    /// # Panics
+    /// Panics if the span runs past the vector.
+    #[inline]
+    pub fn popcount_range(&self, off: usize, len: usize) -> u32 {
+        assert!(off + len <= self.len, "popcount_range overrun");
+        popcount_range(&self.words, off, len)
+    }
+}
+
+/// Read `n ∈ 1..=64` bits of `src` starting at bit `off` into the low bits
+/// of a word.
+#[inline]
+fn get_bits(src: &[u64], off: usize, n: usize) -> u64 {
+    debug_assert!((1..=WORD_BITS).contains(&n));
+    let (w, b) = (off / WORD_BITS, off % WORD_BITS);
+    let mut v = src[w] >> b;
+    if b != 0 && b + n > WORD_BITS {
+        v |= src[w + 1] << (WORD_BITS - b);
+    }
+    if n < WORD_BITS {
+        v &= (1u64 << n) - 1;
+    }
+    v
+}
+
+/// Write the low `n ∈ 1..=64` bits of `v` into `dst` starting at bit `off`,
+/// leaving every other bit untouched. `v`'s bits above `n` must be zero.
+#[inline]
+fn set_bits(dst: &mut [u64], off: usize, n: usize, v: u64) {
+    debug_assert!((1..=WORD_BITS).contains(&n));
+    debug_assert!(n == WORD_BITS || v >> n == 0);
+    let (w, b) = (off / WORD_BITS, off % WORD_BITS);
+    let mask = if n == WORD_BITS { u64::MAX } else { (1u64 << n) - 1 };
+    // `mask << b` self-truncates when the span crosses into the next word.
+    dst[w] = (dst[w] & !(mask << b)) | (v << b);
+    if b + n > WORD_BITS {
+        let hi = n - (WORD_BITS - b);
+        let hi_mask = (1u64 << hi) - 1;
+        dst[w + 1] = (dst[w + 1] & !hi_mask) | (v >> (WORD_BITS - b));
+    }
+}
+
+/// Copy `len` bits between packed word slices at arbitrary bit offsets —
+/// the shift-based span move behind [`BitVec::copy_bitrange_from`].
+///
+/// Callers must guarantee both spans fit inside their slices (the `BitVec`
+/// wrapper asserts this against the logical lengths).
+pub fn copy_bitrange(dst: &mut [u64], dst_off: usize, src: &[u64], src_off: usize, len: usize) {
+    let mut done = 0;
+    while done < len {
+        let n = (len - done).min(WORD_BITS);
+        let v = get_bits(src, src_off + done, n);
+        set_bits(dst, dst_off + done, n, v);
+        done += n;
+    }
+}
+
+/// Popcount of an arbitrary `len`-bit span of a packed word slice — the
+/// word-level companion of [`copy_bitrange`] (behind
+/// [`BitVec::popcount_range`]).
+pub fn popcount_range(words: &[u64], off: usize, len: usize) -> u32 {
+    let mut count = 0;
+    let mut done = 0;
+    while done < len {
+        let n = (len - done).min(WORD_BITS);
+        count += get_bits(words, off + done, n).count_ones();
+        done += n;
+    }
+    count
 }
 
 /// A bank of `O` binary filters, each `K × K × I` bits — the weight cache of
@@ -323,5 +413,69 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn xnor_length_mismatch_panics() {
         let _ = BitVec::zeros(3).xnor_popcount(&BitVec::zeros(4));
+    }
+
+    fn patterned(len: usize, seed: u64) -> BitVec {
+        BitVec::from_bools(
+            &(0..len)
+                .map(|i| (i as u64).wrapping_mul(seed).wrapping_add(seed / 3) % 7 < 3)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn copy_bitrange_matches_scalar_copy_across_word_boundaries() {
+        let src = patterned(200, 11);
+        for (src_off, dst_off, len) in
+            [(0, 0, 200), (63, 1, 66), (1, 63, 130), (64, 64, 64), (127, 3, 65), (5, 190, 9)]
+        {
+            let mut dst = patterned(200, 29);
+            let mut expect = dst.clone();
+            for i in 0..len {
+                expect.set(dst_off + i, src.get(src_off + i));
+            }
+            dst.copy_bitrange_from(dst_off, &src, src_off, len);
+            assert_eq!(dst, expect, "src_off={src_off} dst_off={dst_off} len={len}");
+        }
+    }
+
+    #[test]
+    fn copy_bitrange_zero_len_is_identity() {
+        let src = patterned(70, 7);
+        let mut dst = patterned(70, 13);
+        let before = dst.clone();
+        dst.copy_bitrange_from(40, &src, 3, 0);
+        assert_eq!(dst, before);
+    }
+
+    #[test]
+    fn popcount_range_matches_scalar_count() {
+        let v = patterned(300, 17);
+        for (off, len) in [(0, 300), (63, 2), (64, 64), (1, 64), (130, 111), (299, 1), (10, 0)] {
+            let expect = (0..len).filter(|&i| v.get(off + i)).count() as u32;
+            assert_eq!(v.popcount_range(off, len), expect, "off={off} len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "destination overrun")]
+    fn copy_bitrange_rejects_destination_overrun() {
+        let src = BitVec::zeros(100);
+        let mut dst = BitVec::zeros(50);
+        dst.copy_bitrange_from(40, &src, 0, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "source overrun")]
+    fn copy_bitrange_rejects_source_overrun() {
+        let src = BitVec::zeros(30);
+        let mut dst = BitVec::zeros(100);
+        dst.copy_bitrange_from(0, &src, 20, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "popcount_range overrun")]
+    fn popcount_range_rejects_overrun() {
+        let _ = BitVec::zeros(64).popcount_range(60, 5);
     }
 }

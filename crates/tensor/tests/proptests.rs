@@ -87,4 +87,45 @@ props! {
         let g = ConvGeometry::new(Shape3::square(side, c), FilterShape::new(k, c, 8), 1, 0);
         prop_assert!(g.depth_first_buffer() <= g.width_first_buffer());
     }
+
+    /// `copy_bitrange_from` is bit-identical to a scalar get/set loop for
+    /// arbitrary offsets and lengths, and leaves every bit outside the
+    /// target span untouched (the packed conv window extractor relies on
+    /// both properties).
+    #[test]
+    fn copy_bitrange_matches_scalar_reference(
+        src_bits in qnn_testkit::vec(any::<bool>(), 1..400),
+        dst_len in 1usize..400,
+        src_off in 0usize..400,
+        dst_off in 0usize..400,
+        len in 0usize..400,
+    ) {
+        let src = BitVec::from_bools(&src_bits);
+        let len = len.min(src.len()).min(dst_len);
+        let src_off = src_off.min(src.len() - len);
+        let dst_off = dst_off.min(dst_len - len);
+        let dst_bits: Vec<bool> =
+            (0..dst_len).map(|i| src_bits[(i * 7 + 3) % src_bits.len()] ^ (i % 5 == 0)).collect();
+        let mut dst = BitVec::from_bools(&dst_bits);
+        let mut expect = dst.clone();
+        for i in 0..len {
+            expect.set(dst_off + i, src.get(src_off + i));
+        }
+        dst.copy_bitrange_from(dst_off, &src, src_off, len);
+        prop_assert_eq!(&dst, &expect);
+    }
+
+    /// `popcount_range` equals the scalar count over the same span.
+    #[test]
+    fn popcount_range_matches_scalar_reference(
+        bits in qnn_testkit::vec(any::<bool>(), 1..400),
+        off in 0usize..400,
+        len in 0usize..400,
+    ) {
+        let v = BitVec::from_bools(&bits);
+        let len = len.min(v.len());
+        let off = off.min(v.len() - len);
+        let expect = (0..len).filter(|&i| v.get(off + i)).count() as u32;
+        prop_assert_eq!(v.popcount_range(off, len), expect);
+    }
 }

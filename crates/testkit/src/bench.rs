@@ -7,7 +7,11 @@
 //! iterations resolves that fine.
 //!
 //! Environment knobs: `QNN_BENCH_WARMUP` (default 3 iterations),
-//! `QNN_BENCH_ITERS` (default 15).
+//! `QNN_BENCH_ITERS` (default 15), and `QNN_BENCH_QUICK=1` — smoke mode
+//! (`./ci.sh bench-smoke`): no warmup, one iteration, and benches are
+//! expected to gate their speedup/ratio assertions on
+//! [`Bench::quick_mode`], since a single unwarmed iteration measures
+//! nothing.
 
 use std::time::{Duration, Instant};
 
@@ -75,16 +79,31 @@ impl Default for Bench {
 }
 
 impl Bench {
-    /// Runner configured from `QNN_BENCH_WARMUP` / `QNN_BENCH_ITERS`.
+    /// Runner configured from `QNN_BENCH_WARMUP` / `QNN_BENCH_ITERS`; in
+    /// quick mode both collapse to a single cold iteration.
     pub fn from_env() -> Self {
+        if Self::quick_mode() {
+            return Self { warmup: 0, iters: 1 };
+        }
         Self {
             warmup: env_usize("QNN_BENCH_WARMUP", 3),
             iters: env_usize("QNN_BENCH_ITERS", 15).max(1),
         }
     }
 
+    /// True when `QNN_BENCH_QUICK=1`: the bench should execute every
+    /// workload once (exercising the harness end to end) but skip
+    /// performance assertions.
+    pub fn quick_mode() -> bool {
+        std::env::var("QNN_BENCH_QUICK").is_ok_and(|v| v.trim() == "1")
+    }
+
     /// Override iteration counts (used by slow simulation benches).
+    /// Ignored in quick mode, which pins a single cold iteration.
     pub fn with_iters(mut self, warmup: usize, iters: usize) -> Self {
+        if Self::quick_mode() {
+            return self;
+        }
         self.warmup = warmup;
         self.iters = iters.max(1);
         self

@@ -23,16 +23,17 @@ fn cifar10_vgg_runs_and_classifies() {
 
 #[test]
 fn simulated_cycles_track_the_analytic_model_vgg32() {
-    // The analytic model and the simulator must agree on the order of
-    // magnitude and reasonably on the value (the model ignores secondary
-    // stalls; see hw-model docs).
+    // The analytic model and the simulator must agree on the value, not
+    // just the order of magnitude (the model ignores secondary stalls and
+    // over-estimates slightly; both counts are deterministic — measured
+    // ratio 0.81, band tightened from 0.4–2.5 in the conv-datapath PR).
     let net = Network::random(models::vgg_like(32, 10, 2), 2);
     let sim = run_image(&net, &CIFAR10.image(1)).expect("sim");
     let model = CycleModel::analyze(&net.spec);
     let (got, est) = (sim.cycles() as f64, model.latency() as f64);
     let ratio = got / est;
     assert!(
-        (0.4..2.5).contains(&ratio),
+        (0.6..1.1).contains(&ratio),
         "simulated {got:.3e} vs analytic {est:.3e} (ratio {ratio:.2})"
     );
 }

@@ -39,6 +39,34 @@ props! {
         prop_assert_eq!(&sim.logits[0], &expect);
     }
 
+    /// Loader equivalence: a pipeline whose conv kernels start from
+    /// `ConvKernel::new_streamed` (weights/thresholds arriving over a
+    /// parameter stream before the first image) produces logits
+    /// bit-identical to the preloaded `ConvKernel::new` pipeline, across
+    /// random layer geometries.
+    #[test]
+    fn streamed_parameter_loading_matches_preloaded(
+        spec in spec_strategy(),
+        seed in 0u64..1000,
+        n_images in 1usize..3,
+    ) {
+        let Some(spec) = spec else {
+            return Ok(());
+        };
+        let net = Network::random(spec, seed);
+        let images: Vec<_> =
+            (0..n_images).map(|i| image_for(&net.spec, seed + 31 * i as u64)).collect();
+        let preloaded = run_images(&net, &images, &CompileOptions::default())
+            .expect("preloaded sim");
+        let streamed = run_images(
+            &net,
+            &images,
+            &CompileOptions { stream_parameters: true, ..CompileOptions::default() },
+        )
+        .expect("streamed sim");
+        prop_assert_eq!(&streamed.logits, &preloaded.logits);
+    }
+
     /// Residual networks with random seeds and small FIFOs stay bit-exact
     /// (backpressure stress).
     #[test]
