@@ -42,6 +42,7 @@ if [[ "${1:-}" == "soak" ]]; then
   run cargo test -q --release --offline -p qnn --test property_streaming
   run cargo test -q --release --offline -p qnn --test scheduler_equivalence
   run cargo test -q --release --offline -p qnn --test conv_datapath_equivalence
+  run cargo test -q --release --offline -p qnn --test serve_multimodel
   echo "ci.sh soak: all green"
   exit 0
 fi

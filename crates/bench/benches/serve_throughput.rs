@@ -15,7 +15,9 @@
 
 use qnn::dfe::MAIA_FCLK_MHZ;
 use qnn::nn::{models, Network};
-use qnn::serve::{serve, DispatchPolicy, ServerConfig, ServerReport, Ticket};
+use qnn::serve::{
+    serve, DispatchPolicy, Priority, Server, ServerConfig, ServerReport, SubmitOptions, Ticket,
+};
 use qnn::tensor::{Shape3, Tensor3};
 use qnn_bench::render_table;
 use qnn_testkit::{Bench, Rng};
@@ -53,6 +55,66 @@ fn serve_trace(net: &Network, images: &[Tensor3<i8>], replicas: usize) -> Server
     });
     assert_eq!(report.completed, REQUESTS as u64);
     report
+}
+
+/// Two-model mixed load: a foreground model ("fg") takes a trickle of
+/// latency-sensitive requests while a background model ("bg") keeps batch
+/// pressure on the server. Returns the foreground p95 latency when the
+/// trickle runs as `Priority::Interactive` (own 1 ms flush deadline,
+/// dispatched first) vs. as the default batch class (waits out the 25 ms
+/// batch flush deadline in its partial batches).
+fn mixed_load_fg_p95(net: &Network, interactive: bool) -> Duration {
+    let config = ServerConfig {
+        replicas: 1,
+        max_batch: 4,
+        flush_deadline: Duration::from_millis(25),
+        interactive_flush_deadline: Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    let server = Server::builder()
+        .config(config)
+        .model("fg", net)
+        .model("bg", net)
+        .start()
+        .expect("valid server");
+    let client = server.client();
+
+    let bg_client = client.clone();
+    let background = std::thread::spawn(move || {
+        let mut rng = Rng::seed_from_u64(13);
+        let tickets: Vec<Ticket> = (0..24)
+            .map(|_| {
+                let img = Tensor3::from_fn(Shape3::square(8, 3), |_, _, _| {
+                    rng.gen_range(-127i8..=127)
+                });
+                bg_client.submit_with(img, SubmitOptions::model("bg")).expect("admitted")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("answered");
+        }
+    });
+
+    let mut rng = Rng::seed_from_u64(17);
+    let mut fg_tickets = Vec::new();
+    for _ in 0..10 {
+        let img =
+            Tensor3::from_fn(Shape3::square(8, 3), |_, _, _| rng.gen_range(-127i8..=127));
+        let opts = if interactive {
+            SubmitOptions::model("fg").priority(Priority::Interactive)
+        } else {
+            SubmitOptions::model("fg")
+        };
+        fg_tickets.push(client.submit_with(img, opts).expect("admitted"));
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for t in fg_tickets {
+        t.wait().expect("answered");
+    }
+    background.join().expect("background submitter");
+
+    let report = server.shutdown();
+    report.model("fg").and_then(|m| m.latency).expect("fg requests completed").p95
 }
 
 fn main() {
@@ -94,12 +156,35 @@ fn main() {
         )
     );
 
+    // Mixed-load scenario: interactive class isolation under batch
+    // pressure. Quick mode runs each variant once (harness-rot check);
+    // measurement mode takes the best of three to shrug off host jitter.
+    let runs = if Bench::quick_mode() { 1 } else { 3 };
+    let interactive_p95 = (0..runs)
+        .map(|_| mixed_load_fg_p95(&net, true))
+        .min()
+        .expect("at least one run");
+    let single_class_p95 = (0..runs)
+        .map(|_| mixed_load_fg_p95(&net, false))
+        .min()
+        .expect("at least one run");
+    println!(
+        "\n== mixed load (fg trickle under bg batch pressure, two models) ==\n\
+         fg p95 latency: interactive class {:.3} ms, single class {:.3} ms",
+        interactive_p95.as_secs_f64() * 1e3,
+        single_class_p95.as_secs_f64() * 1e3,
+    );
+
     if Bench::quick_mode() {
-        println!("(quick mode: workloads executed once, scaling assertion skipped)");
+        println!("(quick mode: workloads executed once, assertions skipped)");
         return;
     }
     let two = points.iter().find(|&&(r, ..)| r == 2).expect("2-replica row").1;
     let speedup = two / base_dev;
     println!("1 -> 2 replica device-clock speedup: {speedup:.2}x (target >= 1.7x)");
     assert!(speedup >= 1.7, "replica scaling regressed: {speedup:.2}x < 1.7x");
+    assert!(
+        interactive_p95 < single_class_p95,
+        "interactive class lost its latency isolation: {interactive_p95:?} >= {single_class_p95:?}"
+    );
 }

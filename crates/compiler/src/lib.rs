@@ -22,5 +22,5 @@ pub mod run;
 
 pub use lower::{compile, CompileOptions, CompiledNetwork};
 pub use partition::{partition, partition_balanced, Partition, PartitionError};
-pub use replicate::{compile_replicas, Replica};
-pub use run::{run_image, run_images, SimResult};
+pub use replicate::{compile_replicas, ArtifactCache, ModelArtifact, Replica, SpecMismatch};
+pub use run::{run_image, run_images, Logits, SimResult};

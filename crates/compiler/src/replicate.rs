@@ -1,52 +1,114 @@
-//! Pipeline replication for batch parallelism.
+//! Compiled model artifacts, replica pools, and the artifact cache.
 //!
 //! The paper scales *one* image stream across devices (model parallelism
 //! over MaxRing); a serving deployment additionally replicates the whole
 //! compiled pipeline N times and shards *images* across the replicas —
-//! FINN-R's "multiple accelerator instances" pattern. A [`Replica`] is an
-//! independent instance of a partitioned pipeline: it owns a clone of the
-//! network parameters and compile options (including any `stage_device`
-//! placement), and materializes a fresh device graph per batch, because a
-//! compiled [`crate::CompiledNetwork`] bakes the batch's pixels into its
-//! `HostSource` (the PCIe burst of §III-B6).
+//! FINN-R's "multiple accelerator instances" pattern, generalized here to
+//! a **portfolio of models** (FINN-R's own evolution: one hand-built
+//! accelerator → a framework serving many quantized networks).
 //!
-//! Replicas share nothing mutable, so they can run concurrently on worker
-//! threads with bit-identical per-image results: each batch goes through
-//! exactly the same [`crate::run_images`] path a direct single-pipeline run
-//! uses.
+//! A [`ModelArtifact`] is the unit the serving layer schedules against:
+//! one immutable snapshot of (parameters, compile options, weight
+//! version). Because a compiled [`crate::CompiledNetwork`] bakes the
+//! batch's pixels into its `HostSource` (the PCIe burst of §III-B6), the
+//! device graph itself is materialized per batch; the artifact owns what
+//! is batch-invariant — the validated placement and the parameter set —
+//! behind an `Arc`, so an entire replica pool shares **one** copy of the
+//! weights instead of one per worker.
+//!
+//! Weight swapping is modeled exactly like the paper's PCIe parameter
+//! streaming: publishing new weights produces a *new* artifact with a
+//! bumped [`ModelArtifact::version`]; batches already dispatched keep
+//! their `Arc` to the old snapshot and finish on it, later batches pick
+//! up the new one — parameter versions can never mix inside one batch.
+//!
+//! [`ArtifactCache`] is the registration-time cache: per model name,
+//! artifacts are keyed by their [`CompileOptions`], so registering the
+//! same model again with the same options (or sizing a pool up) reuses
+//! the existing snapshot instead of re-cloning parameters.
 
 use crate::lower::CompileOptions;
 use crate::run::{run_images, SimResult};
 use dfe_platform::RunError;
 use qnn_nn::Network;
 use qnn_tensor::Tensor3;
+use std::fmt;
+use std::sync::Arc;
 
-/// One independent instance of a compiled device pipeline.
-pub struct Replica {
-    id: usize,
-    net: Network,
-    opts: CompileOptions,
+/// The published weights for a model do not fit the registered
+/// architecture: hot swapping replaces parameters, never the spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecMismatch;
+
+impl fmt::Display for SpecMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "published weights belong to a different architecture")
+    }
 }
 
-impl Replica {
-    /// Replica index within its group (0-based).
-    pub fn id(&self) -> usize {
-        self.id
+impl std::error::Error for SpecMismatch {}
+
+/// One immutable compiled snapshot of a model: parameters + compile
+/// options + weight version. Cheap to clone by handle (`Arc`), safe to
+/// share across replica workers, and the unit of atomicity for weight
+/// swaps (a batch runs entirely on the artifact it was dispatched with).
+pub struct ModelArtifact {
+    net: Arc<Network>,
+    opts: CompileOptions,
+    version: u64,
+}
+
+impl ModelArtifact {
+    /// Build version-0 artifact for `net` under `opts`.
+    ///
+    /// Placement is validated eagerly — a bad `stage_device` vector fails
+    /// here, at registration time, not on the first dispatched batch.
+    ///
+    /// # Panics
+    /// Panics when `opts.stage_device` does not name every stage.
+    pub fn compile(net: &Network, opts: &CompileOptions) -> Self {
+        if let Some(sd) = &opts.stage_device {
+            assert_eq!(
+                sd.len(),
+                net.spec.stages.len(),
+                "stage_device must name every stage"
+            );
+        }
+        Self { net: Arc::new(net.clone()), opts: opts.clone(), version: 0 }
     }
 
-    /// The network this replica serves.
+    /// A new artifact with `net`'s parameters and this artifact's options,
+    /// at `version + 1` — the hot-swap step. Fails if `net` is a different
+    /// architecture than the registered one.
+    pub fn with_weights(&self, net: Network) -> Result<Self, SpecMismatch> {
+        if net.spec != self.net.spec {
+            return Err(SpecMismatch);
+        }
+        Ok(Self {
+            net: Arc::new(net),
+            opts: self.opts.clone(),
+            version: self.version + 1,
+        })
+    }
+
+    /// Weight version: 0 at registration, +1 per publish.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The parameter snapshot this artifact serves.
     pub fn network(&self) -> &Network {
         &self.net
     }
 
-    /// Compile options (placement, FIFO sizing) this replica was built with.
+    /// Compile options (placement, FIFO sizing) this artifact was built with.
     pub fn options(&self) -> &CompileOptions {
         &self.opts
     }
 
-    /// Run one batch of images through this replica's pipeline.
+    /// Run one batch of images through this artifact's pipeline.
     ///
-    /// Identical to calling [`run_images`] on the replica's network and
+    /// Identical to calling [`run_images`] on the artifact's network and
     /// options directly — the serving runtime's 1-replica path is therefore
     /// bit-identical to direct execution (logits *and* cycle reports).
     pub fn run_batch(&self, images: &[Tensor3<i8>]) -> Result<SimResult, RunError> {
@@ -54,18 +116,129 @@ impl Replica {
     }
 }
 
-/// Clone a partitioned pipeline into `n` independent replica instances.
+/// Registration-time artifact cache: per model name, keyed by
+/// [`CompileOptions`]. Lets a server (or a bench loop re-registering the
+/// same portfolio) share one parameter snapshot per (model, options)
+/// instead of cloning the network once per replica.
+#[derive(Default)]
+pub struct ArtifactCache {
+    entries: Vec<(String, CompileOptions, Arc<ModelArtifact>)>,
+    hits: u64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached artifact for `(name, opts)`, compiling `net` on miss.
+    ///
+    /// The cache trusts the caller that one model *name* maps to one
+    /// parameter set: publishing new weights for a name goes through
+    /// [`Self::publish`], which replaces the name's entries.
+    pub fn get_or_compile(
+        &mut self,
+        name: &str,
+        net: &Network,
+        opts: &CompileOptions,
+    ) -> Arc<ModelArtifact> {
+        if let Some((_, _, a)) =
+            self.entries.iter().find(|(n, o, _)| n == name && o == opts)
+        {
+            self.hits += 1;
+            return Arc::clone(a);
+        }
+        let artifact = Arc::new(ModelArtifact::compile(net, opts));
+        self.entries.push((name.to_string(), opts.clone(), Arc::clone(&artifact)));
+        artifact
+    }
+
+    /// Swap weights for every cached artifact of `name`, bumping each
+    /// entry's version. Returns the new artifacts (empty if `name` has no
+    /// entries).
+    pub fn publish(
+        &mut self,
+        name: &str,
+        net: &Network,
+    ) -> Result<Vec<Arc<ModelArtifact>>, SpecMismatch> {
+        let mut swapped = Vec::new();
+        for (n, _, a) in &mut self.entries {
+            if n == name {
+                *a = Arc::new(a.with_weights(net.clone())?);
+                swapped.push(Arc::clone(a));
+            }
+        }
+        Ok(swapped)
+    }
+
+    /// Number of distinct (name, options) artifacts held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many lookups were answered from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// One worker's handle onto a compiled pipeline: a pool index plus a
+/// shared [`ModelArtifact`]. All replicas of a pool hold the *same*
+/// artifact `Arc` — they share parameters and placement, and materialize
+/// independent device graphs per batch, so they can run concurrently on
+/// worker threads with bit-identical per-image results.
+pub struct Replica {
+    id: usize,
+    artifact: Arc<ModelArtifact>,
+}
+
+impl Replica {
+    /// Replica index within its pool (0-based).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The shared compiled snapshot this replica serves.
+    pub fn artifact(&self) -> &Arc<ModelArtifact> {
+        &self.artifact
+    }
+
+    /// The network this replica serves.
+    pub fn network(&self) -> &Network {
+        self.artifact.network()
+    }
+
+    /// Compile options (placement, FIFO sizing) this replica was built with.
+    pub fn options(&self) -> &CompileOptions {
+        self.artifact.options()
+    }
+
+    /// Run one batch of images through this replica's pipeline.
+    pub fn run_batch(&self, images: &[Tensor3<i8>]) -> Result<SimResult, RunError> {
+        self.artifact.run_batch(images)
+    }
+}
+
+/// Build a pool of `n` replicas sharing one compiled artifact.
 ///
-/// Each replica carries its own copy of the parameters and placement, so
-/// the returned instances can be moved onto separate worker threads and
-/// driven concurrently without any shared state.
+/// The returned instances can be moved onto separate worker threads and
+/// driven concurrently without any shared mutable state; unlike the
+/// pre-registry version, the parameters are stored once (`Arc`), not
+/// cloned per replica.
 ///
 /// # Panics
 /// Panics when `n == 0` — a serving pool needs at least one pipeline.
 pub fn compile_replicas(net: &Network, n: usize, opts: &CompileOptions) -> Vec<Replica> {
     assert!(n > 0, "a replica group needs at least one pipeline");
+    let artifact = Arc::new(ModelArtifact::compile(net, opts));
     (0..n)
-        .map(|id| Replica { id, net: net.clone(), opts: opts.clone() })
+        .map(|id| Replica { id, artifact: Arc::clone(&artifact) })
         .collect()
 }
 
@@ -116,13 +289,17 @@ mod tests {
     }
 
     #[test]
-    fn replica_ids_are_sequential() {
+    fn replica_ids_are_sequential_and_share_one_artifact() {
         let net = Network::random(models::test_net(8, 3, 2), 23);
-        let ids: Vec<usize> = compile_replicas(&net, 4, &CompileOptions::default())
-            .iter()
-            .map(Replica::id)
-            .collect();
+        let replicas = compile_replicas(&net, 4, &CompileOptions::default());
+        let ids: Vec<usize> = replicas.iter().map(Replica::id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+        for r in &replicas[1..] {
+            assert!(
+                Arc::ptr_eq(r.artifact(), replicas[0].artifact()),
+                "pool replicas must share one parameter snapshot"
+            );
+        }
     }
 
     #[test]
@@ -130,5 +307,62 @@ mod tests {
     fn zero_replicas_rejected() {
         let net = Network::random(models::test_net(8, 3, 2), 24);
         let _ = compile_replicas(&net, 0, &CompileOptions::default());
+    }
+
+    #[test]
+    fn with_weights_bumps_version_and_swaps_parameters() {
+        let spec = models::test_net(8, 4, 2);
+        let old = Network::random(spec.clone(), 1);
+        let new = Network::random(spec, 2);
+        let a0 = ModelArtifact::compile(&old, &CompileOptions::default());
+        assert_eq!(a0.version(), 0);
+        let a1 = a0.with_weights(new.clone()).expect("same spec");
+        assert_eq!(a1.version(), 1);
+        let img = image(8, 5);
+        let got_old = a0.run_batch(std::slice::from_ref(&img)).expect("old");
+        let got_new = a1.run_batch(std::slice::from_ref(&img)).expect("new");
+        assert_eq!(got_old.logits[0], old.forward(&img).logits);
+        assert_eq!(got_new.logits[0], new.forward(&img).logits);
+    }
+
+    #[test]
+    fn with_weights_rejects_a_different_architecture() {
+        let a = ModelArtifact::compile(
+            &Network::random(models::test_net(8, 4, 2), 1),
+            &CompileOptions::default(),
+        );
+        let other = Network::random(models::test_net(8, 3, 2), 1);
+        assert_eq!(a.with_weights(other).err(), Some(SpecMismatch));
+    }
+
+    #[test]
+    fn artifact_cache_reuses_by_name_and_options() {
+        let net = Network::random(models::test_net(8, 3, 2), 3);
+        let mut cache = ArtifactCache::new();
+        let opts = CompileOptions::default();
+        let a = cache.get_or_compile("m", &net, &opts);
+        let b = cache.get_or_compile("m", &net, &opts);
+        assert!(Arc::ptr_eq(&a, &b), "same (name, options) must hit");
+        assert_eq!(cache.hits(), 1);
+        let streamed =
+            CompileOptions { stream_parameters: true, ..CompileOptions::default() };
+        let c = cache.get_or_compile("m", &net, &streamed);
+        assert!(!Arc::ptr_eq(&a, &c), "different options are distinct artifacts");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn artifact_cache_publish_replaces_a_name() {
+        let spec = models::test_net(8, 3, 2);
+        let old = Network::random(spec.clone(), 4);
+        let new = Network::random(spec, 5);
+        let mut cache = ArtifactCache::new();
+        let a0 = cache.get_or_compile("m", &old, &CompileOptions::default());
+        let swapped = cache.publish("m", &new).expect("same spec");
+        assert_eq!(swapped.len(), 1);
+        assert_eq!(swapped[0].version(), 1);
+        let a1 = cache.get_or_compile("m", &new, &CompileOptions::default());
+        assert!(Arc::ptr_eq(&swapped[0], &a1), "cache must serve the new weights");
+        assert_eq!(a0.version(), 0, "dispatched handles keep the old snapshot");
     }
 }

@@ -6,6 +6,51 @@ use hw_model::CycleModel;
 use qnn_nn::Network;
 use qnn_tensor::Tensor3;
 
+/// Borrowed view over one image's logits, carrying the post-processing
+/// every surface shares. Both the simulator's [`SimResult`] and
+/// `qnn-serve`'s `Response` delegate here, so tie-breaking is identical
+/// everywhere: among equal scores, the lowest class index wins.
+#[derive(Clone, Copy, Debug)]
+pub struct Logits<'a>(&'a [i32]);
+
+impl<'a> Logits<'a> {
+    /// Wrap a raw logits slice.
+    pub fn new(raw: &'a [i32]) -> Self {
+        Self(raw)
+    }
+
+    /// The raw scores.
+    pub fn raw(&self) -> &'a [i32] {
+        self.0
+    }
+
+    /// Index of the winning class (lowest index on ties).
+    ///
+    /// # Panics
+    /// Panics on an empty logits slice — a classifier has ≥ 1 class.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.0.is_empty(), "argmax of zero classes");
+        let mut best = 0;
+        for (j, &v) in self.0.iter().enumerate() {
+            if v > self.0[best] {
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// The `k` best (class, score) pairs, best first; ties resolve to the
+    /// lower class index, and `k` saturates at the class count.
+    pub fn top_k(&self, k: usize) -> Vec<(usize, i32)> {
+        let mut ranked: Vec<(usize, i32)> =
+            self.0.iter().copied().enumerate().collect();
+        // Stable sort by descending score keeps equal scores in index order.
+        ranked.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
 /// Result of simulating one or more images.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -19,16 +64,14 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// Image `i`'s logits as a [`Logits`] view.
+    pub fn logits_view(&self, i: usize) -> Logits<'_> {
+        Logits::new(&self.logits[i])
+    }
+
     /// Argmax of image `i`'s logits.
     pub fn argmax(&self, i: usize) -> usize {
-        let l = &self.logits[i];
-        let mut best = 0;
-        for (j, &v) in l.iter().enumerate() {
-            if v > l[best] {
-                best = j;
-            }
-        }
-        best
+        self.logits_view(i).argmax()
     }
 
     /// Cycles of the (single-device) run.

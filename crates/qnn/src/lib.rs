@@ -14,7 +14,7 @@
 //! | [`compiler`] | lowering, multi-DFE partitioning, run helpers |
 //! | [`hw`] | resource / cycle / power models and the GPU baseline |
 //! | [`data`] | synthetic datasets and teacher-agreement evaluation |
-//! | [`serve`] | batch-parallel serving runtime over replicated pipelines |
+//! | [`serve`] | multi-model serving runtime: registry, priority scheduling, hot weight swaps |
 //!
 //! ## Quickstart
 //!

@@ -1,5 +1,5 @@
-//! `qnn-serve` — a batch-parallel inference serving runtime for the
-//! streaming-QNN pipeline.
+//! `qnn-serve` — a multi-model, priority-aware inference serving runtime
+//! for the streaming-QNN pipeline.
 //!
 //! The paper's architecture hides layer latency by overlapping images
 //! *inside one pipeline*; the host side of a production deployment must
@@ -7,29 +7,66 @@
 //! batching runtime makes the same point for their accelerator). This
 //! crate is that host runtime:
 //!
+//! * a **model registry** ([`ModelRegistry`]) mapping names to compiled
+//!   artifacts, each backed by its own **replica pool**; one server hosts
+//!   many networks side by side;
+//! * **hot weight swapping** ([`Server::publish_weights`]): batches
+//!   already dispatched finish on the old parameters, later batches run
+//!   bit-identically on the new ones, and no batch ever mixes versions —
+//!   the host-side analogue of the paper's PCIe parameter streaming;
+//! * a **two-level scheduler**: level 1 orders scheduling classes
+//!   ([`Priority::Interactive`] before [`Priority::Batch`], each class
+//!   with its own flush deadline) and sheds requests whose per-request
+//!   deadline has already passed; level 2 picks the replica inside the
+//!   target model's pool (least-loaded, or round-robin via
+//!   [`DispatchPolicy`]);
 //! * a **bounded submission queue** with configurable admission (block
 //!   for backpressure, or reject-when-full for load shedding);
-//! * a **batcher** that assembles requests into batches, dispatching on
-//!   whichever comes first — the batch filling to `max_batch` (the PCIe
-//!   image burst of §III-B6) or a flush deadline expiring (latency bound
-//!   for trickle traffic);
-//! * **N replica workers**, each owning an independent clone of the
-//!   compiled pipeline ([`qnn_compiler::compile_replicas`]) and running
-//!   the existing lockstep device executor on its own thread; batches go
-//!   to the replica with the fewest in-flight images (least-loaded
-//!   dispatch, with round-robin as a [`DispatchPolicy`] option), so
-//!   throughput scales with cores while every image's logits stay
-//!   bit-identical to direct execution;
-//! * **per-request and aggregate statistics** — queue wait, batch
-//!   occupancy, p50/p95 latency, images/sec — via `qnn-testkit`'s bench
-//!   helpers;
-//! * **graceful drop-driven shutdown** that drains every in-flight batch
-//!   before returning.
+//! * a **batcher** that assembles per-(model, class) batches, dispatching
+//!   on whichever comes first — the batch filling to `max_batch` (the
+//!   PCIe image burst of §III-B6) or the class's flush deadline expiring;
+//! * **per-request, per-class, per-model, and per-replica statistics** —
+//!   queue wait, batch occupancy, p50/p95 latency, shed counts,
+//!   images/sec — via `qnn-testkit`'s bench helpers;
+//! * **handle-based lifecycle**: [`Server::builder`] →
+//!   [`ServerBuilder::model`] → [`ServerBuilder::start`], submit through
+//!   [`Server::client`] handles, and [`Server::shutdown`] drains every
+//!   in-flight batch before returning the [`ServerReport`].
 //!
-//! Everything is `std`-only (`std::sync::mpsc` + `std::thread::scope`),
-//! per the workspace's hermetic-build policy.
+//! Everything is `std`-only (`std::sync::mpsc` + `std::thread`), per the
+//! workspace's hermetic-build policy.
 //!
-//! ## Example
+//! ## Example: multi-model server with priorities
+//!
+//! ```
+//! use qnn_nn::{models, Network};
+//! use qnn_serve::{Priority, Server, ServerConfig, SubmitOptions};
+//! use qnn_tensor::{Shape3, Tensor3};
+//!
+//! let mnist = Network::random(models::test_net(8, 4, 2), 42);
+//! let cifar = Network::random(models::test_net(8, 6, 3), 43);
+//! let config = ServerConfig::builder()
+//!     .replicas(2)
+//!     .max_batch(4)
+//!     .build()
+//!     .expect("valid config");
+//! let server = Server::builder()
+//!     .config(config)
+//!     .model("mnist", &mnist)
+//!     .model("cifar", &cifar)
+//!     .start()
+//!     .expect("valid server");
+//! let client = server.client();
+//! let img = Tensor3::from_fn(Shape3::square(8, 3), |y, x, c| ((y * 31 + x * 7 + c) % 255) as i8);
+//! let opts = SubmitOptions::model("mnist").priority(Priority::Interactive);
+//! let ticket = client.submit_with(img, opts).expect("admitted");
+//! let response = ticket.wait().expect("answered");
+//! assert_eq!(response.model, "mnist");
+//! let report = server.shutdown();
+//! assert_eq!(report.completed, 1);
+//! ```
+//!
+//! ## Example: single-model shim (the legacy closure API)
 //!
 //! ```
 //! use qnn_nn::{models, Network};
@@ -54,9 +91,18 @@
 //! ```
 
 mod config;
+mod registry;
 mod server;
 mod stats;
 
-pub use config::{AdmissionPolicy, DispatchPolicy, ServerConfig};
-pub use server::{serve, Client, Response, SubmitError, Ticket};
-pub use stats::{LatencySummary, ReplicaStats, RequestStats, ServerReport};
+pub use config::{
+    AdmissionPolicy, ConfigError, DispatchPolicy, Priority, ServerConfig, ServerConfigBuilder,
+};
+pub use registry::{ModelRegistry, PublishError};
+pub use server::{
+    serve, Client, Dropped, ModelOptions, Response, Server, ServerBuilder, SubmitError,
+    SubmitOptions, Ticket, DEFAULT_MODEL,
+};
+pub use stats::{
+    ClassStats, LatencySummary, ModelStats, ReplicaStats, RequestStats, ServerReport,
+};

@@ -1,0 +1,146 @@
+//! The model registry: names → compiled artifacts, with hot weight swaps.
+//!
+//! Each registered model owns one slot holding the *current*
+//! [`ModelArtifact`] behind a mutex. The batcher samples the slot once per
+//! flushed batch, so a [`ModelRegistry::publish`] behaves exactly like the
+//! paper's PCIe parameter streaming: batches dispatched before the publish
+//! finish on the old snapshot, batches flushed after it run on the new one,
+//! and no batch ever sees a mix — the snapshot is pinned by `Arc` for the
+//! batch's whole lifetime.
+
+use qnn_compiler::ModelArtifact;
+use qnn_nn::Network;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Why a weight publish was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PublishError {
+    /// No model of that name is registered.
+    UnknownModel(String),
+    /// The new parameters belong to a different architecture than the
+    /// registered spec — weight swapping replaces parameters, never the
+    /// network shape.
+    SpecMismatch(String),
+}
+
+impl fmt::Display for PublishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PublishError::UnknownModel(name) => {
+                write!(f, "no model named {name:?} is registered")
+            }
+            PublishError::SpecMismatch(name) => write!(
+                f,
+                "published weights for {name:?} belong to a different architecture"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// One registered model: its name, pool geometry, and the mutable slot the
+/// hot-swap protocol revolves around.
+pub(crate) struct ModelEntry {
+    pub name: Arc<str>,
+    /// Current weight snapshot; swapped wholesale by `publish`.
+    current: Mutex<Arc<ModelArtifact>>,
+    /// Number of replica workers in this model's pool.
+    pub replicas: usize,
+    /// Global id of the pool's first replica (pools are numbered
+    /// contiguously in registration order).
+    pub first_replica: usize,
+    /// How many weight versions were published after registration.
+    publishes: AtomicU64,
+}
+
+/// Maps model names to compiled artifacts and carries the swap protocol.
+///
+/// Shared (read-mostly) between the [`crate::Server`] handle, its
+/// [`crate::Client`]s (name resolution at submit time), and the batcher
+/// (artifact sampling at dispatch time).
+pub struct ModelRegistry {
+    models: Vec<ModelEntry>,
+}
+
+impl ModelRegistry {
+    pub(crate) fn new(models: Vec<ModelEntry>) -> Self {
+        Self { models }
+    }
+
+    pub(crate) fn entry(&self, idx: usize) -> &ModelEntry {
+        &self.models[idx]
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are registered (never the case for a started
+    /// server).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Registered model names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.models.iter().map(|m| m.name.to_string()).collect()
+    }
+
+    /// Index of `name`, if registered.
+    pub(crate) fn resolve(&self, name: &str) -> Option<usize> {
+        self.models.iter().position(|m| &*m.name == name)
+    }
+
+    /// The model's current weight snapshot (sampled once per batch by the
+    /// batcher — the atomicity unit of the swap protocol).
+    pub(crate) fn current(&self, idx: usize) -> Arc<ModelArtifact> {
+        Arc::clone(&self.models[idx].current.lock().expect("registry slot poisoned"))
+    }
+
+    /// The current weight version of `name` (0 until the first publish).
+    pub fn version(&self, name: &str) -> Option<u64> {
+        self.resolve(name).map(|i| self.current(i).version())
+    }
+
+    /// How many weight publishes `idx` has seen.
+    pub(crate) fn publishes(&self, idx: usize) -> u64 {
+        self.models[idx].publishes.load(Ordering::Relaxed)
+    }
+
+    /// Publish new parameters for `name`: subsequent batches run on the
+    /// new weights, in-flight batches finish on the old ones. Returns the
+    /// new weight version.
+    pub fn publish(&self, name: &str, net: Network) -> Result<u64, PublishError> {
+        let idx = self
+            .resolve(name)
+            .ok_or_else(|| PublishError::UnknownModel(name.to_string()))?;
+        let entry = &self.models[idx];
+        let mut slot = entry.current.lock().expect("registry slot poisoned");
+        let next = slot
+            .with_weights(net)
+            .map_err(|_| PublishError::SpecMismatch(name.to_string()))?;
+        let version = next.version();
+        *slot = Arc::new(next);
+        entry.publishes.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+}
+
+pub(crate) fn entry(
+    name: String,
+    artifact: Arc<ModelArtifact>,
+    replicas: usize,
+    first_replica: usize,
+) -> ModelEntry {
+    ModelEntry {
+        name: Arc::from(name),
+        current: Mutex::new(artifact),
+        replicas,
+        first_replica,
+        publishes: AtomicU64::new(0),
+    }
+}

@@ -1,50 +1,63 @@
-//! The serving runtime: submission queue → batcher → replica workers.
+//! The serving runtime: submission queue → two-level scheduler → per-model
+//! replica pools.
 //!
-//! Thread topology (all `std::sync::mpsc` + `std::thread::scope`, per the
-//! hermetic-build policy):
+//! Thread topology (all `std::sync::mpsc` + owned `std::thread::spawn`
+//! threads, per the hermetic-build policy):
 //!
 //! ```text
-//!  client threads ──submit──▶ [bounded submission queue]
-//!                                     │
-//!                                 batcher thread
-//!                        (size- and deadline-triggered flush,
-//!                     least-loaded or round-robin dispatch)
-//!                        │           │           │
-//!                   [batch q]   [batch q]   [batch q]      (depth 1 each)
-//!                        │           │           │
-//!                    replica 0   replica 1   replica 2     (worker threads,
-//!                        │           │           │     lockstep executor each)
-//!                        └──per-request reply channels──▶ tickets
+//!  clients ──submit(model, priority, deadline)──▶ [bounded submission queue]
+//!                                                        │
+//!                                                  batcher thread
+//!                              lanes per (model, priority); level 1 picks the
+//!                            class (interactive first, per-class flush deadlines,
+//!                          deadline-expired requests shed at dispatch), level 2
+//!                            picks the replica inside the model's pool (least-
+//!                                      loaded or round-robin)
+//!                          │           │          ‖           ‖
+//!                     [batch q]   [batch q]   [batch q]   [batch q]    (depth 1)
+//!                          │           │          ‖           ‖
+//!                      mnist/0     mnist/1     resnet/0    resnet/1    (worker
+//!                          │           │          ‖           ‖      threads, one
+//!                          └───────────┴─per-request reply channels─▶ tickets
 //! ```
 //!
-//! Under [`DispatchPolicy::LeastLoaded`] (the default) the batcher tracks
-//! per-replica in-flight image counts: incremented at dispatch, decremented
-//! by the worker once the batch is answered. A flush goes to the replica
-//! with the fewest in-flight images (ties to the lowest id), so a slow
-//! replica stops attracting batches while drained replicas keep pulling
-//! work; [`DispatchPolicy::RoundRobin`] keeps the old id-order rotation.
+//! Every batch is stamped with the model's *current* weight snapshot
+//! ([`qnn_compiler::ModelArtifact`], sampled once at flush time), so a
+//! [`Server::publish_weights`] swap behaves like the paper's PCIe parameter
+//! streaming: in-flight batches finish on the old weights, later batches run
+//! bit-identically on the new ones, and versions never mix inside a batch.
 //!
-//! Shutdown is drop-driven and drains: when the `body` closure returns,
-//! the [`Client`] (sole submission sender) is dropped, the batcher sees
-//! the queue disconnect, flushes its partial batch, and drops the batch
-//! senders; each worker drains its remaining batches and returns its
-//! counters. Every admitted request is answered before [`serve`] returns.
+//! Shutdown is explicit and drains: [`Server::shutdown`] closes admission,
+//! sends the batcher a shutdown marker (FIFO-ordered after every request
+//! already submitted), the batcher flushes its lanes (interactive first)
+//! and drops the batch senders; each worker drains its remaining batches
+//! and returns its counters. Every request admitted before `shutdown` is
+//! answered — with a [`Response`] or, if its deadline expired while it
+//! queued, with [`Dropped::Deadline`].
 
-use crate::config::{AdmissionPolicy, DispatchPolicy, ServerConfig};
-use crate::stats::{LatencySummary, ReplicaStats, RequestStats, ServerReport};
-use qnn_compiler::{compile_replicas, Replica};
+use crate::config::{AdmissionPolicy, ConfigError, DispatchPolicy, Priority, ServerConfig};
+use crate::registry::{self, ModelRegistry, PublishError};
+use crate::stats::{ClassStats, LatencySummary, ModelStats, ReplicaStats, RequestStats, ServerReport};
+use qnn_compiler::{ArtifactCache, CompileOptions, Logits, ModelArtifact};
 use qnn_nn::Network;
 use qnn_tensor::Tensor3;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Model name the single-model [`serve`] shim registers.
+pub const DEFAULT_MODEL: &str = "default";
 
 /// One completed inference.
 #[derive(Clone, Debug)]
 pub struct Response {
     /// Request id assigned at submission (monotonic per server).
     pub id: u64,
+    /// The model that served this request.
+    pub model: String,
     /// The image's logits.
     pub logits: Vec<i32>,
     /// Timing and placement breakdown.
@@ -52,23 +65,57 @@ pub struct Response {
 }
 
 impl Response {
-    /// Index of the winning class.
+    /// Index of the winning class (shared [`Logits`] tie-breaking: lowest
+    /// index wins).
     pub fn argmax(&self) -> usize {
-        let mut best = 0;
-        for (j, &v) in self.logits.iter().enumerate() {
-            if v > self.logits[best] {
-                best = j;
-            }
-        }
-        best
+        Logits::new(&self.logits).argmax()
+    }
+
+    /// The `k` best (class, score) pairs, best first.
+    pub fn top_k(&self, k: usize) -> Vec<(usize, i32)> {
+        Logits::new(&self.logits).top_k(k)
     }
 }
+
+/// Why an admitted request was answered without a [`Response`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dropped {
+    /// Shed at dispatch: the request's deadline had already passed when
+    /// its batch flushed. Counted in [`ServerReport::shed`], never
+    /// silently served late.
+    Deadline,
+    /// The server tore down (or a worker died) before the request was
+    /// served.
+    Stopped,
+}
+
+impl fmt::Display for Dropped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dropped::Deadline => write!(f, "shed at dispatch: deadline exceeded"),
+            Dropped::Stopped => write!(f, "server stopped before answering"),
+        }
+    }
+}
+
+impl std::error::Error for Dropped {}
 
 /// Why a submission was not admitted.
 pub enum SubmitError {
     /// The bounded queue is full ([`AdmissionPolicy::Reject`] only); the
     /// image is handed back to the caller.
     QueueFull(Box<Tensor3<i8>>),
+    /// [`SubmitOptions::model`] names a model that is not registered; the
+    /// image is handed back to the caller.
+    UnknownModel {
+        /// The unresolved name.
+        model: String,
+        /// The image handed back.
+        image: Box<Tensor3<i8>>,
+    },
+    /// No model was named and the server hosts more than one, so the
+    /// target is ambiguous; the image is handed back to the caller.
+    AmbiguousModel(Box<Tensor3<i8>>),
     /// The runtime is no longer accepting requests.
     Stopped,
 }
@@ -76,8 +123,12 @@ pub enum SubmitError {
 impl fmt::Debug for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SubmitError::QueueFull(img) => {
-                write!(f, "QueueFull({:?})", img.shape())
+            SubmitError::QueueFull(img) => write!(f, "QueueFull({:?})", img.shape()),
+            SubmitError::UnknownModel { model, image } => {
+                write!(f, "UnknownModel({model:?}, {:?})", image.shape())
+            }
+            SubmitError::AmbiguousModel(img) => {
+                write!(f, "AmbiguousModel({:?})", img.shape())
             }
             SubmitError::Stopped => write!(f, "Stopped"),
         }
@@ -88,6 +139,12 @@ impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SubmitError::QueueFull(_) => write!(f, "submission queue full"),
+            SubmitError::UnknownModel { model, .. } => {
+                write!(f, "no model named {model:?} is registered")
+            }
+            SubmitError::AmbiguousModel(_) => {
+                write!(f, "several models are registered; name one in SubmitOptions")
+            }
             SubmitError::Stopped => write!(f, "serving runtime stopped"),
         }
     }
@@ -96,7 +153,7 @@ impl fmt::Display for SubmitError {
 /// Claim ticket for an in-flight request.
 pub struct Ticket {
     id: u64,
-    rx: Receiver<Response>,
+    rx: Receiver<Result<Response, Dropped>>,
 }
 
 impl Ticket {
@@ -105,310 +162,792 @@ impl Ticket {
         self.id
     }
 
-    /// Block until the response arrives. Returns `None` only if the
-    /// runtime was torn down without answering (a worker panic).
-    pub fn wait(self) -> Option<Response> {
-        self.rx.recv().ok()
+    /// Block until the request resolves: a [`Response`], or why it was
+    /// dropped — [`Dropped::Deadline`] for a dispatch-time shed,
+    /// [`Dropped::Stopped`] if the runtime tore down without answering.
+    pub fn wait(self) -> Result<Response, Dropped> {
+        self.rx.recv().unwrap_or(Err(Dropped::Stopped))
     }
 
-    /// Non-blocking poll.
-    pub fn try_wait(&self) -> Option<Response> {
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Response, Dropped>> {
         self.rx.try_recv().ok()
     }
 }
 
-/// Submission-side handle passed to the `body` closure of [`serve`].
-///
-/// `&Client` is `Sync`: the closure may hand references to multiple
-/// threads (e.g. via `std::thread::scope`) to model concurrent traffic.
-pub struct Client<'a> {
-    tx: SyncSender<Request>,
-    admission: AdmissionPolicy,
-    next_id: &'a AtomicU64,
-    submitted: &'a AtomicU64,
-    rejected: &'a AtomicU64,
+/// Per-request routing and scheduling options for [`Client::submit_with`].
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOptions {
+    /// Target model. `None` resolves to the server's sole registered model
+    /// and is an [`SubmitError::AmbiguousModel`] error when several are
+    /// registered.
+    pub model: Option<String>,
+    /// Scheduling class ([`Priority::Batch`] by default).
+    pub priority: Priority,
+    /// Relative latency budget, measured from submission. A request whose
+    /// budget has already elapsed when its batch is dispatched is shed
+    /// with [`Dropped::Deadline`] instead of being served late. `None`
+    /// (the default) never sheds.
+    pub deadline: Option<Duration>,
 }
 
-impl Client<'_> {
-    /// Submit one image for inference.
+impl SubmitOptions {
+    /// Options targeting `model` with default class and no deadline.
+    pub fn model(model: impl Into<String>) -> Self {
+        Self { model: Some(model.into()), ..Self::default() }
+    }
+
+    /// Set the scheduling class.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the relative latency budget.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+struct Shared {
+    registry: ModelRegistry,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    stopped: AtomicBool,
+}
+
+/// Submission-side handle, created by [`Server::client`].
+///
+/// `Client` is `Clone` and `&Client` is `Sync`: hand clones (or references)
+/// to as many submitter threads as the traffic model needs.
+#[derive(Clone)]
+pub struct Client {
+    tx: SyncSender<Msg>,
+    admission: AdmissionPolicy,
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    /// Submit one image to the server's sole model at default priority —
+    /// the single-model convenience path.
     pub fn submit(&self, image: Tensor3<i8>) -> Result<Ticket, SubmitError> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submit_with(image, SubmitOptions::default())
+    }
+
+    /// Submit one image with explicit routing and scheduling options.
+    pub fn submit_with(
+        &self,
+        image: Tensor3<i8>,
+        opts: SubmitOptions,
+    ) -> Result<Ticket, SubmitError> {
+        if self.shared.stopped.load(Ordering::Acquire) {
+            return Err(SubmitError::Stopped);
+        }
+        let model = match &opts.model {
+            Some(name) => match self.shared.registry.resolve(name) {
+                Some(idx) => idx,
+                None => {
+                    return Err(SubmitError::UnknownModel {
+                        model: name.clone(),
+                        image: Box::new(image),
+                    })
+                }
+            },
+            None if self.shared.registry.len() == 1 => 0,
+            None => return Err(SubmitError::AmbiguousModel(Box::new(image))),
+        };
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = sync_channel(1);
-        let req = Request { id, image, submitted_at: Instant::now(), reply };
+        let req = Request {
+            id,
+            model,
+            priority: opts.priority,
+            deadline: opts.deadline,
+            image,
+            submitted_at: Instant::now(),
+            reply,
+        };
         match self.admission {
             AdmissionPolicy::Block => {
-                self.tx.send(req).map_err(|_| SubmitError::Stopped)?;
+                self.tx.send(Msg::Request(req)).map_err(|_| SubmitError::Stopped)?;
             }
-            AdmissionPolicy::Reject => match self.tx.try_send(req) {
+            AdmissionPolicy::Reject => match self.tx.try_send(Msg::Request(req)) {
                 Ok(()) => {}
-                Err(TrySendError::Full(req)) => {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(TrySendError::Full(Msg::Request(req))) => {
+                    // A rejected attempt still counts as submitted, so the
+                    // admission ledger stays a partition:
+                    // completed + rejected + shed == submitted.
+                    self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(SubmitError::QueueFull(Box::new(req.image)));
                 }
+                Err(TrySendError::Full(Msg::Shutdown)) => unreachable!("only clients queue requests"),
                 Err(TrySendError::Disconnected(_)) => return Err(SubmitError::Stopped),
             },
         }
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(Ticket { id, rx })
     }
 }
 
 struct Request {
     id: u64,
+    model: usize,
+    priority: Priority,
+    deadline: Option<Duration>,
     image: Tensor3<i8>,
     submitted_at: Instant,
-    reply: SyncSender<Response>,
+    reply: SyncSender<Result<Response, Dropped>>,
+}
+
+enum Msg {
+    Request(Request),
+    Shutdown,
 }
 
 struct Batch {
+    /// Server-wide batch sequence number (surfaces as
+    /// [`RequestStats::batch_id`]).
+    id: u64,
+    priority: Priority,
+    /// The weight snapshot the whole batch runs on — sampled once at
+    /// flush, so a concurrent publish can never split a batch across
+    /// parameter versions.
+    artifact: Arc<ModelArtifact>,
     requests: Vec<Request>,
 }
 
+/// Batcher-side view of one model's replica pool.
+struct PoolHandle {
+    txs: Vec<SyncSender<Batch>>,
+    in_flight: Arc<Vec<AtomicU64>>,
+    /// Round-robin cursor (per pool, so shard order is reproducible per
+    /// model regardless of other models' traffic).
+    seq: usize,
+}
+
 #[derive(Default)]
+struct Lane {
+    pending: Vec<Request>,
+    first_at: Option<Instant>,
+}
+
 struct BatcherStats {
     batches: u64,
     occupancy_sum: u64,
+    /// Shed counts per model per class index.
+    shed: Vec<[u64; 2]>,
 }
 
-/// Assemble requests into batches and dispatch them per the policy.
-fn run_batcher(
-    rx: Receiver<Request>,
-    replica_txs: Vec<SyncSender<Batch>>,
+struct BatcherKnobs {
     max_batch: usize,
-    deadline: Duration,
+    flush_deadline: Duration,
+    interactive_flush_deadline: Duration,
     dispatch: DispatchPolicy,
-    in_flight: &[AtomicU64],
-) -> BatcherStats {
-    let mut stats = BatcherStats::default();
-    let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
-    let mut first_at: Option<Instant> = None;
-    let mut seq: usize = 0;
+}
 
-    let mut flush = |batch: &mut Vec<Request>,
-                     first_at: &mut Option<Instant>,
-                     stats: &mut BatcherStats| {
-        if batch.is_empty() {
-            return;
+impl BatcherKnobs {
+    fn deadline_of(&self, priority: Priority) -> Duration {
+        match priority {
+            Priority::Interactive => self.interactive_flush_deadline,
+            Priority::Batch => self.flush_deadline,
         }
-        stats.batches += 1;
-        stats.occupancy_sum += batch.len() as u64;
-        let target = match dispatch {
-            DispatchPolicy::RoundRobin => {
-                let t = seq % replica_txs.len();
-                seq += 1;
-                t
-            }
-            // Fewest in-flight images wins, ties to the lowest id. The
-            // loads move underneath us (workers decrement as batches
-            // finish), but only the batcher increments, so the chosen
-            // replica can only be less loaded than observed.
-            DispatchPolicy::LeastLoaded => in_flight
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, load)| load.load(Ordering::Relaxed))
-                .map(|(i, _)| i)
-                .expect("at least one replica"),
-        };
-        in_flight[target].fetch_add(batch.len() as u64, Ordering::Relaxed);
-        *first_at = None;
-        // Blocking send: if every replica is busy and its batch slot is
-        // occupied, backpressure propagates through the batcher to the
-        // bounded submission queue and ultimately to the admission edge.
-        replica_txs[target]
-            .send(Batch { requests: std::mem::take(batch) })
-            .unwrap_or_else(|_| panic!("replica {target} hung up before shutdown"));
-    };
+    }
+}
 
+/// Close `lane` into a batch: shed deadline-expired requests, pin the
+/// model's current weight snapshot, and dispatch to a pool replica.
+fn flush_lane(
+    lane: &mut Lane,
+    pool: &mut PoolHandle,
+    model: usize,
+    priority: Priority,
+    registry: &ModelRegistry,
+    dispatch: DispatchPolicy,
+    stats: &mut BatcherStats,
+) {
+    lane.first_at = None;
+    if lane.pending.is_empty() {
+        return;
+    }
+    let requests = std::mem::take(&mut lane.pending);
+    // Dispatch-time deadline check: a request that already blew its
+    // latency budget is answered `Dropped::Deadline` now — running it
+    // would waste a pipeline slot on an answer nobody is waiting for.
+    let now = Instant::now();
+    let mut kept = Vec::with_capacity(requests.len());
+    for req in requests {
+        match req.deadline {
+            Some(budget) if now.duration_since(req.submitted_at) > budget => {
+                stats.shed[model][priority.index()] += 1;
+                let _ = req.reply.send(Err(Dropped::Deadline));
+            }
+            _ => kept.push(req),
+        }
+    }
+    if kept.is_empty() {
+        return;
+    }
+    let target = match dispatch {
+        DispatchPolicy::RoundRobin => {
+            let t = pool.seq % pool.txs.len();
+            pool.seq += 1;
+            t
+        }
+        // Fewest in-flight images wins, ties to the lowest id. The loads
+        // move underneath us (workers decrement as batches finish), but
+        // only the batcher increments, so the chosen replica can only be
+        // less loaded than observed.
+        DispatchPolicy::LeastLoaded => pool
+            .in_flight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, load)| load.load(Ordering::Relaxed))
+            .map(|(i, _)| i)
+            .expect("at least one replica"),
+    };
+    let id = stats.batches;
+    stats.batches += 1;
+    stats.occupancy_sum += kept.len() as u64;
+    pool.in_flight[target].fetch_add(kept.len() as u64, Ordering::Relaxed);
+    let artifact = registry.current(model);
+    // Blocking send: if every replica of the pool is busy and its batch
+    // slot occupied, backpressure propagates through the batcher to the
+    // bounded submission queue and ultimately to the admission edge.
+    pool.txs[target]
+        .send(Batch { id, priority, artifact, requests: kept })
+        .unwrap_or_else(|_| panic!("model {model} replica {target} hung up before shutdown"));
+}
+
+/// Flush every lane whose class deadline has expired — interactive lanes
+/// first, so latency traffic is dispatched ahead of throughput traffic at
+/// every scheduling decision.
+fn flush_expired(
+    lanes: &mut [[Lane; 2]],
+    pools: &mut [PoolHandle],
+    registry: &ModelRegistry,
+    knobs: &BatcherKnobs,
+    stats: &mut BatcherStats,
+) {
+    let now = Instant::now();
+    for priority in Priority::ALL {
+        for model in 0..lanes.len() {
+            let lane = &mut lanes[model][priority.index()];
+            let expired = lane
+                .first_at
+                .is_some_and(|t0| now.duration_since(t0) >= knobs.deadline_of(priority));
+            if expired {
+                flush_lane(lane, &mut pools[model], model, priority, registry, knobs.dispatch, stats);
+            }
+        }
+    }
+}
+
+/// Assemble requests into per-(model, class) batches and dispatch them.
+fn run_batcher(
+    rx: Receiver<Msg>,
+    mut pools: Vec<PoolHandle>,
+    shared: Arc<Shared>,
+    knobs: BatcherKnobs,
+) -> BatcherStats {
+    let models = pools.len();
+    let mut stats =
+        BatcherStats { batches: 0, occupancy_sum: 0, shed: vec![[0; 2]; models] };
+    let mut lanes: Vec<[Lane; 2]> = (0..models).map(|_| Default::default()).collect();
+    let registry = &shared.registry;
     loop {
-        let msg = match first_at {
-            // Empty batch: nothing to flush, wait indefinitely.
+        // Wake at the earliest lane deadline: each lane's clock starts at
+        // its *own* first queued request and runs against its *own* class
+        // deadline (a partial interactive batch flushes on time even while
+        // a batch-class lane is still filling).
+        let mut wake: Option<Instant> = None;
+        for pair in &lanes {
+            for priority in Priority::ALL {
+                if let Some(t0) = pair[priority.index()].first_at {
+                    let at = t0 + knobs.deadline_of(priority);
+                    wake = Some(wake.map_or(at, |w| w.min(at)));
+                }
+            }
+        }
+        let msg = match wake {
             None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
-            // Partial batch: wait out the remainder of its deadline.
-            Some(t0) => rx.recv_timeout(deadline.saturating_sub(t0.elapsed())),
+            Some(at) => rx.recv_timeout(at.saturating_duration_since(Instant::now())),
         };
         match msg {
-            Ok(req) => {
-                if batch.is_empty() {
-                    first_at = Some(Instant::now());
+            Ok(Msg::Request(req)) => {
+                let (model, priority) = (req.model, req.priority);
+                let lane = &mut lanes[model][priority.index()];
+                if lane.pending.is_empty() {
+                    lane.first_at = Some(Instant::now());
                 }
-                batch.push(req);
-                if batch.len() >= max_batch {
-                    flush(&mut batch, &mut first_at, &mut stats);
+                lane.pending.push(req);
+                if lane.pending.len() >= knobs.max_batch {
+                    flush_lane(
+                        lane,
+                        &mut pools[model],
+                        model,
+                        priority,
+                        registry,
+                        knobs.dispatch,
+                        &mut stats,
+                    );
                 }
+                // A steady request stream keeps `recv_timeout` from ever
+                // timing out, so expired lanes are also checked after
+                // every message — without this, flood traffic in one lane
+                // would starve the deadline of every other lane.
+                flush_expired(&mut lanes, &mut pools, registry, &knobs, &mut stats);
             }
             Err(RecvTimeoutError::Timeout) => {
-                flush(&mut batch, &mut first_at, &mut stats);
+                flush_expired(&mut lanes, &mut pools, registry, &knobs, &mut stats);
             }
-            Err(RecvTimeoutError::Disconnected) => {
-                flush(&mut batch, &mut first_at, &mut stats);
+            Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                for priority in Priority::ALL {
+                    for model in 0..models {
+                        flush_lane(
+                            &mut lanes[model][priority.index()],
+                            &mut pools[model],
+                            model,
+                            priority,
+                            registry,
+                            knobs.dispatch,
+                            &mut stats,
+                        );
+                    }
+                }
                 return stats;
             }
         }
     }
 }
 
-struct WorkerOutput {
-    stats: ReplicaStats,
-    queue_waits: Vec<Duration>,
-    latencies: Vec<Duration>,
+struct Sample {
+    priority: Priority,
+    queue_wait: Duration,
+    latency: Duration,
 }
 
-/// Execute batches on one replica until its queue disconnects (drain).
-/// `in_flight` is this replica's dispatch-side image count: decremented
-/// once a batch is fully answered, so the batcher's least-loaded view
-/// covers queued *and* running work. `synthetic_delay` injects extra busy
-/// time per batch (test/bench knob modeling a slow card).
+struct WorkerOutput {
+    model_idx: usize,
+    stats: ReplicaStats,
+    samples: Vec<Sample>,
+}
+
+/// Execute batches on one pool replica until its queue disconnects
+/// (drain). `in_flight[pool_slot]` is this replica's dispatch-side image
+/// count: decremented once a batch is fully answered, so the batcher's
+/// least-loaded view covers queued *and* running work. `synthetic_delay`
+/// injects extra busy time per batch (test/bench knob modeling a slow
+/// card).
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
-    replica: Replica,
+    model_idx: usize,
+    model: Arc<str>,
+    global_id: usize,
+    pool_slot: usize,
     rx: Receiver<Batch>,
-    in_flight: &AtomicU64,
+    in_flight: Arc<Vec<AtomicU64>>,
     synthetic_delay: Duration,
 ) -> WorkerOutput {
     let mut out = WorkerOutput {
+        model_idx,
         stats: ReplicaStats {
-            replica: replica.id(),
+            replica: global_id,
+            model: model.to_string(),
             batches: 0,
             images: 0,
             busy: Duration::ZERO,
             cycles: 0,
         },
-        queue_waits: Vec::new(),
-        latencies: Vec::new(),
+        samples: Vec::new(),
     };
     while let Ok(batch) = rx.recv() {
+        let Batch { id: batch_id, priority, artifact, requests } = batch;
         let started = Instant::now();
-        let images: Vec<Tensor3<i8>> =
-            batch.requests.iter().map(|r| r.image.clone()).collect();
+        let images: Vec<Tensor3<i8>> = requests.iter().map(|r| r.image.clone()).collect();
         // A RunError here (deadlock/timeout) means the compiled pipeline
         // itself is broken — a programming error, not a load condition —
         // so it propagates as a panic with the executor's diagnostics.
-        let sim = replica.run_batch(&images).unwrap_or_else(|e| {
-            panic!("replica {}: batch of {} failed: {e}", replica.id(), images.len())
+        let sim = artifact.run_batch(&images).unwrap_or_else(|e| {
+            panic!("model {model} replica {global_id}: batch of {} failed: {e}", images.len())
         });
         if !synthetic_delay.is_zero() {
             std::thread::sleep(synthetic_delay);
         }
         let busy = started.elapsed();
         out.stats.batches += 1;
-        out.stats.images += batch.requests.len() as u64;
+        out.stats.images += requests.len() as u64;
         out.stats.busy += busy;
         out.stats.cycles += sim.cycles();
-        let n = batch.requests.len();
-        for (i, req) in batch.requests.into_iter().enumerate() {
+        let n = requests.len();
+        for (i, req) in requests.into_iter().enumerate() {
             let queue_wait = started.saturating_duration_since(req.submitted_at);
             let latency = req.submitted_at.elapsed();
-            out.queue_waits.push(queue_wait);
-            out.latencies.push(latency);
+            out.samples.push(Sample { priority, queue_wait, latency });
             let response = Response {
                 id: req.id,
+                model: model.to_string(),
                 logits: sim.logits[i].clone(),
                 stats: RequestStats {
                     queue_wait,
                     latency,
                     batch_size: n,
-                    replica: replica.id(),
+                    batch_id,
+                    replica: global_id,
+                    priority,
+                    weight_version: artifact.version(),
                     cycles: sim.cycles(),
                 },
             };
             // The ticket may have been dropped; the request still counts
             // as completed (the work was done).
-            let _ = req.reply.send(response);
+            let _ = req.reply.send(Ok(response));
         }
-        in_flight.fetch_sub(n as u64, Ordering::Relaxed);
+        in_flight[pool_slot].fetch_sub(n as u64, Ordering::Relaxed);
     }
     out
 }
 
-/// Run a serving session: spin up the batcher and `config.replicas` worker
-/// threads, hand a [`Client`] to `body`, and after `body` returns drain
-/// every in-flight batch before tearing down.
-///
-/// Returns `body`'s result and the aggregate [`ServerReport`].
-pub fn serve<R>(
-    net: &Network,
-    config: &ServerConfig,
-    body: impl FnOnce(&Client<'_>) -> R,
-) -> (R, ServerReport) {
-    config.validate();
-    let replicas = compile_replicas(net, config.replicas, &config.compile);
-    let next_id = AtomicU64::new(0);
-    let submitted = AtomicU64::new(0);
-    let rejected = AtomicU64::new(0);
-    let started = Instant::now();
+/// Per-model overrides for [`ServerBuilder::model_with`]; unset fields
+/// fall back to the server-wide [`ServerConfig`].
+#[derive(Clone, Debug, Default)]
+pub struct ModelOptions {
+    /// Pool size for this model (defaults to `config.replicas`). Size
+    /// pools against each model's offered load, not one global knob.
+    pub replicas: Option<usize>,
+    /// Compile options for this model (defaults to `config.compile`).
+    pub compile: Option<CompileOptions>,
+}
 
-    let in_flight: Vec<AtomicU64> =
-        (0..config.replicas).map(|_| AtomicU64::new(0)).collect();
-    let (result, batcher_stats, workers) = std::thread::scope(|scope| {
-        let (sub_tx, sub_rx) = sync_channel::<Request>(config.queue_depth);
-        let mut replica_txs = Vec::with_capacity(replicas.len());
-        let mut worker_handles = Vec::with_capacity(replicas.len());
-        for (i, replica) in replicas.into_iter().enumerate() {
-            // Depth 1: one batch may queue while the previous one runs, so
-            // a replica never idles between back-to-back batches, but the
-            // batcher cannot run arbitrarily far ahead of slow replicas.
-            let (tx, rx) = sync_channel::<Batch>(1);
-            replica_txs.push(tx);
-            let load = &in_flight[i];
-            let delay = config
-                .synthetic_replica_delay
-                .get(i)
-                .copied()
-                .unwrap_or(Duration::ZERO);
-            worker_handles.push(scope.spawn(move || run_worker(replica, rx, load, delay)));
+impl ModelOptions {
+    /// No overrides.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override this model's pool size.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = Some(replicas);
+        self
+    }
+
+    /// Override this model's compile options.
+    pub fn compile(mut self, compile: CompileOptions) -> Self {
+        self.compile = Some(compile);
+        self
+    }
+}
+
+/// Registers models against a [`ServerConfig`] and starts the runtime.
+pub struct ServerBuilder {
+    config: ServerConfig,
+    models: Vec<(String, Network, ModelOptions)>,
+}
+
+impl ServerBuilder {
+    /// Replace the server-wide configuration (defaults to
+    /// [`ServerConfig::default`]).
+    pub fn config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Register `net` under `name` with the server-wide pool defaults.
+    pub fn model(self, name: impl Into<String>, net: &Network) -> Self {
+        self.model_with(name, net, ModelOptions::default())
+    }
+
+    /// Register `net` under `name` with per-model overrides.
+    pub fn model_with(
+        mut self,
+        name: impl Into<String>,
+        net: &Network,
+        options: ModelOptions,
+    ) -> Self {
+        self.models.push((name.into(), net.clone(), options));
+        self
+    }
+
+    /// Validate, compile every registered model (through an
+    /// [`ArtifactCache`] keyed by options, so pools share parameter
+    /// snapshots), spawn the batcher and every pool's workers, and return
+    /// the running [`Server`].
+    pub fn start(self) -> Result<Server, ConfigError> {
+        let config = self.config;
+        config.validate()?;
+        if self.models.is_empty() {
+            return Err(ConfigError::NoModels);
         }
-        let (max_batch, deadline) = (config.max_batch, config.flush_deadline);
-        let (dispatch, loads) = (config.dispatch, &in_flight);
-        let batcher = scope
-            .spawn(move || run_batcher(sub_rx, replica_txs, max_batch, deadline, dispatch, loads));
+        for (i, (name, _, _)) in self.models.iter().enumerate() {
+            if self.models[..i].iter().any(|(n, _, _)| n == name) {
+                return Err(ConfigError::DuplicateModel(name.clone()));
+            }
+        }
 
-        let client = Client {
+        let mut cache = ArtifactCache::new();
+        let mut entries = Vec::with_capacity(self.models.len());
+        let mut pool_sizes = Vec::with_capacity(self.models.len());
+        let mut first_replica = 0usize;
+        for (name, net, opts) in &self.models {
+            let replicas = opts.replicas.unwrap_or(config.replicas);
+            if replicas == 0 {
+                return Err(ConfigError::ZeroReplicas);
+            }
+            let compile = opts.compile.as_ref().unwrap_or(&config.compile);
+            let artifact = cache.get_or_compile(name, net, compile);
+            entries.push(registry::entry(name.clone(), artifact, replicas, first_replica));
+            pool_sizes.push(replicas);
+            first_replica += replicas;
+        }
+        let shared = Arc::new(Shared {
+            registry: ModelRegistry::new(entries),
+            next_id: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            stopped: AtomicBool::new(false),
+        });
+
+        let mut pools = Vec::with_capacity(pool_sizes.len());
+        let mut workers = Vec::new();
+        for (model_idx, &replicas) in pool_sizes.iter().enumerate() {
+            let entry = shared.registry.entry(model_idx);
+            let in_flight: Arc<Vec<AtomicU64>> =
+                Arc::new((0..replicas).map(|_| AtomicU64::new(0)).collect());
+            let mut txs = Vec::with_capacity(replicas);
+            for slot in 0..replicas {
+                // Depth 1: one batch may queue while the previous one
+                // runs, so a replica never idles between back-to-back
+                // batches, but the batcher cannot run arbitrarily far
+                // ahead of slow replicas.
+                let (tx, rx) = sync_channel::<Batch>(1);
+                txs.push(tx);
+                let name = Arc::clone(&entry.name);
+                let loads = Arc::clone(&in_flight);
+                let delay = config
+                    .synthetic_replica_delay
+                    .get(slot)
+                    .copied()
+                    .unwrap_or(Duration::ZERO);
+                let global_id = entry.first_replica + slot;
+                workers.push(std::thread::spawn(move || {
+                    run_worker(model_idx, name, global_id, slot, rx, loads, delay)
+                }));
+            }
+            pools.push(PoolHandle { txs, in_flight, seq: 0 });
+        }
+
+        let (sub_tx, sub_rx) = sync_channel::<Msg>(config.queue_depth);
+        let knobs = BatcherKnobs {
+            max_batch: config.max_batch,
+            flush_deadline: config.flush_deadline,
+            interactive_flush_deadline: config.interactive_flush_deadline,
+            dispatch: config.dispatch,
+        };
+        let batcher_shared = Arc::clone(&shared);
+        let batcher =
+            std::thread::spawn(move || run_batcher(sub_rx, pools, batcher_shared, knobs));
+
+        Ok(Server {
+            shared,
             tx: sub_tx,
             admission: config.admission,
-            next_id: &next_id,
-            submitted: &submitted,
-            rejected: &rejected,
-        };
-        let result = body(&client);
-        // Graceful shutdown: dropping the only submission sender lets the
-        // batcher flush and disconnect the workers, which drain in turn.
-        drop(client);
+            batcher,
+            workers,
+            started: Instant::now(),
+        })
+    }
+}
 
-        let batcher_stats = batcher.join().expect("batcher thread panicked");
-        let workers: Vec<WorkerOutput> = worker_handles
+/// A running multi-model serving instance.
+///
+/// Obtain one through [`Server::builder`], submit through [`Server::client`]
+/// handles, swap weights with [`Server::publish_weights`], and finish with
+/// [`Server::shutdown`], which drains and returns the [`ServerReport`].
+pub struct Server {
+    shared: Arc<Shared>,
+    tx: SyncSender<Msg>,
+    admission: AdmissionPolicy,
+    batcher: JoinHandle<BatcherStats>,
+    workers: Vec<JoinHandle<WorkerOutput>>,
+    started: Instant,
+}
+
+impl Server {
+    /// Start describing a server: `Server::builder().model(...).start()`.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder { config: ServerConfig::default(), models: Vec::new() }
+    }
+
+    /// A new submission handle. Clients are independent and cheap; create
+    /// one per traffic source.
+    pub fn client(&self) -> Client {
+        Client {
+            tx: self.tx.clone(),
+            admission: self.admission,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The model registry (names, current weight versions).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Registered model names, in registration order.
+    pub fn models(&self) -> Vec<String> {
+        self.shared.registry.names()
+    }
+
+    /// Publish new parameters for `model` — the hot-swap path. Batches
+    /// already dispatched finish on the old weights; every batch flushed
+    /// after this call runs bit-identically on the new ones. Returns the
+    /// new weight version.
+    pub fn publish_weights(&self, model: &str, net: Network) -> Result<u64, PublishError> {
+        self.shared.registry.publish(model, net)
+    }
+
+    /// Stop admission, drain every in-flight batch, join all threads, and
+    /// return the aggregate report.
+    ///
+    /// Requests admitted before the call are answered (completed or shed);
+    /// `submit` calls racing the shutdown may instead resolve their
+    /// tickets to [`Dropped::Stopped`].
+    pub fn shutdown(self) -> ServerReport {
+        self.shared.stopped.store(true, Ordering::Release);
+        // FIFO marker: everything already in the queue is processed first.
+        let _ = self.tx.send(Msg::Shutdown);
+        drop(self.tx);
+        let batcher_stats = self.batcher.join().expect("batcher thread panicked");
+        let outputs: Vec<WorkerOutput> = self
+            .workers
             .into_iter()
             .map(|h| h.join().expect("replica worker panicked"))
             .collect();
-        (result, batcher_stats, workers)
-    });
-    let wall = started.elapsed();
+        let wall = self.started.elapsed();
+        build_report(&self.shared, batcher_stats, outputs, wall)
+    }
+}
+
+fn build_report(
+    shared: &Shared,
+    batcher: BatcherStats,
+    outputs: Vec<WorkerOutput>,
+    wall: Duration,
+) -> ServerReport {
+    let registry = &shared.registry;
+    let models = registry.len();
 
     let mut queue_waits = Vec::new();
     let mut latencies = Vec::new();
-    let mut per_replica = Vec::with_capacity(workers.len());
+    let mut per_replica = Vec::with_capacity(outputs.len());
     let mut completed = 0u64;
-    for w in workers {
-        completed += w.stats.images;
-        queue_waits.extend(w.queue_waits);
-        latencies.extend(w.latencies);
-        per_replica.push(w.stats);
+    let mut class_completed = vec![[0u64; 2]; models];
+    let mut class_latencies: Vec<[Vec<Duration>; 2]> =
+        (0..models).map(|_| Default::default()).collect();
+    for out in outputs {
+        completed += out.stats.images;
+        for s in out.samples {
+            queue_waits.push(s.queue_wait);
+            latencies.push(s.latency);
+            class_completed[out.model_idx][s.priority.index()] += 1;
+            class_latencies[out.model_idx][s.priority.index()].push(s.latency);
+        }
+        per_replica.push(out.stats);
     }
     per_replica.sort_by_key(|r| r.replica);
 
-    let report = ServerReport {
-        replicas: config.replicas,
-        submitted: submitted.load(Ordering::Relaxed),
+    let mut per_model = Vec::with_capacity(models);
+    for m in 0..models {
+        let entry = registry.entry(m);
+        let mut model_latencies = Vec::new();
+        let mut per_priority = Vec::with_capacity(2);
+        let (mut m_completed, mut m_shed) = (0u64, 0u64);
+        for priority in Priority::ALL {
+            let i = priority.index();
+            m_completed += class_completed[m][i];
+            m_shed += batcher.shed[m][i];
+            model_latencies.extend_from_slice(&class_latencies[m][i]);
+            per_priority.push(ClassStats {
+                priority,
+                completed: class_completed[m][i],
+                shed: batcher.shed[m][i],
+                latency: LatencySummary::from_samples("latency", class_latencies[m][i].clone()),
+            });
+        }
+        per_model.push(ModelStats {
+            model: entry.name.to_string(),
+            replicas: entry.replicas,
+            completed: m_completed,
+            shed: m_shed,
+            weight_publishes: registry.publishes(m),
+            latency: LatencySummary::from_samples("latency", model_latencies),
+            per_priority,
+        });
+    }
+
+    let per_priority = Priority::ALL
+        .iter()
+        .map(|&priority| {
+            let i = priority.index();
+            let mut samples = Vec::new();
+            for lanes in &class_latencies {
+                samples.extend_from_slice(&lanes[i]);
+            }
+            ClassStats {
+                priority,
+                completed: (0..models).map(|m| class_completed[m][i]).sum(),
+                shed: (0..models).map(|m| batcher.shed[m][i]).sum(),
+                latency: LatencySummary::from_samples("latency", samples),
+            }
+        })
+        .collect();
+
+    ServerReport {
+        replicas: (0..models).map(|m| registry.entry(m).replicas).sum(),
+        submitted: shared.submitted.load(Ordering::Relaxed),
         completed,
-        rejected: rejected.load(Ordering::Relaxed),
-        batches: batcher_stats.batches,
+        rejected: shared.rejected.load(Ordering::Relaxed),
+        shed: batcher.shed.iter().map(|s| s[0] + s[1]).sum(),
+        batches: batcher.batches,
         wall,
-        mean_batch_occupancy: if batcher_stats.batches > 0 {
-            batcher_stats.occupancy_sum as f64 / batcher_stats.batches as f64
+        mean_batch_occupancy: if batcher.batches > 0 {
+            batcher.occupancy_sum as f64 / batcher.batches as f64
         } else {
             0.0
         },
         queue_wait: LatencySummary::from_samples("queue_wait", queue_waits),
         latency: LatencySummary::from_samples("latency", latencies),
         per_replica,
-    };
-    (result, report)
+        per_model,
+        per_priority,
+    }
+}
+
+/// Run a single-model serving session — the legacy closure entrypoint,
+/// now a thin shim over [`Server`]: it registers `net` as
+/// [`DEFAULT_MODEL`], hands a [`Client`] to `body`, and shuts the server
+/// down (draining every in-flight batch) after `body` returns.
+///
+/// Returns `body`'s result and the aggregate [`ServerReport`].
+///
+/// # Panics
+/// Panics when `config` is invalid — new code should use
+/// [`Server::builder`] with [`ServerConfig::builder`], which surface
+/// [`ConfigError`] instead.
+pub fn serve<R>(
+    net: &Network,
+    config: &ServerConfig,
+    body: impl FnOnce(&Client) -> R,
+) -> (R, ServerReport) {
+    let server = Server::builder()
+        .config(config.clone())
+        .model(DEFAULT_MODEL, net)
+        .start()
+        .unwrap_or_else(|e| panic!("invalid server configuration: {e}"));
+    let client = server.client();
+    let result = body(&client);
+    drop(client);
+    (result, server.shutdown())
 }

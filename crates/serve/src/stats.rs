@@ -1,9 +1,10 @@
 //! Per-request and aggregate serving statistics.
 
+use crate::config::Priority;
 use qnn_testkit::bench::Measurement;
 use std::time::Duration;
 
-/// Timing breakdown attached to every completed request.
+/// Timing and placement breakdown attached to every completed request.
 #[derive(Clone, Debug)]
 pub struct RequestStats {
     /// Submission → the batch containing this request started executing.
@@ -12,8 +13,18 @@ pub struct RequestStats {
     pub latency: Duration,
     /// Number of images in the batch this request rode in.
     pub batch_size: usize,
-    /// Replica index that executed the batch.
+    /// Server-wide batch sequence number of that batch. All requests
+    /// sharing a `batch_id` ran on the same weight snapshot — the
+    /// observable handle for the swap-atomicity guarantee.
+    pub batch_id: u64,
+    /// Global replica index (across every model's pool) that executed the
+    /// batch.
     pub replica: usize,
+    /// Scheduling class the request was dispatched under.
+    pub priority: Priority,
+    /// Weight version of the artifact the batch ran on (0 until the
+    /// model's first publish).
+    pub weight_version: u64,
     /// Simulated fabric cycles of the batch run (bit-identical across
     /// runs; the wall-clock fields above are not).
     pub cycles: u64,
@@ -22,8 +33,10 @@ pub struct RequestStats {
 /// Per-replica aggregate counters, returned by each worker at shutdown.
 #[derive(Clone, Debug)]
 pub struct ReplicaStats {
-    /// Replica index.
+    /// Global replica index (unique across pools).
     pub replica: usize,
+    /// The model this replica serves.
+    pub model: String,
     /// Batches executed.
     pub batches: u64,
     /// Images executed.
@@ -58,20 +71,70 @@ impl LatencySummary {
         let m = Measurement { name: name.to_string(), sorted: samples };
         Some(Self { p50: m.median(), p95: m.p95(), max })
     }
+
+    fn render(this: &Option<Self>) -> String {
+        match this {
+            Some(l) => format!(
+                "p50 {:.3} ms  p95 {:.3} ms  max {:.3} ms",
+                l.p50.as_secs_f64() * 1e3,
+                l.p95.as_secs_f64() * 1e3,
+                l.max.as_secs_f64() * 1e3
+            ),
+            None => "no completed requests".to_string(),
+        }
+    }
 }
 
-/// Aggregate report returned by [`crate::serve`] after the drain completes.
+/// Completed/shed counts and latency for one scheduling class.
+#[derive(Clone, Debug)]
+pub struct ClassStats {
+    /// The scheduling class.
+    pub priority: Priority,
+    /// Requests of this class answered with a response.
+    pub completed: u64,
+    /// Requests of this class shed at dispatch because their deadline had
+    /// already passed ([`crate::Dropped::Deadline`]).
+    pub shed: u64,
+    /// End-to-end latency distribution of the class's completed requests.
+    pub latency: Option<LatencySummary>,
+}
+
+/// Aggregate counters for one registered model.
+#[derive(Clone, Debug)]
+pub struct ModelStats {
+    /// Model name.
+    pub model: String,
+    /// Pool size (replica workers).
+    pub replicas: usize,
+    /// Requests answered with a response.
+    pub completed: u64,
+    /// Requests shed at dispatch (deadline already passed).
+    pub shed: u64,
+    /// Weight versions published over the server's lifetime.
+    pub weight_publishes: u64,
+    /// End-to-end latency distribution of the model's completed requests.
+    pub latency: Option<LatencySummary>,
+    /// Per-class breakdown within this model (scheduling order).
+    pub per_priority: Vec<ClassStats>,
+}
+
+/// Aggregate report returned by [`crate::Server::shutdown`] (and the
+/// [`crate::serve`] shim) after the drain completes.
 #[derive(Clone, Debug)]
 pub struct ServerReport {
-    /// Configured replica count.
+    /// Total replica workers across every model's pool.
     pub replicas: usize,
-    /// Requests admitted into the queue.
+    /// Submission attempts that reached admission (admitted + rejected).
     pub submitted: u64,
     /// Requests that completed with a response.
     pub completed: u64,
     /// Requests refused at admission (only under
     /// [`crate::AdmissionPolicy::Reject`]).
     pub rejected: u64,
+    /// Requests admitted but shed at dispatch because their deadline had
+    /// already passed. The admission ledger partitions after a clean
+    /// drain: `completed + rejected + shed == submitted`.
+    pub shed: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Wall time from server start to the end of the drain.
@@ -82,8 +145,13 @@ pub struct ServerReport {
     pub queue_wait: Option<LatencySummary>,
     /// End-to-end latency distribution across completed requests.
     pub latency: Option<LatencySummary>,
-    /// Per-replica counters.
+    /// Per-replica counters, sorted by global replica id.
     pub per_replica: Vec<ReplicaStats>,
+    /// Per-model breakdown, in registration order.
+    pub per_model: Vec<ModelStats>,
+    /// Per-class breakdown across all models (scheduling order:
+    /// interactive first).
+    pub per_priority: Vec<ClassStats>,
 }
 
 impl ServerReport {
@@ -110,18 +178,29 @@ impl ServerReport {
         self.completed as f64 * fclk_mhz * 1e6 / makespan as f64
     }
 
+    /// The per-model breakdown for `model`, if it was registered.
+    pub fn model(&self, model: &str) -> Option<&ModelStats> {
+        self.per_model.iter().find(|m| m.model == model)
+    }
+
+    /// The cross-model breakdown for one scheduling class.
+    pub fn class(&self, priority: Priority) -> Option<&ClassStats> {
+        self.per_priority.iter().find(|c| c.priority == priority)
+    }
+
     /// Render a human-readable multi-line summary.
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "replicas {}  submitted {}  completed {}  rejected {}  batches {} \
+            "replicas {}  submitted {}  completed {}  rejected {}  shed {}  batches {} \
              (mean occupancy {:.2})",
             self.replicas,
             self.submitted,
             self.completed,
             self.rejected,
+            self.shed,
             self.batches,
             self.mean_batch_occupancy,
         );
@@ -131,22 +210,36 @@ impl ServerReport {
             self.wall.as_secs_f64() * 1e3,
             self.images_per_sec(),
         );
-        let fmt = |s: &Option<LatencySummary>| match s {
-            Some(l) => format!(
-                "p50 {:.3} ms  p95 {:.3} ms  max {:.3} ms",
-                l.p50.as_secs_f64() * 1e3,
-                l.p95.as_secs_f64() * 1e3,
-                l.max.as_secs_f64() * 1e3
-            ),
-            None => "no completed requests".to_string(),
-        };
-        let _ = writeln!(out, "queue wait  {}", fmt(&self.queue_wait));
-        let _ = writeln!(out, "latency     {}", fmt(&self.latency));
+        let _ = writeln!(out, "queue wait  {}", LatencySummary::render(&self.queue_wait));
+        let _ = writeln!(out, "latency     {}", LatencySummary::render(&self.latency));
+        for c in &self.per_priority {
+            let _ = writeln!(
+                out,
+                "class {:<12} {} completed, {} shed, {}",
+                c.priority,
+                c.completed,
+                c.shed,
+                LatencySummary::render(&c.latency),
+            );
+        }
+        for m in &self.per_model {
+            let _ = writeln!(
+                out,
+                "model {:?}: {} replicas, {} completed, {} shed, {} weight publish(es), {}",
+                m.model,
+                m.replicas,
+                m.completed,
+                m.shed,
+                m.weight_publishes,
+                LatencySummary::render(&m.latency),
+            );
+        }
         for r in &self.per_replica {
             let _ = writeln!(
                 out,
-                "replica {}: {} batches, {} images, busy {:.3} ms, {} cycles",
+                "replica {} ({}): {} batches, {} images, busy {:.3} ms, {} cycles",
                 r.replica,
+                r.model,
                 r.batches,
                 r.images,
                 r.busy.as_secs_f64() * 1e3,
@@ -180,8 +273,9 @@ mod tests {
         let report = ServerReport {
             replicas: 2,
             submitted: 10,
-            completed: 10,
+            completed: 9,
             rejected: 0,
+            shed: 1,
             batches: 5,
             wall: Duration::from_millis(100),
             mean_batch_occupancy: 2.0,
@@ -191,10 +285,29 @@ mod tests {
                 vec![Duration::from_millis(1), Duration::from_millis(3)],
             ),
             per_replica: vec![],
+            per_model: vec![ModelStats {
+                model: "cnv".to_string(),
+                replicas: 2,
+                completed: 9,
+                shed: 1,
+                weight_publishes: 1,
+                latency: None,
+                per_priority: vec![],
+            }],
+            per_priority: vec![ClassStats {
+                priority: Priority::Interactive,
+                completed: 4,
+                shed: 1,
+                latency: None,
+            }],
         };
-        assert!((report.images_per_sec() - 100.0).abs() < 1e-9);
+        assert!((report.images_per_sec() - 90.0).abs() < 1e-9);
         let text = report.render();
         assert!(text.contains("replicas 2"), "render was: {text}");
         assert!(text.contains("images/sec"), "render was: {text}");
+        assert!(text.contains("model \"cnv\""), "render was: {text}");
+        assert!(text.contains("class interactive"), "render was: {text}");
+        assert_eq!(report.model("cnv").map(|m| m.shed), Some(1));
+        assert!(report.class(Priority::Batch).is_none());
     }
 }

@@ -5,7 +5,10 @@
 
 use qnn_compiler::{run_images, CompileOptions};
 use qnn_nn::{models, Network};
-use qnn_serve::{serve, AdmissionPolicy, DispatchPolicy, ServerConfig, SubmitError, Ticket};
+use qnn_serve::{
+    serve, AdmissionPolicy, ConfigError, DispatchPolicy, ModelOptions, Priority, Server,
+    ServerConfig, SubmitError, SubmitOptions, Ticket,
+};
 use qnn_tensor::{Shape3, Tensor3};
 use qnn_testkit::Rng;
 use std::time::Duration;
@@ -320,4 +323,120 @@ fn concurrent_submitters_share_one_client() {
         assert_eq!(got, expect);
     }
     assert_eq!(report.completed, 9);
+}
+
+#[test]
+fn partial_interactive_batch_flushes_at_its_own_deadline_under_batch_flood() {
+    // Regression: the batcher used to check lane deadlines only when its
+    // recv timed out, so a steady message stream starved every deadline
+    // flush. With per-(model, class) lanes and expiry checks on the
+    // message path, a partial interactive batch must dispatch at its own
+    // short deadline even while a batch-class lane is still filling under
+    // a continuous flood.
+    let net = net();
+    let config = ServerConfig {
+        replicas: 2,
+        max_batch: 400,
+        flush_deadline: Duration::from_secs(10),
+        interactive_flush_deadline: Duration::from_millis(2),
+        ..ServerConfig::default()
+    };
+    let server = Server::builder().config(config).model("m", &net).start().expect("start");
+    let client = server.client();
+
+    let feeder = {
+        let client = client.clone();
+        std::thread::spawn(move || {
+            (0..150u64)
+                .map(|i| {
+                    let t = client.submit(image(8, 9000 + i)).expect("admitted");
+                    std::thread::sleep(Duration::from_millis(2));
+                    t
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+
+    // Let the flood establish a steady stream, then time one interactive
+    // request through the middle of it.
+    std::thread::sleep(Duration::from_millis(50));
+    let started = std::time::Instant::now();
+    let resp = client
+        .submit_with(image(8, 77), SubmitOptions::default().priority(Priority::Interactive))
+        .expect("admitted")
+        .wait()
+        .expect("answered");
+    let waited = started.elapsed();
+
+    assert_eq!(resp.stats.priority, Priority::Interactive);
+    assert_eq!(resp.stats.batch_size, 1, "partial interactive batch must flush alone");
+    assert!(
+        waited < Duration::from_millis(500),
+        "interactive request starved behind the batch flood: waited {waited:?}"
+    );
+
+    let batch_tickets = feeder.join().expect("feeder thread");
+    // The batch-class lane is still filling (max_batch 400, 10 s flush
+    // deadline): none of the flood may have dispatched yet.
+    assert!(
+        batch_tickets.last().expect("non-empty").try_wait().is_none(),
+        "batch-class lane flushed early"
+    );
+
+    let report = server.shutdown();
+    for t in batch_tickets {
+        t.wait().expect("batch-class requests drain at shutdown");
+    }
+    assert_eq!(report.completed, 151);
+    assert_eq!(report.class(Priority::Interactive).map(|c| c.completed), Some(1));
+    assert_eq!(report.class(Priority::Batch).map(|c| c.completed), Some(150));
+}
+
+#[test]
+fn model_resolution_errors_hand_the_image_back() {
+    let net = net();
+    let other = Network::random(models::test_net(8, 6, 3), 43);
+    let server = Server::builder()
+        .config(ServerConfig { replicas: 1, ..ServerConfig::default() })
+        .model("alpha", &net)
+        .model("beta", &other)
+        .start()
+        .expect("start");
+    let client = server.client();
+
+    match client.submit_with(image(8, 1), SubmitOptions::model("gamma")) {
+        Err(SubmitError::UnknownModel { model, image }) => {
+            assert_eq!(model, "gamma");
+            assert_eq!(image.shape(), Shape3::square(8, 3), "image handed back");
+        }
+        Ok(_) => panic!("expected UnknownModel, got a ticket"),
+        Err(other) => panic!("expected UnknownModel, got {other:?}"),
+    }
+    // With several models registered, a bare submit has no unique target.
+    match client.submit(image(8, 2)) {
+        Err(SubmitError::AmbiguousModel(img)) => {
+            assert_eq!(img.shape(), Shape3::square(8, 3), "image handed back");
+        }
+        Ok(_) => panic!("expected AmbiguousModel, got a ticket"),
+        Err(other) => panic!("expected AmbiguousModel, got {other:?}"),
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.submitted, 0, "failed resolutions never reach admission");
+}
+
+#[test]
+fn builder_rejects_invalid_registrations_with_typed_errors() {
+    let net = net();
+    assert!(matches!(Server::builder().start(), Err(ConfigError::NoModels)));
+    assert!(matches!(
+        Server::builder().model("m", &net).model("m", &net).start(),
+        Err(ConfigError::DuplicateModel(name)) if name == "m"
+    ));
+    assert!(matches!(
+        Server::builder()
+            .model_with("m", &net, ModelOptions::new().replicas(0))
+            .start(),
+        Err(ConfigError::ZeroReplicas)
+    ));
 }

@@ -1,10 +1,14 @@
-//! Batch-parallel serving of CIFAR-10 traffic over replicated pipelines.
+//! Multi-model serving of CIFAR-10 traffic with priorities and a hot
+//! weight swap.
 //!
-//! Drives the VGG-like (CNV) network through the `qnn-serve` runtime at
-//! 1, 2 and 4 replicas and prints the aggregate report for each: batch
-//! occupancy, queue wait, p50/p95 latency and images/sec. The logits are
-//! checked against the reference interpreter on every run, so the scaling
-//! numbers are for bit-exact inference, not an approximation.
+//! Hosts two networks behind one `qnn_serve::Server` — the VGG-like (CNV)
+//! model for latency-sensitive "interactive" traffic and a smaller model
+//! for bulk "batch" traffic — then publishes new CNV weights mid-stream
+//! and prints the aggregate report: per-model and per-class completed/shed
+//! counts, batch occupancy, queue wait, p50/p95 latency and images/sec.
+//! Every response is checked against the reference interpreter running the
+//! exact weight version the response claims, so the numbers are for
+//! bit-exact inference across the swap, not an approximation.
 //!
 //! ```text
 //! cargo run --release --example serve
@@ -12,25 +16,63 @@
 
 use qnn::data::CIFAR10;
 use qnn::nn::{models, Network};
-use qnn::serve::{serve, ServerConfig, Ticket};
+use qnn::serve::{Priority, Server, ServerConfig, SubmitOptions, Ticket};
 
 fn main() {
-    let net = Network::random(models::vgg_like(32, 10, 2), 7);
+    let cnv_v0 = Network::random(models::vgg_like(32, 10, 2), 7);
+    let cnv_v1 = Network::random(models::vgg_like(32, 10, 2), 8);
+    let small = Network::random(models::test_net(32, 10, 2), 9);
     let images = CIFAR10.images(8);
-    let expected: Vec<Vec<i32>> = images.iter().map(|i| net.forward(i).logits).collect();
 
-    for replicas in [1usize, 2, 4] {
-        let config = ServerConfig { replicas, max_batch: 2, ..ServerConfig::default() };
-        let (responses, report) = serve(&net, &config, |client| {
-            let tickets: Vec<Ticket> =
-                images.iter().map(|i| client.submit(i.clone()).expect("admitted")).collect();
-            tickets.into_iter().map(|t| t.wait().expect("answered")).collect::<Vec<_>>()
-        });
-        for (resp, want) in responses.iter().zip(&expected) {
-            assert_eq!(&resp.logits, want, "request {} diverged from reference", resp.id);
+    let config = ServerConfig::builder()
+        .replicas(2)
+        .max_batch(2)
+        .build()
+        .expect("valid config");
+    let server = Server::builder()
+        .config(config)
+        .model("cnv", &cnv_v0)
+        .model("small", &small)
+        .start()
+        .expect("valid server");
+    let client = server.client();
+
+    // Interleave interactive CNV traffic with bulk traffic to the small
+    // model; halfway through, hot-swap the CNV weights. In-flight batches
+    // finish on v0, later batches run bit-identically on v1.
+    let mut tickets: Vec<Ticket> = Vec::new();
+    for (i, img) in images.iter().enumerate() {
+        if i == images.len() / 2 {
+            let version =
+                server.publish_weights("cnv", cnv_v1.clone()).expect("same architecture");
+            println!("published cnv weight version {version} mid-stream\n");
         }
-        println!("{}", report.render());
-        println!();
+        let interactive =
+            SubmitOptions::model("cnv").priority(Priority::Interactive);
+        tickets.push(client.submit_with(img.clone(), interactive).expect("admitted"));
+        tickets.push(
+            client.submit_with(img.clone(), SubmitOptions::model("small")).expect("admitted"),
+        );
     }
-    println!("all {} responses bit-exact at every replica count", images.len());
+
+    for t in tickets {
+        let resp = t.wait().expect("answered");
+        let idx = (resp.id / 2) as usize;
+        let reference = match (resp.model.as_str(), resp.stats.weight_version) {
+            ("cnv", 0) => &cnv_v0,
+            ("cnv", _) => &cnv_v1,
+            _ => &small,
+        };
+        assert_eq!(
+            resp.logits,
+            reference.forward(&images[idx]).logits,
+            "request {} diverged from reference weight version {}",
+            resp.id,
+            resp.stats.weight_version,
+        );
+    }
+
+    let report = server.shutdown();
+    println!("{}", report.render());
+    println!("all {} responses bit-exact across the weight swap", 2 * images.len());
 }
