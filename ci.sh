@@ -23,6 +23,11 @@
 #                        (QNN_BENCH_QUICK=1: 1 iteration, no warmup,
 #                        speedup assertions off) — catches bench-harness
 #                        rot without waiting for real measurement runs.
+#   ci.sh matrix         NOT tier-1: the full test suite in release under
+#                        every QNN_MACRO_TICKS x QNN_SCHEDULER cell, so
+#                        env-selected defaults get the same coverage the
+#                        per-test parameterizations give the in-process
+#                        flags.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -39,18 +44,36 @@ if [[ "${1:-}" == "soak" ]]; then
   run cargo test -q --release --offline -p qnn-kernels --test proptests
   run cargo test -q --release --offline -p qnn-kernels --test stall_injection
   run cargo test -q --release --offline -p dfe-platform --test proptests
+  run cargo test -q --release --offline -p dfe-platform --test span_conservation
   run cargo test -q --release --offline -p qnn --test property_streaming
   run cargo test -q --release --offline -p qnn --test scheduler_equivalence
   run cargo test -q --release --offline -p qnn --test conv_datapath_equivalence
+  run cargo test -q --release --offline -p qnn --test macro_tick_equivalence
   run cargo test -q --release --offline -p qnn --test serve_multimodel
   echo "ci.sh soak: all green"
+  exit 0
+fi
+
+if [[ "${1:-}" == "matrix" ]]; then
+  # The in-process flags (CompileOptions / set_macro_ticks) are covered by
+  # the parameterized suites; this sweeps the *env* defaults, which seed
+  # every test that never mentions a scheduler or dispatch mode.
+  for mt in 0 1; do
+    for sched in dense ready; do
+      echo "==[ matrix: QNN_MACRO_TICKS=$mt QNN_SCHEDULER=$sched ]=="
+      QNN_MACRO_TICKS="$mt" QNN_SCHEDULER="$sched" \
+        run cargo test -q --release --offline
+    done
+  done
+  echo "ci.sh matrix: all green"
   exit 0
 fi
 
 if [[ "${1:-}" == "bench-smoke" ]]; then
   export QNN_BENCH_QUICK=1
   for bench in table3_networks fig5_runtime fig6_resources fig7_fig8_power_energy \
-               ablations kernels_micro scheduler_overhead serve_throughput conv_datapath; do
+               ablations kernels_micro scheduler_overhead serve_throughput conv_datapath \
+               macro_tick; do
     run cargo bench -q --offline -p qnn-bench --bench "$bench"
   done
   echo "ci.sh bench-smoke: all green"

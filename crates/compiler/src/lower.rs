@@ -42,6 +42,11 @@ pub struct CompileOptions {
     /// ScalarReference are bit-identical in outputs and reports; the
     /// default follows `QNN_CONV_DATAPATH` (Packed when unset).
     pub conv_datapath: ConvDatapath,
+    /// Macro-tick span dispatch for every compiled device graph: wake a
+    /// kernel once per available span instead of once per element. On and
+    /// off are bit-identical in outputs and reports; the default follows
+    /// `QNN_MACRO_TICKS` (on when unset).
+    pub macro_ticks: bool,
 }
 
 impl Default for CompileOptions {
@@ -53,6 +58,7 @@ impl Default for CompileOptions {
             stream_parameters: false,
             scheduler: SchedulerMode::default(),
             conv_datapath: ConvDatapath::default(),
+            macro_ticks: dfe_platform::macro_ticks_default(),
         }
     }
 }
@@ -90,7 +96,11 @@ impl Builder {
     fn new(devices: usize, opts: &CompileOptions, act_bits: u32) -> Self {
         Self {
             graphs: (0..devices)
-                .map(|_| Graph::with_scheduler(opts.scheduler))
+                .map(|_| {
+                    let mut g = Graph::with_scheduler(opts.scheduler);
+                    g.set_macro_ticks(opts.macro_ticks);
+                    g
+                })
                 .collect(),
             fifo_capacity: opts.fifo_capacity,
             ring_capacity: opts.ring_capacity,

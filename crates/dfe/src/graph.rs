@@ -5,8 +5,8 @@
 //! [`CycleReport`]s — which `tests/scheduler_equivalence.rs` asserts over
 //! randomized networks.
 
-use crate::kernel::{Io, Kernel, Progress, WakeHint};
-use crate::sched::SchedulerMode;
+use crate::kernel::{Io, Kernel, Progress, SpanIo, SpanPlan, WakeHint, MAX_SPAN_PORTS};
+use crate::sched::{macro_ticks_default, SchedulerMode};
 use crate::stream::{StreamSpec, StreamState};
 use crate::trace::Trace;
 use std::fmt;
@@ -143,7 +143,65 @@ pub struct Graph {
     /// re-check completion (an `is_done` call per sink, one of which takes
     /// a mutex) only when this is set.
     sink_progress: bool,
+    /// Macro-tick span dispatch (see [`Graph::try_burst`]): when the graph
+    /// steps itself under the ready-list scheduler, whole uniform spans of
+    /// cycles are replayed in one dispatch per kernel. Bit-identical to
+    /// per-element stepping by construction; defaults from
+    /// `QNN_MACRO_TICKS`.
+    macro_ticks: bool,
+    /// Number of spans dispatched by [`Graph::try_burst`] — diagnostics
+    /// only, deliberately not part of [`CycleReport`] (which must stay
+    /// bit-identical across dispatch modes).
+    bursts: u64,
+    /// Total cycles covered by those spans (sum of every burst's `k`) —
+    /// with [`Graph::bursts`], the coverage view: `burst_cycles / cycles`
+    /// is the fraction of the run that skipped per-element stepping.
+    burst_cycles: u64,
+    /// Per-element cycles left before the next burst attempt. A failed
+    /// attempt costs a full planning scan, and the graph states that fail
+    /// (a kernel mid-row-transition, a trickle-fed consumer about to run
+    /// dry) persist for stretches — so retrying every cycle roughly
+    /// doubles the cost of uncovered regions. Failures back off
+    /// exponentially ([`Graph::BURST_BACKOFF_CAP`]); any success resets.
+    /// Purely a cost knob: skipping an attempt never changes semantics,
+    /// bursts being optional replays of dense cycles.
+    burst_cooldown: u64,
+    /// Cooldown the *next* failure will impose (doubles up to the cap).
+    burst_backoff: u64,
+    /// Scratch for [`Graph::try_burst`]: the burst participants as
+    /// `(node, plan, offset, demoted)` — awake kernels at offset 0, plus
+    /// demoted awake kernels (`demoted = Some(blocked verdict)`) and
+    /// recruited parked kernels, both at the offset dense stepping would
+    /// first tick them `Busy` (`u64::MAX` until the relaxation pass
+    /// resolves it).
+    burst_plans: Vec<(usize, SpanPlan, u64, Option<Progress>)>,
+    /// Scratch for [`Graph::try_burst`] phase 1: demoted awake kernels as
+    /// `(node, plan, blocked verdict)`, buffered so `burst_plans` keeps its
+    /// offset-0 prefix until the scan completes. Always empty between
+    /// attempts.
+    burst_demoted: Vec<(usize, SpanPlan, Progress)>,
+    /// Scratch: `Idle`-blocked participants whose first masked-input
+    /// arrival `f` lands before they run — dense flips them to a
+    /// port-inert `Stalled` park at `f` (see the admission pass).
+    burst_ripen: Vec<(usize, u64)>,
+    /// Scratch: streams touched by the planned burst, as
+    /// `(stream, start_len, pushes, pops)` — queue length at burst start and
+    /// the element counts the dispatched span will move (for closed-form
+    /// occupancy crediting).
+    burst_streams: Vec<(usize, usize, u64, u64)>,
+    /// Scratch, indexed by stream: burst read/write involvement flags
+    /// (`BURST_W` / `BURST_R`). Always all-zero between burst attempts.
+    stream_flags: Vec<u8>,
+    /// Scratch, indexed by node: index into `burst_plans`, `u32::MAX` when
+    /// the node is not a participant. Always all-`MAX` between attempts.
+    part_of: Vec<u32>,
 }
+
+/// `stream_flags` bit: the stream is written (one element per cycle) during
+/// the planned burst.
+const BURST_W: u8 = 1;
+/// `stream_flags` bit: the stream is read during the planned burst.
+const BURST_R: u8 = 2;
 
 impl Default for Graph {
     /// Empty graph using the process-default [`SchedulerMode`] (the
@@ -154,6 +212,20 @@ impl Default for Graph {
 }
 
 impl Graph {
+    /// Longest stretch of per-element cycles a failed burst attempt can
+    /// suppress retries for (see [`Graph::run_inner`]'s backoff). Low
+    /// enough that a regime change re-engages spans within a typical row
+    /// transition, high enough that a trickle equilibrium pays one
+    /// planning scan per cap instead of one per cycle.
+    const BURST_BACKOFF_CAP: u64 = 64;
+
+    /// Smallest span worth dispatching as a burst. Planning a wavefront
+    /// costs a couple of microseconds; below this many cycles the same
+    /// work is cheaper stepped densely, so the attempt is treated as a
+    /// failure (and backs off) instead. Correctness is unaffected — a
+    /// rejected burst just falls back to per-element stepping.
+    const MIN_BURST: u64 = 8;
+
     /// Empty graph with the process-default scheduler.
     pub fn new() -> Self {
         Self::default()
@@ -172,7 +244,42 @@ impl Graph {
             dirty: Vec::new(),
             now: 0,
             sink_progress: false,
+            macro_ticks: macro_ticks_default(),
+            bursts: 0,
+            burst_cycles: 0,
+            burst_cooldown: 0,
+            burst_backoff: 1,
+            burst_plans: Vec::new(),
+            burst_demoted: Vec::new(),
+            burst_ripen: Vec::new(),
+            burst_streams: Vec::new(),
+            stream_flags: Vec::new(),
+            part_of: Vec::new(),
         }
+    }
+
+    /// Whether macro-tick span dispatch is enabled (only effective under
+    /// [`SchedulerMode::ReadyList`] in self-stepped runs).
+    pub fn macro_ticks(&self) -> bool {
+        self.macro_ticks
+    }
+
+    /// Enable or disable macro-tick span dispatch. Safe at any point,
+    /// including mid-run: bursts leave no cross-cycle state behind (no
+    /// staged writes, identical park bookkeeping), so the next cycle steps
+    /// per-element or in spans indistinguishably.
+    pub fn set_macro_ticks(&mut self, on: bool) {
+        self.macro_ticks = on;
+    }
+
+    /// Spans dispatched so far (diagnostics; not part of [`CycleReport`]).
+    pub fn bursts(&self) -> u64 {
+        self.bursts
+    }
+
+    /// Total cycles covered by dispatched spans (diagnostics only).
+    pub fn burst_cycles(&self) -> u64 {
+        self.burst_cycles
     }
 
     /// The active scheduler mode.
@@ -202,7 +309,13 @@ impl Graph {
         self.streams.push(StreamState::new(spec));
         self.writers.push(None);
         self.readers.push(None);
+        self.stream_flags.push(0);
         StreamId(self.streams.len() - 1)
+    }
+
+    /// Committed queue length of a stream (conservation-ledger tests).
+    pub fn stream_len(&self, id: StreamId) -> usize {
+        self.streams[id.0].queue.len()
     }
 
     /// Register a kernel with its input and output streams (port order is
@@ -243,6 +356,7 @@ impl Graph {
             stalled: 0,
         });
         self.parked.push(None);
+        self.part_of.push(u32::MAX);
         if id % 64 == 0 {
             self.awake.push(0);
         }
@@ -353,10 +467,40 @@ impl Graph {
         // `Busy` — the sole event that can flip it (see [`Kernel::is_done`]).
         // Checking it every cycle would cost an O(kernels) scan plus a sink
         // mutex lock per simulated cycle, which dominates shallow cycles.
+        // Macro-tick span dispatch is a self-stepped ready-list refinement;
+        // traced runs sample per-cycle state and so step per-element.
+        let burst_ok = self.macro_ticks
+            && self.scheduler == SchedulerMode::ReadyList
+            && trace.is_none();
         if !self.complete() {
             loop {
                 if cycle >= max_cycles {
                     return Err(RunError::Timeout { max_cycles });
+                }
+                if burst_ok {
+                    if self.burst_cooldown == 0 {
+                        match self.try_burst(max_cycles - cycle) {
+                            Ok(k) => {
+                                cycle += k;
+                                self.burst_backoff = 1;
+                                if self.sink_progress && self.complete() {
+                                    break;
+                                }
+                                continue;
+                            }
+                            // A phase-bounded veto names the exact dense
+                            // stretch to step through; retry right after it
+                            // without escalating the blind backoff.
+                            Err(hint) if hint > 0 => self.burst_cooldown = hint,
+                            Err(_) => {
+                                self.burst_cooldown = self.burst_backoff;
+                                self.burst_backoff =
+                                    (self.burst_backoff * 2).min(Self::BURST_BACKOFF_CAP);
+                            }
+                        }
+                    } else {
+                        self.burst_cooldown -= 1;
+                    }
                 }
                 let (any_progress, committed) = self.step_cycle();
                 if !any_progress && !committed {
@@ -570,6 +714,601 @@ impl Graph {
         (any_progress, committed)
     }
 
+    /// Macro-tick span dispatch: attempt to replay a whole span of `k ≥ 2`
+    /// cycles in one dispatch per participating kernel, advancing the clock
+    /// by `k`. Returns the cycles advanced, or `None` when this cycle must
+    /// be stepped per-element.
+    ///
+    /// A burst replays exactly the cycles the per-element ready-list
+    /// stepper would execute, credited arithmetically. Its participants
+    /// form a **wavefront**: each takes part from a per-kernel *offset*
+    /// `o` — the first burst cycle dense stepping would tick it `Busy` —
+    /// and runs the remaining `k − o` cycles uniformly.
+    ///
+    /// * Every **awake** kernel must offer a [`SpanPlan`] — a contract that
+    ///   each of its next ticks reads/writes exactly one element on fixed
+    ///   port sets and reports `Busy` whenever those ports are serviceable
+    ///   (and is a port-inert fixed point when they are not, per
+    ///   [`WakeHint::Parkable`]). One non-promising awake kernel (a
+    ///   [`StallInjector`](crate::StallInjector), a shifting delay line, a
+    ///   custom kernel) vetoes the burst; that is the per-element fallback.
+    ///   Awake kernels participate at offset 0.
+    /// * An awake kernel that is **currently blocked** — its plan declares
+    ///   a dry read port ([`SpanPlan::blocked`]), or a masked output is
+    ///   full with no earlier-ordered participant popping it this cycle
+    ///   and the plan is halting ([`SpanPlan::halt`]) — is *demoted*
+    ///   rather than vetoing: dense would tick it once (non-`Busy` and
+    ///   port-inert), park it, and wake it like any recruit, so the burst
+    ///   models exactly that — one blocked tick at the first cycle, a park
+    ///   at `now`, and an offset solved by the relaxation pass. This is
+    ///   what lets a wavefront advance past stragglers: an adder waiting
+    ///   on a convolution mid-absorb, a writer into a full FIFO.
+    /// * **Parked** kernels that a burst stream event would wake are
+    ///   *recruited* instead of vetoing: a read stream's parked-`Stalled`
+    ///   writer (dense wakes it at the first pop) and a written stream's
+    ///   parked reader (woken at the first commit). A recruit's offset is
+    ///   solved from per-port readiness — an empty input becomes
+    ///   serviceable one cycle after its in-burst writer's first push
+    ///   (`a + 1`, the registered-output latency), a full output when its
+    ///   in-burst reader's pops free a slot (`b + 1`, or `b` when the
+    ///   reader runs earlier in node order, freeing the slot within the
+    ///   writer's own tick cycle). Offsets relax to a fixpoint; they only
+    ///   decrease, so the loop terminates. The skipped cycles
+    ///   `[since .. now + o)` settle with exactly the lazy credit
+    ///   [`Graph::step_cycle_ready`]'s wakes apply — all three wake paths
+    ///   reduce to `stalled += now + o − 1 − since` for a `Stalled` park,
+    ///   nothing for `Idle`. Any intermediate wake/re-park oscillation
+    ///   dense would perform is counter-invisible by the `Parkable`
+    ///   fixed-point contract, so a recruit whose offset lands at or
+    ///   beyond `k` simply stays parked, as does one whose plan has no
+    ///   cycles to offer. A read stream's parked-**Idle** writer is *not*
+    ///   recruited: `Idle` is input-driven (a kernel needing output space
+    ///   reports `Stalled`, see [`Progress`]), so pops cannot un-idle it —
+    ///   though the same kernel may still be recruited through another of
+    ///   its streams.
+    /// * **Feasibility** then caps `k` so every promised tick would have
+    ///   succeeded under dense interleaving. For one stream with start
+    ///   length `L`, capacity `C`, writer pushing from offset `a` and
+    ///   reader popping from offset `b` (`∞` when inactive): pops need a
+    ///   committed element — first missing at `b + L` when no same-burst
+    ///   push lands in time (`a = ∞` or `b + L ≤ a`), at `a` when the
+    ///   buffered lead runs out (`b < a` with `L ≤ a − b`), at `b` for the
+    ///   rate-matched `a = b` case starting empty. Pushes need headroom at
+    ///   the writer's tick — first full at `a + (C − L)` with no in-burst
+    ///   pops, at `a` for the rate-matched case starting full (unless the
+    ///   reader runs earlier in node order and frees the slot first), and
+    ///   for a late reader (`b > a`) the queue plateaus at
+    ///   `L + (b − a)` (one less for an earlier-ordered reader), capping
+    ///   at `min(b, a + (C − L))` if that plateau would overflow. Finally,
+    ///   the burst replays each participant's whole span in node order, so
+    ///   a reader *earlier in node order* than its writer can only consume
+    ///   the buffered lead: `k ≤ b + L`. A *suppressed opportunistic read*
+    ///   ([`SpanPlan::opt_reads`] — a dry port the kernel promises not to
+    ///   read while it stays dry) caps the span before the port refills:
+    ///   `k ≤ a + 1`. Every cap shortens the burst below
+    ///   what dense could overlap — which costs speed, never equivalence.
+    ///
+    /// Under those caps the dense outcome is exactly: participant `i`
+    /// gains `busy += k − o_i` (plus its lazy stall settlement), each
+    /// burst stream moves `k − a` pushes and `k − b` pops with its
+    /// occupancy peak in closed form ([`StreamState::note_span`]), no
+    /// other counter moves, and the clock advances `k`. That arithmetic is
+    /// what this method applies; the differential battery
+    /// (`tests/macro_tick_equivalence.rs`) holds it to bit-identity.
+    fn try_burst(&mut self, budget: u64) -> Result<u64, u64> {
+        if budget < 2 {
+            return Err(0);
+        }
+        let t_now = self.now;
+        let Self {
+            nodes,
+            streams,
+            writers,
+            readers,
+            parked,
+            awake,
+            burst_plans,
+            burst_demoted,
+            burst_ripen,
+            burst_streams,
+            stream_flags,
+            part_of,
+            ..
+        } = self;
+        let n = nodes.len();
+        let mut k = budget;
+        burst_plans.clear();
+        burst_demoted.clear();
+        burst_ripen.clear();
+        burst_streams.clear();
+
+        // On failure, the cycles until the vetoing kernel's current phase
+        // ends — the earliest instant the graph can look different — or 0
+        // when no such bound is known (caller falls back to exponential
+        // backoff).
+        let mut retry = 0u64;
+        let planned = 'plan: {
+            // Phase 1: every awake kernel must promise a span. A kernel
+            // that is *currently blocked* — by its own declaration
+            // ([`SpanPlan::blocked`], a dry read port) or by a full output
+            // no earlier-ordered participant's same-cycle pop will clear
+            // ([`SpanPlan::halt`]; only the planner can judge this, it
+            // depends on node order) — does not veto: dense would tick it
+            // once (non-`Busy`, port-inert by the `Parkable` contract) and
+            // park it, so it is *demoted* to a recruit-like participant
+            // whose offset the relaxation pass solves. Demoted entries are
+            // buffered until the scan ends so `burst_plans[..awake_cnt]`
+            // stays exactly the offset-0 set — which is also what the
+            // write-block check scans for same-cycle pops.
+            let mut i = 0usize;
+            while i < n {
+                let rest = awake[i / 64] >> (i % 64);
+                if rest == 0 {
+                    i = (i / 64 + 1) * 64;
+                    continue;
+                }
+                i += rest.trailing_zeros() as usize;
+                if i >= n {
+                    break;
+                }
+                let lens = input_lens(streams, &nodes[i]);
+                let plan = nodes[i].kernel.span_hint(&lens[..nodes[i].inputs.len()]);
+                match plan {
+                    Some(plan) if plan.cycles >= 1 => {
+                        if let Some(v) = plan.blocked {
+                            burst_demoted.push((i, plan, v));
+                        } else {
+                            let write_blocked = nodes[i].outputs.iter().enumerate().any(
+                                |(p, &s)| {
+                                    plan.writes & (1 << p) != 0
+                                        && streams[s].queue.len() == streams[s].spec.capacity
+                                        && !pops_at_start(s, i, readers, part_of, burst_plans, nodes)
+                                },
+                            );
+                            if write_blocked {
+                                if plan.halt {
+                                    burst_demoted.push((i, plan, Progress::Stalled));
+                                } else {
+                                    break 'plan false;
+                                }
+                            } else if plan.cycles >= Self::MIN_BURST {
+                                k = k.min(plan.cycles);
+                                part_of[i] = burst_plans.len() as u32;
+                                burst_plans.push((i, plan, 0, None));
+                            } else {
+                                // Too short to be worth a burst — but the
+                                // phase boundary is exact: after this many
+                                // dense cycles the kernel promises afresh.
+                                retry = plan.cycles;
+                                break 'plan false;
+                            }
+                        }
+                    }
+                    _ => {
+                        break 'plan false;
+                    }
+                }
+                i += 1;
+            }
+            let awake_cnt = burst_plans.len();
+            if awake_cnt == 0 {
+                // All-demoted (or no awake kernels at all): nothing runs at
+                // offset 0, so a burst would only advance the clock. Fall
+                // back to per-element stepping, which also keeps deadlock
+                // detection live.
+                break 'plan false;
+            }
+            for (i, plan, v) in burst_demoted.drain(..) {
+                part_of[i] = burst_plans.len() as u32;
+                burst_plans.push((i, plan, u64::MAX, Some(v)));
+            }
+            // Phase 2: flag burst streams, recruit parked neighbours the
+            // burst's stream events would wake, and relax recruit offsets
+            // to a fixpoint.
+            let mut cursor = 0usize;
+            loop {
+                while cursor < burst_plans.len() {
+                    let (i, plan, ..) = burst_plans[cursor];
+                    let node = &nodes[i];
+                    debug_assert!(
+                        node.inputs.len() <= MAX_SPAN_PORTS
+                            && node.outputs.len() <= MAX_SPAN_PORTS,
+                        "span-capable kernel '{}' has too many ports",
+                        node.kernel.name()
+                    );
+                    for (p, &s) in node.inputs.iter().enumerate() {
+                        if plan.reads & (1 << p) != 0 {
+                            if stream_flags[s] == 0 {
+                                burst_streams.push((s, streams[s].queue.len(), 0, 0));
+                            }
+                            stream_flags[s] |= BURST_R;
+                        }
+                    }
+                    for (p, &s) in node.outputs.iter().enumerate() {
+                        if plan.writes & (1 << p) != 0 {
+                            if stream_flags[s] == 0 {
+                                burst_streams.push((s, streams[s].queue.len(), 0, 0));
+                            }
+                            stream_flags[s] |= BURST_W;
+                        }
+                    }
+                    cursor += 1;
+                }
+                let before = burst_plans.len();
+                for &(s, ..) in burst_streams.iter() {
+                    let flags = stream_flags[s];
+                    if flags & BURST_R != 0 {
+                        let w = writers[s].expect("validated");
+                        if part_of[w] == u32::MAX {
+                            if let Some((Progress::Stalled, _)) = parked[w] {
+                                let lens = input_lens(streams, &nodes[w]);
+                                match nodes[w].kernel.span_hint(&lens[..nodes[w].inputs.len()]) {
+                                    None | Some(SpanPlan { cycles: 0, .. }) => {
+                                        break 'plan false;
+                                    }
+                                    Some(plan) => {
+                                        part_of[w] = burst_plans.len() as u32;
+                                        burst_plans.push((w, plan, u64::MAX, None));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if flags & BURST_W != 0 {
+                        let r = readers[s].expect("validated");
+                        if part_of[r] == u32::MAX && parked[r].is_some() {
+                            let lens = input_lens(streams, &nodes[r]);
+                            match nodes[r].kernel.span_hint(&lens[..nodes[r].inputs.len()]) {
+                                None | Some(SpanPlan { cycles: 0, .. }) => {
+                                    break 'plan false;
+                                }
+                                Some(plan) => {
+                                    part_of[r] = burst_plans.len() as u32;
+                                    burst_plans.push((r, plan, u64::MAX, None));
+                                }
+                            }
+                        }
+                    }
+                }
+                if burst_plans.len() > before || cursor < burst_plans.len() {
+                    continue;
+                }
+                let mut changed = false;
+                for pi in awake_cnt..burst_plans.len() {
+                    let (i, plan, old, _) = burst_plans[pi];
+                    let mut o = 0u64;
+                    for (p, &s) in nodes[i].inputs.iter().enumerate() {
+                        if plan.reads & (1 << p) == 0 {
+                            continue;
+                        }
+                        let ready = if !streams[s].queue.is_empty() {
+                            0
+                        } else {
+                            let w = writers[s].expect("validated");
+                            push_offset(s, w, part_of, burst_plans, nodes).saturating_add(1)
+                        };
+                        o = o.max(ready);
+                    }
+                    for (p, &s) in nodes[i].outputs.iter().enumerate() {
+                        if plan.writes & (1 << p) == 0 {
+                            continue;
+                        }
+                        let st = &streams[s];
+                        let ready = if st.queue.len() < st.spec.capacity {
+                            0
+                        } else {
+                            let r = readers[s].expect("validated");
+                            let b = pop_offset(s, r, part_of, burst_plans, nodes);
+                            if r < i {
+                                b
+                            } else {
+                                b.saturating_add(1)
+                            }
+                        };
+                        o = o.max(ready);
+                    }
+                    if o < old {
+                        burst_plans[pi].2 = o;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            // Phase 3: cap `k` so every promised tick would have succeeded.
+            for &(_, plan, o, _) in burst_plans.iter() {
+                k = k.min(o.saturating_add(plan.cycles));
+            }
+            for &(s, len, _, _) in burst_streams.iter() {
+                let st = &streams[s];
+                debug_assert!(st.staged.is_empty(), "staged writes between cycles");
+                let l = len as u64;
+                let cap = st.spec.capacity as u64;
+                let w = writers[s].expect("validated");
+                let r = readers[s].expect("validated");
+                let a = push_offset(s, w, part_of, burst_plans, nodes);
+                let b = pop_offset(s, r, part_of, burst_plans, nodes);
+                // Pops at [b, k) must find a committed element.
+                if b != u64::MAX {
+                    if a == u64::MAX {
+                        k = k.min(b.saturating_add(l));
+                    } else if a > b {
+                        if l > a - b {
+                            // The buffered lead outlasts the push delay.
+                        } else if b.saturating_add(l) <= a {
+                            k = k.min(b.saturating_add(l));
+                        } else {
+                            k = k.min(a);
+                        }
+                    } else if a == b && l == 0 {
+                        k = k.min(b);
+                    }
+                }
+                // Pushes at [a, k) must find headroom at the writer's tick
+                // (a pop by an earlier-ordered reader lands first).
+                if a != u64::MAX {
+                    let rb = b != u64::MAX && r < w;
+                    if b == u64::MAX {
+                        k = k.min(a.saturating_add(cap - l));
+                    } else if b > a {
+                        let plateau = l + (b - a) - rb as u64;
+                        if plateau > cap - 1 {
+                            k = k.min(b.min(a.saturating_add(cap - l)));
+                        }
+                    } else if b == a && !rb && l == cap {
+                        k = k.min(a);
+                    }
+                }
+                // The burst replays whole spans in node order, so a reader
+                // earlier than its writer sees none of this burst's pushes.
+                if a != u64::MAX && b != u64::MAX && r < w {
+                    k = k.min(b.saturating_add(l));
+                }
+            }
+            // A suppressed opportunistic read ([`SpanPlan::opt_reads`]) is
+            // a promise that the port *stays* empty: an in-burst push at
+            // writer offset `a` commits end-of-cycle `a` and turns readable
+            // at `a + 1`, where dense stepping would resume the read, so
+            // the span must end first (`k ≤ a + 1`). With no in-burst
+            // writer the port cannot refill and the promise holds for any
+            // `k`. A recruit holding such a promise needs no extra care:
+            // its premise must hold from its offset `o`, and this cap
+            // forces `o ≥ a + 1 ≥ k` whenever data would land first, which
+            // keeps it from running at all.
+            for &(i, plan, ..) in burst_plans.iter() {
+                if plan.opt_reads == 0 {
+                    continue;
+                }
+                for (p, &s) in nodes[i].inputs.iter().enumerate() {
+                    if plan.opt_reads & (1 << p) == 0 {
+                        continue;
+                    }
+                    debug_assert!(
+                        streams[s].queue.is_empty(),
+                        "opt_reads promised on non-empty stream '{}'",
+                        streams[s].spec.name
+                    );
+                    let a =
+                        push_offset(s, writers[s].expect("validated"), part_of, burst_plans, nodes);
+                    if a != u64::MAX {
+                        k = k.min(a + 1);
+                    }
+                }
+            }
+            if k < Self::MIN_BURST {
+                // Stream-capped: the binding queue state clears (or the
+                // verdict changes) only after the capped span elapses.
+                retry = k.max(1);
+                break 'plan false;
+            }
+            // Admission: inside the span, dense wakes a parked (or
+            // demoted — its modelled park starts at the burst's first
+            // cycle) kernel at every event on its streams and re-ticks it.
+            // Those replayed ticks are accounted for only if they are
+            // *verdict-stable* (each re-tick re-reports the parked verdict,
+            // so the lazy credit telescopes) — true for a `Stalled` park
+            // whose masked inputs all hold data (inputs only grow and the
+            // offset-driving output stays blocked until `o`, so every
+            // pre-offset tick re-stalls), or whose plan declares
+            // [`SpanPlan::blocked`]`(Stalled)` (port-inert `Stalled` until
+            // every masked port is serviceable, i.e. until the offset, by
+            // that declaration's contract) — or if no event ticks it
+            // strictly before its offset at all (the first tick is the
+            // `Busy` one). One more trajectory is closed-form: a
+            // participant declaring [`SpanPlan::blocked`]`(Idle)` (all
+            // masked inputs dry; by that contract the tick flips to a
+            // port-inert `Stalled` fixed point once *any* masked input
+            // holds data, until every masked port is serviceable). Its
+            // dense trajectory is `Idle` until the first masked-input
+            // arrival `f`, `Stalled` on `[f, o)`, then `Busy` — one
+            // explicit stall at `f` plus a lazy span whose credits
+            // telescope, recorded in `burst_ripen` for the dispatch loop.
+            // Anything else (an `Idle` park with no declared contract)
+            // vetoes the burst.
+            for pi in awake_cnt..burst_plans.len() {
+                let (i, plan, o, demoted) = burst_plans[pi];
+                let verdict = match demoted {
+                    Some(v) => v,
+                    None => parked[i].expect("recruits are parked").0,
+                };
+                let stable = verdict == Progress::Stalled
+                    && (plan.blocked == Some(Progress::Stalled)
+                        || nodes[i].inputs.iter().enumerate().all(|(p, &s)| {
+                            plan.reads & (1 << p) == 0 || !streams[s].queue.is_empty()
+                        }));
+                if stable {
+                    continue;
+                }
+                if verdict == Progress::Idle && plan.blocked == Some(Progress::Idle) {
+                    let mut f = u64::MAX;
+                    for (p, &s) in nodes[i].inputs.iter().enumerate() {
+                        if plan.reads & (1 << p) == 0 {
+                            continue;
+                        }
+                        debug_assert!(
+                            streams[s].queue.is_empty(),
+                            "blocked(Idle) declared with data on '{}'",
+                            streams[s].spec.name
+                        );
+                        let a = push_offset(
+                            s,
+                            writers[s].expect("validated"),
+                            part_of,
+                            burst_plans,
+                            nodes,
+                        );
+                        f = f.min(a.saturating_add(1));
+                    }
+                    if f < o.min(k) {
+                        burst_ripen.push((i, f));
+                    }
+                    continue;
+                }
+                let mut first_tick = u64::MAX;
+                for &s in nodes[i].inputs.iter() {
+                    let a =
+                        push_offset(s, writers[s].expect("validated"), part_of, burst_plans, nodes);
+                    first_tick = first_tick.min(a.saturating_add(1));
+                }
+                for &s in nodes[i].outputs.iter() {
+                    let r = readers[s].expect("validated");
+                    let b = pop_offset(s, r, part_of, burst_plans, nodes);
+                    first_tick = first_tick.min(if i > r { b } else { b.saturating_add(1) });
+                }
+                if first_tick < o.min(k) {
+                    break 'plan false;
+                }
+            }
+            // A recruit or demoted kernel that never runs (`o ≥ k`) must
+            // still end the burst
+            // in the park state dense would leave it in: awake when a
+            // last-cycle event wakes it for the cycle after the burst — a
+            // commit from a writer pushing through `k − 1`, or a pop by a
+            // later-ordered reader (an *earlier*-ordered reader's pop wakes
+            // it within cycle `k − 1`, where it re-parks). Encode the
+            // decision in the offset: `k` wakes at burst end, `MAX` stays
+            // parked.
+            for pi in awake_cnt..burst_plans.len() {
+                let (i, _, o, _) = burst_plans[pi];
+                if o < k {
+                    continue;
+                }
+                let end_awake = nodes[i].inputs.iter().any(|&s| {
+                    push_offset(s, writers[s].expect("validated"), part_of, burst_plans, nodes) < k
+                }) || nodes[i].outputs.iter().any(|&s| {
+                    let r = readers[s].expect("validated");
+                    i < r && pop_offset(s, r, part_of, burst_plans, nodes) < k
+                });
+                burst_plans[pi].2 = if end_awake { k } else { u64::MAX };
+            }
+            // Record each stream's span traffic against the final `k`.
+            for bs in burst_streams.iter_mut() {
+                let s = bs.0;
+                let a = push_offset(s, writers[s].expect("validated"), part_of, burst_plans, nodes);
+                let b = pop_offset(s, readers[s].expect("validated"), part_of, burst_plans, nodes);
+                bs.2 = k.saturating_sub(a);
+                bs.3 = k.saturating_sub(b);
+            }
+            true
+        };
+        if !planned {
+            for &(s, ..) in burst_streams.iter() {
+                stream_flags[s] = 0;
+            }
+            for &(i, ..) in burst_plans.iter() {
+                part_of[i] = u32::MAX;
+            }
+            return Err(retry);
+        }
+        // Phase 4: dispatch participants in node order from their offsets.
+        burst_plans.sort_unstable_by_key(|&(i, ..)| i);
+        let mut sink_progress = false;
+        for &(i, plan, o, demoted) in burst_plans.iter() {
+            part_of[i] = u32::MAX;
+            if let Some(v) = demoted {
+                // Replay dense's first burst cycle for a demoted kernel:
+                // one blocked, port-inert tick (counted here) and a park at
+                // `t_now`. The shared paths below then treat it exactly
+                // like a recruit — wake at its offset with the lazy credit
+                // settled, run any busy span, or stay parked.
+                if v == Progress::Stalled {
+                    nodes[i].stalled += 1;
+                }
+                awake[i / 64] &= !(1 << (i % 64));
+                parked[i] = Some((v, t_now));
+            }
+            if let Some(&(_, f)) = burst_ripen.iter().find(|&&(j, _)| j == i) {
+                // An `Idle` park ripens: the first in-burst arrival on a
+                // masked input flips the fixed point to `Stalled` — dense
+                // ticks it `Stalled` once at `f` and re-parks there; later
+                // re-wakes telescope into the lazy credit settled below
+                // (at the run offset, or at burst end via `o == k`).
+                nodes[i].stalled += 1;
+                parked[i] = Some((Progress::Stalled, t_now + f));
+            }
+            if o >= k {
+                if o == k {
+                    // Dense's last-cycle event leaves this recruit awake
+                    // entering the next cycle without ever running it;
+                    // settle its lazy credit at the wake instant.
+                    if let Some((verdict, since)) = parked[i].take() {
+                        awake[i / 64] |= 1 << (i % 64);
+                        if verdict == Progress::Stalled {
+                            nodes[i].stalled += t_now + k - 1 - since;
+                        }
+                    }
+                }
+                // Otherwise dense would only wake-and-repark it inside the
+                // span; staying parked is counter-invisible (lazy credit).
+                continue;
+            }
+            let span = k - o;
+            if let Some((verdict, since)) = parked[i].take() {
+                awake[i / 64] |= 1 << (i % 64);
+                if verdict == Progress::Stalled {
+                    nodes[i].stalled += t_now + o - 1 - since;
+                }
+            }
+            let node = &mut nodes[i];
+            let mut sio = SpanIo::new(streams, &node.inputs, &node.outputs, plan.opt_reads);
+            node.kernel.run_span(&mut sio, span);
+            if cfg!(debug_assertions) {
+                let (reads, writes) = sio.counts();
+                for (p, &got) in reads.iter().enumerate().take(node.inputs.len()) {
+                    let want = if plan.reads & (1 << p) != 0 { span } else { 0 };
+                    assert_eq!(
+                        got,
+                        want,
+                        "kernel '{}' popped {got} from port {p}, promised {want} (SpanPlan contract)",
+                        node.kernel.name()
+                    );
+                }
+                for (p, &got) in writes.iter().enumerate().take(node.outputs.len()) {
+                    let want = if plan.writes & (1 << p) != 0 { span } else { 0 };
+                    assert_eq!(
+                        got,
+                        want,
+                        "kernel '{}' pushed {got} to port {p}, promised {want} (SpanPlan contract)",
+                        node.kernel.name()
+                    );
+                }
+            }
+            node.busy += span;
+            sink_progress |= node.outputs.is_empty();
+        }
+        // Phase 5: credit occupancy peaks and reset the flag scratch.
+        for &(s, start_len, pushes, pops) in burst_streams.iter() {
+            streams[s].note_span(start_len, pushes, pops);
+            stream_flags[s] = 0;
+        }
+        self.now += k;
+        self.sink_progress = sink_progress;
+        self.bursts += 1;
+        self.burst_cycles += k;
+        Ok(k)
+    }
+
     /// Outstanding lazy stall credit for node `i`: cycles skipped while
     /// parked `Stalled` that no wake has settled yet (report-time view).
     fn pending_stall_credit(&self, i: usize) -> u64 {
@@ -634,6 +1373,100 @@ impl Graph {
             );
         }
         out
+    }
+}
+
+/// Committed input-queue lengths of `node`'s ports, for
+/// [`Kernel::span_hint`]'s availability argument. Fixed-size so the planner
+/// hot path never allocates; callers slice to `node.inputs.len()`.
+/// Does an already-admitted offset-0 participant earlier in node order than
+/// `w` pop stream `s` at the burst's first cycle? Pops are immediate, so
+/// such a pop frees a slot within `w`'s own tick cycle — the one case where
+/// a full output is *not* write-blocking. Only valid during the phase-1
+/// ascending scan, where `burst_plans` holds exactly the offset-0
+/// participants decided so far (all with node index < the node under
+/// decision).
+fn pops_at_start(
+    s: usize,
+    w: usize,
+    readers: &[Option<usize>],
+    part_of: &[u32],
+    burst_plans: &[(usize, SpanPlan, u64, Option<Progress>)],
+    nodes: &[Node],
+) -> bool {
+    let Some(r) = readers[s] else { return false };
+    if r >= w || part_of[r] == u32::MAX {
+        return false;
+    }
+    let (_, plan, _, _) = burst_plans[part_of[r] as usize];
+    let port = nodes[r]
+        .inputs
+        .iter()
+        .position(|&x| x == s)
+        .expect("stream's reader lacks a port for it");
+    plan.reads & (1 << port) != 0
+}
+
+fn input_lens(streams: &[StreamState], node: &Node) -> [usize; MAX_SPAN_PORTS] {
+    let mut lens = [0; MAX_SPAN_PORTS];
+    for (p, &s) in node.inputs.iter().enumerate() {
+        lens[p] = streams[s].queue.len();
+    }
+    lens
+}
+
+/// First burst cycle at which node `w` pushes to stream `s`: the offset of
+/// `w`'s burst participation, or `u64::MAX` when `w` is not a participant
+/// or its [`SpanPlan`] does not write `s`. Helper for [`Graph::try_burst`].
+fn push_offset(
+    s: usize,
+    w: usize,
+    part_of: &[u32],
+    burst_plans: &[(usize, SpanPlan, u64, Option<Progress>)],
+    nodes: &[Node],
+) -> u64 {
+    match part_of[w] {
+        u32::MAX => u64::MAX,
+        wp => {
+            let (_, plan, o, _) = burst_plans[wp as usize];
+            let port = nodes[w]
+                .outputs
+                .iter()
+                .position(|&x| x == s)
+                .expect("stream's writer lacks a port for it");
+            if plan.writes & (1 << port) != 0 {
+                o
+            } else {
+                u64::MAX
+            }
+        }
+    }
+}
+
+/// First burst cycle at which node `r` pops from stream `s` (see
+/// [`push_offset`]).
+fn pop_offset(
+    s: usize,
+    r: usize,
+    part_of: &[u32],
+    burst_plans: &[(usize, SpanPlan, u64, Option<Progress>)],
+    nodes: &[Node],
+) -> u64 {
+    match part_of[r] {
+        u32::MAX => u64::MAX,
+        rp => {
+            let (_, plan, o, _) = burst_plans[rp as usize];
+            let port = nodes[r]
+                .inputs
+                .iter()
+                .position(|&x| x == s)
+                .expect("stream's reader lacks a port for it");
+            if plan.reads & (1 << port) != 0 {
+                o
+            } else {
+                u64::MAX
+            }
+        }
     }
 }
 

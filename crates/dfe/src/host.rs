@@ -5,7 +5,7 @@
 //! PCIe link is far faster than 8 bits × 105 MHz, so the fabric clock is
 //! the binding constraint).
 
-use crate::kernel::{Io, Kernel, Progress, WakeHint};
+use crate::kernel::{Io, Kernel, Progress, SpanIo, SpanPlan, WakeHint};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -52,6 +52,22 @@ impl Kernel for HostSource {
     /// once exhausted (never wakes again). Both are port-inert fixed points.
     fn wake_hint(&self) -> WakeHint {
         WakeHint::Parkable
+    }
+
+    /// One element out per cycle until the buffer empties. Halting: a full
+    /// output freezes the tick at `Stalled`.
+    fn span_hint(&self, _in_len: &[usize]) -> Option<SpanPlan> {
+        if self.data.is_empty() {
+            None
+        } else {
+            Some(SpanPlan::new(self.data.len() as u64, 0, 1).halting())
+        }
+    }
+
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        for _ in 0..n {
+            io.push(0, self.data.pop_front().expect("span within buffer"));
+        }
     }
 }
 
@@ -153,6 +169,30 @@ impl Kernel for HostSink {
     /// only once complete.
     fn wake_hint(&self) -> WakeHint {
         WakeHint::Parkable
+    }
+
+    /// One element in per cycle until the expected count is reached — the
+    /// span promise stops exactly at completion, so `is_done` flips at the
+    /// same cycle as under per-element stepping.
+    fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        let remaining = self.expected - lock_state(&self.state).collected.len();
+        if remaining == 0 {
+            None
+        } else {
+            let plan = SpanPlan::new(remaining as u64, 1, 0);
+            Some(if in_len[0] == 0 {
+                plan.blocked(Progress::Stalled)
+            } else {
+                plan
+            })
+        }
+    }
+
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        let mut state = lock_state(&self.state);
+        for _ in 0..n {
+            state.collected.push(io.pop(0));
+        }
     }
 }
 

@@ -124,6 +124,237 @@ impl<'a> Io<'a> {
     }
 }
 
+/// Maximum port count (inputs or outputs) of a span-capable kernel; the
+/// per-port span counters are fixed-size arrays so a burst dispatch never
+/// allocates. Every in-tree kernel has ≤ 2 ports per direction.
+pub const MAX_SPAN_PORTS: usize = 8;
+
+/// A **uniform-span promise** (see [`Kernel::span_hint`]): for up to
+/// `cycles` consecutive cycles — provided every port in `reads` has an
+/// element available and every port in `writes` has space available on each
+/// of those cycles — every tick of this kernel would
+///
+/// * read exactly one element from each input port whose bit is set in
+///   `reads`, and no element from any other input port,
+/// * write exactly one element to each output port whose bit is set in
+///   `writes`, and none to any other output port,
+/// * return [`Progress::Busy`], and
+/// * leave the kernel after cycle `n ≤ cycles` in exactly the state `n`
+///   consecutive `tick` calls would have.
+///
+/// The macro-tick scheduler uses the promise to replay a whole span of
+/// cycles in one [`Kernel::run_span`] dispatch with the busy/stall counters
+/// and stream statistics credited arithmetically, which is what keeps
+/// [`CycleReport`](crate::CycleReport)s bit-identical to dense stepping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanPlan {
+    /// Maximum cycles the promise covers (`u64::MAX` ⇒ unbounded; the
+    /// scheduler caps it by stream feasibility). Must be ≥ 1.
+    pub cycles: u64,
+    /// Bitmask of input ports read once per cycle.
+    pub reads: u32,
+    /// Bitmask of output ports written once per cycle.
+    pub writes: u32,
+    /// Bitmask of **suppressed opportunistic reads**: input ports the
+    /// kernel *would* read once per cycle if data were present, promised
+    /// unread because the port's queue is empty at plan time (the
+    /// `in_len` argument of [`Kernel::span_hint`]). A kernel that keeps
+    /// making progress while such a port starves — a convolution emitting
+    /// precomputed filters, a pool draining pending outputs — uses this to
+    /// promise the dense starved-tick behaviour instead of a read it
+    /// cannot get. The promise is conditional on the port *staying* empty:
+    /// the scheduler caps the span so no element becomes readable there
+    /// (an in-burst push at writer offset `a` commits end-of-cycle `a`
+    /// and turns readable at `a + 1`, so `k ≤ a + 1`), and never treats
+    /// the port as a read for recruitment or feasibility.
+    pub opt_reads: u32,
+    /// Kernel-declared **current blockage**: `Some(v)` asserts that with
+    /// the availability shown in `in_len` the kernel's next tick performs
+    /// no port action and returns verdict `v` — typically because a
+    /// read-masked port is dry. The masks then describe the ticks once the
+    /// blockage clears. The scheduler *demotes* such a kernel from an
+    /// offset-0 participant to a recruit-like one: its modelled trajectory
+    /// is one dense tick of verdict `v` at the burst's first cycle, a park,
+    /// and (if its ports become serviceable in-burst) a busy span from the
+    /// solved offset.
+    ///
+    /// Contract for `Some(Stalled)`: ticks stay port-inert `Stalled` until
+    /// **every** masked port is serviceable, not merely the ports dry at
+    /// plan time (an all-or-nothing kernel satisfies this trivially; a
+    /// partially-opportunistic one may declare it only in states where the
+    /// opportunism is off, e.g. a convolution mid-absorb). `Some(Idle)`
+    /// carries no stability promise; the scheduler admits it only when no
+    /// stream event can re-tick the kernel before its offset.
+    pub blocked: Option<Progress>,
+    /// Asserts the plan's ports are **halting** on backpressure: whenever
+    /// every masked read port holds data but some masked write port is
+    /// full, the kernel's tick performs no port action and returns
+    /// `Stalled`. Lets the scheduler demote a backpressured kernel (the
+    /// write-full case of [`SpanPlan::blocked`], which only the scheduler
+    /// can judge — a same-cycle pop by an earlier-ordered reader unblocks
+    /// the writer within its own tick). False for plans that keep working
+    /// under backpressure, e.g. a convolution absorbing input while its
+    /// emit is blocked.
+    pub halt: bool,
+}
+
+impl SpanPlan {
+    /// Promise `cycles` uniform cycles reading the ports in `reads` and
+    /// writing the ports in `writes` (bitmasks, bit `p` = port `p`).
+    pub fn new(cycles: u64, reads: u32, writes: u32) -> Self {
+        Self {
+            cycles,
+            reads,
+            writes,
+            opt_reads: 0,
+            blocked: None,
+            halt: false,
+        }
+    }
+
+    /// Mark `mask` ports as suppressed opportunistic reads (see
+    /// [`SpanPlan::opt_reads`]). The mask must be disjoint from `reads`.
+    pub fn with_opt_reads(mut self, mask: u32) -> Self {
+        debug_assert_eq!(self.reads & mask, 0, "opt_reads overlaps reads");
+        self.opt_reads = mask;
+        self
+    }
+
+    /// Declare the kernel currently blocked with verdict `v` (see
+    /// [`SpanPlan::blocked`]).
+    pub fn blocked(mut self, v: Progress) -> Self {
+        debug_assert_ne!(v, Progress::Busy, "a blocked tick is non-Busy");
+        self.blocked = Some(v);
+        self
+    }
+
+    /// Declare the plan halting on backpressure (see [`SpanPlan::halt`]).
+    pub fn halting(mut self) -> Self {
+        self.halt = true;
+        self
+    }
+}
+
+/// Batched port access handed to [`Kernel::run_span`].
+///
+/// Unlike [`Io`], elements move directly through the FIFO queues: the
+/// scheduler has already proven (from the [`SpanPlan`]s of every awake
+/// kernel plus stream occupancies) that the dense per-cycle interleaving
+/// would succeed for the whole span, so the per-cycle staging buffer is
+/// bypassed and occupancy statistics are credited arithmetically by the
+/// scheduler afterwards. Per-port FIFO order is preserved exactly; the
+/// interleaving of `pop`/`push` calls across ports within one dispatch is
+/// unobservable.
+pub struct SpanIo<'a> {
+    streams: &'a mut [StreamState],
+    inputs: &'a [usize],
+    outputs: &'a [usize],
+    suppressed: u32,
+    reads_done: [u64; MAX_SPAN_PORTS],
+    writes_done: [u64; MAX_SPAN_PORTS],
+}
+
+impl<'a> SpanIo<'a> {
+    pub(crate) fn new(
+        streams: &'a mut [StreamState],
+        inputs: &'a [usize],
+        outputs: &'a [usize],
+        suppressed: u32,
+    ) -> Self {
+        assert!(
+            inputs.len() <= MAX_SPAN_PORTS && outputs.len() <= MAX_SPAN_PORTS,
+            "span dispatch supports at most {MAX_SPAN_PORTS} ports per direction"
+        );
+        Self {
+            streams,
+            inputs,
+            outputs,
+            suppressed,
+            reads_done: [0; MAX_SPAN_PORTS],
+            writes_done: [0; MAX_SPAN_PORTS],
+        }
+    }
+
+    /// Whether the dispatched [`SpanPlan`] suppressed input port `p` as an
+    /// opportunistic read (see [`SpanPlan::opt_reads`]). A kernel whose
+    /// `tick` reads such a port whenever data is present must consult this
+    /// instead of live queue state: dispatch runs whole spans in node
+    /// order, so an upstream writer may already have pushed elements that
+    /// dense stepping would only expose *after* this span ends.
+    pub fn read_suppressed(&self, p: usize) -> bool {
+        self.suppressed & (1 << p) != 0
+    }
+
+    /// Consume the next element from input port `p`.
+    ///
+    /// # Panics
+    /// Panics if the queue is empty — the scheduler guarantees availability
+    /// for exactly the promised reads, so an empty pop is a broken
+    /// [`SpanPlan`] contract, not a stall.
+    pub fn pop(&mut self, p: usize) -> i32 {
+        if cfg!(debug_assertions) {
+            // Contract bookkeeping for the dispatcher's debug audit only —
+            // keeps the hot path free of it in release builds.
+            self.reads_done[p] += 1;
+        }
+        self.streams[self.inputs[p]]
+            .queue
+            .pop_front()
+            .expect("span pop from empty stream (SpanPlan contract violation)")
+    }
+
+    /// Produce the next element on output port `p`.
+    pub fn push(&mut self, p: usize, v: i32) {
+        let s = &mut self.streams[self.outputs[p]];
+        s.queue.push_back(v);
+        s.pushed += 1;
+        if cfg!(debug_assertions) {
+            self.writes_done[p] += 1;
+        }
+    }
+
+    /// Consume the next `n` elements from input port `p`, feeding each to
+    /// `f` in FIFO order. Equivalent to `n` [`SpanIo::pop`] calls, but the
+    /// queue is drained once instead of re-resolved per element — worth it
+    /// on the long single-phase spans (loader words, window fills) where
+    /// per-element port bookkeeping is the only cost left.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` elements are queued (a broken
+    /// [`SpanPlan`] contract, as with [`SpanIo::pop`]).
+    pub fn pop_n(&mut self, p: usize, n: u64, mut f: impl FnMut(i32)) {
+        if cfg!(debug_assertions) {
+            self.reads_done[p] += n;
+        }
+        let q = &mut self.streams[self.inputs[p]].queue;
+        assert!(
+            q.len() as u64 >= n,
+            "span pop_n past queue end (SpanPlan contract violation)"
+        );
+        for v in q.drain(..n as usize) {
+            f(v);
+        }
+    }
+
+    /// Produce the next `n` elements on output port `p` from `f`, appended
+    /// with a single reservation. Equivalent to `n` [`SpanIo::push`] calls.
+    pub fn push_n(&mut self, p: usize, n: u64, mut f: impl FnMut() -> i32) {
+        if cfg!(debug_assertions) {
+            self.writes_done[p] += n;
+        }
+        let s = &mut self.streams[self.outputs[p]];
+        s.pushed += n;
+        s.queue.reserve(n as usize);
+        s.queue.extend((0..n).map(|_| f()));
+    }
+
+    /// Elements read from / written to each port so far (scheduler-side
+    /// contract verification).
+    pub(crate) fn counts(&self) -> (&[u64; MAX_SPAN_PORTS], &[u64; MAX_SPAN_PORTS]) {
+        (&self.reads_done, &self.writes_done)
+    }
+}
+
 /// A clocked dataflow kernel.
 ///
 /// One `tick` models one fabric clock cycle. Implementations hold all layer
@@ -159,6 +390,41 @@ pub trait Kernel: Send {
     /// contract documented on [`WakeHint`].
     fn wake_hint(&self) -> WakeHint {
         WakeHint::AlwaysTick
+    }
+
+    /// Offer a uniform-span promise for the kernel's *current* state, or
+    /// `None` (the default) if the next tick's port behaviour cannot be
+    /// predicted. Consulted by the macro-tick scheduler every cycle; must be
+    /// cheap. A kernel returning `Some` must honour the [`SpanPlan`]
+    /// contract and implement [`Kernel::run_span`].
+    ///
+    /// `in_len` holds the committed queue length of each input port at plan
+    /// time. Most kernels ignore it; a kernel that reads opportunistically
+    /// (keeps ticking `Busy` without the read when a port is dry) uses it
+    /// to decide between promising the read and suppressing it
+    /// ([`SpanPlan::opt_reads`]) — the masks must describe what dense
+    /// stepping will actually do, and for such kernels that depends on
+    /// availability.
+    ///
+    /// The promise may be conservative: any `cycles ≥ 1` prefix of a longer
+    /// uniform run is valid, and returning `None` merely falls the graph
+    /// back to per-element ticking for that cycle.
+    fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        let _ = in_len;
+        None
+    }
+
+    /// Process `n` cycles of the promised span in one dispatch: exactly `n`
+    /// pops from each read-masked port, `n` pushes to each write-masked
+    /// port, and the internal-state update of `n` consecutive `Busy` ticks.
+    /// Only called with `1 ≤ n ≤ span_hint().cycles`; the default is
+    /// unreachable for kernels that never return a promise.
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        let _ = (io, n);
+        unreachable!(
+            "kernel '{}' offered a SpanPlan but does not implement run_span",
+            self.name()
+        );
     }
 }
 

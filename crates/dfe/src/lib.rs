@@ -49,9 +49,9 @@ pub mod trace;
 pub use device::{DeviceSpec, ResourceUsage, MAIA_FCLK_MHZ, STRATIX_10_GX2800, STRATIX_V_5SGSD8};
 pub use graph::{CycleReport, Graph, KernelId, RunError, StreamId};
 pub use host::{HostSink, HostSource, SinkHandle};
-pub use kernel::{Io, Kernel, Progress, WakeHint};
+pub use kernel::{Io, Kernel, Progress, SpanIo, SpanPlan, WakeHint};
 pub use ring::MaxRing;
-pub use sched::SchedulerMode;
+pub use sched::{macro_ticks_default, macro_ticks_from_env, SchedulerMode};
 pub use stall::StallInjector;
 pub use stream::StreamSpec;
 pub use trace::Trace;

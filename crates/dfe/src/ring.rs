@@ -7,7 +7,7 @@
 //! that arithmetic; [`DelayLine`] models the extra pipeline latency the hop
 //! introduces in the cycle simulator.
 
-use crate::kernel::{Io, Kernel, Progress, WakeHint};
+use crate::kernel::{Io, Kernel, Progress, SpanIo, SpanPlan, WakeHint};
 use std::collections::VecDeque;
 
 /// A MaxRing link between two adjacent DFEs.
@@ -99,6 +99,30 @@ impl Kernel for DelayLine {
             WakeHint::Parkable
         } else {
             WakeHint::AlwaysTick
+        }
+    }
+
+    /// Uniform only when every slot is occupied: then each tick emits the
+    /// back slot and refills the front, keeping the line full. A line with
+    /// bubbles shifts them without port activity (that's the timer
+    /// behaviour behind `AlwaysTick`), so it makes no promise.
+    fn span_hint(&self, _in_len: &[usize]) -> Option<SpanPlan> {
+        if self.slots.iter().all(Option::is_some) {
+            Some(SpanPlan::new(u64::MAX, 1, 1))
+        } else {
+            None
+        }
+    }
+
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        for _ in 0..n {
+            let v = self
+                .slots
+                .pop_back()
+                .flatten()
+                .expect("span over a full delay line");
+            io.push(0, v);
+            self.slots.push_front(Some(io.pop(0)));
         }
     }
 }

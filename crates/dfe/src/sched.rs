@@ -70,9 +70,43 @@ impl Default for SchedulerMode {
     }
 }
 
+/// Resolve macro-tick span dispatch from `QNN_MACRO_TICKS` (`1`/`on`/`true`
+/// enable, `0`/`off`/`false` disable, case-insensitive; unset defaults to
+/// **enabled**). Macro-ticks only take effect under
+/// [`SchedulerMode::ReadyList`]; the dense stepper ignores the flag.
+///
+/// # Panics
+/// Panics on an unrecognized value — a typo silently falling back to a
+/// default would make benchmark A/B runs lie (same rule as
+/// [`SchedulerMode::from_env`]).
+pub fn macro_ticks_from_env() -> bool {
+    match std::env::var("QNN_MACRO_TICKS") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" => true,
+            "0" | "off" | "false" => false,
+            other => panic!("QNN_MACRO_TICKS='{other}' (expected '0' or '1')"),
+        },
+        Err(_) => true,
+    }
+}
+
+/// Process-wide default for macro-ticks: `macro_ticks_from_env`, resolved
+/// once and cached (same lifecycle as [`SchedulerMode::default`]).
+pub fn macro_ticks_default() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(macro_ticks_from_env)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn macro_ticks_default_on_when_env_unset() {
+        if std::env::var("QNN_MACRO_TICKS").is_err() {
+            assert!(macro_ticks_from_env(), "span dispatch defaults to on");
+        }
+    }
 
     #[test]
     fn default_is_ready_list_when_env_unset() {

@@ -103,6 +103,43 @@ impl StreamState {
         self.max_occupancy = self.max_occupancy.max(self.queue.len());
         n
     }
+
+    /// Record the occupancy high-water mark of a **batched span commit**:
+    /// `pushes` elements entered and `pops` left over a span of cycles at
+    /// one element per cycle each, starting from committed length
+    /// `start_len`.
+    ///
+    /// Sampling the live queue after a batch is wrong in both directions.
+    /// The span dispatcher moves all of a writer's elements before its
+    /// reader runs, so mid-batch the queue transiently holds
+    /// `start_len + pushes` elements — a peak dense stepping never exhibits
+    /// when the reader drains concurrently. And sampling after the reader's
+    /// pops is only right by accident: dense samples at every end-of-cycle
+    /// commit, so the true peak is the trajectory maximum over the span's
+    /// commit cycles. The writer pushes one element per cycle over its last
+    /// `pushes` cycles and the reader pops one over its last `pops` (the
+    /// wavefront dispatcher starts them at different offsets), so on every
+    /// sampled cycle the length moves by ±1 or holds — a trajectory whose
+    /// maximum over sampled (push) cycles closes to
+    /// `start_len + pushes − pops`, the final cycle's pre-drain length.
+    /// `pops` may exceed `pushes` (a late-offset writer against a reader
+    /// draining the buffered lead), which is why the peak is signed.
+    /// Spans with no pushes commit nothing, so (matching
+    /// [`StreamState::commit`]'s skip rule) they never sample at all.
+    pub fn note_span(&mut self, start_len: usize, pushes: u64, pops: u64) {
+        if pushes == 0 {
+            return;
+        }
+        let peak = start_len as i64 + pushes as i64 - pops as i64;
+        debug_assert!(
+            0 <= peak && peak as usize <= self.spec.capacity,
+            "span peak {} outside 0..={} on '{}'",
+            peak,
+            self.spec.capacity,
+            self.spec.name
+        );
+        self.max_occupancy = self.max_occupancy.max(peak as usize);
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +189,33 @@ mod tests {
         st.queue.pop_front();
         assert_eq!(st.commit(), 0, "empty commit moves nothing");
         assert_eq!(st.max_occupancy, 2, "high-water mark never regresses");
+    }
+
+    /// Regression (macro-tick span commits): a fill-while-drain batch must
+    /// record the dense trajectory's peak — the start length when rates
+    /// cancel — not the transient post-batch bulk and not the drained end
+    /// state.
+    #[test]
+    fn span_commit_samples_trajectory_peak_not_batch_state() {
+        let mut st = StreamState::new(StreamSpec::new("s", 2, 8));
+        // Steady state: 3 elements queued, then a 4-cycle span in which the
+        // writer pushes 4 and the reader pops 4 (dense: length pinned at 3).
+        for v in 0..3 {
+            st.queue.push_back(v);
+        }
+        st.note_span(3, 4, 4);
+        assert_eq!(
+            st.max_occupancy, 3,
+            "rate-matched span must sample the constant dense length"
+        );
+        // Fill-only span: 2 more pushes with a parked reader peak at 5.
+        st.note_span(3, 2, 0);
+        assert_eq!(st.max_occupancy, 5, "fill-only span peaks at the end");
+        // Drain-only span: no commits happen, so no sample is taken even
+        // though the queue was longer at span start than the recorded max.
+        st.max_occupancy = 0;
+        st.note_span(5, 0, 4);
+        assert_eq!(st.max_occupancy, 0, "pop-only spans never sample");
     }
 
     #[test]

@@ -57,7 +57,7 @@
 //! `packed`), mirroring `QNN_SCHEDULER`.
 
 use crate::loader::{LoadStep, ParamLoader};
-use dfe_platform::{Io, Kernel, Progress, WakeHint};
+use dfe_platform::{Io, Kernel, Progress, SpanIo, SpanPlan, WakeHint};
 use qnn_quant::{
     conv_accumulate_all, conv_accumulate_all_i8, dot_i8, ActPlanes, PlaneRing, ThresholdUnit,
 };
@@ -520,6 +520,250 @@ impl Kernel for ConvKernel {
     /// repeats unchanged until a stream event, so the kernel can park.
     fn wake_hint(&self) -> WakeHint {
         WakeHint::Parkable
+    }
+
+    /// Phase-bounded promises. Each phase has a constant per-tick port mask
+    /// and the span length stops exactly at the next phase boundary:
+    ///
+    /// * loader — one port-1 word per tick for `remaining()` ticks;
+    /// * emit (+ overlapped absorb) — `O − o` filter writes, reads capped at
+    ///   the *next* window's completing element (`needed` is strictly
+    ///   increasing in position, so the cap is never negative, and it is
+    ///   invariant across the span because `next_pos` equals `out_pos + 1`
+    ///   whether the final emit has advanced `out_pos` yet or not). With a
+    ///   **dry input** the absorb is opportunistic — dense keeps emitting
+    ///   `Busy` without the read — so the promise suppresses it
+    ///   ([`SpanPlan::opt_reads`]) instead of claiming a read the starved
+    ///   port cannot serve;
+    /// * fill/drain — reads up to the current window's completing element
+    ///   (the start-of-tick latch fires only on the tick *after* that).
+    fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        if let Some(loader) = &self.loader {
+            let plan = SpanPlan::new(loader.remaining() as u64, 0b10, 0);
+            return Some(if in_len[1] == 0 {
+                plan.blocked(Progress::Stalled)
+            } else {
+                plan
+            });
+        }
+        // Where the emit phase stands after any start-of-tick latch. (The
+        // memo needs `&mut self`; `needed` runs once per burst here.)
+        let emit_from = match self.emitting {
+            Some(o) => Some(o),
+            None if self.out_pos < self.positions()
+                && self.received >= self.needed(self.out_pos) =>
+            {
+                Some(0)
+            }
+            None => None,
+        };
+        match emit_from {
+            Some(o) => {
+                let emit_left = (self.geom.filter.o - o) as u64;
+                if self.halt_input {
+                    return Some(SpanPlan::new(emit_left, 0, 0b1).halting());
+                }
+                let next_pos = self.out_pos + 1;
+                let read_limit = if next_pos >= self.positions() {
+                    self.total_inputs()
+                } else {
+                    self.needed(next_pos)
+                };
+                let reads_left = (read_limit - self.received) as u64;
+                if reads_left == 0 {
+                    // No absorb possible: a blocked emit is a bare stall.
+                    Some(SpanPlan::new(emit_left, 0, 0b1).halting())
+                } else if in_len[0] == 0 {
+                    // Dry input can't refill in-span (the opt_reads cap),
+                    // so a blocked emit stalls here too.
+                    Some(SpanPlan::new(emit_left, 0, 0b1).with_opt_reads(0b1).halting())
+                } else {
+                    // Not halting: a blocked emit still absorbs (`Busy`).
+                    Some(SpanPlan::new(emit_left.min(reads_left), 0b1, 0b1))
+                }
+            }
+            None => {
+                let read_limit = if self.out_pos >= self.positions() {
+                    self.total_inputs()
+                } else {
+                    self.needed(self.out_pos)
+                };
+                let reads_left = (read_limit - self.received) as u64;
+                if reads_left == 0 {
+                    None
+                } else {
+                    let plan = SpanPlan::new(reads_left, 0b1, 0);
+                    Some(if in_len[0] == 0 {
+                        plan.blocked(Progress::Stalled)
+                    } else {
+                        plan
+                    })
+                }
+            }
+        }
+    }
+
+    /// Replicates `tick`'s state machine element by element — latch, emit,
+    /// absorb, reset — with direct queue transfers in place of the staged
+    /// `Io` port protocol. The span promise guarantees each iteration makes
+    /// exactly the promised port accesses.
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        let absorb_ok = !io.read_suppressed(0);
+        if self.loader.is_some() {
+            io.pop_n(1, n, |word| {
+                let loader = self.loader.as_mut().expect("span within loader phase");
+                if let LoadStep::Done(filters, thresholds) = loader.push(word) {
+                    self.filters = filters;
+                    if thresholds.is_some() {
+                        self.thresholds = thresholds;
+                    }
+                    self.loader = None;
+                }
+            });
+            return;
+        }
+        // Canonicalise a latch-ready entry state (the generic loop below
+        // does this at the top of its first tick anyway) so the fast paths
+        // see `emitting` directly.
+        if self.emitting.is_none()
+            && self.out_pos < self.positions()
+            && self.received >= self.needed_cached(self.out_pos)
+        {
+            self.latch_window();
+            self.emitting = Some(0);
+        }
+        // Emit-only spans — the long tail of every output position (strict
+        // halt, dry/suppressed input, or a fully-absorbed next window) —
+        // stream straight into the output queue. Absorb stays impossible
+        // through the final tick: once the last filter emits, `out_pos`
+        // advances to exactly the `next_pos` whose `needed` bound
+        // `received` already meets.
+        if let Some(o) = self.emitting {
+            let next_pos = self.out_pos + 1;
+            let read_limit = if next_pos >= self.positions() {
+                self.total_inputs()
+            } else {
+                self.needed_cached(next_pos)
+            };
+            let pure = self.halt_input || !absorb_ok || self.received >= read_limit;
+            if pure && n <= (self.geom.filter.o - o) as u64 {
+                let conv = &*self;
+                let mut f = o;
+                io.push_n(0, n, || {
+                    let acc = conv.accumulate(f);
+                    let out = match &conv.thresholds {
+                        Some(t) => i32::from(t[f].activate(acc)),
+                        None => acc,
+                    };
+                    f += 1;
+                    out
+                });
+                let end = o + n as usize;
+                if end == self.geom.filter.o {
+                    self.emitting = None;
+                    self.out_pos += 1;
+                } else {
+                    self.emitting = Some(end);
+                }
+                if self.out_pos == self.positions()
+                    && self.received == self.total_inputs()
+                    && self.emitting.is_none()
+                {
+                    self.received = 0;
+                    self.wr = 0;
+                    self.out_pos = 0;
+                }
+                return;
+            }
+        } else if absorb_ok {
+            // Fill/drain spans are all reads: no latch can fire mid-span
+            // (`received` stays below the current window's bound until the
+            // final pop, and the latch runs at the start of the next tick).
+            let read_limit = if self.out_pos >= self.positions() {
+                self.total_inputs()
+            } else {
+                self.needed_cached(self.out_pos)
+            };
+            if self.received + n as usize <= read_limit {
+                let cap = self.ring.capacity();
+                io.pop_n(0, n, |v| {
+                    match &mut self.ring {
+                        WindowRing::Scalar(ring) => ring[self.wr] = v,
+                        WindowRing::Packed(ring) => ring.set(self.wr, v as u8),
+                    }
+                    self.wr += 1;
+                    if self.wr == cap {
+                        self.wr = 0;
+                    }
+                    self.received += 1;
+                });
+                if self.out_pos == self.positions() && self.received == self.total_inputs() {
+                    self.received = 0;
+                    self.wr = 0;
+                    self.out_pos = 0;
+                }
+                return;
+            }
+        }
+        for _ in 0..n {
+            if self.emitting.is_none()
+                && self.out_pos < self.positions()
+                && self.received >= self.needed_cached(self.out_pos)
+            {
+                self.latch_window();
+                self.emitting = Some(0);
+            }
+
+            let mut did_emit = false;
+            if let Some(o) = self.emitting {
+                let acc = self.accumulate(o);
+                let out = match &self.thresholds {
+                    Some(t) => i32::from(t[o].activate(acc)),
+                    None => acc,
+                };
+                io.push(0, out);
+                let next = o + 1;
+                if next == self.geom.filter.o {
+                    self.emitting = None;
+                    self.out_pos += 1;
+                } else {
+                    self.emitting = Some(next);
+                }
+                did_emit = true;
+            }
+
+            let read_limit = if self.halt_input && (did_emit || self.emitting.is_some()) {
+                0
+            } else {
+                let next_pos = self.out_pos + usize::from(self.emitting.is_some());
+                if next_pos >= self.positions() {
+                    self.total_inputs()
+                } else {
+                    self.needed_cached(next_pos)
+                }
+            };
+            if absorb_ok && self.received < read_limit {
+                let v = io.pop(0);
+                match &mut self.ring {
+                    WindowRing::Scalar(ring) => ring[self.wr] = v,
+                    WindowRing::Packed(ring) => ring.set(self.wr, v as u8),
+                }
+                self.wr += 1;
+                if self.wr == self.ring.capacity() {
+                    self.wr = 0;
+                }
+                self.received += 1;
+            }
+
+            if self.out_pos == self.positions()
+                && self.received == self.total_inputs()
+                && self.emitting.is_none()
+            {
+                self.received = 0;
+                self.wr = 0;
+                self.out_pos = 0;
+            }
+        }
     }
 }
 

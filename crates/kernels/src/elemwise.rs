@@ -1,7 +1,7 @@
 //! Element-wise kernels: the skip-connection adder and split (paper Fig. 2)
 //! and the standalone fused BatchNorm + activation unit (§III-B3).
 
-use dfe_platform::{Io, Kernel, Progress, WakeHint};
+use dfe_platform::{Io, Kernel, Progress, SpanIo, SpanPlan, WakeHint};
 use qnn_quant::ThresholdUnit;
 
 /// Adds two streams element-wise — the skip-connection adder. One element
@@ -41,6 +41,27 @@ impl Kernel for AddKernel {
     fn wake_hint(&self) -> WakeHint {
         WakeHint::Parkable
     }
+
+    /// Stateless two-in-one-out: uniform for any span length. All-or-
+    /// nothing per tick, so the plan is halting; a dry operand blocks the
+    /// whole tick — `Stalled` while the other operand waits, `Idle` when
+    /// both run dry (mirroring `tick`'s verdicts exactly).
+    fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        let plan = SpanPlan::new(u64::MAX, 0b11, 0b1).halting();
+        Some(match (in_len[0] == 0, in_len[1] == 0) {
+            (false, false) => plan,
+            (true, true) => plan.blocked(Progress::Idle),
+            _ => plan.blocked(Progress::Stalled),
+        })
+    }
+
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        for _ in 0..n {
+            let a = io.pop(0);
+            let b = io.pop(1);
+            io.push(0, a + b);
+        }
+    }
 }
 
 /// Duplicates a stream onto two outputs — the post-adder split of Fig. 2
@@ -78,6 +99,26 @@ impl Kernel for SplitKernel {
     /// fixed point, so the kernel can park until a stream event.
     fn wake_hint(&self) -> WakeHint {
         WakeHint::Parkable
+    }
+
+    /// Stateless one-in-two-out: uniform for any span length, halting
+    /// (both outputs must have room or nothing moves), `Idle` on a dry
+    /// input — `tick` never reaches the output checks without an element.
+    fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        let plan = SpanPlan::new(u64::MAX, 0b1, 0b11).halting();
+        Some(if in_len[0] == 0 {
+            plan.blocked(Progress::Idle)
+        } else {
+            plan
+        })
+    }
+
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        for _ in 0..n {
+            let v = io.pop(0);
+            io.push(0, v);
+            io.push(1, v);
+        }
     }
 }
 
@@ -131,6 +172,30 @@ impl Kernel for ThresholdKernel {
     /// fixed point, so the kernel can park until a stream event.
     fn wake_hint(&self) -> WakeHint {
         WakeHint::Parkable
+    }
+
+    /// One element per cycle with only the channel counter as state, which
+    /// advances identically whatever the span length. Halting (the counter
+    /// moves only on a completed read-write pair), `Idle` on a dry input.
+    fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        let plan = SpanPlan::new(u64::MAX, 0b1, 0b1).halting();
+        Some(if in_len[0] == 0 {
+            plan.blocked(Progress::Idle)
+        } else {
+            plan
+        })
+    }
+
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        for _ in 0..n {
+            let a = io.pop(0);
+            let q = self.units[self.channel].activate(a);
+            io.push(0, i32::from(q));
+            self.channel += 1;
+            if self.channel == self.units.len() {
+                self.channel = 0;
+            }
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! convolution kernel always sees a pre-padded stream; the clock cost (one
 //! cycle per padded element) is identical.
 
-use dfe_platform::{Io, Kernel, Progress, WakeHint};
+use dfe_platform::{Io, Kernel, Progress, SpanIo, SpanPlan, WakeHint};
 use qnn_tensor::Shape3;
 
 /// Inserts `pad` rows/columns of `fill` around each image of the stream.
@@ -96,6 +96,50 @@ impl Kernel for PadInserter {
     /// both are port-inert and resolve only via stream events.
     fn wake_hint(&self) -> WakeHint {
         WakeHint::Parkable
+    }
+
+    /// Uniform within a run of same-kind elements: border runs emit `fill`
+    /// without reading, interior runs pass one element through per cycle.
+    /// The promise stops at the next kind boundary (conservatively at row
+    /// ends for border rows). Halting (a blocked port freezes the whole
+    /// tick), with a starved interior pixel declared `Stalled` — exactly
+    /// `tick`'s verdict.
+    fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        let out = self.output_shape();
+        let run = if self.is_border() {
+            let in_row = self.y >= self.pad && self.y < self.pad + self.input.h;
+            if in_row && self.x < self.pad {
+                // Left border: runs up to the first interior pixel.
+                (self.pad - self.x) * out.c - self.c
+            } else {
+                // Top/bottom border rows and the right border: run to the
+                // row end (the next row may extend the border; a shorter
+                // promise is still valid).
+                (out.w - self.x) * out.c - self.c
+            }
+        } else {
+            // Interior segment: up to the right border of this row.
+            (self.pad + self.input.w - self.x) * out.c - self.c
+        };
+        let reads = u32::from(!self.is_border());
+        let plan = SpanPlan::new(run as u64, reads, 0b1).halting();
+        Some(if reads != 0 && in_len[0] == 0 {
+            plan.blocked(Progress::Stalled)
+        } else {
+            plan
+        })
+    }
+
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        for _ in 0..n {
+            if self.is_border() {
+                io.push(0, self.fill);
+            } else {
+                let v = io.pop(0);
+                io.push(0, v);
+            }
+            self.advance();
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! overlaps reading and writing: each tick it may consume one element *and*
 //! emit one pending output.
 
-use dfe_platform::{Io, Kernel, Progress, WakeHint};
+use dfe_platform::{Io, Kernel, Progress, SpanIo, SpanPlan, WakeHint};
 use qnn_tensor::Shape3;
 use std::collections::VecDeque;
 
@@ -210,6 +210,78 @@ impl Kernel for PoolKernel {
     /// commits or its output drains.
     fn wake_hint(&self) -> WakeHint {
         WakeHint::Parkable
+    }
+
+    /// Three uniform phases, bounded so no mask change can occur mid-span:
+    /// * emit + absorb while pending outputs and read headroom both last
+    ///   (`min(pending, reads_left)` — a refill landing on the final tick
+    ///   is inside that tick, after both ports fired). With a **dry input**
+    ///   the absorb is opportunistic — dense keeps draining `pending`
+    ///   without the read — so the promise suppresses it
+    ///   ([`SpanPlan::opt_reads`]) instead of claiming a read the starved
+    ///   port cannot serve;
+    /// * emit-only while reads are capped at the current window boundary;
+    /// * absorb-only while pending is empty — the promise runs up to the
+    ///   read that completes the window, whose compute fires at span end.
+    fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        let read_cap = if self.out_pos >= self.positions() {
+            self.input.len()
+        } else {
+            // `needed` is a div/mod per *burst* here, not per tick, so the
+            // memo (which needs `&mut self`) is not worth threading through.
+            self.needed(self.out_pos)
+        };
+        let reads_left = read_cap - self.received;
+        match (self.pending.len(), reads_left) {
+            (0, 0) => None,
+            (0, r) if in_len[0] == 0 => {
+                Some(SpanPlan::new(r as u64, 0b1, 0).blocked(Progress::Stalled))
+            }
+            (0, r) => Some(SpanPlan::new(r as u64, 0b1, 0)),
+            // Emit without absorb headroom: a blocked emit is a bare stall.
+            (p, 0) => Some(SpanPlan::new(p as u64, 0, 0b1).halting()),
+            // Dry input can't refill in-span (the opt_reads cap), so a
+            // blocked emit stalls here too.
+            (p, _) if in_len[0] == 0 => {
+                Some(SpanPlan::new(p as u64, 0, 0b1).with_opt_reads(0b1).halting())
+            }
+            // Not halting: a blocked emit still absorbs (`Busy`).
+            (p, r) => Some(SpanPlan::new(p.min(r) as u64, 0b1, 0b1)),
+        }
+    }
+
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        let absorb_ok = !io.read_suppressed(0);
+        for _ in 0..n {
+            if let Some(v) = self.pending.pop_front() {
+                io.push(0, v);
+            }
+            let ahead_ok = absorb_ok
+                && (self.out_pos >= self.positions()
+                    || self.received < self.needed_cached(self.out_pos));
+            if ahead_ok && self.received < self.input.len() {
+                self.ring[self.wr] = io.pop(0);
+                self.wr += 1;
+                if self.wr == self.ring.len() {
+                    self.wr = 0;
+                }
+                self.received += 1;
+            }
+            while self.out_pos < self.positions()
+                && self.pending.is_empty()
+                && self.received >= self.needed_cached(self.out_pos)
+            {
+                self.compute_position();
+            }
+            if self.out_pos == self.positions()
+                && self.received == self.input.len()
+                && self.pending.is_empty()
+            {
+                self.received = 0;
+                self.wr = 0;
+                self.out_pos = 0;
+            }
+        }
     }
 }
 

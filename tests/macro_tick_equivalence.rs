@@ -1,0 +1,303 @@
+//! Differential macro-tick battery: span dispatch must be
+//! **bit-identical** to per-element stepping — same logits, same
+//! `CycleReport`s (cycle counts, per-kernel busy/stall tallies,
+//! per-stream pushed/max-occupancy) — across randomized networks,
+//! streamed-parameter loading, multi-image sequences, 1–3-device
+//! lockstep cuts, stall-injected pipelines, and mid-run mode switches.
+//!
+//! This is the proof obligation behind crediting whole spans
+//! arithmetically: a burst replays `k` dense cycles in one dispatch per
+//! kernel, so every counter the dense interleaving would have produced
+//! must come out of the closed-form credit, exactly.
+//!
+//! Part of `./ci.sh soak` at `QNN_TEST_CASES=1024`.
+
+use qnn::compiler::{compile, run_images, CompileOptions};
+use qnn::dfe::{
+    Graph, HostSink, HostSource, Io, Kernel, Progress, SchedulerMode, SpanIo, SpanPlan,
+    StallInjector, StreamSpec, WakeHint,
+};
+use qnn::nn::specgen::spec_strategy;
+use qnn::nn::{models, Network, NetworkSpec};
+use qnn::tensor::Tensor3;
+use qnn_testkit::{prop_assert, prop_assert_eq, props};
+
+fn image_for(spec: &NetworkSpec, seed: u64) -> Tensor3<i8> {
+    Tensor3::from_fn(spec.input, |y, x, c| {
+        ((seed as usize)
+            .wrapping_mul(31)
+            .wrapping_add(y * 131 + x * 17 + c * 7)
+            .wrapping_mul(2654435761)
+            >> 16) as i8
+    })
+}
+
+/// Run the same workload with spans on and off (both ready-list) plus the
+/// dense reference, and assert logits and every per-device report agree.
+fn assert_dispatch_agrees(
+    net: &Network,
+    images: &[Tensor3<i8>],
+    base: &CompileOptions,
+) -> qnn_testkit::prop::CaseResult {
+    let run = |scheduler, macro_ticks| {
+        run_images(
+            net,
+            images,
+            &CompileOptions {
+                scheduler,
+                macro_ticks,
+                ..base.clone()
+            },
+        )
+        .expect("run")
+    };
+    let element = run(SchedulerMode::ReadyList, false);
+    let span = run(SchedulerMode::ReadyList, true);
+    prop_assert_eq!(&element.logits, &span.logits);
+    prop_assert_eq!(&element.reports, &span.reports);
+    let dense = run(SchedulerMode::Dense, false);
+    prop_assert_eq!(&dense.logits, &span.logits);
+    prop_assert_eq!(&dense.reports, &span.reports);
+    Ok(())
+}
+
+props! {
+    /// Single-device: random conv/pool/fc networks, multi-image sequences
+    /// (image-reset state in conv/pool must survive spans), with the
+    /// §III-B1a parameter-streaming path folded in (the loader phase is
+    /// its own span kind).
+    #[test]
+    fn single_device_reports_identical(
+        spec in spec_strategy(),
+        seed in 0u64..1000,
+        n_images in 1usize..4,
+        stream_params in 0u8..2,
+    ) {
+        let Some(spec) = spec else {
+            return Ok(());
+        };
+        let net = Network::random(spec, seed);
+        let images: Vec<_> =
+            (0..n_images as u64).map(|i| image_for(&net.spec, seed + i)).collect();
+        let base = CompileOptions {
+            stream_parameters: stream_params == 1,
+            ..CompileOptions::default()
+        };
+        assert_dispatch_agrees(&net, &images, &base)?;
+    }
+
+    /// Residual networks (split/add/skip-buffer kernels) under FIFO
+    /// backpressure stress: small FIFOs shorten feasible spans without
+    /// ever changing the committed trajectory.
+    #[test]
+    fn residual_nets_reports_identical_under_fifo_stress(
+        seed in 0u64..200,
+        fifo in 4usize..64,
+    ) {
+        let net = Network::random(models::test_net(8, 4, 2), seed);
+        let img = image_for(&net.spec, seed + 7);
+        let base = CompileOptions { fifo_capacity: fifo, ..CompileOptions::default() };
+        assert_dispatch_agrees(&net, std::slice::from_ref(&img), &base)?;
+    }
+
+    /// 1–3-device lockstep cuts. The lockstep executor drives
+    /// `step_cycle` directly — per-edge, never bursting — so span
+    /// equivalence across cuts is structural; this pins it, and the
+    /// single-device span runs must still match the cut's per-element
+    /// logits.
+    #[test]
+    fn device_cuts_reports_identical(
+        spec in spec_strategy(),
+        seed in 0u64..1000,
+        devices in 1usize..4,
+    ) {
+        let Some(spec) = spec else {
+            return Ok(());
+        };
+        let stages = spec.stages.len();
+        let devices = devices.min(stages);
+        let stage_device: Vec<usize> =
+            (0..stages).map(|i| (i * devices / stages).min(devices - 1)).collect();
+        let net = Network::random(spec, seed);
+        let img = image_for(&net.spec, seed);
+        let base = CompileOptions {
+            stage_device: Some(stage_device),
+            ..CompileOptions::default()
+        };
+        assert_dispatch_agrees(&net, std::slice::from_ref(&img), &base)?;
+    }
+
+    /// StallInjector-laced pipelines: injector-wrapped stages are
+    /// `AlwaysTick` with no span promise, so every burst window they are
+    /// awake in is vetoed — runs interleave spans with per-element
+    /// stretches at injector-chosen boundaries. Any mis-credited span
+    /// would shift the injector's tick-driven RNG and change every
+    /// downstream cycle count.
+    #[test]
+    fn stall_injected_pipelines_reports_identical(
+        n in 1usize..80,
+        stages in 1usize..6,
+        fifo in 1usize..8,
+        pct in 0u8..50,
+        seed in 0u64..10_000,
+        wrap_mask in 0u32..64,
+    ) {
+        let build = |macro_ticks: bool| {
+            let mut g = Graph::with_scheduler(SchedulerMode::ReadyList);
+            g.set_macro_ticks(macro_ticks);
+            let data: Vec<i32> = (0..n as i32).collect();
+            let mut prev = g.add_stream(StreamSpec::new("s0", 8, fifo));
+            g.add_kernel(Box::new(HostSource::new("src", data)), &[], &[prev]);
+            for i in 0..stages {
+                let next = g.add_stream(StreamSpec::new(format!("s{}", i + 1), 8, fifo));
+                let k: Box<dyn Kernel> = Box::new(SpanAffine { mul: 3, add: i as i32 });
+                let k = if wrap_mask & (1 << i) != 0 {
+                    StallInjector::wrap(k, seed.wrapping_add(i as u64), pct)
+                } else {
+                    k
+                };
+                g.add_kernel(k, &[prev], &[next]);
+                prev = next;
+            }
+            let (sink, handle) = HostSink::new("dst", n);
+            g.add_kernel(Box::new(sink), &[prev], &[]);
+            // Injected stalls can produce legitimate full-stall cycles, so
+            // deadlock detection is off (the budget still bounds the run).
+            let report = g.run_opts(4_000_000, false).expect("run");
+            (handle.take(), report)
+        };
+        let (out_e, rep_e) = build(false);
+        let (out_s, rep_s) = build(true);
+        prop_assert_eq!(&out_e, &out_s);
+        prop_assert_eq!(&rep_e, &rep_s);
+    }
+
+    /// Mid-run mode switches on a compiled network: flip span dispatch on
+    /// and off at arbitrary cycle boundaries mid-inference. Bursts leave
+    /// no cross-cycle state behind, so the stitched run must equal one
+    /// uninterrupted per-element run — same logits, same cumulative
+    /// counters, same total cycle count.
+    #[test]
+    fn mid_run_mode_switches_are_invisible(
+        seed in 0u64..200,
+        segment in 16u64..400,
+        start_on in 0u8..2,
+    ) {
+        let net = Network::random(models::test_net(8, 3, 2), seed);
+        let img = image_for(&net.spec, seed + 3);
+        let images = std::slice::from_ref(&img);
+        let opts = CompileOptions::default();
+        let reference = run_images(&net, images, &CompileOptions {
+            scheduler: SchedulerMode::ReadyList,
+            macro_ticks: false,
+            ..opts.clone()
+        }).expect("reference run");
+
+        let compiled = compile(&net, images, &CompileOptions {
+            scheduler: SchedulerMode::ReadyList,
+            macro_ticks: start_on == 1,
+            ..opts
+        });
+        let mut graphs = compiled.graphs;
+        prop_assert_eq!(graphs.len(), 1);
+        let g = &mut graphs[0];
+        let mut on = start_on == 1;
+        let mut total: u64 = 0;
+        let report = loop {
+            match g.run_opts(segment, false) {
+                Ok(report) => break report,
+                Err(_) => {
+                    // Timed out mid-flight: flip the dispatch mode and
+                    // keep going on the same graph state.
+                    total += segment;
+                    on = !on;
+                    g.set_macro_ticks(on);
+                    prop_assert!(total < 50_000_000, "mode-switch run wedged");
+                }
+            }
+        };
+        let logits = compiled.sink.take();
+        prop_assert_eq!(&logits, &reference.logits[0], "mid-switch logits diverged");
+        // The final segment's report carries the cumulative kernel and
+        // stream counters plus that segment's cycle count.
+        let reference_report = &reference.reports[0];
+        prop_assert_eq!(&report.kernels, &reference_report.kernels);
+        prop_assert_eq!(&report.streams, &reference_report.streams);
+        prop_assert_eq!(total + report.cycles, reference_report.cycles);
+    }
+}
+
+/// A span-capable pass-through stage for the injector battery: parkable,
+/// uniform one-in-one-out promise, pure on `Stalled`/`Idle`.
+struct SpanAffine {
+    mul: i32,
+    add: i32,
+}
+
+impl Kernel for SpanAffine {
+    fn name(&self) -> &str {
+        "affine"
+    }
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        if io.can_read(0) && io.can_write(0) {
+            let v = io.read(0).expect("checked");
+            io.write(0, v * self.mul + self.add);
+            Progress::Busy
+        } else if io.can_read(0) {
+            Progress::Stalled
+        } else {
+            Progress::Idle
+        }
+    }
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Parkable
+    }
+    fn span_hint(&self, _in_len: &[usize]) -> Option<SpanPlan> {
+        Some(SpanPlan::new(u64::MAX, 0b1, 0b1))
+    }
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        for _ in 0..n {
+            let v = io.pop(0);
+            io.push(0, v * self.mul + self.add);
+        }
+    }
+}
+
+/// Deterministic spot-check (not property-sized): the exact cycle count of
+/// a full residual network is identical across dispatch modes, so the
+/// EXPERIMENTS flaky-threshold bands calibrated under per-element stepping
+/// carry over unchanged.
+#[test]
+fn cycle_counts_identical_on_residual_network() {
+    let net = Network::random(models::test_net(16, 4, 2), 3);
+    let img = image_for(&net.spec, 11);
+    let run = |macro_ticks| {
+        run_images(
+            &net,
+            std::slice::from_ref(&img),
+            &CompileOptions {
+                scheduler: SchedulerMode::ReadyList,
+                macro_ticks,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("run")
+    };
+    let element = run(false);
+    let span = run(true);
+    assert_eq!(element.logits, span.logits);
+    assert_eq!(element.reports, span.reports);
+    assert!(span.cycles() > 0);
+}
+
+/// `QNN_MACRO_TICKS` is the documented selection mechanism; pin the
+/// default (on) without mutating the process env under a threaded harness
+/// (the parser's spellings are covered by dfe-platform unit tests).
+#[test]
+fn macro_tick_env_default_is_on() {
+    if std::env::var("QNN_MACRO_TICKS").is_err() {
+        assert!(qnn::dfe::macro_ticks_from_env());
+        assert!(CompileOptions::default().macro_ticks);
+    }
+}
+

@@ -33,33 +33,72 @@ fn serve_trace(net: &Network, images: &[Tensor3<i8>], config: &ServerConfig) -> 
     logits
 }
 
+/// Both macro-tick settings must serve the same bits; the direct
+/// reference is pinned to per-element dispatch so a span-crediting bug
+/// in the serving path cannot hide by also infecting the reference.
+fn both_dispatch_modes() -> [CompileOptions; 2] {
+    [false, true].map(|macro_ticks| CompileOptions {
+        macro_ticks,
+        ..CompileOptions::default()
+    })
+}
+
 #[test]
 fn one_replica_trace_matches_direct_run_devices_path_bit_for_bit() {
     let net = Network::random(models::test_net(8, 4, 2), 21);
     let images = trace(6);
-    let direct = run_images(&net, &images, &CompileOptions::default()).expect("direct");
-    // max_batch covers the trace, so the single replica sees the very same
-    // batch the direct path compiled.
-    let config = ServerConfig {
-        replicas: 1,
-        max_batch: images.len(),
-        flush_deadline: std::time::Duration::from_secs(10),
-        ..ServerConfig::default()
-    };
-    assert_eq!(serve_trace(&net, &images, &config), direct.logits);
+    let direct = run_images(
+        &net,
+        &images,
+        &CompileOptions { macro_ticks: false, ..CompileOptions::default() },
+    )
+    .expect("direct");
+    for compile in both_dispatch_modes() {
+        // max_batch covers the trace, so the single replica sees the very
+        // same batch the direct path compiled.
+        let config = ServerConfig {
+            replicas: 1,
+            max_batch: images.len(),
+            flush_deadline: std::time::Duration::from_secs(10),
+            compile: compile.clone(),
+            ..ServerConfig::default()
+        };
+        assert_eq!(
+            serve_trace(&net, &images, &config),
+            direct.logits,
+            "macro_ticks={} diverged from the per-element direct path",
+            compile.macro_ticks
+        );
+    }
 }
 
 #[test]
 fn multi_replica_serving_is_identical_across_ten_runs() {
     // Batch composition and replica assignment vary run to run with the
-    // thread scheduler; the logits must not.
+    // thread scheduler; the logits must not — under either dispatch mode.
     let net = Network::random(models::test_net(8, 4, 2), 22);
     let images = trace(8);
-    let config = ServerConfig { replicas: 3, max_batch: 2, ..ServerConfig::default() };
-    let reference = serve_trace(&net, &images, &config);
     let expected: Vec<Vec<i32>> = images.iter().map(|i| net.forward(i).logits).collect();
-    assert_eq!(reference, expected, "serving diverged from the interpreter");
-    for run in 1..10 {
-        assert_eq!(serve_trace(&net, &images, &config), reference, "run {run} diverged");
+    for compile in both_dispatch_modes() {
+        let config = ServerConfig {
+            replicas: 3,
+            max_batch: 2,
+            compile: compile.clone(),
+            ..ServerConfig::default()
+        };
+        let reference = serve_trace(&net, &images, &config);
+        assert_eq!(
+            reference, expected,
+            "macro_ticks={}: serving diverged from the interpreter",
+            compile.macro_ticks
+        );
+        for run in 1..5 {
+            assert_eq!(
+                serve_trace(&net, &images, &config),
+                reference,
+                "macro_ticks={}: run {run} diverged",
+                compile.macro_ticks
+            );
+        }
     }
 }
