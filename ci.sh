@@ -19,6 +19,10 @@
 #   ci.sh release-tests  NOT tier-1: the `#[ignore]`d ImageNet/STL-scale
 #                        full-network runs, in release (minutes, not
 #                        tier-1 seconds).
+#   ci.sh net            NOT tier-1 (but fast): the loopback-TCP cluster
+#                        suites in release — wire protocol properties,
+#                        edge/router/autoscaler integration. Loopback
+#                        sockets only; still offline.
 #   ci.sh bench-smoke    NOT tier-1: every bench once in quick mode
 #                        (QNN_BENCH_QUICK=1: 1 iteration, no warmup,
 #                        speedup assertions off) — catches bench-harness
@@ -50,7 +54,14 @@ if [[ "${1:-}" == "soak" ]]; then
   run cargo test -q --release --offline -p qnn --test conv_datapath_equivalence
   run cargo test -q --release --offline -p qnn --test macro_tick_equivalence
   run cargo test -q --release --offline -p qnn --test serve_multimodel
+  run cargo test -q --release --offline -p qnn-cluster --test wire_proptests
   echo "ci.sh soak: all green"
+  exit 0
+fi
+
+if [[ "${1:-}" == "net" ]]; then
+  run cargo test -q --release --offline -p qnn-cluster
+  echo "ci.sh net: all green"
   exit 0
 fi
 

@@ -13,15 +13,19 @@
 //!   only scales when the host actually has spare cores for the extra
 //!   replica workers, so it is printed for context, not asserted.
 
+use qnn::cluster::{Autoscaler, AutoscalerConfig};
 use qnn::dfe::MAIA_FCLK_MHZ;
 use qnn::nn::{models, Network};
 use qnn::serve::{
-    serve, DispatchPolicy, Priority, Server, ServerConfig, ServerReport, SubmitOptions, Ticket,
+    serve, DispatchPolicy, ModelOptions, Priority, Server, ServerConfig, ServerReport,
+    SubmitOptions, Ticket,
 };
 use qnn::tensor::{Shape3, Tensor3};
 use qnn_bench::render_table;
 use qnn_testkit::{Bench, Rng};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 const REQUESTS: usize = 16;
 
@@ -117,6 +121,107 @@ fn mixed_load_fg_p95(net: &Network, interactive: bool) -> Duration {
     report.model("fg").and_then(|m| m.latency).expect("fg requests completed").p95
 }
 
+/// Cluster scenario: a saturating interactive stream hits a "hot" model
+/// while a "cold" model idles, under a fixed total replica budget of 4.
+///
+/// * `autoscaled = false` — the static split an operator would pick
+///   without knowing the skew: 2 hot + 2 cold. Hot capacity (2 replicas ×
+///   125 img/s) sits just under the offered rate, so its queue — and its
+///   p95 — grows for the whole run.
+/// * `autoscaled = true` — both pools start at 1 and an [`Autoscaler`]
+///   reallocates the budget live: cold idles at `min_replicas`, hot grows
+///   to 3 within the warmup window and the queue stays bounded.
+///
+/// Latencies are measured client-side (submit → response observed),
+/// keeping only requests submitted after the warmup quarter of the run so
+/// the autoscaled variant is scored on its steady state, not its cold
+/// start. Service time is a synthetic per-batch delay, so the contrast is
+/// reproducible on any host. Returns the steady-state p95 and the hot
+/// pool's final replica count.
+fn cluster_hot_cold_p95(net: &Network, autoscaled: bool, run: Duration) -> (Duration, usize) {
+    let service = Duration::from_millis(8);
+    let start_replicas = if autoscaled { 1 } else { 2 };
+    let server = Server::builder()
+        .config(ServerConfig { max_batch: 1, ..ServerConfig::default() })
+        .model_with(
+            "hot",
+            net,
+            ModelOptions::new().replicas(start_replicas).synthetic_delay(service),
+        )
+        .model_with(
+            "cold",
+            net,
+            ModelOptions::new().replicas(start_replicas).synthetic_delay(service),
+        )
+        .start()
+        .expect("valid server");
+    let client = server.client();
+    let stop = AtomicBool::new(false);
+    let warmup = run / 4;
+
+    let (p95, hot_replicas) = std::thread::scope(|scope| {
+        let (stop, server) = (&stop, &server);
+        let scaler = autoscaled.then(|| {
+            let config = AutoscalerConfig::builder()
+                .min_replicas(1)
+                .max_replicas(3)
+                .total_budget(4)
+                .target_p95(Duration::from_millis(15))
+                .backlog_per_replica(2)
+                .interval(Duration::from_millis(10))
+                .up_hysteresis(2)
+                .down_hysteresis(50)
+                .cooldown_ticks(1)
+                .build()
+                .expect("valid config");
+            let scaler = Autoscaler::new(config, server);
+            scope.spawn(move || scaler.run(server, stop))
+        });
+
+        // Drain tickets concurrently with the pacing loop so client-side
+        // latency is observed close to when each response lands.
+        let (tx, rx) = mpsc::channel::<(Ticket, Instant, bool)>();
+        let drainer = scope.spawn(move || {
+            let mut latencies = Vec::new();
+            for (ticket, submitted, measured) in rx {
+                ticket.wait().expect("answered");
+                if measured {
+                    latencies.push(submitted.elapsed());
+                }
+            }
+            latencies
+        });
+
+        // ~285 interactive img/s at a 3.5 ms beat: above 2 × 125 img/s
+        // (fixed hot capacity), below 3 × 125 img/s (scaled-up capacity).
+        let mut rng = Rng::seed_from_u64(23);
+        let started = Instant::now();
+        while started.elapsed() < run {
+            let img = Tensor3::from_fn(Shape3::square(8, 3), |_, _, _| {
+                rng.gen_range(-127i8..=127)
+            });
+            let opts = SubmitOptions::model("hot").priority(Priority::Interactive);
+            let submitted = Instant::now();
+            let ticket = client.submit_with(img, opts).expect("admitted");
+            let measured = started.elapsed() > warmup;
+            tx.send((ticket, submitted, measured)).expect("drainer alive");
+            std::thread::sleep(Duration::from_micros(3500));
+        }
+        drop(tx);
+        let mut latencies = drainer.join().expect("drainer thread");
+        let hot_replicas = server.load_window("hot").expect("known model").replicas;
+        stop.store(true, Ordering::Release);
+        if let Some(handle) = scaler {
+            handle.join().expect("scaler thread");
+        }
+        latencies.sort();
+        let p95 = latencies[(latencies.len() - 1) * 95 / 100];
+        (p95, hot_replicas)
+    });
+    server.shutdown();
+    (p95, hot_replicas)
+}
+
 fn main() {
     let net = Network::random(models::test_net(8, 4, 2), 42);
     let images = trace();
@@ -175,10 +280,40 @@ fn main() {
         single_class_p95.as_secs_f64() * 1e3,
     );
 
+    // Cluster scenario: same total replica budget, static split vs live
+    // autoscaling, scored on steady-state client-side interactive p95.
+    let cluster_run = if Bench::quick_mode() {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(600)
+    };
+    let (fixed_p95, fixed_hot) = cluster_hot_cold_p95(&net, false, cluster_run);
+    let (auto_p95, auto_hot) = cluster_hot_cold_p95(&net, true, cluster_run);
+    const CLUSTER_P95_BOUND_MS: f64 = 30.0;
+    println!(
+        "\n== cluster budget reallocation (4-replica budget, hot/cold skew) ==\n\
+         steady-state hot p95: fixed 2+2 split {:.3} ms (hot stays at {} replicas), \
+         autoscaled {:.3} ms (hot ends at {} replicas); bound {CLUSTER_P95_BOUND_MS} ms",
+        fixed_p95.as_secs_f64() * 1e3,
+        fixed_hot,
+        auto_p95.as_secs_f64() * 1e3,
+        auto_hot,
+    );
+
     if Bench::quick_mode() {
         println!("(quick mode: workloads executed once, assertions skipped)");
         return;
     }
+    assert!(
+        auto_p95.as_secs_f64() * 1e3 < CLUSTER_P95_BOUND_MS,
+        "autoscaled steady-state p95 {auto_p95:?} breached the {CLUSTER_P95_BOUND_MS} ms bound"
+    );
+    assert!(
+        fixed_p95.as_secs_f64() * 1e3 > CLUSTER_P95_BOUND_MS,
+        "fixed split unexpectedly held the bound ({fixed_p95:?}) — the scenario no longer \
+         saturates, raise the offered rate"
+    );
+    assert_eq!(auto_hot, 3, "autoscaler never reallocated the budget to the hot pool");
     let two = points.iter().find(|&&(r, ..)| r == 2).expect("2-replica row").1;
     let speedup = two / base_dev;
     println!("1 -> 2 replica device-clock speedup: {speedup:.2}x (target >= 1.7x)");

@@ -1,0 +1,331 @@
+//! Cluster configuration: the router's sharding/spillover knobs and the
+//! shared validation error both the router and the autoscaler report
+//! through (the same typed-builder pattern as `qnn_serve::ConfigError`).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a cluster configuration (router or autoscaler) was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterConfigError {
+    /// A router was built over zero backends.
+    ZeroBackends,
+    /// `vnodes == 0` — the consistent-hash ring would be empty, so no
+    /// model name could ever resolve to a backend.
+    EmptyHashRing,
+    /// `spill_threshold == 0` — every backend would count as saturated
+    /// before its first request, degenerating spillover into pure
+    /// least-loaded dispatch.
+    ZeroSpillThreshold,
+    /// `min_replicas == 0` — the autoscaler may never scale a pool to
+    /// zero (the serving runtime refuses zero-replica pools).
+    MinReplicasZero,
+    /// `min_replicas > max_replicas` — the replica bounds cross.
+    MinExceedsMax {
+        /// The configured floor.
+        min: usize,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// `interval` is zero — the control loop would spin.
+    ZeroInterval,
+    /// An hysteresis window of zero ticks — the autoscaler would react to
+    /// a single noisy sample, oscillating between grow and shrink.
+    ZeroHysteresis,
+}
+
+impl fmt::Display for ClusterConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterConfigError::ZeroBackends => {
+                write!(f, "a router needs at least one backend")
+            }
+            ClusterConfigError::EmptyHashRing => {
+                write!(f, "vnodes must be positive; an empty hash ring routes nothing")
+            }
+            ClusterConfigError::ZeroSpillThreshold => {
+                write!(f, "spill_threshold must be positive")
+            }
+            ClusterConfigError::MinReplicasZero => {
+                write!(f, "min_replicas must be at least 1 (pools cannot be empty)")
+            }
+            ClusterConfigError::MinExceedsMax { min, max } => {
+                write!(f, "min_replicas {min} exceeds max_replicas {max}")
+            }
+            ClusterConfigError::ZeroInterval => {
+                write!(f, "the control interval must be positive")
+            }
+            ClusterConfigError::ZeroHysteresis => {
+                write!(f, "hysteresis windows must be at least 1 tick")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterConfigError {}
+
+/// Sharding and spillover knobs for [`crate::Router`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Virtual nodes per backend on the consistent-hash ring. More vnodes
+    /// smooth the shard distribution; 16 is plenty for single-digit
+    /// backend counts.
+    pub vnodes: usize,
+    /// Queue depth (in-flight requests) at which a backend counts as
+    /// saturated and new traffic spills to the next ring node.
+    pub spill_threshold: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self { vnodes: 16, spill_threshold: 8 }
+    }
+}
+
+impl RouterConfig {
+    /// Start a builder from the defaults.
+    pub fn builder() -> RouterConfigBuilder {
+        RouterConfigBuilder { config: Self::default() }
+    }
+
+    /// Check the invariants the router relies on.
+    pub fn validate(&self) -> Result<(), ClusterConfigError> {
+        if self.vnodes == 0 {
+            return Err(ClusterConfigError::EmptyHashRing);
+        }
+        if self.spill_threshold == 0 {
+            return Err(ClusterConfigError::ZeroSpillThreshold);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RouterConfig`]; `build` validates.
+#[derive(Clone, Debug)]
+pub struct RouterConfigBuilder {
+    config: RouterConfig,
+}
+
+impl RouterConfigBuilder {
+    /// Virtual nodes per backend on the hash ring.
+    pub fn vnodes(mut self, vnodes: usize) -> Self {
+        self.config.vnodes = vnodes;
+        self
+    }
+
+    /// Queue depth at which spillover engages.
+    pub fn spill_threshold(mut self, depth: u64) -> Self {
+        self.config.spill_threshold = depth;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<RouterConfig, ClusterConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Replica bounds and control-law knobs for [`crate::Autoscaler`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AutoscalerConfig {
+    /// Per-model replica floor (never scaled below).
+    pub min_replicas: usize,
+    /// Per-model replica ceiling (never scaled above).
+    pub max_replicas: usize,
+    /// Optional cap on the *sum* of replicas across all scaled models —
+    /// the fixed hardware budget the cluster shares. `None` leaves only
+    /// the per-model ceiling.
+    pub total_budget: Option<usize>,
+    /// Interactive p95 the control loop defends; a window whose p95
+    /// exceeds this counts as a breach.
+    pub target_p95: Duration,
+    /// Backlog a single replica is expected to absorb: `in_flight >
+    /// backlog_per_replica * replicas` also counts as a breach, so purely
+    /// batch-class floods (which produce no interactive samples) still
+    /// trigger scaling.
+    pub backlog_per_replica: u64,
+    /// Wall-clock spacing of control ticks in [`crate::Autoscaler::run`].
+    pub interval: Duration,
+    /// Consecutive breached ticks required before growing a pool.
+    pub up_hysteresis: u32,
+    /// Consecutive idle ticks required before shrinking a pool.
+    pub down_hysteresis: u32,
+    /// Ticks to hold after any resize before acting again, letting the
+    /// new pool shape show up in the next windows.
+    pub cooldown_ticks: u32,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        Self {
+            min_replicas: 1,
+            max_replicas: 4,
+            total_budget: None,
+            target_p95: Duration::from_millis(20),
+            backlog_per_replica: 8,
+            interval: Duration::from_millis(20),
+            up_hysteresis: 2,
+            down_hysteresis: 4,
+            cooldown_ticks: 2,
+        }
+    }
+}
+
+impl AutoscalerConfig {
+    /// Start a builder from the defaults.
+    pub fn builder() -> AutoscalerConfigBuilder {
+        AutoscalerConfigBuilder { config: Self::default() }
+    }
+
+    /// Check the invariants the control loop relies on.
+    pub fn validate(&self) -> Result<(), ClusterConfigError> {
+        if self.min_replicas == 0 {
+            return Err(ClusterConfigError::MinReplicasZero);
+        }
+        if self.min_replicas > self.max_replicas {
+            return Err(ClusterConfigError::MinExceedsMax {
+                min: self.min_replicas,
+                max: self.max_replicas,
+            });
+        }
+        if self.interval.is_zero() {
+            return Err(ClusterConfigError::ZeroInterval);
+        }
+        if self.up_hysteresis == 0 || self.down_hysteresis == 0 {
+            return Err(ClusterConfigError::ZeroHysteresis);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`AutoscalerConfig`]; `build` validates.
+#[derive(Clone, Debug)]
+pub struct AutoscalerConfigBuilder {
+    config: AutoscalerConfig,
+}
+
+impl AutoscalerConfigBuilder {
+    /// Per-model replica floor.
+    pub fn min_replicas(mut self, min: usize) -> Self {
+        self.config.min_replicas = min;
+        self
+    }
+
+    /// Per-model replica ceiling.
+    pub fn max_replicas(mut self, max: usize) -> Self {
+        self.config.max_replicas = max;
+        self
+    }
+
+    /// Cap on the summed replica count across scaled models.
+    pub fn total_budget(mut self, budget: usize) -> Self {
+        self.config.total_budget = Some(budget);
+        self
+    }
+
+    /// Interactive p95 to defend.
+    pub fn target_p95(mut self, target: Duration) -> Self {
+        self.config.target_p95 = target;
+        self
+    }
+
+    /// Backlog one replica is expected to absorb.
+    pub fn backlog_per_replica(mut self, backlog: u64) -> Self {
+        self.config.backlog_per_replica = backlog;
+        self
+    }
+
+    /// Control-tick spacing for the blocking loop.
+    pub fn interval(mut self, interval: Duration) -> Self {
+        self.config.interval = interval;
+        self
+    }
+
+    /// Breached ticks before growing.
+    pub fn up_hysteresis(mut self, ticks: u32) -> Self {
+        self.config.up_hysteresis = ticks;
+        self
+    }
+
+    /// Idle ticks before shrinking.
+    pub fn down_hysteresis(mut self, ticks: u32) -> Self {
+        self.config.down_hysteresis = ticks;
+        self
+    }
+
+    /// Hold-off ticks after a resize.
+    pub fn cooldown_ticks(mut self, ticks: u32) -> Self {
+        self.config.cooldown_ticks = ticks;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<AutoscalerConfig, ClusterConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(RouterConfig::default().validate(), Ok(()));
+        assert_eq!(AutoscalerConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn router_rejects_degenerate_knobs() {
+        assert_eq!(
+            RouterConfig::builder().vnodes(0).build(),
+            Err(ClusterConfigError::EmptyHashRing)
+        );
+        assert_eq!(
+            RouterConfig::builder().spill_threshold(0).build(),
+            Err(ClusterConfigError::ZeroSpillThreshold)
+        );
+    }
+
+    #[test]
+    fn autoscaler_rejects_crossed_bounds() {
+        assert_eq!(
+            AutoscalerConfig::builder().min_replicas(0).build(),
+            Err(ClusterConfigError::MinReplicasZero)
+        );
+        assert_eq!(
+            AutoscalerConfig::builder().min_replicas(5).max_replicas(2).build(),
+            Err(ClusterConfigError::MinExceedsMax { min: 5, max: 2 })
+        );
+        assert_eq!(
+            AutoscalerConfig::builder().interval(Duration::ZERO).build(),
+            Err(ClusterConfigError::ZeroInterval)
+        );
+        assert_eq!(
+            AutoscalerConfig::builder().up_hysteresis(0).build(),
+            Err(ClusterConfigError::ZeroHysteresis)
+        );
+        assert_eq!(
+            AutoscalerConfig::builder().down_hysteresis(0).build(),
+            Err(ClusterConfigError::ZeroHysteresis)
+        );
+    }
+
+    #[test]
+    fn errors_render() {
+        let errors = [
+            ClusterConfigError::ZeroBackends,
+            ClusterConfigError::EmptyHashRing,
+            ClusterConfigError::ZeroSpillThreshold,
+            ClusterConfigError::MinReplicasZero,
+            ClusterConfigError::MinExceedsMax { min: 3, max: 1 },
+            ClusterConfigError::ZeroInterval,
+            ClusterConfigError::ZeroHysteresis,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The cluster router: consistent hashing on the model name shards
+//! traffic across several backends, with saturation-aware spillover.
+//!
+//! Each backend contributes `vnodes` points to a hash ring; a model's
+//! traffic lands on the first healthy backend at or clockwise of the
+//! model's own hash. Consistent hashing keeps that assignment stable as
+//! backends come and go — only the shards adjacent to a removed backend
+//! move. When the primary's queue depth reaches the spill threshold, the
+//! request **spills** to the next distinct healthy ring node instead of
+//! queueing behind the saturation; if every backend is saturated, the
+//! least-loaded healthy one takes it (spilling exists to route around
+//! hotspots, not to reject work — admission control stays with the
+//! backends themselves).
+//!
+//! Health is per-backend: `Draining` backends finish what they have but
+//! take no new traffic; `Down` backends are skipped entirely.
+
+use crate::config::{ClusterConfigError, RouterConfig};
+use crate::net::{NetClient, NetError, NetResponse, NetTicket};
+use crate::wire::ErrorCode;
+use qnn_compiler::Logits;
+use qnn_serve::{Client, Dropped, Response, SubmitOptions, Ticket};
+use qnn_tensor::Tensor3;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One dispatch target: an in-process serving runtime or a remote
+/// [`NetServer`](crate::NetServer) spoken to over the wire.
+pub enum Backend {
+    /// A client handle of an in-process `Server`.
+    Local(Client),
+    /// A connection to a remote TCP edge.
+    Remote(NetClient),
+}
+
+impl Backend {
+    /// Requests admitted but not yet answered at this backend — the
+    /// saturation signal the spillover check reads.
+    fn queue_depth(&self) -> u64 {
+        match self {
+            Backend::Local(client) => client.queue_depth(),
+            Backend::Remote(client) => client.queue_depth(),
+        }
+    }
+}
+
+/// Whether a backend takes new traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendHealth {
+    /// Takes new traffic.
+    Healthy,
+    /// Finishes in-flight work but takes no new traffic (the state to put
+    /// a backend in before retiring it).
+    Draining,
+    /// Skipped entirely.
+    Down,
+}
+
+/// Why the router could not place (or a backend answered without serving)
+/// a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// Every backend is `Draining` or `Down`.
+    NoHealthyBackend,
+    /// [`Router::set_health`] named an unknown backend.
+    UnknownBackend(String),
+    /// The chosen backend refused the submission (admission rejection,
+    /// unknown model, or a stopped runtime — the message says which).
+    Refused {
+        /// The backend that refused.
+        backend: String,
+        /// The backend's own error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::NoHealthyBackend => write!(f, "no healthy backend"),
+            RouteError::UnknownBackend(name) => {
+                write!(f, "no backend named {name:?} is registered")
+            }
+            RouteError::Refused { backend, message } => {
+                write!(f, "backend {backend:?} refused: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Why a routed request resolved without a [`RouteResponse`] — the union
+/// of the local and remote drop reasons, normalized so callers handle
+/// one type regardless of where the backend lives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteDropped {
+    /// Shed at dispatch: the deadline passed before the batch flushed.
+    Deadline,
+    /// The backend's runtime stopped before answering.
+    Stopped,
+    /// The remote backend answered with some other error code.
+    Remote {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The connection to the remote backend died mid-request.
+    Disconnected,
+}
+
+impl fmt::Display for RouteDropped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteDropped::Deadline => write!(f, "shed at dispatch: deadline exceeded"),
+            RouteDropped::Stopped => write!(f, "backend stopped before answering"),
+            RouteDropped::Remote { code, message } => {
+                write!(f, "remote error {code:?}: {message}")
+            }
+            RouteDropped::Disconnected => write!(f, "connection lost mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for RouteDropped {}
+
+/// One completed routed inference, normalized across local and remote
+/// backends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteResponse {
+    /// Name of the backend that served the request.
+    pub backend: String,
+    /// Weight version the batch ran on.
+    pub weight_version: u64,
+    /// The image's logits.
+    pub logits: Vec<i32>,
+}
+
+impl RouteResponse {
+    /// Index of the winning class (shared `Logits` tie-breaking).
+    pub fn argmax(&self) -> usize {
+        Logits::new(&self.logits).argmax()
+    }
+}
+
+enum RouteTicketInner {
+    Local(Ticket),
+    Remote(NetTicket),
+}
+
+/// Claim ticket for a routed request.
+pub struct RouteTicket {
+    backend: String,
+    inner: RouteTicketInner,
+}
+
+impl RouteTicket {
+    /// Name of the backend the request was placed on.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Block until the request resolves.
+    pub fn wait(self) -> Result<RouteResponse, RouteDropped> {
+        let backend = self.backend;
+        match self.inner {
+            RouteTicketInner::Local(ticket) => match ticket.wait() {
+                Ok(resp) => Ok(local_response(backend, resp)),
+                Err(Dropped::Deadline) => Err(RouteDropped::Deadline),
+                Err(Dropped::Stopped) => Err(RouteDropped::Stopped),
+            },
+            RouteTicketInner::Remote(ticket) => match ticket.wait() {
+                Ok(resp) => Ok(remote_response(backend, resp)),
+                Err(e) => Err(remote_drop(e)),
+            },
+        }
+    }
+}
+
+fn local_response(backend: String, resp: Response) -> RouteResponse {
+    RouteResponse { backend, weight_version: resp.stats.weight_version, logits: resp.logits }
+}
+
+fn remote_response(backend: String, resp: NetResponse) -> RouteResponse {
+    RouteResponse { backend, weight_version: resp.weight_version, logits: resp.logits }
+}
+
+fn remote_drop(error: NetError) -> RouteDropped {
+    match error {
+        NetError::Remote { code: ErrorCode::DeadlineShed, .. } => RouteDropped::Deadline,
+        NetError::Remote { code: ErrorCode::Stopped, .. } => RouteDropped::Stopped,
+        NetError::Remote { code, message } => RouteDropped::Remote { code, message },
+        NetError::Disconnected => RouteDropped::Disconnected,
+    }
+}
+
+/// Routing counters for one backend, snapshotted by [`Router::stats`].
+#[derive(Clone, Debug)]
+pub struct BackendStats {
+    /// Backend name.
+    pub name: String,
+    /// Current health state.
+    pub health: BackendHealth,
+    /// Requests placed on this backend (primary + spilled).
+    pub routed: u64,
+    /// Requests that landed here because their primary was saturated.
+    pub spilled_in: u64,
+    /// Current queue depth.
+    pub queue_depth: u64,
+}
+
+struct BackendEntry {
+    name: String,
+    handle: Backend,
+    health: Mutex<BackendHealth>,
+    routed: AtomicU64,
+    spilled_in: AtomicU64,
+}
+
+/// FNV-1a then a splitmix64 finalizer: cheap, deterministic, and well
+/// mixed enough that vnode points spread evenly around the ring.
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Shards model traffic across backends — see the module docs for the
+/// ring, spillover, and health rules.
+pub struct Router {
+    entries: Vec<BackendEntry>,
+    /// `(point, backend index)` sorted by point.
+    ring: Vec<(u64, usize)>,
+    spill_threshold: u64,
+}
+
+impl Router {
+    /// Build a router over named backends. Fails with
+    /// [`ClusterConfigError::ZeroBackends`] on an empty backend list and
+    /// propagates the config's own validation.
+    pub fn new(
+        config: RouterConfig,
+        backends: Vec<(String, Backend)>,
+    ) -> Result<Router, ClusterConfigError> {
+        config.validate()?;
+        if backends.is_empty() {
+            return Err(ClusterConfigError::ZeroBackends);
+        }
+        let entries: Vec<BackendEntry> = backends
+            .into_iter()
+            .map(|(name, handle)| BackendEntry {
+                name,
+                handle,
+                health: Mutex::new(BackendHealth::Healthy),
+                routed: AtomicU64::new(0),
+                spilled_in: AtomicU64::new(0),
+            })
+            .collect();
+        let mut ring = Vec::with_capacity(entries.len() * config.vnodes);
+        for (idx, entry) in entries.iter().enumerate() {
+            for vnode in 0..config.vnodes {
+                ring.push((hash_str(&format!("{}/{vnode}", entry.name)), idx));
+            }
+        }
+        ring.sort_unstable();
+        Ok(Router { entries, ring, spill_threshold: config.spill_threshold })
+    }
+
+    /// Backend names, in registration order.
+    pub fn backends(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Set a backend's health state.
+    pub fn set_health(&self, backend: &str, health: BackendHealth) -> Result<(), RouteError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == backend)
+            .ok_or_else(|| RouteError::UnknownBackend(backend.to_string()))?;
+        *entry.health.lock().expect("health state poisoned") = health;
+        Ok(())
+    }
+
+    /// A backend's current health state.
+    pub fn health(&self, backend: &str) -> Result<BackendHealth, RouteError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == backend)
+            .ok_or_else(|| RouteError::UnknownBackend(backend.to_string()))?;
+        Ok(*entry.health.lock().expect("health state poisoned"))
+    }
+
+    /// The healthy backends a request for `model` would consider, in ring
+    /// order starting at the model's shard: the first entry is the
+    /// primary, the rest are spill candidates.
+    fn candidates(&self, model: &str) -> Vec<usize> {
+        let point = hash_str(model);
+        let start = self.ring.partition_point(|&(p, _)| p < point);
+        let mut seen = Vec::new();
+        for i in 0..self.ring.len() {
+            let (_, idx) = self.ring[(start + i) % self.ring.len()];
+            if seen.contains(&idx) {
+                continue;
+            }
+            let health = *self.entries[idx].health.lock().expect("health state poisoned");
+            if health == BackendHealth::Healthy {
+                seen.push(idx);
+            }
+        }
+        seen
+    }
+
+    /// The backend a request for `model` goes to right now: the model's
+    /// shard primary, unless saturation spills it. Returns
+    /// `(backend index, spilled)`.
+    fn place(&self, model: &str) -> Result<(usize, bool), RouteError> {
+        let candidates = self.candidates(model);
+        let Some(&primary) = candidates.first() else {
+            return Err(RouteError::NoHealthyBackend);
+        };
+        if self.entries[primary].handle.queue_depth() < self.spill_threshold {
+            return Ok((primary, false));
+        }
+        for &idx in &candidates[1..] {
+            if self.entries[idx].handle.queue_depth() < self.spill_threshold {
+                return Ok((idx, true));
+            }
+        }
+        // Everyone is saturated: take the least-loaded healthy backend
+        // (ties to ring order) rather than refusing outright.
+        let least = candidates
+            .iter()
+            .copied()
+            .min_by_key(|&idx| self.entries[idx].handle.queue_depth())
+            .expect("candidates non-empty");
+        Ok((least, least != primary))
+    }
+
+    /// Which backend a request for `model` would be placed on right now
+    /// (no submission) — exposed for tests and operational introspection.
+    pub fn route(&self, model: &str) -> Result<String, RouteError> {
+        self.place(model).map(|(idx, _)| self.entries[idx].name.clone())
+    }
+
+    /// Place and submit one request. The model name in `opts` drives the
+    /// shard; requests without a model name hash the empty string (fine
+    /// for single-model clusters, where every backend serves it anyway).
+    pub fn submit(
+        &self,
+        image: Tensor3<i8>,
+        opts: SubmitOptions,
+    ) -> Result<RouteTicket, RouteError> {
+        let model = opts.model.clone().unwrap_or_default();
+        let (idx, spilled) = self.place(&model)?;
+        let entry = &self.entries[idx];
+        let ticket = match &entry.handle {
+            Backend::Local(client) => match client.submit_with(image, opts) {
+                Ok(ticket) => RouteTicketInner::Local(ticket),
+                Err(e) => {
+                    return Err(RouteError::Refused {
+                        backend: entry.name.clone(),
+                        message: e.to_string(),
+                    })
+                }
+            },
+            Backend::Remote(client) => match client.submit(image, opts) {
+                Ok(ticket) => RouteTicketInner::Remote(ticket),
+                Err(e) => {
+                    return Err(RouteError::Refused {
+                        backend: entry.name.clone(),
+                        message: e.to_string(),
+                    })
+                }
+            },
+        };
+        entry.routed.fetch_add(1, Ordering::Relaxed);
+        if spilled {
+            entry.spilled_in.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(RouteTicket { backend: entry.name.clone(), inner: ticket })
+    }
+
+    /// Snapshot the per-backend routing counters.
+    pub fn stats(&self) -> Vec<BackendStats> {
+        self.entries
+            .iter()
+            .map(|e| BackendStats {
+                name: e.name.clone(),
+                health: *e.health.lock().expect("health state poisoned"),
+                routed: e.routed.load(Ordering::Relaxed),
+                spilled_in: e.spilled_in.load(Ordering::Relaxed),
+                queue_depth: e.handle.queue_depth(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        assert_eq!(hash_str("mnist"), hash_str("mnist"));
+        assert_ne!(hash_str("mnist"), hash_str("cifar"));
+        // Vnode points of two backends interleave rather than clustering.
+        let mut points: Vec<(u64, usize)> = Vec::new();
+        for (idx, name) in ["a", "b"].iter().enumerate() {
+            for v in 0..16 {
+                points.push((hash_str(&format!("{name}/{v}")), idx));
+            }
+        }
+        points.sort_unstable();
+        let firsts = points.iter().filter(|&&(_, idx)| idx == 0).count();
+        assert_eq!(firsts, 16);
+        // At least one adjacency switches owners — i.e. not all of one
+        // backend's points before all of the other's.
+        assert!(points.windows(2).any(|w| w[0].1 != w[1].1));
+    }
+}

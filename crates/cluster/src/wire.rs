@@ -1,0 +1,480 @@
+//! The wire protocol: a versioned, length-prefixed binary frame format
+//! shared by [`crate::NetServer`] and [`crate::NetClient`].
+//!
+//! Layout on the wire (all integers big-endian):
+//!
+//! ```text
+//! [u32 body length] [body]
+//!
+//! body := magic "QN" (2) | version u8 | kind u8 | payload
+//!
+//! Request  payload: id u64 | priority u8 | deadline flag u8 |
+//!                   deadline µs u64 | model len u16 | model bytes |
+//!                   h u32 | w u32 | c u32 | pixels (h·w·c bytes, i8)
+//! Response payload: id u64 | weight version u64 | replica u32 |
+//!                   batch size u32 | logit count u32 | logits (i32 each)
+//! Error    payload: id u64 | code u8 | message len u16 | message bytes
+//! ```
+//!
+//! Responses are matched to requests by `id`, so a server may stream them
+//! **out of order** — the whole point of the per-request-id design: a
+//! slow batch never head-of-line-blocks a fast one on the same
+//! connection.
+//!
+//! Decoding is strict and total: every malformed input maps to a typed
+//! [`WireError`] (never a panic), and a frame must consume its body
+//! exactly ([`WireError::TrailingBytes`]). The length prefix is bounded
+//! by [`MAX_FRAME`] so a corrupt or hostile prefix cannot make the
+//! receiver allocate unbounded memory.
+
+use qnn_serve::Priority;
+use qnn_tensor::{Shape3, Tensor3};
+use std::fmt;
+
+/// First two bytes of every frame body.
+pub const MAGIC: [u8; 2] = *b"QN";
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Upper bound on a frame body, enforced before any allocation: large
+/// enough for a 2048×2048×16 i8 image, small enough to reject a hostile
+/// length prefix outright.
+pub const MAX_FRAME: usize = 1 << 26;
+
+/// Sentinel request id for errors not tied to any request (e.g. an
+/// undecodable frame).
+pub const NO_REQUEST: u64 = u64::MAX;
+
+/// Why a peer answered a request (or a whole connection) with an error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request's deadline passed before dispatch; it was shed.
+    DeadlineShed = 1,
+    /// The server stopped before answering.
+    Stopped = 2,
+    /// The named model is not registered on the server.
+    UnknownModel = 3,
+    /// The submission queue was full and the admission policy rejects.
+    Rejected = 4,
+    /// The request frame was malformed (bad shape, bad payload size, or
+    /// an undecodable frame — see the message text).
+    BadRequest = 5,
+    /// The server gave up waiting on the request (lost worker guard).
+    Timeout = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::DeadlineShed,
+            2 => ErrorCode::Stopped,
+            3 => ErrorCode::UnknownModel,
+            4 => ErrorCode::Rejected,
+            5 => ErrorCode::BadRequest,
+            6 => ErrorCode::Timeout,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed decode failure. Every variant is reachable from adversarial
+/// bytes; none of them panic or allocate past [`MAX_FRAME`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before the field being decoded.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The claimed body length.
+        len: usize,
+    },
+    /// The body does not start with [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The version byte is not [`VERSION`].
+    UnsupportedVersion(u8),
+    /// The kind byte names no known frame kind.
+    BadKind(u8),
+    /// The priority byte names no scheduling class.
+    BadPriority(u8),
+    /// The deadline flag byte is neither 0 nor 1.
+    BadDeadlineFlag(u8),
+    /// The error-code byte names no [`ErrorCode`].
+    BadErrorCode(u8),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// The pixel payload does not match the declared shape.
+    PayloadMismatch {
+        /// `h * w * c` from the declared shape.
+        expected: usize,
+        /// Pixel bytes present.
+        got: usize,
+    },
+    /// The body is longer than the frame it encodes.
+    TrailingBytes {
+        /// Bytes left over after the frame.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::Oversized { len } => {
+                write!(f, "length prefix {len} exceeds the {MAX_FRAME}-byte frame cap")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:?}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v} (speaking {VERSION})")
+            }
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadPriority(p) => write!(f, "unknown priority {p}"),
+            WireError::BadDeadlineFlag(d) => write!(f, "bad deadline flag {d}"),
+            WireError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::PayloadMismatch { expected, got } => {
+                write!(f, "pixel payload holds {got} bytes, shape demands {expected}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One inference request as it travels the wire.
+#[derive(Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Request id, assigned by the client; responses echo it.
+    pub id: u64,
+    /// Target model name (empty = the server's sole model).
+    pub model: String,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Relative latency budget in microseconds (`None` never sheds).
+    pub deadline_us: Option<u64>,
+    /// The image, shape-carrying.
+    pub image: Tensor3<i8>,
+}
+
+impl fmt::Debug for RequestFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RequestFrame")
+            .field("id", &self.id)
+            .field("model", &self.model)
+            .field("priority", &self.priority)
+            .field("deadline_us", &self.deadline_us)
+            .field("shape", &self.image.shape())
+            .finish()
+    }
+}
+
+/// One completed inference as it travels the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResponseFrame {
+    /// The request id this answers.
+    pub id: u64,
+    /// Weight version the batch ran on.
+    pub weight_version: u64,
+    /// Global replica id that executed the batch.
+    pub replica: u32,
+    /// Batch occupancy the request rode in.
+    pub batch_size: u32,
+    /// The image's logits.
+    pub logits: Vec<i32>,
+}
+
+/// A request (or connection) answered with an error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// The request id this answers, or [`NO_REQUEST`].
+    pub id: u64,
+    /// Machine-readable reason.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Any protocol frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Client → server.
+    Request(RequestFrame),
+    /// Server → client, success.
+    Response(ResponseFrame),
+    /// Server → client, failure.
+    Error(ErrorFrame),
+}
+
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_ERROR: u8 = 3;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+impl Frame {
+    /// Encode this frame as a body (no length prefix).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        match self {
+            Frame::Request(r) => {
+                out.push(KIND_REQUEST);
+                put_u64(&mut out, r.id);
+                out.push(match r.priority {
+                    Priority::Interactive => 0,
+                    Priority::Batch => 1,
+                });
+                out.push(u8::from(r.deadline_us.is_some()));
+                put_u64(&mut out, r.deadline_us.unwrap_or(0));
+                put_u16(&mut out, r.model.len() as u16);
+                out.extend_from_slice(r.model.as_bytes());
+                let shape = r.image.shape();
+                put_u32(&mut out, shape.h as u32);
+                put_u32(&mut out, shape.w as u32);
+                put_u32(&mut out, shape.c as u32);
+                out.extend(r.image.as_slice().iter().map(|&p| p as u8));
+            }
+            Frame::Response(r) => {
+                out.push(KIND_RESPONSE);
+                put_u64(&mut out, r.id);
+                put_u64(&mut out, r.weight_version);
+                put_u32(&mut out, r.replica);
+                put_u32(&mut out, r.batch_size);
+                put_u32(&mut out, r.logits.len() as u32);
+                for &l in &r.logits {
+                    out.extend_from_slice(&l.to_be_bytes());
+                }
+            }
+            Frame::Error(e) => {
+                out.push(KIND_ERROR);
+                put_u64(&mut out, e.id);
+                out.push(e.code as u8);
+                put_u16(&mut out, e.message.len() as u16);
+                out.extend_from_slice(e.message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Encode this frame with its length prefix — the exact byte sequence
+    /// a peer writes to the socket.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode a frame body (the bytes after the length prefix). Strict:
+    /// every byte of `body` must belong to the frame.
+    pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+        let mut cur = Cursor { buf: body, pos: 0 };
+        let magic = cur.take::<2>()?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = cur.u8()?;
+        if version != VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let kind = cur.u8()?;
+        let frame = match kind {
+            KIND_REQUEST => {
+                let id = cur.u64()?;
+                let priority = match cur.u8()? {
+                    0 => Priority::Interactive,
+                    1 => Priority::Batch,
+                    p => return Err(WireError::BadPriority(p)),
+                };
+                let deadline_us = match cur.u8()? {
+                    0 => {
+                        cur.u64()?;
+                        None
+                    }
+                    1 => Some(cur.u64()?),
+                    d => return Err(WireError::BadDeadlineFlag(d)),
+                };
+                let model_len = cur.u16()? as usize;
+                let model = String::from_utf8(cur.bytes(model_len)?.to_vec())
+                    .map_err(|_| WireError::BadUtf8)?;
+                let (h, w, c) = (cur.u32()? as usize, cur.u32()? as usize, cur.u32()? as usize);
+                let expected = h
+                    .checked_mul(w)
+                    .and_then(|hw| hw.checked_mul(c))
+                    .filter(|&n| n <= MAX_FRAME)
+                    .ok_or(WireError::PayloadMismatch {
+                        expected: usize::MAX,
+                        got: cur.remaining(),
+                    })?;
+                if cur.remaining() != expected {
+                    return Err(WireError::PayloadMismatch { expected, got: cur.remaining() });
+                }
+                let pixels: Vec<i8> =
+                    cur.bytes(expected)?.iter().map(|&b| b as i8).collect();
+                let image = Tensor3::from_vec(Shape3 { h, w, c }, pixels);
+                Frame::Request(RequestFrame { id, model, priority, deadline_us, image })
+            }
+            KIND_RESPONSE => {
+                let id = cur.u64()?;
+                let weight_version = cur.u64()?;
+                let replica = cur.u32()?;
+                let batch_size = cur.u32()?;
+                let count = cur.u32()? as usize;
+                // Bound-check before allocating: each logit is 4 bytes.
+                let needed = count.checked_mul(4).ok_or(WireError::Truncated {
+                    needed: usize::MAX,
+                    got: cur.remaining(),
+                })?;
+                if cur.remaining() < needed {
+                    return Err(WireError::Truncated { needed, got: cur.remaining() });
+                }
+                let mut logits = Vec::with_capacity(count);
+                for _ in 0..count {
+                    logits.push(i32::from_be_bytes(cur.take::<4>()?));
+                }
+                Frame::Response(ResponseFrame { id, weight_version, replica, batch_size, logits })
+            }
+            KIND_ERROR => {
+                let id = cur.u64()?;
+                let code = cur.u8()?;
+                let code = ErrorCode::from_u8(code).ok_or(WireError::BadErrorCode(code))?;
+                let msg_len = cur.u16()? as usize;
+                let message = String::from_utf8(cur.bytes(msg_len)?.to_vec())
+                    .map_err(|_| WireError::BadUtf8)?;
+                Frame::Error(ErrorFrame { id, code, message })
+            }
+            k => return Err(WireError::BadKind(k)),
+        };
+        if cur.remaining() != 0 {
+            return Err(WireError::TrailingBytes { extra: cur.remaining() });
+        }
+        Ok(frame)
+    }
+}
+
+/// Bounds-checked reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { needed: n, got: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        Ok(self.bytes(N)?.try_into().expect("length checked"))
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take::<2>()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take::<8>()?))
+    }
+}
+
+/// Incremental frame reassembly over a byte stream.
+///
+/// [`FrameBuffer::feed`] accepts arbitrary chunks (a TCP read boundary
+/// never aligns with frames) and [`FrameBuffer::next_frame`] yields each
+/// complete frame. A read timeout mid-frame therefore loses nothing: the
+/// partial bytes stay buffered until the rest arrives.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty reassembly buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames — non-zero at EOF
+    /// means the peer hung up mid-frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decode the next complete frame, `Ok(None)` while more bytes are
+    /// needed. An [`WireError::Oversized`] length prefix fails immediately
+    /// (before the body arrives); any decode error poisons only the one
+    /// frame — the buffer advances past it, though callers normally drop
+    /// the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized { len });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let body: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+        Frame::decode_body(&body).map(Some)
+    }
+
+    /// What an EOF at this point means: clean (`None`) or a frame cut off
+    /// mid-flight.
+    pub fn eof_error(&self) -> Option<WireError> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        if self.buf.len() >= 4 {
+            let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+            if len > MAX_FRAME {
+                return Some(WireError::Oversized { len });
+            }
+            return Some(WireError::Truncated { needed: 4 + len, got: self.buf.len() });
+        }
+        Some(WireError::Truncated { needed: 4, got: self.buf.len() })
+    }
+}

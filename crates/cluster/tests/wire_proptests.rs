@@ -1,0 +1,256 @@
+//! Wire-protocol properties: random frames round-trip bit-exactly through
+//! encode → chunked reassembly → decode, and adversarial byte streams —
+//! truncations, oversized length prefixes, unknown versions, flipped
+//! bytes, pure noise — always map to a typed [`WireError`], never a
+//! panic.
+
+use qnn_cluster::wire::{
+    ErrorCode, ErrorFrame, Frame, FrameBuffer, RequestFrame, ResponseFrame, WireError, MAX_FRAME,
+    VERSION,
+};
+use qnn_serve::Priority;
+use qnn_tensor::{Shape3, Tensor3};
+use qnn_testkit::prop::{any, vec};
+use qnn_testkit::{prop_assert, prop_assert_eq, props};
+
+/// Model-name palette: ASCII plus multibyte UTF-8, so the length-in-bytes
+/// vs length-in-chars distinction is exercised.
+const NAME_CHARS: &[char] = &['a', 'z', 'A', '0', '9', '-', '_', '.', 'µ', 'π', '名'];
+
+fn model_name(len: usize, seed: u64) -> String {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            NAME_CHARS[(s >> 33) as usize % NAME_CHARS.len()]
+        })
+        .collect()
+}
+
+/// Push `bytes` through a [`FrameBuffer`] in `chunk`-sized pieces —
+/// every frame must survive arbitrary TCP read boundaries.
+fn reassemble(bytes: &[u8], chunk: usize) -> Result<Vec<Frame>, WireError> {
+    let mut fb = FrameBuffer::new();
+    let mut frames = Vec::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        fb.feed(piece);
+        while let Some(frame) = fb.next_frame()? {
+            frames.push(frame);
+        }
+    }
+    assert_eq!(fb.pending(), 0, "whole-frame input must leave nothing buffered");
+    assert_eq!(fb.eof_error(), None);
+    Ok(frames)
+}
+
+props! {
+    /// Request frames round-trip through chunked reassembly bit-exactly.
+    #[test]
+    fn request_frames_round_trip(
+        id in any::<u64>(),
+        name_len in 0usize..24,
+        name_seed in any::<u64>(),
+        interactive in any::<bool>(),
+        has_deadline in any::<bool>(),
+        deadline_us in any::<u64>(),
+        (h, w, c) in (1usize..8, 1usize..8, 1usize..4),
+        pix_seed in any::<u64>(),
+        chunk in 1usize..48,
+    ) {
+        let image = Tensor3::from_fn(Shape3 { h, w, c }, |y, x, ch| {
+            (pix_seed as usize)
+                .wrapping_mul(31)
+                .wrapping_add(y * 131 + x * 17 + ch * 7) as i8
+        });
+        let frame = Frame::Request(RequestFrame {
+            id,
+            model: model_name(name_len, name_seed),
+            priority: if interactive { Priority::Interactive } else { Priority::Batch },
+            deadline_us: has_deadline.then_some(deadline_us),
+            image,
+        });
+        let decoded = reassemble(&frame.encode(), chunk).expect("well-formed");
+        prop_assert_eq!(decoded, vec![frame]);
+    }
+
+    /// Response frames round-trip, including empty logit vectors.
+    #[test]
+    fn response_frames_round_trip(
+        id in any::<u64>(),
+        weight_version in any::<u64>(),
+        replica in any::<u32>(),
+        batch_size in any::<u32>(),
+        logits in vec(-100_000i32..100_000, 0..40),
+        chunk in 1usize..48,
+    ) {
+        let frame = Frame::Response(ResponseFrame {
+            id, weight_version, replica, batch_size, logits,
+        });
+        let decoded = reassemble(&frame.encode(), chunk).expect("well-formed");
+        prop_assert_eq!(decoded, vec![frame]);
+    }
+
+    /// Error frames round-trip for every error code.
+    #[test]
+    fn error_frames_round_trip(
+        id in any::<u64>(),
+        code_pick in 0usize..6,
+        msg_len in 0usize..64,
+        msg_seed in any::<u64>(),
+        chunk in 1usize..48,
+    ) {
+        let code = [
+            ErrorCode::DeadlineShed,
+            ErrorCode::Stopped,
+            ErrorCode::UnknownModel,
+            ErrorCode::Rejected,
+            ErrorCode::BadRequest,
+            ErrorCode::Timeout,
+        ][code_pick];
+        let frame = Frame::Error(ErrorFrame {
+            id,
+            code,
+            message: model_name(msg_len, msg_seed),
+        });
+        let decoded = reassemble(&frame.encode(), chunk).expect("well-formed");
+        prop_assert_eq!(decoded, vec![frame]);
+    }
+
+    /// Several frames back to back on one stream all arrive, in order,
+    /// under any chunking.
+    #[test]
+    fn back_to_back_frames_reassemble(
+        n in 1usize..6,
+        seed in any::<u64>(),
+        chunk in 1usize..32,
+    ) {
+        let frames: Vec<Frame> = (0..n)
+            .map(|i| Frame::Error(ErrorFrame {
+                id: seed.wrapping_add(i as u64),
+                code: ErrorCode::Stopped,
+                message: model_name(i, seed),
+            }))
+            .collect();
+        let bytes: Vec<u8> = frames.iter().flat_map(|f| f.encode()).collect();
+        let decoded = reassemble(&bytes, chunk).expect("well-formed");
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Any strict prefix of a valid body fails with a typed error — and
+    /// never panics.
+    #[test]
+    fn truncated_bodies_yield_typed_errors(
+        cut_frac in 0u32..1000,
+        logit_count in 1usize..20,
+    ) {
+        let frame = Frame::Response(ResponseFrame {
+            id: 7,
+            weight_version: 3,
+            replica: 1,
+            batch_size: 4,
+            logits: (0..logit_count as i32).collect(),
+        });
+        let body = frame.encode_body();
+        let cut = (cut_frac as usize * body.len() / 1000).min(body.len() - 1);
+        let result = Frame::decode_body(&body[..cut]);
+        prop_assert!(result.is_err(), "prefix of {cut}/{} bytes decoded", body.len());
+    }
+
+    /// Pure noise never panics the decoder; it either decodes (vanishingly
+    /// unlikely but legal) or returns a typed error.
+    #[test]
+    fn random_bytes_never_panic(bytes in vec(any::<u8>(), 0..200)) {
+        let _ = Frame::decode_body(&bytes);
+        // Reaching here without a panic is the property.
+        prop_assert!(true);
+    }
+
+    /// Flipping one byte of a valid frame never panics the decoder.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        pos_frac in 0u32..1000,
+        flip in 1u16..256,
+    ) {
+        let frame = Frame::Request(RequestFrame {
+            id: 9,
+            model: "mnist".into(),
+            priority: Priority::Interactive,
+            deadline_us: Some(1500),
+            image: Tensor3::from_fn(Shape3::square(8, 3), |y, x, c| (y + x + c) as i8),
+        });
+        let mut body = frame.encode_body();
+        let pos = pos_frac as usize * body.len() / 1000;
+        let pos = pos.min(body.len() - 1);
+        body[pos] ^= flip as u8;
+        let _ = Frame::decode_body(&body);
+        prop_assert!(true);
+    }
+}
+
+#[test]
+fn oversized_length_prefix_fails_before_the_body_arrives() {
+    let mut fb = FrameBuffer::new();
+    let len = (MAX_FRAME + 1) as u32;
+    fb.feed(&len.to_be_bytes());
+    assert_eq!(fb.next_frame(), Err(WireError::Oversized { len: MAX_FRAME + 1 }));
+}
+
+#[test]
+fn unknown_version_is_rejected() {
+    let frame =
+        Frame::Error(ErrorFrame { id: 1, code: ErrorCode::Stopped, message: String::new() });
+    let mut body = frame.encode_body();
+    body[2] = VERSION + 1;
+    assert_eq!(Frame::decode_body(&body), Err(WireError::UnsupportedVersion(VERSION + 1)));
+}
+
+#[test]
+fn bad_magic_and_bad_kind_are_rejected() {
+    let frame =
+        Frame::Error(ErrorFrame { id: 1, code: ErrorCode::Stopped, message: String::new() });
+    let mut bad_magic = frame.encode_body();
+    bad_magic[0] = b'X';
+    assert!(matches!(Frame::decode_body(&bad_magic), Err(WireError::BadMagic(_))));
+    let mut bad_kind = frame.encode_body();
+    bad_kind[3] = 99;
+    assert_eq!(Frame::decode_body(&bad_kind), Err(WireError::BadKind(99)));
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let frame =
+        Frame::Error(ErrorFrame { id: 1, code: ErrorCode::Stopped, message: String::new() });
+    let mut body = frame.encode_body();
+    body.push(0);
+    assert_eq!(Frame::decode_body(&body), Err(WireError::TrailingBytes { extra: 1 }));
+}
+
+#[test]
+fn shape_payload_mismatch_is_rejected() {
+    let frame = Frame::Request(RequestFrame {
+        id: 1,
+        model: String::new(),
+        priority: Priority::Batch,
+        deadline_us: None,
+        image: Tensor3::from_fn(Shape3::square(8, 3), |_, _, _| 0),
+    });
+    let mut body = frame.encode_body();
+    // Shave one pixel off the payload: shape says 192, body holds 191.
+    body.pop();
+    assert_eq!(
+        Frame::decode_body(&body),
+        Err(WireError::PayloadMismatch { expected: 192, got: 191 })
+    );
+}
+
+#[test]
+fn eof_classification_distinguishes_clean_from_mid_frame() {
+    let mut fb = FrameBuffer::new();
+    assert_eq!(fb.eof_error(), None);
+    fb.feed(&[0, 0]);
+    assert_eq!(fb.eof_error(), Some(WireError::Truncated { needed: 4, got: 2 }));
+    let mut fb = FrameBuffer::new();
+    fb.feed(&8u32.to_be_bytes());
+    fb.feed(&[1, 2, 3]);
+    assert_eq!(fb.eof_error(), Some(WireError::Truncated { needed: 12, got: 7 }));
+}

@@ -15,6 +15,7 @@
 //! | [`hw`] | resource / cycle / power models and the GPU baseline |
 //! | [`data`] | synthetic datasets and teacher-agreement evaluation |
 //! | [`serve`] | multi-model serving runtime: registry, priority scheduling, hot weight swaps |
+//! | [`cluster`] | cluster serving: wire protocol, TCP edges, sharding router, replica autoscaler |
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@
 //! ```
 
 pub use dfe_platform as dfe;
+pub use qnn_cluster as cluster;
 pub use hw_model as hw;
 pub use qnn_compiler as compiler;
 pub use qnn_data as data;

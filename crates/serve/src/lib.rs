@@ -100,9 +100,9 @@ pub use config::{
 };
 pub use registry::{ModelRegistry, PublishError};
 pub use server::{
-    serve, Client, Dropped, ModelOptions, Response, Server, ServerBuilder, SubmitError,
-    SubmitOptions, Ticket, DEFAULT_MODEL,
+    serve, Client, Dropped, ModelOptions, ResizeError, Response, Server, ServerBuilder,
+    SubmitError, SubmitOptions, Ticket, DEFAULT_MODEL,
 };
 pub use stats::{
-    ClassStats, LatencySummary, ModelStats, ReplicaStats, RequestStats, ServerReport,
+    ClassStats, LatencySummary, LoadWindow, ModelStats, ReplicaStats, RequestStats, ServerReport,
 };

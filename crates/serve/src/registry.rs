@@ -11,8 +11,58 @@
 use qnn_compiler::ModelArtifact;
 use qnn_nn::Network;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Cap on buffered interactive-latency samples per model: the autoscaler
+/// drains the buffer every control tick, so the cap only bites when no
+/// one is sampling — old samples are dropped, newest kept.
+const LIVE_SAMPLE_CAP: usize = 1024;
+
+/// Live per-model load counters, updated on the request path and read by
+/// the autoscaler / cluster router between shutdown reports. All plain
+/// atomics except the latency sample buffer, which is a drained-on-read
+/// mutex-guarded vector (one short lock per completed interactive
+/// request).
+pub(crate) struct LiveCounters {
+    /// Requests admitted for this model (cumulative).
+    pub submitted: AtomicU64,
+    /// Requests answered with a response (cumulative).
+    pub completed: AtomicU64,
+    /// Requests shed at dispatch (cumulative).
+    pub shed: AtomicU64,
+    /// Current backlog: admitted but not yet answered or shed.
+    pub in_flight: AtomicU64,
+    /// Interactive end-to-end latencies since the last window read.
+    interactive: Mutex<Vec<Duration>>,
+}
+
+impl LiveCounters {
+    fn new() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            interactive: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Record one interactive completion latency.
+    pub fn push_interactive(&self, latency: Duration) {
+        let mut buf = self.interactive.lock().expect("live sample buffer poisoned");
+        if buf.len() >= LIVE_SAMPLE_CAP {
+            buf.remove(0);
+        }
+        buf.push(latency);
+    }
+
+    /// Drain the buffered interactive latencies (the window read).
+    pub fn take_interactive(&self) -> Vec<Duration> {
+        std::mem::take(&mut *self.interactive.lock().expect("live sample buffer poisoned"))
+    }
+}
 
 /// Why a weight publish was refused.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,13 +97,13 @@ pub(crate) struct ModelEntry {
     pub name: Arc<str>,
     /// Current weight snapshot; swapped wholesale by `publish`.
     current: Mutex<Arc<ModelArtifact>>,
-    /// Number of replica workers in this model's pool.
-    pub replicas: usize,
-    /// Global id of the pool's first replica (pools are numbered
-    /// contiguously in registration order).
-    pub first_replica: usize,
+    /// Number of replica workers currently in this model's pool
+    /// (atomic: pools resize at runtime via `Server::resize_pool`).
+    replicas: AtomicUsize,
     /// How many weight versions were published after registration.
     publishes: AtomicU64,
+    /// Live load counters for this model.
+    pub live: LiveCounters,
 }
 
 /// Maps model names to compiled artifacts and carries the swap protocol.
@@ -111,6 +161,21 @@ impl ModelRegistry {
         self.models[idx].publishes.load(Ordering::Relaxed)
     }
 
+    /// The live load counters of model `idx`.
+    pub(crate) fn live(&self, idx: usize) -> &LiveCounters {
+        &self.models[idx].live
+    }
+
+    /// Current pool size of model `idx`.
+    pub(crate) fn replicas(&self, idx: usize) -> usize {
+        self.models[idx].replicas.load(Ordering::Relaxed)
+    }
+
+    /// Record a pool resize (called by the batcher after reshaping).
+    pub(crate) fn set_replicas(&self, idx: usize, replicas: usize) {
+        self.models[idx].replicas.store(replicas, Ordering::Relaxed);
+    }
+
     /// Publish new parameters for `name`: subsequent batches run on the
     /// new weights, in-flight batches finish on the old ones. Returns the
     /// new weight version.
@@ -130,17 +195,12 @@ impl ModelRegistry {
     }
 }
 
-pub(crate) fn entry(
-    name: String,
-    artifact: Arc<ModelArtifact>,
-    replicas: usize,
-    first_replica: usize,
-) -> ModelEntry {
+pub(crate) fn entry(name: String, artifact: Arc<ModelArtifact>, replicas: usize) -> ModelEntry {
     ModelEntry {
         name: Arc::from(name),
         current: Mutex::new(artifact),
-        replicas,
-        first_replica,
+        replicas: AtomicUsize::new(replicas),
         publishes: AtomicU64::new(0),
+        live: LiveCounters::new(),
     }
 }

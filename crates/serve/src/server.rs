@@ -37,15 +37,19 @@
 
 use crate::config::{AdmissionPolicy, ConfigError, DispatchPolicy, Priority, ServerConfig};
 use crate::registry::{self, ModelRegistry, PublishError};
-use crate::stats::{ClassStats, LatencySummary, ModelStats, ReplicaStats, RequestStats, ServerReport};
+use crate::stats::{
+    ClassStats, LatencySummary, LoadWindow, ModelStats, ReplicaStats, RequestStats, ServerReport,
+};
 use qnn_compiler::{ArtifactCache, CompileOptions, Logits, ModelArtifact};
 use qnn_nn::Network;
 use qnn_tensor::Tensor3;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Model name the single-model [`serve`] shim registers.
@@ -169,6 +173,22 @@ impl Ticket {
         self.rx.recv().unwrap_or(Err(Dropped::Stopped))
     }
 
+    /// Bounded wait: block at most `timeout` for the request to resolve.
+    ///
+    /// `None` means the request is still in flight when the budget runs
+    /// out — the ticket stays redeemable, so callers (the TCP front-end in
+    /// particular) can retry or give up without hanging forever on a lost
+    /// worker. A ticket whose server has torn down resolves to
+    /// `Some(Err(Dropped::Stopped))`. A resolved ticket answers at most
+    /// once; later calls report `Dropped::Stopped`.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, Dropped>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resolution) => Some(resolution),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(Dropped::Stopped)),
+        }
+    }
+
     /// Non-blocking poll; `None` while the request is still in flight.
     pub fn try_wait(&self) -> Option<Result<Response, Dropped>> {
         self.rx.try_recv().ok()
@@ -213,6 +233,9 @@ impl SubmitOptions {
 struct Shared {
     registry: ModelRegistry,
     next_id: AtomicU64,
+    /// Global replica id allocator — replicas spawned by a pool resize get
+    /// fresh ids, so `RequestStats::replica` stays unique server-wide.
+    next_replica: AtomicU64,
     submitted: AtomicU64,
     rejected: AtomicU64,
     stopped: AtomicBool,
@@ -283,12 +306,28 @@ impl Client {
                     self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(SubmitError::QueueFull(Box::new(req.image)));
                 }
-                Err(TrySendError::Full(Msg::Shutdown)) => unreachable!("only clients queue requests"),
+                Err(TrySendError::Full(_)) => unreachable!("only requests use try_send"),
                 Err(TrySendError::Disconnected(_)) => return Err(SubmitError::Stopped),
             },
         }
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        // Per-model live window: offered load and backlog, sampled by the
+        // autoscaler (and any other saturation-aware router) while the
+        // server runs.
+        let live = self.shared.registry.live(model);
+        live.submitted.fetch_add(1, Ordering::Relaxed);
+        live.in_flight.fetch_add(1, Ordering::Relaxed);
         Ok(Ticket { id, rx })
+    }
+
+    /// Total backlog across every model: requests admitted but not yet
+    /// answered (queued, batching, or running). The saturation signal a
+    /// cluster router reads before spilling traffic to another backend.
+    pub fn queue_depth(&self) -> u64 {
+        let registry = &self.shared.registry;
+        (0..registry.len())
+            .map(|m| registry.live(m).in_flight.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -304,7 +343,24 @@ struct Request {
 
 enum Msg {
     Request(Request),
+    /// Wake the scheduling loop so it drains the control channel. Carries
+    /// no data itself — the actual command travels on the control channel,
+    /// which jumps the request FIFO (see [`Control`]).
+    Nudge,
     Shutdown,
+}
+
+/// Out-of-band commands to the batcher. These ride a dedicated unbounded
+/// channel rather than the request queue, because a control action must
+/// land *while* the pool is saturated — exactly when the request FIFO is
+/// deepest. The batcher drains this channel at the top of every scheduling
+/// iteration and inside every dispatch stall, so a resize takes effect
+/// within one retry beat even under a full backlog.
+enum Control {
+    /// Grow or shrink one model's replica pool to `replicas` workers.
+    /// Handled by the batcher (the sole owner of pool handles), ack'd with
+    /// `(old_size, new_size)` once the pool has the new shape.
+    Resize { model: usize, replicas: usize, ack: SyncSender<(usize, usize)> },
 }
 
 struct Batch {
@@ -319,13 +375,26 @@ struct Batch {
     requests: Vec<Request>,
 }
 
-/// Batcher-side view of one model's replica pool.
+/// One live replica worker, as the batcher sees it: its batch queue and
+/// its dispatch-side in-flight image counter.
+struct ReplicaSlot {
+    tx: SyncSender<Batch>,
+    in_flight: Arc<AtomicU64>,
+}
+
+/// Batcher-side view of one model's replica pool. Pools are resizable at
+/// runtime ([`Server::resize_pool`]): growing spawns fresh workers,
+/// shrinking drops a slot's sender so that worker drains its queue and
+/// exits.
 struct PoolHandle {
-    txs: Vec<SyncSender<Batch>>,
-    in_flight: Arc<Vec<AtomicU64>>,
+    slots: Vec<ReplicaSlot>,
     /// Round-robin cursor (per pool, so shard order is reproducible per
     /// model regardless of other models' traffic).
     seq: usize,
+    /// Synthetic per-batch busy time replicas of this pool inject
+    /// ([`ModelOptions::synthetic_delay`]); replicas added by a resize
+    /// inherit it, so scaling experiments stay apples-to-apples.
+    delay: Duration,
 }
 
 #[derive(Default)]
@@ -357,17 +426,55 @@ impl BatcherKnobs {
     }
 }
 
+/// How long a stalled dispatch sleeps between retries while every replica
+/// of the target pool is busy. Each retry beat re-drains the control
+/// channel, so this also bounds resize latency under saturation.
+const DISPATCH_RETRY: Duration = Duration::from_millis(1);
+
+/// Apply every queued control command. Called at the top of each batcher
+/// iteration and between dispatch retries, so pool reshapes land promptly
+/// regardless of how deep the request FIFO is.
+fn apply_control(
+    control: &Receiver<Control>,
+    pools: &mut [PoolHandle],
+    workers: &mut Vec<JoinHandle<WorkerOutput>>,
+    shared: &Arc<Shared>,
+) {
+    while let Ok(Control::Resize { model, replicas, ack }) = control.try_recv() {
+        let old = pools[model].slots.len();
+        while pools[model].slots.len() < replicas {
+            let delay = pools[model].delay;
+            let (slot, handle) = spawn_worker(shared, model, delay);
+            pools[model].slots.push(slot);
+            workers.push(handle);
+        }
+        // Shrink: dropping the slot's sender lets the worker drain any
+        // batch already queued to it, answer those requests, and exit;
+        // its join handle stays with the batcher for shutdown, so its
+        // counters still reach the final report.
+        while pools[model].slots.len() > replicas {
+            pools[model].slots.pop();
+        }
+        shared.registry.set_replicas(model, replicas);
+        let _ = ack.send((old, replicas));
+    }
+}
+
 /// Close `lane` into a batch: shed deadline-expired requests, pin the
 /// model's current weight snapshot, and dispatch to a pool replica.
+#[allow(clippy::too_many_arguments)] // the batcher's whole working set
 fn flush_lane(
     lane: &mut Lane,
-    pool: &mut PoolHandle,
+    pools: &mut [PoolHandle],
     model: usize,
     priority: Priority,
-    registry: &ModelRegistry,
+    control: &Receiver<Control>,
+    workers: &mut Vec<JoinHandle<WorkerOutput>>,
+    shared: &Arc<Shared>,
     dispatch: DispatchPolicy,
     stats: &mut BatcherStats,
 ) {
+    let registry = &shared.registry;
     lane.first_at = None;
     if lane.pending.is_empty() {
         return;
@@ -382,6 +489,9 @@ fn flush_lane(
         match req.deadline {
             Some(budget) if now.duration_since(req.submitted_at) > budget => {
                 stats.shed[model][priority.index()] += 1;
+                let live = registry.live(model);
+                live.shed.fetch_add(1, Ordering::Relaxed);
+                live.in_flight.fetch_sub(1, Ordering::Relaxed);
                 let _ = req.reply.send(Err(Dropped::Deadline));
             }
             _ => kept.push(req),
@@ -390,35 +500,60 @@ fn flush_lane(
     if kept.is_empty() {
         return;
     }
-    let target = match dispatch {
+    // Round-robin assigns a sequence slot once per batch (reproducible
+    // shard order); least-loaded re-picks on every retry, so a replica
+    // added by a mid-stall resize is targeted immediately.
+    let assigned = match dispatch {
         DispatchPolicy::RoundRobin => {
-            let t = pool.seq % pool.txs.len();
-            pool.seq += 1;
-            t
+            let s = pools[model].seq;
+            pools[model].seq += 1;
+            Some(s)
         }
-        // Fewest in-flight images wins, ties to the lowest id. The loads
-        // move underneath us (workers decrement as batches finish), but
-        // only the batcher increments, so the chosen replica can only be
-        // less loaded than observed.
-        DispatchPolicy::LeastLoaded => pool
-            .in_flight
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, load)| load.load(Ordering::Relaxed))
-            .map(|(i, _)| i)
-            .expect("at least one replica"),
+        DispatchPolicy::LeastLoaded => None,
     };
     let id = stats.batches;
     stats.batches += 1;
     stats.occupancy_sum += kept.len() as u64;
-    pool.in_flight[target].fetch_add(kept.len() as u64, Ordering::Relaxed);
+    let images = kept.len() as u64;
     let artifact = registry.current(model);
-    // Blocking send: if every replica of the pool is busy and its batch
-    // slot occupied, backpressure propagates through the batcher to the
-    // bounded submission queue and ultimately to the admission edge.
-    pool.txs[target]
-        .send(Batch { id, priority, artifact, requests: kept })
-        .unwrap_or_else(|_| panic!("model {model} replica {target} hung up before shutdown"));
+    let mut batch = Batch { id, priority, artifact, requests: kept };
+    loop {
+        let pool = &pools[model];
+        let target = match assigned {
+            Some(s) => s % pool.slots.len(),
+            // Fewest in-flight images wins, ties to the lowest id. The
+            // loads move underneath us (workers decrement as batches
+            // finish), but only the batcher increments, so the chosen
+            // replica can only be less loaded than observed.
+            None => pool
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, slot)| slot.in_flight.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("at least one replica"),
+        };
+        match pools[model].slots[target].tx.try_send(batch) {
+            Ok(()) => {
+                pools[model].slots[target].in_flight.fetch_add(images, Ordering::Relaxed);
+                return;
+            }
+            // Every replica busy and its batch slot occupied: backpressure
+            // propagates through the batcher to the bounded submission
+            // queue and ultimately to the admission edge. The stall stays
+            // control-responsive, so a scale-up can land mid-stall — the
+            // moment it is most needed — and the next retry targets the
+            // fresh, empty replica.
+            Err(TrySendError::Full(b)) => {
+                batch = b;
+                apply_control(control, pools, workers, shared);
+                thread::sleep(DISPATCH_RETRY);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                panic!("model {model} replica {target} hung up before shutdown")
+            }
+        }
+    }
 }
 
 /// Flush every lane whose class deadline has expired — interactive lanes
@@ -427,37 +562,59 @@ fn flush_lane(
 fn flush_expired(
     lanes: &mut [[Lane; 2]],
     pools: &mut [PoolHandle],
-    registry: &ModelRegistry,
+    control: &Receiver<Control>,
+    workers: &mut Vec<JoinHandle<WorkerOutput>>,
+    shared: &Arc<Shared>,
     knobs: &BatcherKnobs,
     stats: &mut BatcherStats,
 ) {
     let now = Instant::now();
     for priority in Priority::ALL {
-        for model in 0..lanes.len() {
-            let lane = &mut lanes[model][priority.index()];
+        for (model, pair) in lanes.iter_mut().enumerate() {
+            let lane = &mut pair[priority.index()];
             let expired = lane
                 .first_at
                 .is_some_and(|t0| now.duration_since(t0) >= knobs.deadline_of(priority));
             if expired {
-                flush_lane(lane, &mut pools[model], model, priority, registry, knobs.dispatch, stats);
+                flush_lane(
+                    lane,
+                    pools,
+                    model,
+                    priority,
+                    control,
+                    workers,
+                    shared,
+                    knobs.dispatch,
+                    stats,
+                );
             }
         }
     }
 }
 
 /// Assemble requests into per-(model, class) batches and dispatch them.
+///
+/// The batcher is also the pool supervisor: it owns every replica slot and
+/// every worker join handle (including workers retired by a shrink), so
+/// [`Control::Resize`] needs no lock around pool shape — it is applied on
+/// the scheduling loop, from a dedicated channel that jumps the request
+/// FIFO (drained each iteration and inside dispatch stalls). Returns its
+/// stats plus the handles of every worker it ever supervised, for the
+/// shutdown join.
 fn run_batcher(
     rx: Receiver<Msg>,
+    control: Receiver<Control>,
     mut pools: Vec<PoolHandle>,
+    mut workers: Vec<JoinHandle<WorkerOutput>>,
     shared: Arc<Shared>,
     knobs: BatcherKnobs,
-) -> BatcherStats {
+) -> (BatcherStats, Vec<JoinHandle<WorkerOutput>>) {
     let models = pools.len();
     let mut stats =
         BatcherStats { batches: 0, occupancy_sum: 0, shed: vec![[0; 2]; models] };
     let mut lanes: Vec<[Lane; 2]> = (0..models).map(|_| Default::default()).collect();
-    let registry = &shared.registry;
     loop {
+        apply_control(&control, &mut pools, &mut workers, &shared);
         // Wake at the earliest lane deadline: each lane's clock starts at
         // its *own* first queued request and runs against its *own* class
         // deadline (a partial interactive batch flushes on time even while
@@ -484,12 +641,15 @@ fn run_batcher(
                 }
                 lane.pending.push(req);
                 if lane.pending.len() >= knobs.max_batch {
+                    let lane = &mut lanes[model][priority.index()];
                     flush_lane(
                         lane,
-                        &mut pools[model],
+                        &mut pools,
                         model,
                         priority,
-                        registry,
+                        &control,
+                        &mut workers,
+                        &shared,
                         knobs.dispatch,
                         &mut stats,
                     );
@@ -498,26 +658,60 @@ fn run_batcher(
                 // timing out, so expired lanes are also checked after
                 // every message — without this, flood traffic in one lane
                 // would starve the deadline of every other lane.
-                flush_expired(&mut lanes, &mut pools, registry, &knobs, &mut stats);
+                flush_expired(
+                    &mut lanes,
+                    &mut pools,
+                    &control,
+                    &mut workers,
+                    &shared,
+                    &knobs,
+                    &mut stats,
+                );
+            }
+            Ok(Msg::Nudge) => {
+                // A control command was just posted; apply it now rather
+                // than waiting for the next natural wake-up.
+                apply_control(&control, &mut pools, &mut workers, &shared);
+                flush_expired(
+                    &mut lanes,
+                    &mut pools,
+                    &control,
+                    &mut workers,
+                    &shared,
+                    &knobs,
+                    &mut stats,
+                );
             }
             Err(RecvTimeoutError::Timeout) => {
-                flush_expired(&mut lanes, &mut pools, registry, &knobs, &mut stats);
+                flush_expired(
+                    &mut lanes,
+                    &mut pools,
+                    &control,
+                    &mut workers,
+                    &shared,
+                    &knobs,
+                    &mut stats,
+                );
             }
             Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                apply_control(&control, &mut pools, &mut workers, &shared);
                 for priority in Priority::ALL {
-                    for model in 0..models {
+                    for (model, pair) in lanes.iter_mut().enumerate() {
+                        let lane = &mut pair[priority.index()];
                         flush_lane(
-                            &mut lanes[model][priority.index()],
-                            &mut pools[model],
+                            lane,
+                            &mut pools,
                             model,
                             priority,
-                            registry,
+                            &control,
+                            &mut workers,
+                            &shared,
                             knobs.dispatch,
                             &mut stats,
                         );
                     }
                 }
-                return stats;
+                return (stats, workers);
             }
         }
     }
@@ -535,20 +729,42 @@ struct WorkerOutput {
     samples: Vec<Sample>,
 }
 
+/// Spawn one replica worker for `model_idx`, wired to a fresh depth-1
+/// batch queue and a fresh in-flight counter. Used both at server start
+/// and by the batcher when a resize grows a pool.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    model_idx: usize,
+    synthetic_delay: Duration,
+) -> (ReplicaSlot, JoinHandle<WorkerOutput>) {
+    let name = Arc::clone(&shared.registry.entry(model_idx).name);
+    let global_id = shared.next_replica.fetch_add(1, Ordering::Relaxed) as usize;
+    // Depth 1: one batch may queue while the previous one runs, so a
+    // replica never idles between back-to-back batches, but the batcher
+    // cannot run arbitrarily far ahead of slow replicas.
+    let (tx, rx) = sync_channel::<Batch>(1);
+    let in_flight = Arc::new(AtomicU64::new(0));
+    let load = Arc::clone(&in_flight);
+    let shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || {
+        run_worker(shared, model_idx, name, global_id, rx, load, synthetic_delay)
+    });
+    (ReplicaSlot { tx, in_flight }, handle)
+}
+
 /// Execute batches on one pool replica until its queue disconnects
-/// (drain). `in_flight[pool_slot]` is this replica's dispatch-side image
-/// count: decremented once a batch is fully answered, so the batcher's
+/// (drain). `in_flight` is this replica's dispatch-side image count:
+/// decremented once a batch is fully answered, so the batcher's
 /// least-loaded view covers queued *and* running work. `synthetic_delay`
 /// injects extra busy time per batch (test/bench knob modeling a slow
 /// card).
-#[allow(clippy::too_many_arguments)]
 fn run_worker(
+    shared: Arc<Shared>,
     model_idx: usize,
     model: Arc<str>,
     global_id: usize,
-    pool_slot: usize,
     rx: Receiver<Batch>,
-    in_flight: Arc<Vec<AtomicU64>>,
+    in_flight: Arc<AtomicU64>,
     synthetic_delay: Duration,
 ) -> WorkerOutput {
     let mut out = WorkerOutput {
@@ -582,10 +798,19 @@ fn run_worker(
         out.stats.busy += busy;
         out.stats.cycles += sim.cycles();
         let n = requests.len();
+        let live = shared.registry.live(model_idx);
         for (i, req) in requests.into_iter().enumerate() {
             let queue_wait = started.saturating_duration_since(req.submitted_at);
             let latency = req.submitted_at.elapsed();
             out.samples.push(Sample { priority, queue_wait, latency });
+            // Feed the model's live window: completions, backlog, and the
+            // interactive-latency samples the autoscaler's control law
+            // reads between reports.
+            live.completed.fetch_add(1, Ordering::Relaxed);
+            live.in_flight.fetch_sub(1, Ordering::Relaxed);
+            if priority == Priority::Interactive {
+                live.push_interactive(latency);
+            }
             let response = Response {
                 id: req.id,
                 model: model.to_string(),
@@ -605,7 +830,7 @@ fn run_worker(
             // as completed (the work was done).
             let _ = req.reply.send(Ok(response));
         }
-        in_flight[pool_slot].fetch_sub(n as u64, Ordering::Relaxed);
+        in_flight.fetch_sub(n as u64, Ordering::Relaxed);
     }
     out
 }
@@ -619,6 +844,13 @@ pub struct ModelOptions {
     pub replicas: Option<usize>,
     /// Compile options for this model (defaults to `config.compile`).
     pub compile: Option<CompileOptions>,
+    /// Test/bench knob: uniform extra busy time per batch on *every*
+    /// replica of this pool — including replicas added later by
+    /// [`Server::resize_pool`], which the per-slot
+    /// [`ServerConfig::synthetic_replica_delay`] vector cannot describe.
+    /// Models a card whose service time dominates host compute, so
+    /// autoscaling behaviour is reproducible on any host.
+    pub synthetic_delay: Option<Duration>,
 }
 
 impl ModelOptions {
@@ -636,6 +868,12 @@ impl ModelOptions {
     /// Override this model's compile options.
     pub fn compile(mut self, compile: CompileOptions) -> Self {
         self.compile = Some(compile);
+        self
+    }
+
+    /// Uniform synthetic per-batch busy time for this pool's replicas.
+    pub fn synthetic_delay(mut self, delay: Duration) -> Self {
+        self.synthetic_delay = Some(delay);
         self
     }
 }
@@ -688,8 +926,7 @@ impl ServerBuilder {
 
         let mut cache = ArtifactCache::new();
         let mut entries = Vec::with_capacity(self.models.len());
-        let mut pool_sizes = Vec::with_capacity(self.models.len());
-        let mut first_replica = 0usize;
+        let mut pool_specs = Vec::with_capacity(self.models.len());
         for (name, net, opts) in &self.models {
             let replicas = opts.replicas.unwrap_or(config.replicas);
             if replicas == 0 {
@@ -697,48 +934,41 @@ impl ServerBuilder {
             }
             let compile = opts.compile.as_ref().unwrap_or(&config.compile);
             let artifact = cache.get_or_compile(name, net, compile);
-            entries.push(registry::entry(name.clone(), artifact, replicas, first_replica));
-            pool_sizes.push(replicas);
-            first_replica += replicas;
+            entries.push(registry::entry(name.clone(), artifact, replicas));
+            pool_specs.push((replicas, opts.synthetic_delay));
         }
         let shared = Arc::new(Shared {
             registry: ModelRegistry::new(entries),
             next_id: AtomicU64::new(0),
+            next_replica: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             stopped: AtomicBool::new(false),
         });
 
-        let mut pools = Vec::with_capacity(pool_sizes.len());
+        let mut pools = Vec::with_capacity(pool_specs.len());
         let mut workers = Vec::new();
-        for (model_idx, &replicas) in pool_sizes.iter().enumerate() {
-            let entry = shared.registry.entry(model_idx);
-            let in_flight: Arc<Vec<AtomicU64>> =
-                Arc::new((0..replicas).map(|_| AtomicU64::new(0)).collect());
-            let mut txs = Vec::with_capacity(replicas);
+        for (model_idx, &(replicas, model_delay)) in pool_specs.iter().enumerate() {
+            let mut slots = Vec::with_capacity(replicas);
             for slot in 0..replicas {
-                // Depth 1: one batch may queue while the previous one
-                // runs, so a replica never idles between back-to-back
-                // batches, but the batcher cannot run arbitrarily far
-                // ahead of slow replicas.
-                let (tx, rx) = sync_channel::<Batch>(1);
-                txs.push(tx);
-                let name = Arc::clone(&entry.name);
-                let loads = Arc::clone(&in_flight);
-                let delay = config
-                    .synthetic_replica_delay
-                    .get(slot)
-                    .copied()
-                    .unwrap_or(Duration::ZERO);
-                let global_id = entry.first_replica + slot;
-                workers.push(std::thread::spawn(move || {
-                    run_worker(model_idx, name, global_id, slot, rx, loads, delay)
-                }));
+                // Per-slot delays come from the legacy config vector
+                // unless the model sets a uniform pool-wide delay.
+                let delay = model_delay.unwrap_or_else(|| {
+                    config.synthetic_replica_delay.get(slot).copied().unwrap_or(Duration::ZERO)
+                });
+                let (replica_slot, handle) = spawn_worker(&shared, model_idx, delay);
+                slots.push(replica_slot);
+                workers.push(handle);
             }
-            pools.push(PoolHandle { txs, in_flight, seq: 0 });
+            pools.push(PoolHandle {
+                slots,
+                seq: 0,
+                delay: model_delay.unwrap_or(Duration::ZERO),
+            });
         }
 
         let (sub_tx, sub_rx) = sync_channel::<Msg>(config.queue_depth);
+        let (control_tx, control_rx) = channel::<Control>();
         let knobs = BatcherKnobs {
             max_batch: config.max_batch,
             flush_deadline: config.flush_deadline,
@@ -746,15 +976,16 @@ impl ServerBuilder {
             dispatch: config.dispatch,
         };
         let batcher_shared = Arc::clone(&shared);
-        let batcher =
-            std::thread::spawn(move || run_batcher(sub_rx, pools, batcher_shared, knobs));
+        let batcher = std::thread::spawn(move || {
+            run_batcher(sub_rx, control_rx, pools, workers, batcher_shared, knobs)
+        });
 
         Ok(Server {
             shared,
             tx: sub_tx,
+            control_tx,
             admission: config.admission,
             batcher,
-            workers,
             started: Instant::now(),
         })
     }
@@ -768,9 +999,11 @@ impl ServerBuilder {
 pub struct Server {
     shared: Arc<Shared>,
     tx: SyncSender<Msg>,
+    /// Out-of-band command lane to the batcher ([`Control`]); commands on
+    /// it jump the request FIFO.
+    control_tx: Sender<Control>,
     admission: AdmissionPolicy,
-    batcher: JoinHandle<BatcherStats>,
-    workers: Vec<JoinHandle<WorkerOutput>>,
+    batcher: JoinHandle<(BatcherStats, Vec<JoinHandle<WorkerOutput>>)>,
     started: Instant,
 }
 
@@ -808,6 +1041,55 @@ impl Server {
         self.shared.registry.publish(model, net)
     }
 
+    /// Resize `model`'s replica pool to `replicas` workers — the hook the
+    /// cluster autoscaler drives. Growing spawns fresh workers (sharing
+    /// the pool's current artifact through the registry); shrinking
+    /// retires the highest-numbered slots, each retired worker draining
+    /// any batch already queued to it before exiting. Returns
+    /// `(old_size, new_size)` once the pool has the new shape.
+    pub fn resize_pool(&self, model: &str, replicas: usize) -> Result<(usize, usize), ResizeError> {
+        if replicas == 0 {
+            return Err(ResizeError::ZeroReplicas);
+        }
+        let idx = self
+            .shared
+            .registry
+            .resolve(model)
+            .ok_or_else(|| ResizeError::UnknownModel(model.to_string()))?;
+        let (ack, rx) = sync_channel(1);
+        self.control_tx
+            .send(Control::Resize { model: idx, replicas, ack })
+            .map_err(|_| ResizeError::Stopped)?;
+        // Wake the batcher if it is parked on an empty request queue. A
+        // full queue is fine to skip: a busy batcher re-drains the control
+        // channel every scheduling iteration and every dispatch retry.
+        let _ = self.tx.try_send(Msg::Nudge);
+        rx.recv().map_err(|_| ResizeError::Stopped)
+    }
+
+    /// A live load sample for `model`: cumulative offered/completed
+    /// counts, current backlog, pool size, and the interactive-latency
+    /// summary of the window since the previous call (the call drains the
+    /// sample buffer). This is the signal the replica autoscaler's control
+    /// loop runs on — available while the server runs, unlike the
+    /// [`ServerReport`] which only exists after shutdown.
+    pub fn load_window(&self, model: &str) -> Option<LoadWindow> {
+        let registry = &self.shared.registry;
+        let idx = registry.resolve(model)?;
+        let live = registry.live(idx);
+        let samples = live.take_interactive();
+        Some(LoadWindow {
+            model: model.to_string(),
+            replicas: registry.replicas(idx),
+            submitted: live.submitted.load(Ordering::Relaxed),
+            completed: live.completed.load(Ordering::Relaxed),
+            shed: live.shed.load(Ordering::Relaxed),
+            in_flight: live.in_flight.load(Ordering::Relaxed),
+            interactive_samples: samples.len(),
+            interactive: LatencySummary::from_samples("interactive", samples),
+        })
+    }
+
     /// Stop admission, drain every in-flight batch, join all threads, and
     /// return the aggregate report.
     ///
@@ -819,9 +1101,8 @@ impl Server {
         // FIFO marker: everything already in the queue is processed first.
         let _ = self.tx.send(Msg::Shutdown);
         drop(self.tx);
-        let batcher_stats = self.batcher.join().expect("batcher thread panicked");
-        let outputs: Vec<WorkerOutput> = self
-            .workers
+        let (batcher_stats, workers) = self.batcher.join().expect("batcher thread panicked");
+        let outputs: Vec<WorkerOutput> = workers
             .into_iter()
             .map(|h| h.join().expect("replica worker panicked"))
             .collect();
@@ -829,6 +1110,32 @@ impl Server {
         build_report(&self.shared, batcher_stats, outputs, wall)
     }
 }
+
+/// Why a [`Server::resize_pool`] call was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResizeError {
+    /// No model of that name is registered.
+    UnknownModel(String),
+    /// Pools need at least one replica; drain a model by removing its
+    /// traffic, not by resizing to zero.
+    ZeroReplicas,
+    /// The server tore down before acknowledging the resize.
+    Stopped,
+}
+
+impl fmt::Display for ResizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResizeError::UnknownModel(name) => {
+                write!(f, "no model named {name:?} is registered")
+            }
+            ResizeError::ZeroReplicas => write!(f, "pools need at least one replica"),
+            ResizeError::Stopped => write!(f, "server stopped before acknowledging resize"),
+        }
+    }
+}
+
+impl std::error::Error for ResizeError {}
 
 fn build_report(
     shared: &Shared,
@@ -878,7 +1185,7 @@ fn build_report(
         }
         per_model.push(ModelStats {
             model: entry.name.to_string(),
-            replicas: entry.replicas,
+            replicas: registry.replicas(m),
             completed: m_completed,
             shed: m_shed,
             weight_publishes: registry.publishes(m),
@@ -905,7 +1212,9 @@ fn build_report(
         .collect();
 
     ServerReport {
-        replicas: (0..models).map(|m| registry.entry(m).replicas).sum(),
+        // Final pool sizes (a resize changes these); retired workers still
+        // appear in `per_replica` with the counters they accumulated.
+        replicas: (0..models).map(|m| registry.replicas(m)).sum(),
         submitted: shared.submitted.load(Ordering::Relaxed),
         completed,
         rejected: shared.rejected.load(Ordering::Relaxed),

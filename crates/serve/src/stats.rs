@@ -85,6 +85,35 @@ impl LatencySummary {
     }
 }
 
+/// One live load sample for a model, returned by
+/// [`crate::Server::load_window`] *while the server runs* — the signal the
+/// replica autoscaler's control loop consumes. Counter fields are
+/// cumulative (diff two windows for rates); the latency summary covers
+/// only the interval since the previous window read.
+#[derive(Clone, Debug)]
+pub struct LoadWindow {
+    /// Model name.
+    pub model: String,
+    /// Current replica pool size.
+    pub replicas: usize,
+    /// Requests admitted for this model since server start.
+    pub submitted: u64,
+    /// Requests answered with a response since server start.
+    pub completed: u64,
+    /// Requests shed at dispatch since server start.
+    pub shed: u64,
+    /// Current backlog: admitted but not yet answered or shed. The
+    /// saturation signal — a backlog persistently above the pool's
+    /// capacity means the model needs more replicas (or a router should
+    /// spill its traffic).
+    pub in_flight: u64,
+    /// Interactive completions inside this window.
+    pub interactive_samples: usize,
+    /// Interactive end-to-end latency over this window (`None` when no
+    /// interactive request completed in it).
+    pub interactive: Option<LatencySummary>,
+}
+
 /// Completed/shed counts and latency for one scheduling class.
 #[derive(Clone, Debug)]
 pub struct ClassStats {

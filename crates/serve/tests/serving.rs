@@ -6,8 +6,8 @@
 use qnn_compiler::{run_images, CompileOptions};
 use qnn_nn::{models, Network};
 use qnn_serve::{
-    serve, AdmissionPolicy, ConfigError, DispatchPolicy, ModelOptions, Priority, Server,
-    ServerConfig, SubmitError, SubmitOptions, Ticket,
+    serve, AdmissionPolicy, ConfigError, DispatchPolicy, ModelOptions, Priority, ResizeError,
+    Server, ServerConfig, SubmitError, SubmitOptions, Ticket,
 };
 use qnn_tensor::{Shape3, Tensor3};
 use qnn_testkit::Rng;
@@ -439,4 +439,81 @@ fn builder_rejects_invalid_registrations_with_typed_errors() {
             .start(),
         Err(ConfigError::ZeroReplicas)
     ));
+}
+
+#[test]
+fn ticket_wait_timeout_reports_pending_then_delivers() {
+    let net = net();
+    let server = Server::builder()
+        .config(ServerConfig { replicas: 1, max_batch: 1, ..ServerConfig::default() })
+        .model_with(
+            "m",
+            &net,
+            ModelOptions::new().replicas(1).synthetic_delay(Duration::from_millis(120)),
+        )
+        .start()
+        .expect("start");
+    let client = server.client();
+
+    let ticket = client.submit(image(8, 5)).expect("admitted");
+    // Well before the synthetic service time: the poll must return None
+    // without consuming the eventual response.
+    assert!(ticket.wait_timeout(Duration::ZERO).is_none(), "instant poll can't have an answer");
+    assert!(
+        ticket.wait_timeout(Duration::from_millis(1)).is_none(),
+        "short poll can't have an answer"
+    );
+    // Generous bound: the same ticket still delivers the real response.
+    let resp = ticket
+        .wait_timeout(Duration::from_secs(20))
+        .expect("response within bound")
+        .expect("answered");
+    assert_eq!(resp.logits, net.forward(&image(8, 5)).logits);
+    server.shutdown();
+}
+
+#[test]
+fn resize_pool_lands_while_the_pool_is_saturated() {
+    let net = net();
+    let server = Server::builder()
+        .config(ServerConfig { max_batch: 1, ..ServerConfig::default() })
+        .model_with(
+            "m",
+            &net,
+            ModelOptions::new().replicas(1).synthetic_delay(Duration::from_millis(100)),
+        )
+        .start()
+        .expect("start");
+    let client = server.client();
+
+    // Typed refusals first.
+    assert_eq!(server.resize_pool("nope", 2), Err(ResizeError::UnknownModel("nope".into())));
+    assert_eq!(server.resize_pool("m", 0), Err(ResizeError::ZeroReplicas));
+
+    // Bury the single replica under a backlog (~30 × 100 ms of work),
+    // then resize. The resize must take effect while that backlog is
+    // still queued — not after it drains — or an autoscaler could never
+    // relieve the very saturation that triggered it.
+    let held: Vec<Ticket> =
+        (0..30).map(|i| client.submit(image(8, 100 + i)).expect("admitted")).collect();
+    let resized_in = {
+        let t0 = std::time::Instant::now();
+        assert_eq!(server.resize_pool("m", 3), Ok((1, 3)));
+        t0.elapsed()
+    };
+    assert!(
+        resized_in < Duration::from_millis(1500),
+        "resize waited for the backlog to drain: {resized_in:?}"
+    );
+    assert_eq!(server.load_window("m").expect("known model").replicas, 3);
+
+    // Shrink back below the backlog too, then drain everything: no
+    // request may be lost across either reshape.
+    assert_eq!(server.resize_pool("m", 2), Ok((3, 2)));
+    for t in held {
+        t.wait().expect("survives both reshapes");
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 30);
+    assert_eq!(report.rejected + report.shed, 0);
 }
