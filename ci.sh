@@ -19,6 +19,11 @@
 #   ci.sh release-tests  NOT tier-1: the `#[ignore]`d ImageNet/STL-scale
 #                        full-network runs, in release (minutes, not
 #                        tier-1 seconds).
+#   ci.sh dse            NOT tier-1 (but fast): the folding/FIFO design-
+#                        space batteries in release — the DSE frontier
+#                        differential suite and the fold-model
+#                        monotonicity properties — at the tier-1 case
+#                        count (soak reruns both at 1024).
 #   ci.sh net            NOT tier-1 (but fast): the loopback-TCP cluster
 #                        suites in release — wire protocol properties,
 #                        edge/router/autoscaler integration. Loopback
@@ -53,9 +58,20 @@ if [[ "${1:-}" == "soak" ]]; then
   run cargo test -q --release --offline -p qnn --test scheduler_equivalence
   run cargo test -q --release --offline -p qnn --test conv_datapath_equivalence
   run cargo test -q --release --offline -p qnn --test macro_tick_equivalence
+  run cargo test -q --release --offline -p qnn --test dse_frontier
+  run cargo test -q --release --offline -p hw-model --test folding_monotonic
   run cargo test -q --release --offline -p qnn --test serve_multimodel
   run cargo test -q --release --offline -p qnn-cluster --test wire_proptests
   echo "ci.sh soak: all green"
+  exit 0
+fi
+
+if [[ "${1:-}" == "dse" ]]; then
+  export QNN_TEST_CASES="${QNN_TEST_CASES:-64}"
+  echo "ci.sh dse: QNN_TEST_CASES=$QNN_TEST_CASES QNN_TEST_SEED=${QNN_TEST_SEED:-<default>}"
+  run cargo test -q --release --offline -p hw-model --test folding_monotonic
+  run cargo test -q --release --offline -p qnn --test dse_frontier
+  echo "ci.sh dse: all green"
   exit 0
 fi
 
@@ -84,7 +100,7 @@ if [[ "${1:-}" == "bench-smoke" ]]; then
   export QNN_BENCH_QUICK=1
   for bench in table3_networks fig5_runtime fig6_resources fig7_fig8_power_energy \
                ablations kernels_micro scheduler_overhead serve_throughput conv_datapath \
-               macro_tick; do
+               macro_tick dse_frontier; do
     run cargo bench -q --offline -p qnn-bench --bench "$bench"
   done
   echo "ci.sh bench-smoke: all green"

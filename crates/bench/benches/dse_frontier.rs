@@ -1,0 +1,96 @@
+//! DSE frontier bench: the picked ResNet-18 design point vs the uniform
+//! default, end-to-end on the cycle simulator.
+//!
+//! Unlike the wall-clock benches, the figure of merit here is *simulated
+//! device cycles* — a deterministic count, so the speedup assertion holds
+//! in quick mode too (`QNN_BENCH_QUICK=1` only skips the extra frontier
+//! context rows, not the headline comparison). The ≥1.15× floor backs the
+//! PR's acceptance criterion: a balanced folding + FIFO assignment from
+//! `dse::pick` must measurably beat uniform folding at ImageNet scale,
+//! with bit-identical logits.
+
+use qnn::compiler::dse::{explore, pick, DseConfig, ResourceBudget};
+use qnn::compiler::{run_images, CompileOptions};
+use qnn::data::Dataset;
+use qnn::dfe::STRATIX_10_GX2800;
+use qnn::hw::CycleModel;
+use qnn::nn::{models, Network};
+use qnn_bench::render_table;
+use qnn_testkit::Bench;
+
+fn main() {
+    let spec = models::resnet18(1000);
+    let budget = ResourceBudget::new(STRATIX_10_GX2800, 2);
+    let point = pick(&spec, &budget).expect("resnet18 must fit two Stratix 10");
+    let analytic = CycleModel::analyze_folded(&spec, &point.folding).latency();
+
+    let net = Network::random(spec.clone(), 3);
+    let images = Dataset {
+        name: "bench",
+        side: 224,
+        classes: 1000,
+    }
+    .images(1);
+
+    let uniform = run_images(&net, &images, &CompileOptions::default()).expect("uniform sim");
+    let folded = run_images(&net, &images, &point.compile_options()).expect("folded sim");
+    assert_eq!(
+        uniform.logits, folded.logits,
+        "the picked design point must be bit-identical to the uniform default"
+    );
+
+    let speedup = uniform.cycles() as f64 / folded.cycles() as f64;
+    let rows = vec![
+        vec![
+            "uniform default".to_string(),
+            format!("{}", uniform.cycles()),
+            "-".to_string(),
+            "1.00x".to_string(),
+        ],
+        vec![
+            format!("picked (fifo={}, {} dev)", point.fifo_capacity, point.num_devices()),
+            format!("{}", folded.cycles()),
+            format!("{analytic}"),
+            format!("{speedup:.2}x"),
+        ],
+    ];
+    println!(
+        "\n== DSE frontier: ResNet-18 @224, simulated device cycles ==\n{}",
+        render_table(&["config", "sim cycles", "analytic", "speedup"], &rows)
+    );
+
+    if !Bench::quick_mode() {
+        // Context: the Pareto frontier the pick came from.
+        let frontier = explore(&spec, &budget, &DseConfig::default());
+        let rows: Vec<Vec<String>> = frontier
+            .top(5)
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.est_latency),
+                    format!("{}", p.est_period),
+                    format!("{}", p.fifo_capacity),
+                    format!("{}", p.num_devices()),
+                    format!("{:.2}", p.utilization),
+                ]
+            })
+            .collect();
+        println!(
+            "== Pareto frontier (fastest 5) ==\n{}",
+            render_table(
+                &["est latency", "est period", "fifo", "devices", "util"],
+                &rows
+            )
+        );
+    }
+
+    assert!(
+        speedup >= 1.15,
+        "picked ResNet-18 design point should be >=1.15x over the uniform \
+         default in simulated cycles, got {speedup:.2}x \
+         ({} vs {} cycles, plan {:?})",
+        folded.cycles(),
+        uniform.cycles(),
+        point.folding
+    );
+}

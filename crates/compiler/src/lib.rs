@@ -15,12 +15,15 @@
 //! scheduler or across devices under the threaded executor — with
 //! bit-identical results.
 
+pub mod dse;
 pub mod lower;
 pub mod partition;
 pub mod replicate;
 pub mod run;
 
-pub use lower::{compile, CompileOptions, CompiledNetwork};
+pub use dse::{explore, DesignPoint, DseConfig, Frontier, ResourceBudget};
+pub use hw_model::{Fold, FoldPlan};
+pub use lower::{compile, try_compile, validate_options, CompileOptions, CompiledNetwork, OptionsError};
 pub use partition::{partition, partition_balanced, Partition, PartitionError};
 pub use replicate::{compile_replicas, ArtifactCache, ModelArtifact, Replica, SpecMismatch};
 pub use run::{run_image, run_images, Logits, SimResult};

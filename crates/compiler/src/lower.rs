@@ -4,6 +4,7 @@ use dfe_platform::threaded::link;
 use dfe_platform::{
     Graph, HostSink, HostSource, Kernel, SchedulerMode, SinkHandle, StreamId, StreamSpec,
 };
+use hw_model::{Fold, FoldPlan};
 use qnn_kernels::loader::encode_conv_params;
 use qnn_kernels::{
     AddKernel, ConvDatapath, ConvKernel, DotMode, PadInserter, PoolKernel, PoolOp, SplitKernel,
@@ -47,6 +48,18 @@ pub struct CompileOptions {
     /// off are bit-identical in outputs and reports; the default follows
     /// `QNN_MACRO_TICKS` (on when unset).
     pub macro_ticks: bool,
+    /// Per-layer folding overrides, keyed by the lowering's stage labels
+    /// (`conv0`, `pool1`, `fc5`, `res2.conv1`, `res3.ds`, …). Layers not
+    /// mentioned run unfolded. Folding changes per-cycle lane widths only,
+    /// never element order, so logits are bit-identical at any setting.
+    /// Unknown labels and zero factors are rejected by [`try_compile`].
+    pub layer_folding: FoldPlan,
+    /// Per-stream FIFO capacity overrides, keyed by full stream name
+    /// (`image`, `conv0.out`, `res2.skipbuf`, …). Streams not mentioned
+    /// use `fifo_capacity` (or their structural default, e.g. skip
+    /// buffers). Unknown names and zero capacities are rejected by
+    /// [`try_compile`].
+    pub fifo_overrides: Vec<(String, usize)>,
 }
 
 impl Default for CompileOptions {
@@ -59,9 +72,45 @@ impl Default for CompileOptions {
             scheduler: SchedulerMode::default(),
             conv_datapath: ConvDatapath::default(),
             macro_ticks: dfe_platform::macro_ticks_default(),
+            layer_folding: FoldPlan::new(),
+            fifo_overrides: Vec::new(),
         }
     }
 }
+
+/// A rejected [`CompileOptions`] override (see [`try_compile`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptionsError {
+    /// A `layer_folding` label matched no foldable layer of this network.
+    UnknownLayer(String),
+    /// A `layer_folding` entry had `pe == 0` or `simd == 0`.
+    ZeroFolding(String),
+    /// A `fifo_overrides` name matched no stream of this network.
+    UnknownStream(String),
+    /// A `fifo_overrides` entry had capacity 0.
+    ZeroFifoCapacity(String),
+}
+
+impl std::fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptionsError::UnknownLayer(l) => {
+                write!(f, "layer_folding names unknown layer {l:?} (labels follow the lowering: conv0, pool1, fc5, res2.conv1, …)")
+            }
+            OptionsError::ZeroFolding(l) => {
+                write!(f, "layer_folding for {l:?} has a zero factor; pe and simd must be ≥ 1")
+            }
+            OptionsError::UnknownStream(s) => {
+                write!(f, "fifo_overrides names unknown stream {s:?} (names follow the lowering: image, conv0.out, res2.skipbuf, …)")
+            }
+            OptionsError::ZeroFifoCapacity(s) => {
+                write!(f, "fifo_overrides for {s:?} has capacity 0; streams need at least one slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptionsError {}
 
 /// A compiled network: one graph per device plus the logits sink handle.
 pub struct CompiledNetwork {
@@ -90,6 +139,11 @@ struct Builder {
     stream_parameters: bool,
     act_bits: u32,
     conv_datapath: ConvDatapath,
+    /// Folding overrides with a consumed flag; any entry still unconsumed
+    /// after lowering names a layer this network does not have.
+    folds: Vec<(String, Fold, bool)>,
+    /// FIFO capacity overrides with a consumed flag, same discipline.
+    fifos: Vec<(String, usize, bool)>,
 }
 
 impl Builder {
@@ -108,10 +162,39 @@ impl Builder {
             stream_parameters: opts.stream_parameters,
             act_bits,
             conv_datapath: opts.conv_datapath,
+            folds: opts
+                .layer_folding
+                .entries()
+                .iter()
+                .map(|(l, f)| (l.clone(), *f, false))
+                .collect(),
+            fifos: opts
+                .fifo_overrides
+                .iter()
+                .map(|(n, c)| (n.clone(), *c, false))
+                .collect(),
         }
     }
 
+    /// The fold for `label`, marking the override consumed.
+    fn fold_for(&mut self, label: &str) -> Fold {
+        for (l, f, used) in &mut self.folds {
+            if l == label {
+                *used = true;
+                return *f;
+            }
+        }
+        Fold::UNIT
+    }
+
     fn stream(&mut self, device: usize, name: String, bits: u32, capacity: usize) -> Wire {
+        let mut capacity = capacity;
+        for (n, c, used) in &mut self.fifos {
+            if *n == name {
+                *used = true;
+                capacity = *c;
+            }
+        }
         let id = self.graphs[device].add_stream(StreamSpec::new(name, bits, capacity));
         Wire { device, id }
     }
@@ -175,6 +258,7 @@ impl Builder {
             DotMode::I8 => 8,
             DotMode::Codes { bits } => bits,
         };
+        let fold = self.fold_for(label);
         let conv_in = if geom.pad > 0 {
             let padded = self.stream(
                 device,
@@ -182,14 +266,14 @@ impl Builder {
                 in_bits,
                 self.fifo_capacity,
             );
+            // The pad inserter widens with the conv's input side so it
+            // never throttles a folded consumer.
             self.kernel(
                 device,
-                Box::new(PadInserter::new(
-                    format!("{label}.pad"),
-                    geom.input,
-                    geom.pad,
-                    0,
-                )),
+                Box::new(
+                    PadInserter::new(format!("{label}.pad"), geom.input, geom.pad, 0)
+                        .with_lanes(fold.simd),
+                ),
                 &[input],
                 &[padded],
             );
@@ -220,7 +304,8 @@ impl Builder {
                         thresholds.is_some(),
                         self.act_bits,
                     )
-                    .with_datapath(self.conv_datapath),
+                    .with_datapath(self.conv_datapath)
+                    .with_folding(fold.pe, fold.simd),
                 ),
                 &[conv_in, params],
                 &[out],
@@ -236,7 +321,8 @@ impl Builder {
                         thresholds.map(<[ThresholdUnit]>::to_vec),
                         mode,
                     )
-                    .with_datapath(self.conv_datapath),
+                    .with_datapath(self.conv_datapath)
+                    .with_folding(fold.pe, fold.simd),
                 ),
                 &[conv_in],
                 &[out],
@@ -266,8 +352,39 @@ fn skip_capacity(geom: &qnn_nn::ResidualGeometry) -> usize {
     b1 + b2 + geom.conv2.filter.o + 256
 }
 
-/// Compile a network over `images` into per-device graphs.
+/// Compile a network over `images` into per-device graphs, panicking on
+/// invalid per-layer overrides (see [`try_compile`] for the checked form).
 pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> CompiledNetwork {
+    match try_compile(net, images, opts) {
+        Ok(c) => c,
+        Err(e) => panic!("invalid CompileOptions: {e}"),
+    }
+}
+
+/// Validate `opts` against `net` without keeping the compiled graphs:
+/// compiles one all-zero image and reports the first override error.
+pub fn validate_options(net: &Network, opts: &CompileOptions) -> Result<(), OptionsError> {
+    let zero = Tensor3::<i8>::zeros(net.spec.input);
+    try_compile(net, &[zero], opts).map(|_| ())
+}
+
+/// Compile a network over `images` into per-device graphs, rejecting
+/// invalid `layer_folding` / `fifo_overrides` entries with a typed error.
+pub fn try_compile(
+    net: &Network,
+    images: &[Tensor3<i8>],
+    opts: &CompileOptions,
+) -> Result<CompiledNetwork, OptionsError> {
+    for (label, fold) in opts.layer_folding.entries() {
+        if fold.pe == 0 || fold.simd == 0 {
+            return Err(OptionsError::ZeroFolding(label.clone()));
+        }
+    }
+    for (name, capacity) in &opts.fifo_overrides {
+        if *capacity == 0 {
+            return Err(OptionsError::ZeroFifoCapacity(name.clone()));
+        }
+    }
     let spec = &net.spec;
     let n_images = images.len();
     assert!(n_images > 0, "compile needs at least one image");
@@ -377,12 +494,16 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
                 },
                 StageParams::Pool,
             ) => {
+                let fold = b.fold_for(&format!("pool{i}"));
                 let pool_in = if *pad > 0 {
                     let padded =
                         b.stream(dev, format!("pool{i}.padded"), act_bits, opts.fifo_capacity);
                     b.kernel(
                         dev,
-                        Box::new(PadInserter::new(format!("pool{i}.pad"), *input, *pad, 0)),
+                        Box::new(
+                            PadInserter::new(format!("pool{i}.pad"), *input, *pad, 0)
+                                .with_lanes(fold.simd),
+                        ),
                         &[prev],
                         &[padded],
                     );
@@ -395,7 +516,8 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
                     PoolKind::Max => PoolOp::Max,
                     PoolKind::AvgSum => PoolOp::AvgShift,
                 };
-                let kernel = PoolKernel::new(format!("pool{i}"), padded_shape, *k, *stride, op);
+                let kernel = PoolKernel::new(format!("pool{i}"), padded_shape, *k, *stride, op)
+                    .with_folding(fold.pe, fold.simd);
                 let out_shape = kernel.output_shape();
                 let out = b.stream(dev, format!("pool{i}.out"), act_bits, opts.fifo_capacity);
                 b.kernel(dev, Box::new(kernel), &[pool_in], &[out]);
@@ -589,10 +711,126 @@ pub fn compile(net: &Network, images: &[Tensor3<i8>], opts: &CompileOptions) -> 
     let (sink, handle) = HostSink::new("host.sink", classes * n_images);
     b.kernel(logits.device, Box::new(sink), &[logits], &[]);
 
-    CompiledNetwork {
+    // Every override must have been consumed by the lowering; leftovers
+    // name layers/streams this network does not have.
+    if let Some((label, _, _)) = b.folds.iter().find(|(_, _, used)| !used) {
+        return Err(OptionsError::UnknownLayer(label.clone()));
+    }
+    if let Some((name, _, _)) = b.fifos.iter().find(|(_, _, used)| !used) {
+        return Err(OptionsError::UnknownStream(name.clone()));
+    }
+
+    Ok(CompiledNetwork {
         graphs: b.graphs,
         sink: handle,
         images: n_images,
         classes,
+    })
+}
+
+#[cfg(test)]
+mod options_tests {
+    use super::*;
+    use crate::run::run_images;
+    use qnn_nn::models;
+    use qnn_tensor::Shape3;
+
+    fn net() -> Network {
+        Network::random(models::test_net(8, 4, 2), 21)
+    }
+
+    fn image(seed: u64) -> Tensor3<i8> {
+        Tensor3::from_fn(Shape3::square(8, 3), |y, x, c| {
+            (y * 31 + x * 7 + c + seed as usize) as i8
+        })
+    }
+
+    #[test]
+    fn unknown_layer_is_a_typed_error() {
+        let opts = CompileOptions {
+            layer_folding: FoldPlan::new().with("conv99", Fold::new(2, 2)),
+            ..CompileOptions::default()
+        };
+        assert_eq!(
+            validate_options(&net(), &opts),
+            Err(OptionsError::UnknownLayer("conv99".into()))
+        );
+        // The message tells the user what the labels look like.
+        let msg = OptionsError::UnknownLayer("conv99".into()).to_string();
+        assert!(msg.contains("conv99") && msg.contains("conv0"), "{msg}");
+    }
+
+    #[test]
+    fn zero_folding_is_a_typed_error() {
+        let opts = CompileOptions {
+            layer_folding: FoldPlan::new().with("conv0", Fold { pe: 0, simd: 1 }),
+            ..CompileOptions::default()
+        };
+        assert_eq!(
+            validate_options(&net(), &opts),
+            Err(OptionsError::ZeroFolding("conv0".into()))
+        );
+    }
+
+    #[test]
+    fn zero_fifo_capacity_is_a_typed_error() {
+        let opts = CompileOptions {
+            fifo_overrides: vec![("image".into(), 0)],
+            ..CompileOptions::default()
+        };
+        assert_eq!(
+            validate_options(&net(), &opts),
+            Err(OptionsError::ZeroFifoCapacity("image".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_stream_is_a_typed_error() {
+        let opts = CompileOptions {
+            fifo_overrides: vec![("conv0.out".into(), 64), ("nope.out".into(), 64)],
+            ..CompileOptions::default()
+        };
+        assert_eq!(
+            validate_options(&net(), &opts),
+            Err(OptionsError::UnknownStream("nope.out".into()))
+        );
+    }
+
+    #[test]
+    fn compile_panics_with_the_typed_message() {
+        let opts = CompileOptions {
+            layer_folding: FoldPlan::new().with("fc99", Fold::new(2, 2)),
+            ..CompileOptions::default()
+        };
+        let err = std::panic::catch_unwind(|| {
+            let _ = compile(&net(), &[image(0)], &opts);
+        })
+        .expect_err("compile must reject the bad label");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("fc99"), "{msg}");
+    }
+
+    /// `Default` equivalence: an explicit folding=1 entry for every layer
+    /// plus explicit FIFO overrides restating the defaults compiles to
+    /// artifacts that behave bit-identically — same logits, same cycle
+    /// reports — as the untouched defaults.
+    #[test]
+    fn explicit_unit_overrides_match_default_artifacts() {
+        let net = net();
+        let images = [image(1), image(2)];
+        let defaults = CompileOptions::default();
+        let mut explicit = defaults.clone();
+        for label in
+            ["conv0", "pool1", "res2.conv1", "res2.conv2", "res3.conv1", "res3.conv2",
+             "res3.ds", "pool4", "fc5", "fc6"]
+        {
+            explicit.layer_folding.set(label, Fold::UNIT);
+        }
+        explicit.fifo_overrides =
+            vec![("image".into(), defaults.fifo_capacity), ("fc6.out".into(), defaults.fifo_capacity)];
+        let base = run_images(&net, &images, &defaults).expect("default run");
+        let explicit_run = run_images(&net, &images, &explicit).expect("explicit run");
+        assert_eq!(base.logits, explicit_run.logits);
+        assert_eq!(base.reports, explicit_run.reports);
     }
 }

@@ -23,8 +23,12 @@ struct Node {
     kernel: Box<dyn Kernel>,
     inputs: Vec<usize>,
     outputs: Vec<usize>,
-    read_used: Vec<bool>,
-    write_used: Vec<bool>,
+    /// Per-port elements moved this cycle, bounded by the lane counts
+    /// below (1 for ordinary kernels, >1 for folded ones).
+    read_used: Vec<u16>,
+    write_used: Vec<u16>,
+    read_lanes: u16,
+    write_lanes: u16,
     busy: u64,
     stalled: u64,
 }
@@ -346,12 +350,30 @@ impl Graph {
             );
             self.writers[s] = Some(id);
         }
+        let (read_lanes, write_lanes) = kernel.lanes();
+        assert!(
+            read_lanes >= 1 && write_lanes >= 1,
+            "kernel '{}' declared a zero-lane stream interface",
+            kernel.name()
+        );
+        if cfg!(debug_assertions) && (read_lanes != 1 || write_lanes != 1) {
+            // Folded kernels run per-element: the burst planner's
+            // feasibility math assumes one element per cycle per port.
+            let zeros = vec![0usize; inputs.len()];
+            debug_assert!(
+                kernel.span_hint(&zeros).is_none(),
+                "folded kernel '{}' must not offer SpanPlans",
+                kernel.name()
+            );
+        }
         self.nodes.push(Node {
             kernel,
             inputs: inputs.iter().map(|s| s.0).collect(),
             outputs: outputs.iter().map(|s| s.0).collect(),
-            read_used: vec![false; inputs.len()],
-            write_used: vec![false; outputs.len()],
+            read_used: vec![0; inputs.len()],
+            write_used: vec![0; outputs.len()],
+            read_lanes,
+            write_lanes,
             busy: 0,
             stalled: 0,
         });
@@ -558,14 +580,16 @@ impl Graph {
         let mut any_progress = false;
         let mut sink_progress = false;
         for node in &mut self.nodes {
-            node.read_used.fill(false);
-            node.write_used.fill(false);
+            node.read_used.fill(0);
+            node.write_used.fill(0);
             let mut io = Io::new(
                 &mut self.streams,
                 &node.inputs,
                 &node.outputs,
                 &mut node.read_used,
                 &mut node.write_used,
+                node.read_lanes,
+                node.write_lanes,
             );
             let prog = node.kernel.tick(&mut io);
             check_progress_contract(node, prog);
@@ -643,14 +667,16 @@ impl Graph {
                 break;
             }
             let node = &mut nodes[i];
-            node.read_used.fill(false);
-            node.write_used.fill(false);
+            node.read_used.fill(0);
+            node.write_used.fill(0);
             let mut io = Io::new(
                 streams,
                 &node.inputs,
                 &node.outputs,
                 &mut node.read_used,
                 &mut node.write_used,
+                node.read_lanes,
+                node.write_lanes,
             );
             let prog = node.kernel.tick(&mut io);
             check_progress_contract(node, prog);
@@ -668,7 +694,7 @@ impl Graph {
                 awake[i / 64] &= !(1 << (i % 64));
             }
             for p in 0..nodes[i].read_used.len() {
-                if nodes[i].read_used[p] {
+                if nodes[i].read_used[p] > 0 {
                     // The pop freed a slot; wake the stream's writer. A
                     // writer later in node order (`w > i`) still ticks this
                     // cycle, so its credited span excludes cycle `c`; one
@@ -687,7 +713,7 @@ impl Graph {
                 }
             }
             for p in 0..nodes[i].write_used.len() {
-                if nodes[i].write_used[p] {
+                if nodes[i].write_used[p] > 0 {
                     dirty.push(nodes[i].outputs[p]);
                 }
             }
@@ -1485,7 +1511,8 @@ fn pop_offset(
 /// suite exercises it on every kernel in the workspace).
 fn check_progress_contract(node: &Node, prog: Progress) {
     if cfg!(debug_assertions) && prog != Progress::Busy {
-        let touched = node.read_used.iter().any(|&b| b) || node.write_used.iter().any(|&b| b);
+        let touched =
+            node.read_used.iter().any(|&n| n > 0) || node.write_used.iter().any(|&n| n > 0);
         match prog {
             Progress::Idle => assert!(
                 !touched,

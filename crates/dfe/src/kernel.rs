@@ -41,15 +41,18 @@ pub enum WakeHint {
 
 /// Port-level I/O context handed to a kernel on each tick.
 ///
-/// Enforces the clocked contract: at most one read per input port and one
-/// write per output port per tick. Writes are staged and become visible to
-/// the consumer on the next cycle.
+/// Enforces the clocked contract: at most [`Kernel::lanes`] reads per input
+/// port and writes per output port per tick (one each for ordinary kernels;
+/// a folded kernel widens its stream interface). Writes are staged and
+/// become visible to the consumer on the next cycle.
 pub struct Io<'a> {
     streams: &'a mut [StreamState],
     inputs: &'a [usize],
     outputs: &'a [usize],
-    read_used: &'a mut [bool],
-    write_used: &'a mut [bool],
+    read_used: &'a mut [u16],
+    write_used: &'a mut [u16],
+    read_lanes: u16,
+    write_lanes: u16,
 }
 
 impl<'a> Io<'a> {
@@ -57,8 +60,10 @@ impl<'a> Io<'a> {
         streams: &'a mut [StreamState],
         inputs: &'a [usize],
         outputs: &'a [usize],
-        read_used: &'a mut [bool],
-        write_used: &'a mut [bool],
+        read_used: &'a mut [u16],
+        write_used: &'a mut [u16],
+        read_lanes: u16,
+        write_lanes: u16,
     ) -> Self {
         Self {
             streams,
@@ -66,6 +71,8 @@ impl<'a> Io<'a> {
             outputs,
             read_used,
             write_used,
+            read_lanes,
+            write_lanes,
         }
     }
 
@@ -79,38 +86,41 @@ impl<'a> Io<'a> {
         self.outputs.len()
     }
 
-    /// Is an element available on input port `p` this cycle?
+    /// Is an element available on input port `p` this cycle (a read lane
+    /// left and a committed element queued)?
     pub fn can_read(&self, p: usize) -> bool {
-        !self.read_used[p] && self.streams[self.inputs[p]].can_read()
+        self.read_used[p] < self.read_lanes && self.streams[self.inputs[p]].can_read()
     }
 
     /// Consume one element from input port `p`. Returns `None` when the
-    /// port is empty or already read this cycle.
+    /// port is empty or all its read lanes are used this cycle.
     pub fn read(&mut self, p: usize) -> Option<i32> {
-        if self.read_used[p] {
+        if self.read_used[p] >= self.read_lanes {
             return None;
         }
         let s = &mut self.streams[self.inputs[p]];
         let v = s.queue.pop_front()?;
-        self.read_used[p] = true;
+        self.read_used[p] += 1;
         Some(v)
     }
 
-    /// Is there space to write on output port `p` this cycle?
+    /// Is there space to write on output port `p` this cycle (a write lane
+    /// left and FIFO headroom counting this cycle's staged pushes)?
     pub fn can_write(&self, p: usize) -> bool {
-        !self.write_used[p] && self.streams[self.outputs[p]].can_write()
+        self.write_used[p] < self.write_lanes && self.streams[self.outputs[p]].can_write()
     }
 
     /// Produce one element on output port `p`.
     ///
     /// # Panics
-    /// Panics when the port is full or already written this cycle — kernels
-    /// must check [`Io::can_write`] first (a real kernel physically cannot
-    /// emit into a full FIFO).
+    /// Panics when the port is full or out of write lanes this cycle —
+    /// kernels must check [`Io::can_write`] first (a real kernel physically
+    /// cannot emit into a full FIFO).
     pub fn write(&mut self, p: usize, v: i32) {
         assert!(
-            !self.write_used[p],
-            "output port {p} written twice in one cycle"
+            self.write_used[p] < self.write_lanes,
+            "output port {p} exceeded its {} write lane(s) in one cycle",
+            self.write_lanes
         );
         let s = &mut self.streams[self.outputs[p]];
         assert!(
@@ -120,7 +130,7 @@ impl<'a> Io<'a> {
         );
         s.staged.push(v);
         s.pushed += 1;
-        self.write_used[p] = true;
+        self.write_used[p] += 1;
     }
 }
 
@@ -380,6 +390,22 @@ pub trait Kernel: Send {
         false
     }
 
+    /// Stream-interface width as `(read_lanes, write_lanes)`: how many
+    /// elements this kernel may move per port per tick. The default `(1, 1)`
+    /// is the paper's one-element-per-clock stream contract; a *folded*
+    /// kernel (PE/SIMD unrolling) widens it, modelling the wider stream
+    /// interface the unrolled datapath would synthesize to.
+    ///
+    /// Captured once at [`Graph::add_kernel`](crate::Graph::add_kernel) —
+    /// the width is a hardware-elaboration property and must not change at
+    /// runtime. A kernel with lanes > 1 must not offer [`SpanPlan`]s: the
+    /// burst planner's feasibility arithmetic assumes one element per cycle
+    /// per port, so folded kernels return `None` from
+    /// [`Kernel::span_hint`] and run per-element.
+    fn lanes(&self) -> (u16, u16) {
+        (1, 1)
+    }
+
     /// May the ready-list scheduler park this kernel after a non-`Busy`
     /// tick? Consulted at park time, so the answer may depend on current
     /// internal state (a delay line is parkable only while empty).
@@ -446,9 +472,9 @@ mod tests {
         streams[0].queue.push_back(1);
         streams[0].queue.push_back(2);
         let (inputs, outputs) = (vec![0usize], vec![1usize]);
-        let mut ru = vec![false];
-        let mut wu = vec![false];
-        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu);
+        let mut ru = vec![0u16];
+        let mut wu = vec![0u16];
+        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu, 1, 1);
         assert_eq!(io.read(0), Some(1));
         assert!(!io.can_read(0), "second read in same cycle must be refused");
         assert_eq!(io.read(0), None);
@@ -458,9 +484,9 @@ mod tests {
     fn write_is_staged_not_committed() {
         let mut streams = setup();
         let (inputs, outputs) = (vec![0usize], vec![1usize]);
-        let mut ru = vec![false];
-        let mut wu = vec![false];
-        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu);
+        let mut ru = vec![0u16];
+        let mut wu = vec![0u16];
+        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu, 1, 1);
         assert!(io.can_write(0));
         io.write(0, 9);
         assert!(!io.can_write(0));
@@ -475,9 +501,54 @@ mod tests {
         let mut streams = setup();
         streams[1].queue.push_back(0); // capacity 1 ⇒ full
         let (inputs, outputs) = (vec![0usize], vec![1usize]);
-        let mut ru = vec![false];
-        let mut wu = vec![false];
-        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu);
+        let mut ru = vec![0u16];
+        let mut wu = vec![0u16];
+        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu, 1, 1);
         io.write(0, 1);
+    }
+
+    #[test]
+    fn multi_lane_io_moves_up_to_lane_count() {
+        let mut streams = vec![
+            StreamState::new(StreamSpec::new("in", 8, 8)),
+            StreamState::new(StreamSpec::new("out", 8, 8)),
+        ];
+        for v in 0..3 {
+            streams[0].queue.push_back(v);
+        }
+        let (inputs, outputs) = (vec![0usize], vec![1usize]);
+        let mut ru = vec![0u16];
+        let mut wu = vec![0u16];
+        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu, 2, 3);
+        // Two read lanes: third same-cycle read refused even with data left.
+        assert_eq!(io.read(0), Some(0));
+        assert_eq!(io.read(0), Some(1));
+        assert!(!io.can_read(0));
+        assert_eq!(io.read(0), None);
+        // Three write lanes, all staged until commit.
+        io.write(0, 10);
+        io.write(0, 11);
+        assert!(io.can_write(0));
+        io.write(0, 12);
+        assert!(!io.can_write(0));
+        assert!(!streams[1].can_read());
+        streams[1].commit();
+        assert_eq!(streams[1].queue.iter().copied().collect::<Vec<_>>(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn multi_lane_write_respects_capacity() {
+        // Lane count above FIFO headroom: capacity still wins.
+        let mut streams = vec![
+            StreamState::new(StreamSpec::new("in", 8, 4)),
+            StreamState::new(StreamSpec::new("out", 8, 2)),
+        ];
+        let (inputs, outputs) = (vec![0usize], vec![1usize]);
+        let mut ru = vec![0u16];
+        let mut wu = vec![0u16];
+        let mut io = Io::new(&mut streams, &inputs, &outputs, &mut ru, &mut wu, 4, 4);
+        io.write(0, 1);
+        io.write(0, 2);
+        assert!(!io.can_write(0), "staged writes count against capacity");
     }
 }

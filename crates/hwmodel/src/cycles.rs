@@ -15,6 +15,7 @@
 //! tests pin this model to it on small networks, then the model scales to
 //! the full-size estimates the benches report.
 
+use crate::folding::FoldPlan;
 use qnn_nn::{NetworkSpec, Stage};
 use qnn_tensor::ConvGeometry;
 
@@ -41,6 +42,25 @@ fn conv_cycles(name: &str, geom: &ConvGeometry) -> LayerCycles {
     // First window completes after ((K−1)·W + K) · I elements.
     let fill = ((geom.filter.k - 1) * padded.w + geom.filter.k) as u64 * padded.c as u64;
     LayerCycles { name: name.to_string(), inputs, outputs, busy: inputs.max(outputs), fill }
+}
+
+fn conv_cycles_folded(name: &str, geom: &ConvGeometry, pe: u64, simd: u64) -> LayerCycles {
+    let padded = geom.padded_input();
+    let inputs = padded.len() as u64;
+    let out = geom.output();
+    let outputs = out.len() as u64;
+    let positions = (out.h * out.w) as u64;
+    let o = geom.filter.o as u64;
+    let fill = ((geom.filter.k - 1) * padded.w + geom.filter.k) as u64 * padded.c as u64;
+    LayerCycles {
+        name: name.to_string(),
+        inputs,
+        outputs,
+        // `simd` lanes absorb the padded input stream; at each of the
+        // `positions` halts, `pe` lanes emit the `O` filter results.
+        busy: inputs.div_ceil(simd).max(positions * o.div_ceil(pe)),
+        fill: fill.div_ceil(simd),
+    }
 }
 
 /// Whole-network cycle model.
@@ -96,6 +116,99 @@ impl CycleModel {
                     if let Some(ds) = &geom.downsample {
                         layers.push(conv_cycles(&format!("res{i}.ds"), ds));
                     }
+                }
+            }
+        }
+        Self { layers }
+    }
+
+    /// Analyze a network under a per-layer [`FoldPlan`].
+    ///
+    /// This is the *rate-matched* variant the DSE scores against: folded
+    /// layers cost `⌈elements / lanes⌉` cycles on each port, and two
+    /// fixed-rate structures the plain model omits are made explicit,
+    /// because folding can push a layer below them:
+    ///
+    /// * `host.image` — the host source feeds one element per clock, so no
+    ///   fold can beat `input.len()` cycles per image at the pipe's head;
+    /// * `res{i}.skip` — the split/add/threshold glue around a residual
+    ///   block moves one element per clock regardless of conv folding.
+    ///
+    /// With an all-unit plan, `period()` and `latency()` match
+    /// [`CycleModel::analyze`] exactly (the extra terms are dominated by
+    /// the unfolded convs that surround them).
+    pub fn analyze_folded(spec: &NetworkSpec, plan: &FoldPlan) -> Self {
+        let mut layers = Vec::new();
+        let image = spec.input.len() as u64;
+        layers.push(LayerCycles {
+            name: "host.image".to_string(),
+            inputs: image,
+            outputs: image,
+            busy: image,
+            fill: 0,
+        });
+        for (i, stage) in spec.stages.iter().enumerate() {
+            match stage {
+                Stage::ConvInput { geom } | Stage::Conv { geom } => {
+                    let name = format!("conv{i}");
+                    let f = plan.get(&name);
+                    layers.push(conv_cycles_folded(&name, geom, f.pe as u64, f.simd as u64));
+                }
+                Stage::Pool { input, k, stride, pad, .. } => {
+                    let name = format!("pool{i}");
+                    let f = plan.get(&name);
+                    let (pe, simd) = (f.pe as u64, f.simd as u64);
+                    let ph = input.h + 2 * pad;
+                    let pw = input.w + 2 * pad;
+                    let inputs = (ph * pw * input.c) as u64;
+                    let oh = (ph - k) / stride + 1;
+                    let ow = (pw - k) / stride + 1;
+                    let outputs = (oh * ow * input.c) as u64;
+                    let fill = (((k - 1) * pw + k) * input.c) as u64;
+                    layers.push(LayerCycles {
+                        name,
+                        inputs,
+                        outputs,
+                        busy: inputs.div_ceil(simd).max(outputs.div_ceil(pe)),
+                        fill: fill.div_ceil(simd),
+                    });
+                }
+                Stage::FullyConnected { in_features, out_features, .. } => {
+                    let name = format!("fc{i}");
+                    let f = plan.get(&name);
+                    let inputs = *in_features as u64;
+                    let outputs = *out_features as u64;
+                    layers.push(LayerCycles {
+                        name,
+                        inputs,
+                        outputs,
+                        busy: inputs
+                            .div_ceil(f.simd as u64)
+                            .max(outputs.div_ceil(f.pe as u64)),
+                        fill: inputs.div_ceil(f.simd as u64),
+                    });
+                }
+                Stage::Residual { geom } => {
+                    for (suffix, g) in [("conv1", Some(&geom.conv1)), ("conv2", Some(&geom.conv2))]
+                        .into_iter()
+                        .chain([("ds", geom.downsample.as_ref())])
+                    {
+                        let Some(g) = g else { continue };
+                        let name = format!("res{i}.{suffix}");
+                        let f = plan.get(&name);
+                        layers.push(conv_cycles_folded(&name, g, f.pe as u64, f.simd as u64));
+                    }
+                    // Fixed-rate skip glue: the input split moves the block's
+                    // input once, the adder/threshold its output once.
+                    let glue = (geom.conv1.input.len() as u64)
+                        .max(geom.conv2.output().len() as u64);
+                    layers.push(LayerCycles {
+                        name: format!("res{i}.skip"),
+                        inputs: glue,
+                        outputs: glue,
+                        busy: glue,
+                        fill: 0,
+                    });
                 }
             }
         }
@@ -209,6 +322,48 @@ mod tests {
             "VGG-32 latency {ms} ms vs paper {}",
             paper::VGG32_TIME_MS
         );
+    }
+
+    #[test]
+    fn unit_fold_plan_matches_plain_analysis() {
+        use crate::folding::{Fold, FoldPlan};
+        for spec in
+            [models::resnet18(1000), models::alexnet(1000), models::vgg_like(32, 10, 2)]
+        {
+            let plain = CycleModel::analyze(&spec);
+            let unit = CycleModel::analyze_folded(&spec, &FoldPlan::new());
+            assert_eq!(plain.period(), unit.period(), "{}", spec.name);
+            assert_eq!(plain.latency(), unit.latency(), "{}", spec.name);
+            // An explicit all-unit plan is the same as an empty one.
+            let mut plan = FoldPlan::new();
+            for l in &plain.layers {
+                plan.set(&l.name, Fold::UNIT);
+            }
+            let explicit = CycleModel::analyze_folded(&spec, &plan);
+            assert_eq!(unit.period(), explicit.period());
+        }
+    }
+
+    #[test]
+    fn folding_the_resnet_stem_cuts_the_period() {
+        use crate::folding::{Fold, FoldPlan};
+        let spec = models::resnet18(1000);
+        let base = CycleModel::analyze_folded(&spec, &FoldPlan::new());
+        let plan = FoldPlan::new()
+            .with("conv0", Fold::new(4, 4))
+            .with("pool1", Fold::new(4, 4));
+        let folded = CycleModel::analyze_folded(&spec, &plan);
+        // The 114·114·64 stem-pool stream drops out of the bottleneck; the
+        // new period is set by the unfolded res-block convs.
+        assert_eq!(base.period(), 114 * 114 * 64);
+        assert!(
+            folded.period() * 3 <= base.period(),
+            "folded period {} vs base {}",
+            folded.period(),
+            base.period()
+        );
+        let b = &folded.bottleneck().name;
+        assert!(!b.contains("conv0") && !b.contains("pool1"), "bottleneck {b}");
     }
 
     #[test]

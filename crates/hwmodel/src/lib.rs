@@ -17,6 +17,7 @@
 //!   power/energy models for Figures 7 and 8.
 
 pub mod cycles;
+pub mod folding;
 pub mod gpu;
 pub mod lmem;
 pub mod pcie;
@@ -25,7 +26,11 @@ pub mod resources;
 pub mod specs;
 
 pub use cycles::{CycleModel, LayerCycles};
+pub use folding::{Fold, FoldPlan};
 pub use gpu::{GpuModel, GpuSpec, GTX1080, P100};
 pub use power::{dfe_power_watts, energy_joules, gpu_power_watts, PowerBreakdown};
-pub use resources::{estimate_network, estimate_stage, NetworkResources, StageResources};
+pub use resources::{
+    estimate_network, estimate_network_folded, estimate_stage, estimate_stage_folded,
+    NetworkResources, StageResources,
+};
 pub use specs::FinnReference;

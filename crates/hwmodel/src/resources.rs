@@ -18,6 +18,7 @@
 use qnn_nn::{NetworkSpec, PoolKind, Stage};
 use qnn_tensor::ConvGeometry;
 
+use crate::folding::{Fold, FoldPlan};
 use dfe_platform::ResourceUsage;
 
 /// LUTs per datapath bit-plane bit: XNOR + pipelined popcount compressor
@@ -44,6 +45,11 @@ const BRAM_BLOCK_KBITS: u64 = 20;
 const BRAM_PER_KERNEL_BLOCKS: u64 = 4;
 /// Per-DFE infrastructure BRAM (PCIe/DMA buffers, manager) in blocks.
 const BRAM_PER_DFE_BLOCKS: u64 = 100;
+/// LUTs per extra input (SIMD) lane: wider window-buffer write ports and
+/// the lane-steering muxes in front of them.
+const LUT_PER_SIMD_LANE: u64 = 150;
+/// FF bits per extra lane (input staging registers), before `FF_SCALE`.
+const FF_PER_LANE: u64 = 64;
 
 /// Infrastructure BRAM charged per opened device, exposed so the
 /// partitioner and the whole-network estimator stay in lock-step.
@@ -81,23 +87,46 @@ pub fn cache_waste_fraction(width_bits: u64, entries: u64) -> f64 {
 /// Estimate one convolution (geometry includes padding; an upstream pad
 /// inserter is charged when `geom.pad > 0`).
 fn conv_resources(geom: &ConvGeometry, elem_bits: u32, planes: u32, with_bn: bool) -> StageResources {
+    conv_resources_folded(geom, elem_bits, planes, with_bn, Fold::UNIT)
+}
+
+/// Fold-aware convolution estimate. `pe` replicates the XNOR/popcount
+/// datapath and banks the weight cache (`pe` banks of `⌈O/pe⌉` entries —
+/// banking never shrinks the cache, block quantization only rounds up);
+/// `simd` widens the window-buffer write side. At `Fold::UNIT` this is
+/// exactly the unfolded estimate.
+fn conv_resources_folded(
+    geom: &ConvGeometry,
+    elem_bits: u32,
+    planes: u32,
+    with_bn: bool,
+    fold: Fold,
+) -> StageResources {
     let padded = ConvGeometry::new(geom.padded_input(), geom.filter, geom.stride, 0);
     let n = geom.filter.weights_per_filter() as u64;
     let o = geom.filter.o as u64;
+    // More emit lanes than filters buys nothing; the DSE never asks, but
+    // the estimate must stay sane (and monotone) if a caller does.
+    let pe = (fold.pe as u64).min(o).max(1);
+    let simd = fold.simd as u64;
     let datapath_bits = n * planes as u64;
     let window_bits = padded.depth_first_buffer() as u64 * elem_bits as u64;
 
-    let mut luts = (LUT_PER_DATAPATH_BIT * datapath_bits as f64) as u64 + LUT_MAJOR_FIXED;
-    let mut ffs = (FF_SCALE * (window_bits + 2 * datapath_bits + FF_MAJOR_FIXED) as f64) as u64;
-    let mut bram = bram_blocks(n, o); // weight cache
+    let mut luts = (LUT_PER_DATAPATH_BIT * (datapath_bits * pe) as f64) as u64
+        + LUT_MAJOR_FIXED
+        + LUT_PER_SIMD_LANE * (simd - 1);
+    let mut ffs = (FF_SCALE
+        * (window_bits + 2 * datapath_bits * pe + FF_MAJOR_FIXED + FF_PER_LANE * (simd - 1))
+            as f64) as u64;
+    let mut bram = pe * bram_blocks(n, o.div_ceil(pe)); // banked weight cache
     if with_bn {
         bram += bram_blocks(64, o); // normalization cache
     }
     bram += BRAM_PER_KERNEL_BLOCKS;
     let mut kernels = 1;
     if geom.pad > 0 {
-        luts += LUT_MINOR_FIXED;
-        ffs += (FF_SCALE * FF_MINOR_FIXED as f64) as u64;
+        luts += LUT_MINOR_FIXED + LUT_PER_SIMD_LANE * (simd - 1);
+        ffs += (FF_SCALE * (FF_MINOR_FIXED + FF_PER_LANE * (simd - 1)) as f64) as u64;
         bram += BRAM_PER_KERNEL_BLOCKS;
         kernels += 1;
     }
@@ -176,6 +205,95 @@ pub fn estimate_stage(stage: &Stage, act_bits: u32) -> StageResources {
     }
 }
 
+/// Estimate one pipeline stage under a [`FoldPlan`]; `index` is the
+/// stage's position in the spec (it determines the lowering labels the
+/// plan is keyed by). With an all-unit plan this matches
+/// [`estimate_stage`] exactly.
+pub fn estimate_stage_folded(
+    stage: &Stage,
+    act_bits: u32,
+    index: usize,
+    plan: &FoldPlan,
+) -> StageResources {
+    match *stage {
+        Stage::ConvInput { geom } => {
+            conv_resources_folded(&geom, 8, 8, true, plan.get(&format!("conv{index}")))
+        }
+        Stage::Conv { geom } => conv_resources_folded(
+            &geom,
+            act_bits,
+            act_bits,
+            true,
+            plan.get(&format!("conv{index}")),
+        ),
+        Stage::Pool { .. } => {
+            let f = plan.get(&format!("pool{index}"));
+            let lanes = (f.pe + f.simd - 2) as u64;
+            let mut r = estimate_stage(stage, act_bits);
+            // Wider comparator front-end and emit mux per extra lane.
+            r.usage.luts += LUT_PER_SIMD_LANE * lanes;
+            r.usage.ffs += (FF_SCALE * (FF_PER_LANE * lanes) as f64) as u64;
+            r
+        }
+        Stage::FullyConnected { in_features, out_features, bn_act } => {
+            let geom = ConvGeometry::new(
+                qnn_tensor::Shape3::new(1, 1, in_features),
+                qnn_tensor::FilterShape::new(1, in_features, out_features),
+                1,
+                0,
+            );
+            conv_resources_folded(
+                &geom,
+                act_bits,
+                act_bits,
+                bn_act,
+                plan.get(&format!("fc{index}")),
+            )
+        }
+        Stage::Residual { geom } => {
+            let mut r = conv_resources_folded(
+                &geom.conv1,
+                act_bits,
+                act_bits,
+                true,
+                plan.get(&format!("res{index}.conv1")),
+            );
+            let c2 = conv_resources_folded(
+                &geom.conv2,
+                act_bits,
+                act_bits,
+                false,
+                plan.get(&format!("res{index}.conv2")),
+            );
+            r.usage = r.usage.plus(c2.usage);
+            r.kernels += c2.kernels;
+            if let Some(ds) = geom.downsample {
+                let d = conv_resources_folded(
+                    &ds,
+                    act_bits,
+                    act_bits,
+                    false,
+                    plan.get(&format!("res{index}.ds")),
+                );
+                r.usage = r.usage.plus(d.usage);
+                r.kernels += d.kernels;
+            }
+            let skip_elems = ConvGeometry::new(
+                geom.conv2.padded_input(),
+                geom.conv2.filter,
+                geom.conv2.stride,
+                0,
+            )
+            .depth_first_buffer() as u64;
+            r.usage.bram_kbits += bram_blocks(16, skip_elems) * BRAM_BLOCK_KBITS;
+            let glue = minor_resources(0, 4); // add + 2 splits + threshold
+            r.usage = r.usage.plus(glue.usage);
+            r.kernels += glue.kernels;
+            r
+        }
+    }
+}
+
 /// Whole-network resource estimate.
 #[derive(Clone, Debug)]
 pub struct NetworkResources {
@@ -194,6 +312,29 @@ pub fn estimate_network(spec: &NetworkSpec, num_dfes: usize) -> NetworkResources
     assert!(num_dfes >= 1);
     let stages: Vec<StageResources> =
         spec.stages.iter().map(|s| estimate_stage(s, spec.act_bits)).collect();
+    let design: ResourceUsage = stages.iter().map(|s| s.usage).sum();
+    let infra = ResourceUsage {
+        luts: 0,
+        ffs: 0,
+        bram_kbits: BRAM_PER_DFE_BLOCKS * BRAM_BLOCK_KBITS * num_dfes as u64,
+    };
+    NetworkResources { stages, design, total: design.plus(infra), num_dfes }
+}
+
+/// Whole-network estimate under a [`FoldPlan`]. With an all-unit plan this
+/// matches [`estimate_network`] exactly.
+pub fn estimate_network_folded(
+    spec: &NetworkSpec,
+    num_dfes: usize,
+    plan: &FoldPlan,
+) -> NetworkResources {
+    assert!(num_dfes >= 1);
+    let stages: Vec<StageResources> = spec
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| estimate_stage_folded(s, spec.act_bits, i, plan))
+        .collect();
     let design: ResourceUsage = stages.iter().map(|s| s.usage).sum();
     let infra = ResourceUsage {
         luts: 0,
@@ -303,6 +444,36 @@ mod tests {
             "skip connections cost {:.1}% extra LUTs",
             lut_overhead * 100.0
         );
+    }
+
+    #[test]
+    fn unit_fold_plan_matches_plain_estimate() {
+        use crate::folding::FoldPlan;
+        for spec in
+            [models::resnet18(1000), models::alexnet(1000), models::vgg_like(32, 10, 2)]
+        {
+            let plain = estimate_network(&spec, 2);
+            let unit = estimate_network_folded(&spec, 2, &FoldPlan::new());
+            assert_eq!(plain.design, unit.design, "{}", spec.name);
+            assert_eq!(plain.total, unit.total, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn folding_costs_resources() {
+        use crate::folding::{Fold, FoldPlan};
+        let spec = models::resnet18(1000);
+        let base = estimate_network_folded(&spec, 1, &FoldPlan::new());
+        let plan = FoldPlan::new()
+            .with("conv0", Fold::new(8, 4))
+            .with("res2.conv1", Fold::new(4, 4));
+        let folded = estimate_network_folded(&spec, 1, &plan);
+        assert!(folded.design.luts > base.design.luts);
+        assert!(folded.design.ffs > base.design.ffs);
+        assert!(folded.design.bram_kbits >= base.design.bram_kbits);
+        // A pe-8 stem conv replicates the 8-plane popcount datapath ~8×;
+        // that must show up as a materially larger LUT bill.
+        assert!(folded.design.luts as f64 > base.design.luts as f64 * 1.05);
     }
 
     #[test]

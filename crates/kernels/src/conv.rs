@@ -163,6 +163,13 @@ pub struct ConvKernel {
     emitting: Option<usize>,
     /// Halt the input while emitting (see the module docs).
     halt_input: bool,
+    /// Output-channel unrolling: filter results emitted per tick (never
+    /// crossing a position boundary), FINN's PE folding knob. 1 ⇒ the
+    /// paper's one-output-per-clock datapath.
+    pe: usize,
+    /// Input-window unrolling: elements absorbed per tick, FINN's SIMD
+    /// folding knob. 1 ⇒ one stream element per clock.
+    simd: usize,
     /// Parameter loader, present until the CPU finishes streaming the
     /// weight/threshold caches over input port 1 (§III-B1a).
     loader: Option<ParamLoader>,
@@ -273,6 +280,8 @@ impl ConvKernel {
             out_pos: 0,
             emitting: None,
             halt_input,
+            pe: 1,
+            simd: 1,
             loader: None,
             window_codes: vec![0; wsize],
             window_i8: vec![0; wsize],
@@ -306,6 +315,34 @@ impl ConvKernel {
     /// The active busy-path datapath.
     pub fn datapath(&self) -> ConvDatapath {
         self.datapath
+    }
+
+    /// Rebuild this kernel with PE/SIMD folding: emit up to `pe` filter
+    /// results and absorb up to `simd` input elements per tick, through a
+    /// correspondingly widened stream interface ([`Kernel::lanes`]).
+    /// Output element order is unchanged — filters ascending within each
+    /// position, positions in scan order — so results are bit-identical to
+    /// the unfolded kernel at any folding. Must be applied before any input
+    /// is streamed; the halt-strict ablation stays at folding 1.
+    pub fn with_folding(mut self, pe: usize, simd: usize) -> Self {
+        assert_eq!(self.received, 0, "folding change mid-stream");
+        assert!(pe >= 1 && simd >= 1, "folding factors must be ≥ 1");
+        assert!(
+            !self.halt_input || (pe == 1 && simd == 1),
+            "halt-strict ablation does not support folding"
+        );
+        assert!(
+            pe <= u16::MAX as usize && simd <= u16::MAX as usize,
+            "folding factor exceeds the lane-count range"
+        );
+        self.pe = pe;
+        self.simd = simd;
+        self
+    }
+
+    /// The active `(pe, simd)` folding factors.
+    pub fn folding(&self) -> (usize, usize) {
+        (self.pe, self.simd)
     }
 
     /// The window-buffer size in elements — the paper's `I·(W·(K−1)+K)`.
@@ -441,16 +478,24 @@ impl Kernel for ConvKernel {
             self.emitting = Some(0);
         }
 
-        // Emit one filter result this clock.
+        // Emit up to `pe` filter results this clock (one for the unfolded
+        // kernel), never crossing the position boundary — the next window
+        // latches at the top of a later tick, keeping the per-position cost
+        // at ⌈O/pe⌉ cycles exactly as the analytic model charges it.
         let mut did_emit = false;
-        if let Some(o) = self.emitting {
-            if io.can_write(0) {
+        if self.emitting.is_some() {
+            let mut emitted = 0;
+            while let Some(o) = self.emitting {
+                if emitted == self.pe || !io.can_write(0) {
+                    break;
+                }
                 let acc = self.accumulate(o);
                 let out = match &self.thresholds {
                     Some(t) => i32::from(t[o].activate(acc)),
                     None => acc,
                 };
                 io.write(0, out);
+                emitted += 1;
                 let next = o + 1;
                 if next == self.geom.filter.o {
                     self.emitting = None;
@@ -458,6 +503,8 @@ impl Kernel for ConvKernel {
                 } else {
                     self.emitting = Some(next);
                 }
+            }
+            if emitted > 0 {
                 progress = Progress::Busy;
                 did_emit = true;
             } else {
@@ -479,7 +526,8 @@ impl Kernel for ConvKernel {
                 self.needed_cached(next_pos)
             }
         };
-        if self.received < read_limit {
+        let mut absorbed = 0;
+        while self.received < read_limit && absorbed < self.simd {
             match io.read(0) {
                 Some(v) => {
                     match &mut self.ring {
@@ -493,12 +541,14 @@ impl Kernel for ConvKernel {
                         self.wr = 0;
                     }
                     self.received += 1;
+                    absorbed += 1;
                     progress = Progress::Busy;
                 }
                 None => {
                     if progress == Progress::Idle {
                         progress = Progress::Stalled;
                     }
+                    break;
                 }
             }
         }
@@ -518,8 +568,16 @@ impl Kernel for ConvKernel {
     /// Every non-`Busy` verdict (loader waiting on a parameter word, input
     /// starved, output or halt-strict window blocked) is port-inert and
     /// repeats unchanged until a stream event, so the kernel can park.
+    /// This holds for folded ticks too: a non-`Busy` folded tick emitted
+    /// and absorbed nothing, and re-running it against unchanged streams
+    /// repeats the verdict.
     fn wake_hint(&self) -> WakeHint {
         WakeHint::Parkable
+    }
+
+    /// Folded stream-interface width: `simd` read lanes, `pe` write lanes.
+    fn lanes(&self) -> (u16, u16) {
+        (self.simd as u16, self.pe as u16)
     }
 
     /// Phase-bounded promises. Each phase has a constant per-tick port mask
@@ -538,6 +596,12 @@ impl Kernel for ConvKernel {
     /// * fill/drain — reads up to the current window's completing element
     ///   (the start-of-tick latch fires only on the tick *after* that).
     fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        // Folded kernels move several elements per port per tick, which the
+        // burst planner's one-element-per-cycle feasibility math cannot
+        // model; veto spans and run per-element (see [`Kernel::lanes`]).
+        if self.pe > 1 || self.simd > 1 {
+            return None;
+        }
         if let Some(loader) = &self.loader {
             let plan = SpanPlan::new(loader.remaining() as u64, 0b10, 0);
             return Some(if in_len[1] == 0 {
@@ -1021,6 +1085,76 @@ mod tests {
             assert_eq!(out_p, out_s, "{mode:?}: outputs diverge");
             assert_eq!(rep_p, rep_s, "{mode:?}: cycle reports diverge");
         }
+    }
+
+    #[test]
+    fn folded_conv_is_bit_identical_and_faster() {
+        // PE/SIMD folding must never change results (element order is
+        // preserved) and must strictly reduce cycles once both absorb and
+        // emit are unrolled.
+        // Output-heavy geometry (O = 32 ⇒ outputs 1152 ≫ inputs 192): the
+        // unfolded makespan is emit-bound, which PE folding attacks
+        // directly; the source still feeds one element per cycle, so the
+        // folded floor is the input length, not zero.
+        let geom = ConvGeometry::new(Shape3::new(8, 8, 3), FilterShape::new(3, 3, 32), 1, 0);
+        let filters = filters_for(&geom, 31);
+        let input = Tensor3::from_fn(geom.input, |y, x, c| ((y * 13 + x * 7 + c) % 4) as u8);
+        let img: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
+        let out_len = geom.output().len() * 2;
+        let mk = || ConvKernel::new("conv", geom, filters.clone(), None, DotMode::Codes { bits: 2 });
+        // Unthrottled output FIFO: the stock helper's 32-deep FIFO plus the
+        // one-pop-per-cycle host sink would cap the emit rate at one element
+        // per cycle and hide the folded datapath's rate entirely.
+        let run = |kernel: ConvKernel| {
+            let data: Vec<i32> = [img.clone(), img.clone()].concat();
+            let mut g = Graph::new();
+            let a = g.add_stream(StreamSpec::new("in", 8, 32));
+            let b = g.add_stream(StreamSpec::new("out", 16, out_len));
+            g.add_kernel(Box::new(HostSource::new("src", data)), &[], &[a]);
+            g.add_kernel(Box::new(kernel), &[a], &[b]);
+            let (sink, handle) = HostSink::new("dst", out_len);
+            g.add_kernel(Box::new(sink), &[b], &[]);
+            let report = g.run(10_000_000).expect("conv run");
+            (handle.take(), report)
+        };
+        let (base_out, base_rep) = run(mk());
+        for (pe, simd) in [(2, 1), (1, 2), (4, 4), (8, 8), (16, 64)] {
+            let (out, rep) = run(mk().with_folding(pe, simd));
+            assert_eq!(out, base_out, "folding ({pe},{simd}) changed results");
+            assert!(
+                rep.kernels[1].busy <= base_rep.kernels[1].busy,
+                "folding ({pe},{simd}) raised busy cycles: {} > {}",
+                rep.kernels[1].busy,
+                base_rep.kernels[1].busy
+            );
+        }
+        // The makespan stays source-bound (the host feeds one element per
+        // cycle), but the conv's own busy cycles must collapse once emit
+        // and absorb are unrolled.
+        let (_, rep44) = run(mk().with_folding(4, 4));
+        assert!(
+            rep44.kernels[1].busy * 2 < base_rep.kernels[1].busy,
+            "4×4 folding should at least halve busy cycles: {} vs {}",
+            rep44.kernels[1].busy,
+            base_rep.kernels[1].busy
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "folding factors must be ≥ 1")]
+    fn zero_folding_rejected() {
+        let geom = ConvGeometry::new(Shape3::new(4, 4, 1), FilterShape::new(3, 1, 2), 1, 0);
+        let _ = ConvKernel::new("c", geom, filters_for(&geom, 1), None, DotMode::Codes { bits: 2 })
+            .with_folding(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "halt-strict ablation does not support folding")]
+    fn halted_folding_rejected() {
+        let geom = ConvGeometry::new(Shape3::new(4, 4, 1), FilterShape::new(3, 1, 2), 1, 0);
+        let _ =
+            ConvKernel::new_halted("c", geom, filters_for(&geom, 1), None, DotMode::Codes { bits: 2 })
+                .with_folding(2, 1);
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct PadInserter {
     y: usize,
     x: usize,
     c: usize,
+    /// Elements passed through per tick (1 ⇒ the one-per-clock contract;
+    /// more than 1 models the widened stream interface in front of a
+    /// folded consumer).
+    lanes: usize,
 }
 
 impl PadInserter {
@@ -35,7 +39,24 @@ impl PadInserter {
             y: 0,
             x: 0,
             c: 0,
+            lanes: 1,
         }
+    }
+
+    /// Rebuild with a widened stream interface: pass up to `lanes` elements
+    /// per tick. Element order is unchanged, so the padded stream is
+    /// bit-identical at any width. Must be applied before streaming starts.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(
+            (self.y, self.x, self.c) == (0, 0, 0),
+            "lane change mid-stream"
+        );
+        assert!(
+            (1..=u16::MAX as usize).contains(&lanes),
+            "lane count out of range"
+        );
+        self.lanes = lanes;
+        self
     }
 
     /// Shape of the padded output image.
@@ -77,25 +98,39 @@ impl Kernel for PadInserter {
     }
 
     fn tick(&mut self, io: &mut Io<'_>) -> Progress {
-        if !io.can_write(0) {
-            return Progress::Stalled;
-        }
-        if self.is_border() {
-            io.write(0, self.fill);
-        } else {
-            match io.read(0) {
-                Some(v) => io.write(0, v),
-                None => return Progress::Stalled,
+        let mut moved = 0;
+        while moved < self.lanes {
+            if !io.can_write(0) {
+                break;
             }
+            if self.is_border() {
+                io.write(0, self.fill);
+            } else {
+                match io.read(0) {
+                    Some(v) => io.write(0, v),
+                    None => break,
+                }
+            }
+            self.advance();
+            moved += 1;
         }
-        self.advance();
-        Progress::Busy
+        if moved > 0 {
+            Progress::Busy
+        } else {
+            Progress::Stalled
+        }
     }
 
     /// Stalls only on output backpressure or a starved interior pixel;
-    /// both are port-inert and resolve only via stream events.
+    /// both are port-inert and resolve only via stream events (a folded
+    /// tick that moved nothing touched no port either).
     fn wake_hint(&self) -> WakeHint {
         WakeHint::Parkable
+    }
+
+    /// Widened stream interface (see [`PadInserter::with_lanes`]).
+    fn lanes(&self) -> (u16, u16) {
+        (self.lanes as u16, self.lanes as u16)
     }
 
     /// Uniform within a run of same-kind elements: border runs emit `fill`
@@ -105,6 +140,10 @@ impl Kernel for PadInserter {
     /// tick), with a starved interior pixel declared `Stalled` — exactly
     /// `tick`'s verdict.
     fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        // Folded kernels run per-element (see [`dfe_platform::Kernel::lanes`]).
+        if self.lanes > 1 {
+            return None;
+        }
         let out = self.output_shape();
         let run = if self.is_border() {
             let in_row = self.y >= self.pad && self.y < self.pad + self.input.h;
@@ -191,6 +230,37 @@ mod tests {
             expect.extend_from_slice(one.as_slice());
         }
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn widened_pad_is_bit_identical() {
+        let t = Tensor3::from_fn(Shape3::new(3, 4, 2), |y, x, c| (y * 9 + x * 2 + c) as i32);
+        let shape = t.shape();
+        let padded_len = (shape.h + 2) * (shape.w + 2) * shape.c;
+        let run = |lanes: usize| {
+            let mut g = Graph::new();
+            let a = g.add_stream(StreamSpec::new("in", 8, 16));
+            let b = g.add_stream(StreamSpec::new("out", 8, 64));
+            g.add_kernel(
+                Box::new(HostSource::new("src", t.as_slice().to_vec())),
+                &[],
+                &[a],
+            );
+            g.add_kernel(
+                Box::new(PadInserter::new("pad", shape, 1, -9).with_lanes(lanes)),
+                &[a],
+                &[b],
+            );
+            let (sink, handle) = HostSink::new("dst", padded_len);
+            g.add_kernel(Box::new(sink), &[b], &[]);
+            g.run(1_000_000).expect("pad run");
+            handle.take()
+        };
+        let base = run(1);
+        assert_eq!(base, t.pad(1, -9).as_slice());
+        for lanes in [2, 3, 8] {
+            assert_eq!(run(lanes), base, "lanes {lanes} changed padded stream");
+        }
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct PoolKernel {
     /// per-clock div/mod avoidance as the convolution kernel.
     needed_memo: (usize, usize),
     pending: VecDeque<i32>,
+    /// Outputs emitted per tick (write-lane folding; 1 ⇒ one per clock).
+    pe: usize,
+    /// Inputs absorbed per tick (read-lane folding; 1 ⇒ one per clock).
+    simd: usize,
 }
 
 impl PoolKernel {
@@ -71,7 +75,25 @@ impl PoolKernel {
             out_pos: 0,
             needed_memo: (usize::MAX, 0),
             pending: VecDeque::with_capacity(input.c),
+            pe: 1,
+            simd: 1,
         }
+    }
+
+    /// Rebuild with stream-width folding: absorb up to `simd` inputs and
+    /// emit up to `pe` pending outputs per tick through a widened stream
+    /// interface. Output order is unchanged, so results are bit-identical
+    /// at any folding. Must be applied before any input is streamed.
+    pub fn with_folding(mut self, pe: usize, simd: usize) -> Self {
+        assert_eq!(self.received, 0, "folding change mid-stream");
+        assert!(pe >= 1 && simd >= 1, "folding factors must be ≥ 1");
+        assert!(
+            pe <= u16::MAX as usize && simd <= u16::MAX as usize,
+            "folding factor exceeds the lane-count range"
+        );
+        self.pe = pe;
+        self.simd = simd;
+        self
     }
 
     /// Output shape.
@@ -145,27 +167,41 @@ impl Kernel for PoolKernel {
     fn tick(&mut self, io: &mut Io<'_>) -> Progress {
         let mut progress = Progress::Idle;
 
-        // Emit one pending output (same cycle as a read — no halt).
-        if let Some(&v) = self.pending.front() {
+        // Emit up to `pe` pending outputs (same cycle as reads — no halt).
+        let mut emitted = 0;
+        while emitted < self.pe {
+            let Some(&v) = self.pending.front() else {
+                break;
+            };
             if io.can_write(0) {
                 io.write(0, v);
                 self.pending.pop_front();
+                emitted += 1;
                 progress = Progress::Busy;
             } else {
-                progress = Progress::Stalled;
+                if emitted == 0 {
+                    progress = Progress::Stalled;
+                }
+                break;
             }
         }
 
-        // Absorb one input, but never past the completing element of the
-        // current uncomputed position: element `e` overwrites ring slot
-        // `e % buf`, and `needed(out_pos)` equals the window start plus
+        // Absorb up to `simd` inputs, each bounded by the completing element
+        // of the current uncomputed position: element `e` overwrites ring
+        // slot `e % buf`, and `needed(out_pos)` equals the window start plus
         // exactly `buf`, so reading beyond it would clobber window data
         // that `compute_position` still needs. (Gating on the *pending*
         // length instead is wrong: under output backpressure the queue can
         // sit partially drained for many cycles while reads run ahead.)
-        let ahead_ok =
-            self.out_pos >= self.positions() || self.received < self.needed_cached(self.out_pos);
-        if ahead_ok && self.received < self.input.len() {
+        // Completed positions are folded in between reads so a wide absorb
+        // can cross a window boundary once backpressure allows it.
+        let mut absorbed = 0;
+        while absorbed < self.simd {
+            let ahead_ok = self.out_pos >= self.positions()
+                || self.received < self.needed_cached(self.out_pos);
+            if !(ahead_ok && self.received < self.input.len()) {
+                break;
+            }
             match io.read(0) {
                 Some(v) => {
                     self.ring[self.wr] = v;
@@ -174,12 +210,20 @@ impl Kernel for PoolKernel {
                         self.wr = 0;
                     }
                     self.received += 1;
+                    absorbed += 1;
                     progress = Progress::Busy;
+                    while self.out_pos < self.positions()
+                        && self.pending.is_empty()
+                        && self.received >= self.needed_cached(self.out_pos)
+                    {
+                        self.compute_position();
+                    }
                 }
                 None => {
                     if progress == Progress::Idle {
                         progress = Progress::Stalled;
                     }
+                    break;
                 }
             }
         }
@@ -212,6 +256,11 @@ impl Kernel for PoolKernel {
         WakeHint::Parkable
     }
 
+    /// Folded stream-interface width: `simd` read lanes, `pe` write lanes.
+    fn lanes(&self) -> (u16, u16) {
+        (self.simd as u16, self.pe as u16)
+    }
+
     /// Three uniform phases, bounded so no mask change can occur mid-span:
     /// * emit + absorb while pending outputs and read headroom both last
     ///   (`min(pending, reads_left)` — a refill landing on the final tick
@@ -224,6 +273,10 @@ impl Kernel for PoolKernel {
     /// * absorb-only while pending is empty — the promise runs up to the
     ///   read that completes the window, whose compute fires at span end.
     fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
+        // Folded kernels run per-element (see [`dfe_platform::Kernel::lanes`]).
+        if self.pe > 1 || self.simd > 1 {
+            return None;
+        }
         let read_cap = if self.out_pos >= self.positions() {
             self.input.len()
         } else {
@@ -372,6 +425,31 @@ mod tests {
             report.cycles,
             n
         );
+    }
+
+    #[test]
+    fn folded_pool_is_bit_identical() {
+        let input = Tensor3::from_fn(Shape3::new(8, 8, 3), |y, x, c| ((y * 5 + x * 3 + c) % 4) as u8);
+        let shape = input.shape();
+        let data: Vec<i32> = input.as_slice().iter().map(|&q| i32::from(q)).collect();
+        let run = |pe: usize, simd: usize| {
+            let kernel =
+                PoolKernel::new("pool", shape, 3, 2, PoolOp::Max).with_folding(pe, simd);
+            let out_len = kernel.output_shape().len();
+            let mut g = Graph::new();
+            let a = g.add_stream(StreamSpec::new("in", 2, 64));
+            let b = g.add_stream(StreamSpec::new("out", 2, 64));
+            g.add_kernel(Box::new(HostSource::new("src", data.clone())), &[], &[a]);
+            g.add_kernel(Box::new(kernel), &[a], &[b]);
+            let (sink, handle) = HostSink::new("dst", out_len);
+            g.add_kernel(Box::new(sink), &[b], &[]);
+            g.run(1_000_000).expect("pool run");
+            handle.take()
+        };
+        let base = run(1, 1);
+        for (pe, simd) in [(2, 2), (1, 4), (4, 1), (8, 8)] {
+            assert_eq!(run(pe, simd), base, "folding ({pe},{simd}) changed pool output");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!
 //! Part of `./ci.sh soak` at `QNN_TEST_CASES=1024`.
 
-use qnn::compiler::{compile, run_images, CompileOptions};
+use qnn::compiler::{compile, run_images, CompileOptions, Fold, FoldPlan};
 use qnn::dfe::{
     Graph, HostSink, HostSource, Io, Kernel, Progress, SchedulerMode, SpanIo, SpanPlan,
     StallInjector, StreamSpec, WakeHint,
@@ -98,6 +98,37 @@ props! {
         let img = image_for(&net.spec, seed + 7);
         let base = CompileOptions { fifo_capacity: fifo, ..CompileOptions::default() };
         assert_dispatch_agrees(&net, std::slice::from_ref(&img), &base)?;
+    }
+
+    /// A non-trivial folded design point: folded kernels return no
+    /// `SpanPlan` (their per-cycle port counts defeat the one-element
+    /// burst arithmetic), so span dispatch must step them densely while
+    /// still bursting the unfolded stages around them — with identical
+    /// logits and reports. This pins the folding/span interaction the DSE
+    /// frontier relies on.
+    #[test]
+    fn folded_design_point_reports_identical(
+        seed in 0u64..200,
+        pe_bits in 0u32..3,
+        simd_bits in 0u32..3,
+        fifo in 16usize..128,
+        n_images in 1usize..3,
+    ) {
+        let net = Network::random(models::test_net(8, 4, 2), seed);
+        let images: Vec<_> =
+            (0..n_images as u64).map(|i| image_for(&net.spec, seed + 13 + i)).collect();
+        let folding = FoldPlan::new()
+            .with("conv0", Fold::new(1 << pe_bits, 1 << simd_bits))
+            .with("pool1", Fold::new(1 << simd_bits, 2))
+            .with("res2.conv2", Fold::new(4, 1 << pe_bits))
+            .with("res3.conv1", Fold::new(2, 2))
+            .with("fc6", Fold::new(1 << pe_bits, 4));
+        let base = CompileOptions {
+            layer_folding: folding,
+            fifo_capacity: fifo,
+            ..CompileOptions::default()
+        };
+        assert_dispatch_agrees(&net, &images, &base)?;
     }
 
     /// 1–3-device lockstep cuts. The lockstep executor drives

@@ -11,7 +11,7 @@
 //!
 //! Part of `./ci.sh soak` at `QNN_TEST_CASES=1024`.
 
-use qnn::compiler::{run_images, CompileOptions};
+use qnn::compiler::{run_images, CompileOptions, Fold, FoldPlan};
 use qnn::dfe::{
     Graph, HostSink, HostSource, Io, Kernel, Progress, SchedulerMode, StallInjector, StreamSpec,
     WakeHint,
@@ -119,6 +119,33 @@ props! {
         let net = Network::random(models::test_net(8, 4, 2), seed);
         let img = image_for(&net.spec, seed + 7);
         let base = CompileOptions { fifo_capacity: fifo, ..CompileOptions::default() };
+        assert_modes_agree(&net, std::slice::from_ref(&img), &base)?;
+    }
+
+    /// A non-trivial folded design point on the full-featured residual
+    /// test net: folded kernels move several elements per lane per cycle
+    /// and veto span dispatch, so ready-list parking must stay bit-exact
+    /// against dense stepping with multi-lane wakeups in play.
+    #[test]
+    fn folded_design_point_reports_identical(
+        seed in 0u64..200,
+        pe_bits in 0u32..3,
+        simd_bits in 0u32..3,
+        fifo in 16usize..128,
+    ) {
+        let net = Network::random(models::test_net(8, 4, 2), seed);
+        let img = image_for(&net.spec, seed + 13);
+        let folding = FoldPlan::new()
+            .with("conv0", Fold::new(1 << pe_bits, 1 << simd_bits))
+            .with("pool1", Fold::new(2, 1 << simd_bits))
+            .with("res2.conv1", Fold::new(1 << simd_bits, 4))
+            .with("res3.ds", Fold::new(2, 2))
+            .with("fc5", Fold::new(4, 1 << pe_bits));
+        let base = CompileOptions {
+            layer_folding: folding,
+            fifo_capacity: fifo,
+            ..CompileOptions::default()
+        };
         assert_modes_agree(&net, std::slice::from_ref(&img), &base)?;
     }
 
