@@ -33,10 +33,10 @@
 #                        speedup assertions off) — catches bench-harness
 #                        rot without waiting for real measurement runs.
 #   ci.sh matrix         NOT tier-1: the full test suite in release under
-#                        every QNN_MACRO_TICKS x QNN_SCHEDULER cell, so
-#                        env-selected defaults get the same coverage the
-#                        per-test parameterizations give the in-process
-#                        flags.
+#                        every QNN_SCHED_REPLAY x QNN_MACRO_TICKS x
+#                        QNN_SCHEDULER cell, so env-selected defaults get
+#                        the same coverage the per-test parameterizations
+#                        give the in-process flags.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -85,11 +85,13 @@ if [[ "${1:-}" == "matrix" ]]; then
   # The in-process flags (CompileOptions / set_macro_ticks) are covered by
   # the parameterized suites; this sweeps the *env* defaults, which seed
   # every test that never mentions a scheduler or dispatch mode.
-  for mt in 0 1; do
-    for sched in dense ready; do
-      echo "==[ matrix: QNN_MACRO_TICKS=$mt QNN_SCHEDULER=$sched ]=="
-      QNN_MACRO_TICKS="$mt" QNN_SCHEDULER="$sched" \
-        run cargo test -q --release --offline
+  for replay in 0 1; do
+    for mt in 0 1; do
+      for sched in dense ready; do
+        echo "==[ matrix: QNN_SCHED_REPLAY=$replay QNN_MACRO_TICKS=$mt QNN_SCHEDULER=$sched ]=="
+        QNN_SCHED_REPLAY="$replay" QNN_MACRO_TICKS="$mt" QNN_SCHEDULER="$sched" \
+          run cargo test -q --release --offline
+      done
     done
   done
   echo "ci.sh matrix: all green"
@@ -100,7 +102,7 @@ if [[ "${1:-}" == "bench-smoke" ]]; then
   export QNN_BENCH_QUICK=1
   for bench in table3_networks fig5_runtime fig6_resources fig7_fig8_power_energy \
                ablations kernels_micro scheduler_overhead serve_throughput conv_datapath \
-               macro_tick dse_frontier; do
+               macro_tick schedule_replay dse_frontier; do
     run cargo bench -q --offline -p qnn-bench --bench "$bench"
   done
   echo "ci.sh bench-smoke: all green"

@@ -260,6 +260,9 @@ fn run_datapath(
 ) -> SimResult {
     let opts = CompileOptions {
         conv_datapath,
+        // Single-image runs never reach steady state, but pin replay off
+        // so the datapath A/B can't silently change regime.
+        schedule_replay: false,
         ..CompileOptions::default()
     };
     run_images(net, images, &opts).expect("sim")

@@ -32,6 +32,9 @@ fn run_mode(
     let opts = CompileOptions {
         scheduler: SchedulerMode::ReadyList,
         macro_ticks,
+        // Keep the A/B about span dispatch alone: steady-state replay is
+        // benchmarked separately (`schedule_replay` bench).
+        schedule_replay: false,
         ..CompileOptions::default()
     };
     run_images(net, images, &opts).expect("sim")

@@ -1,0 +1,170 @@
+//! Schedule-replay micro-benchmark: span dispatch with live burst
+//! planning vs replaying the recorded steady-state tape, on multi-image
+//! full-network simulations.
+//!
+//! Both settings are bit-identical in outputs and `CycleReport`s
+//! (asserted here per workload, and property-tested in
+//! `tests/schedule_replay.rs`), so the *entire* difference is planning
+//! overhead (compilation is hoisted out of the timed region — it is
+//! bit-identical work in both modes): macro-ticks-only re-derives every
+//! burst — span hints across all awake kernels, feasibility minima,
+//! ripen bookkeeping — once per
+//! dispatch, while replay walks the recorded tape and re-issues each
+//! recorded span after O(participants) guard checks. The win scales with
+//! stream length: the ramp and the recorded period are paid once, every
+//! following image is tape-driven.
+//!
+//! Run via `cargo bench --bench schedule_replay` (tier-1 only builds it).
+//! The ≥1.3× assertion below backs the PR's acceptance criterion:
+//! ResNet-18 at 224² end-to-end on a 96-image stream against the
+//! macro-ticks-only baseline.
+
+use qnn::compiler::{compile, CompileOptions, CompiledNetwork, SimResult};
+use qnn::data::Dataset;
+use qnn::dfe::SchedulerMode;
+use qnn::nn::{models, Network, NetworkSpec};
+use qnn_bench::render_table;
+use qnn_testkit::{black_box, Bench};
+use std::time::Instant;
+
+/// Compile and run one stream, returning the result and the *run-only*
+/// wall-clock. Compilation (lowering, weight packing, source preload) is
+/// bit-identical work in both modes and a one-time per-deployment cost in
+/// the paper's setting, so timing it would only dilute the scheduler
+/// difference being measured.
+fn run_mode(
+    net: &Network,
+    images: &[qnn::tensor::Tensor3<i8>],
+    schedule_replay: bool,
+) -> (SimResult, f64) {
+    let opts = CompileOptions {
+        scheduler: SchedulerMode::ReadyList,
+        macro_ticks: true,
+        schedule_replay,
+        ..CompileOptions::default()
+    };
+    let CompiledNetwork {
+        mut graphs,
+        sink,
+        classes,
+        ..
+    } = compile(net, images, &opts);
+    assert_eq!(graphs.len(), 1, "bench nets are single-device");
+    let t = Instant::now();
+    let report = graphs[0].run(u64::MAX / 2).expect("sim");
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let flat = sink.take();
+    assert_eq!(flat.len(), classes * images.len(), "sink under-filled");
+    let logits = flat.chunks_exact(classes).map(<[i32]>::to_vec).collect();
+    (
+        SimResult {
+            logits,
+            reports: vec![report],
+        },
+        ms,
+    )
+}
+
+/// Iterations per mode (after one untimed warmup pair). Multi-image
+/// streams make each iteration long; 3 medians suffice at this length.
+const ITERS: usize = 3;
+
+/// Time one workload with replay off and on; returns (planned ms,
+/// replayed ms, speedup) after asserting bit-identity of logits and
+/// reports and that replay actually engaged (a bench of a feature that
+/// silently fell back would measure nothing).
+///
+/// Interleaved pairs with per-side medians, as in `macro_tick`: ambient
+/// machine drift hits both sides equally.
+fn measure(label: &str, spec: NetworkSpec, classes: usize, n_images: usize) -> (f64, f64, f64) {
+    let side = spec.input.h;
+    let data = Dataset {
+        name: "bench",
+        side,
+        classes,
+    };
+    let net = Network::random(spec, 3);
+    // Quick mode only checks bit-identity and that replay engages; a
+    // short stream covering ramp + record + replayed frames + tail is
+    // enough without paying the full timed stream length. 16 frames is
+    // the floor: VGG-like needs one extra settle-and-re-record round
+    // before its tape holds.
+    let n_images = if Bench::quick_mode() {
+        n_images.min(16)
+    } else {
+        n_images
+    };
+    let images = data.images(n_images);
+
+    let (planned, _) = run_mode(&net, &images, false);
+    let (replayed, _) = run_mode(&net, &images, true);
+    assert_eq!(
+        planned.logits, replayed.logits,
+        "{label}: outputs must be bit-identical"
+    );
+    assert_eq!(
+        planned.reports, replayed.reports,
+        "{label}: reports must be bit-identical"
+    );
+    let diag = replayed.reports[0].replay;
+    assert!(
+        diag.images_replayed >= 1,
+        "{label}: replay never engaged ({diag:?}) — the timing below would be a lie"
+    );
+    if Bench::quick_mode() {
+        return (0.0, 0.0, 1.0);
+    }
+
+    let mut t_planned = Vec::with_capacity(ITERS);
+    let mut t_replayed = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        t_planned.push(black_box(run_mode(&net, &images, false)).1);
+        t_replayed.push(black_box(run_mode(&net, &images, true)).1);
+    }
+    t_planned.sort_by(f64::total_cmp);
+    t_replayed.sort_by(f64::total_cmp);
+    let p = t_planned[ITERS / 2];
+    let r = t_replayed[ITERS / 2];
+    (p, r, p / r)
+}
+
+fn main() {
+    // Stream length is the lever: the ramp (the FIFO occupancies ratchet
+    // toward their steady fixed point over the first few frames), one
+    // recorded period, and the non-periodic final frame are paid at
+    // planned cost; every other image is tape-driven. At 96 ImageNet
+    // frames ~91 of them replay, which is still far short of the
+    // thousands-per-stream regime the paper's static schedule targets.
+    let workloads = [
+        ("test_net/16 x24", models::test_net(16, 4, 2), 10, 24),
+        ("vgg_like/32 x24", models::vgg_like(32, 10, 2), 10, 24),
+        ("resnet18/224 x96", models::resnet18(1000), 1000, 96),
+    ];
+    let mut rows = Vec::new();
+    let mut imagenet_speedup = 0.0;
+    for (label, spec, classes, n) in workloads {
+        let (p, r, x) = measure(label, spec, classes, n);
+        if label.starts_with("resnet18") {
+            imagenet_speedup = x;
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{p:.1}"),
+            format!("{r:.1}"),
+            format!("{x:.2}x"),
+        ]);
+    }
+    println!(
+        "\n== Schedule replay (wall-clock per stream, bit-identical results) ==\n{}",
+        render_table(&["workload", "planned ms", "replayed ms", "speedup"], &rows)
+    );
+    if Bench::quick_mode() {
+        println!("(quick mode: workloads executed once, speedup assertion skipped)");
+        return;
+    }
+    assert!(
+        imagenet_speedup >= 1.3,
+        "schedule replay should be >=1.3x on an ImageNet-scale 96-image stream, \
+         got {imagenet_speedup:.2}x"
+    );
+}

@@ -24,6 +24,9 @@ use std::time::Instant;
 fn run_mode(net: &Network, images: &[qnn::tensor::Tensor3<i8>], mode: SchedulerMode) -> SimResult {
     let opts = CompileOptions {
         scheduler: mode,
+        // Replay would only help the ready-list side; keep the A/B about
+        // scheduler overhead alone (replay has its own bench).
+        schedule_replay: false,
         ..CompileOptions::default()
     };
     run_images(net, images, &opts).expect("sim")

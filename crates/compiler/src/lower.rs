@@ -48,6 +48,13 @@ pub struct CompileOptions {
     /// off are bit-identical in outputs and reports; the default follows
     /// `QNN_MACRO_TICKS` (on when unset).
     pub macro_ticks: bool,
+    /// Steady-state schedule replay for single-device graphs: record one
+    /// image's wake/commit trace and replay it for subsequent images
+    /// (see `dfe_platform::replay`). On and off are bit-identical in
+    /// outputs and reports; the default follows `QNN_SCHED_REPLAY` (on
+    /// when unset). Only takes effect under `ReadyList`; multi-device
+    /// graphs are stepped by the lockstep executor and never engage it.
+    pub schedule_replay: bool,
     /// Per-layer folding overrides, keyed by the lowering's stage labels
     /// (`conv0`, `pool1`, `fc5`, `res2.conv1`, `res3.ds`, …). Layers not
     /// mentioned run unfolded. Folding changes per-cycle lane widths only,
@@ -72,6 +79,7 @@ impl Default for CompileOptions {
             scheduler: SchedulerMode::default(),
             conv_datapath: ConvDatapath::default(),
             macro_ticks: dfe_platform::macro_ticks_default(),
+            schedule_replay: dfe_platform::schedule_replay_default(),
             layer_folding: FoldPlan::new(),
             fifo_overrides: Vec::new(),
         }
@@ -153,6 +161,7 @@ impl Builder {
                 .map(|_| {
                     let mut g = Graph::with_scheduler(opts.scheduler);
                     g.set_macro_ticks(opts.macro_ticks);
+                    g.set_schedule_replay(opts.schedule_replay);
                     g
                 })
                 .collect(),
@@ -411,7 +420,7 @@ pub fn try_compile(
     let mut prev = b.stream(stage_device[0], "image".into(), 8, opts.fifo_capacity);
     b.kernel(
         stage_device[0],
-        Box::new(HostSource::new("host.src", pixels)),
+        Box::new(HostSource::new("host.src", pixels).with_period(spec.input.len())),
         &[],
         &[prev],
     );
@@ -709,7 +718,14 @@ pub fn try_compile(
     let logits = logits_wire.expect("network must end in a logits FC layer");
     let classes = spec.classes();
     let (sink, handle) = HostSink::new("host.sink", classes * n_images);
+    let sink = sink.with_period(classes);
     b.kernel(logits.device, Box::new(sink), &[logits], &[]);
+    // Arm the replay marker on the logits wire: one image boundary per
+    // `classes` popped logits. Single-device only — multi-device graphs
+    // are stepped by the lockstep executor, which bypasses `run`.
+    if devices == 1 {
+        b.graphs[logits.device].set_replay_marker(logits.id, classes as u64);
+    }
 
     // Every override must have been consumed by the lowering; leftovers
     // name layers/streams this network does not have.

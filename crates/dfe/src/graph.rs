@@ -6,7 +6,8 @@
 //! randomized networks.
 
 use crate::kernel::{Io, Kernel, Progress, SpanIo, SpanPlan, WakeHint, MAX_SPAN_PORTS};
-use crate::sched::{macro_ticks_default, SchedulerMode};
+use crate::replay::{ReplayDiag, ReplayPhase, ReplayState, Step};
+use crate::sched::{macro_ticks_default, schedule_replay_default, SchedulerMode};
 use crate::stream::{StreamSpec, StreamState};
 use crate::trace::Trace;
 use std::fmt;
@@ -94,7 +95,7 @@ pub struct StreamStats {
 }
 
 /// Result of a completed run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct CycleReport {
     /// Clock cycles until the last sink completed.
     pub cycles: u64,
@@ -102,7 +103,22 @@ pub struct CycleReport {
     pub kernels: Vec<KernelStats>,
     /// Per-stream counters, index-aligned with stream ids.
     pub streams: Vec<StreamStats>,
+    /// Schedule-replay diagnostics (see [`crate::replay`]). Like
+    /// [`Graph::bursts`], this describes how the run was *dispatched*, not
+    /// what it computed — so it is excluded from report equality, which the
+    /// differential batteries hold bit-identical across scheduler tiers.
+    pub replay: ReplayDiag,
 }
+
+impl PartialEq for CycleReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycles == other.cycles
+            && self.kernels == other.kernels
+            && self.streams == other.streams
+    }
+}
+
+impl Eq for CycleReport {}
 
 impl CycleReport {
     /// Wall-clock time for the run at a fabric clock of `fclk_mhz`.
@@ -199,6 +215,20 @@ pub struct Graph {
     /// Scratch, indexed by node: index into `burst_plans`, `u32::MAX` when
     /// the node is not a participant. Always all-`MAX` between attempts.
     part_of: Vec<u32>,
+    /// Steady-state schedule replay — the third scheduler tier (see
+    /// [`crate::replay`]). Inert until armed with a marker via
+    /// [`Graph::set_replay_marker`].
+    replay: ReplayState,
+}
+
+/// What a replay-tape step executed as (see [`Graph::try_replay_step`]).
+enum ReplayOutcome {
+    /// A recorded span was re-dispatched, advancing the clock `k` cycles.
+    Span(u64),
+    /// The tape step is a dense cycle: run the ordinary stepper.
+    Dense,
+    /// A guard failed; replay re-armed, step this cycle normally.
+    Fallback,
 }
 
 /// `stream_flags` bit: the stream is written (one element per cycle) during
@@ -207,6 +237,7 @@ const BURST_W: u8 = 1;
 /// `stream_flags` bit: the stream is read during the planned burst.
 const BURST_R: u8 = 2;
 
+/// TEMP profiling counters (scratch instrumentation; removed before commit).
 impl Default for Graph {
     /// Empty graph using the process-default [`SchedulerMode`] (the
     /// `QNN_SCHEDULER` environment variable; `ReadyList` when unset).
@@ -229,6 +260,18 @@ impl Graph {
     /// failure (and backs off) instead. Correctness is unaffected — a
     /// rejected burst just falls back to per-element stepping.
     const MIN_BURST: u64 = 8;
+
+    /// Span floor while a schedule-replay tape records. `min_burst` is an
+    /// admission threshold, not a target — the feasibility scan returns the
+    /// same large spans the default policy dispatches — so the lower floor
+    /// only *adds* the short spans the default policy leaves to dense
+    /// stepping. A recorded span's planning cost is paid once and then
+    /// replayed for free every period, and after record-time pruning (only
+    /// the participants that actually run survive) even a 2-cycle replayed
+    /// span beats re-stepping those cycles densely on every image — raising
+    /// this floor to 4 measurably slowed ResNet-18 replay by pushing the
+    /// short-phase residue back to dense stepping.
+    const REPLAY_MIN_BURST: u64 = 2;
 
     /// Empty graph with the process-default scheduler.
     pub fn new() -> Self {
@@ -259,6 +302,7 @@ impl Graph {
             burst_streams: Vec::new(),
             stream_flags: Vec::new(),
             part_of: Vec::new(),
+            replay: ReplayState::new(schedule_replay_default()),
         }
     }
 
@@ -271,9 +315,46 @@ impl Graph {
     /// Enable or disable macro-tick span dispatch. Safe at any point,
     /// including mid-run: bursts leave no cross-cycle state behind (no
     /// staged writes, identical park bookkeeping), so the next cycle steps
-    /// per-element or in spans indistinguishably.
+    /// per-element or in spans indistinguishably. Any schedule-replay tape
+    /// is dropped (it encodes the old dispatch policy's step sequence);
+    /// replay re-arms and re-detects steady state.
     pub fn set_macro_ticks(&mut self, on: bool) {
         self.macro_ticks = on;
+        self.replay.rearm();
+    }
+
+    /// Whether steady-state schedule replay is enabled (only effective on a
+    /// marker-armed graph under [`SchedulerMode::ReadyList`] in self-stepped
+    /// runs; see [`crate::replay`]).
+    pub fn schedule_replay(&self) -> bool {
+        self.replay.enabled
+    }
+
+    /// Enable or disable schedule replay. Safe at any point: the tape and
+    /// fingerprint history are dropped, and the next cycle steps normally
+    /// (diagnostics counters survive — they describe the whole run).
+    pub fn set_schedule_replay(&mut self, on: bool) {
+        self.replay.enabled = on;
+        self.replay.rearm();
+    }
+
+    /// Arm schedule replay: watch `marker` (conventionally the logits
+    /// stream) and treat every `period` elements popped from it as one
+    /// image boundary, where steady state is fingerprinted (see
+    /// [`crate::replay`]). Resets any previous tape.
+    pub fn set_replay_marker(&mut self, marker: StreamId, period: u64) {
+        assert!(period > 0, "replay period must be positive");
+        let st = &self.streams[marker.0];
+        let popped = st.pushed - st.total_len() as u64;
+        self.replay.marker = Some((marker.0, period));
+        self.replay.next_target = popped + period;
+        self.replay.rearm();
+    }
+
+    /// Schedule-replay diagnostics so far (also surfaced on
+    /// [`CycleReport::replay`]).
+    pub fn replay_diag(&self) -> ReplayDiag {
+        self.replay.diag
     }
 
     /// Spans dispatched so far (diagnostics; not part of [`CycleReport`]).
@@ -294,8 +375,11 @@ impl Graph {
     /// Switch scheduler mode. Safe at any point: pending park state is
     /// settled (outstanding stall credit lands on the counters) and
     /// cleared, so every kernel is ticked on the next cycle in either mode.
+    /// Any schedule-replay tape is dropped (replay re-arms; its tape
+    /// encodes ready-list park state that the switch just settled).
     pub fn set_scheduler(&mut self, scheduler: SchedulerMode) {
         self.scheduler = scheduler;
+        self.replay.rearm();
         for i in 0..self.nodes.len() {
             if let Some((verdict, since)) = self.parked[i].take() {
                 if verdict == Progress::Stalled {
@@ -494,17 +578,83 @@ impl Graph {
         let burst_ok = self.macro_ticks
             && self.scheduler == SchedulerMode::ReadyList
             && trace.is_none();
+        // Schedule replay (see [`crate::replay`]) rides the same
+        // self-stepped ready-list path and needs a marker stream to observe
+        // image boundaries; unarmed graphs skip every replay branch.
+        let replay_ok = self.replay.enabled
+            && self.replay.marker.is_some()
+            && self.scheduler == SchedulerMode::ReadyList
+            && trace.is_none();
         if !self.complete() {
             loop {
                 if cycle >= max_cycles {
                     return Err(RunError::Timeout { max_cycles });
                 }
-                if burst_ok {
-                    if self.burst_cooldown == 0 {
-                        match self.try_burst(max_cycles - cycle) {
+                // Replay tier: execute the validated tape directly. A span
+                // step advances the clock wholesale; a dense step falls
+                // through to the ordinary stepper below (with the burst
+                // planner bypassed — the tape already says this cycle is
+                // dense); a guard failure re-arms and steps normally.
+                let mut replay_dense = false;
+                if replay_ok && matches!(self.replay.phase, ReplayPhase::Replaying { .. }) {
+                    match self.try_replay_step(max_cycles - cycle) {
+                        ReplayOutcome::Span(k) => {
+                            cycle += k;
+                            self.replay_boundary();
+                            if self.sink_progress && self.complete() {
+                                break;
+                            }
+                            continue;
+                        }
+                        ReplayOutcome::Dense => replay_dense = true,
+                        ReplayOutcome::Fallback => {}
+                    }
+                }
+                let recording = replay_ok && matches!(self.replay.phase, ReplayPhase::Recording);
+                if burst_ok && !replay_dense {
+                    if recording {
+                        // While the tape records, mine aggressively: no
+                        // cooldown and a lower span floor. `min_burst` only
+                        // sets the admission threshold — the feasibility
+                        // scan returns the same large `k` either way — so
+                        // this keeps every span the default policy would
+                        // dispatch and *additionally* converts the short
+                        // residue it leaves to dense stepping into 2–7-cycle
+                        // spans, which replay far cheaper than dense cycles.
+                        // Burst policy is a pure cost knob (any admitted
+                        // burst is an exact fast-forward of dense cycles),
+                        // so this changes nothing observable — the planning
+                        // cost is paid once here and replayed for free.
+                        self.replay.snapshot_mask(&self.awake);
+                        if let Ok(k) = self.try_burst(max_cycles - cycle, Self::REPLAY_MIN_BURST) {
+                            let within_cap = self.replay.record_span(
+                                k,
+                                &self.burst_plans,
+                                &self.burst_ripen,
+                                &self.burst_streams,
+                            );
+                            if !within_cap {
+                                // A period too irregular to record compactly
+                                // will not amortize: permanently veto.
+                                self.replay.rearm();
+                                self.replay.phase = ReplayPhase::Vetoed;
+                            }
+                            cycle += k;
+                            self.replay_boundary();
+                            if self.sink_progress && self.complete() {
+                                break;
+                            }
+                            continue;
+                        }
+                        // Failed attempt: step densely (recorded below).
+                    } else if self.burst_cooldown == 0 {
+                        match self.try_burst(max_cycles - cycle, Self::MIN_BURST) {
                             Ok(k) => {
                                 cycle += k;
                                 self.burst_backoff = 1;
+                                if replay_ok {
+                                    self.replay_boundary();
+                                }
                                 if self.sink_progress && self.complete() {
                                     break;
                                 }
@@ -525,6 +675,9 @@ impl Graph {
                     }
                 }
                 let (any_progress, committed) = self.step_cycle();
+                if recording {
+                    self.replay.record_dense();
+                }
                 if !any_progress && !committed {
                     if detect_deadlock {
                         return Err(RunError::Deadlock {
@@ -536,6 +689,9 @@ impl Graph {
                     std::thread::yield_now();
                 }
                 cycle += 1;
+                if replay_ok {
+                    self.replay_boundary();
+                }
                 if let Some(t) = &mut trace {
                     if cycle % sample_every == 0 {
                         t.occupancy
@@ -821,7 +977,10 @@ impl Graph {
     /// other counter moves, and the clock advances `k`. That arithmetic is
     /// what this method applies; the differential battery
     /// (`tests/macro_tick_equivalence.rs`) holds it to bit-identity.
-    fn try_burst(&mut self, budget: u64) -> Result<u64, u64> {
+    /// `min_burst` is the smallest span worth dispatching on this attempt —
+    /// [`Graph::MIN_BURST`] normally, [`Graph::REPLAY_MIN_BURST`] while a
+    /// schedule-replay tape records (a pure cost knob; see the const docs).
+    fn try_burst(&mut self, budget: u64, min_burst: u64) -> Result<u64, u64> {
         if budget < 2 {
             return Err(0);
         }
@@ -897,7 +1056,7 @@ impl Graph {
                                 } else {
                                     break 'plan false;
                                 }
-                            } else if plan.cycles >= Self::MIN_BURST {
+                            } else if plan.cycles >= min_burst {
                                 k = k.min(plan.cycles);
                                 part_of[i] = burst_plans.len() as u32;
                                 burst_plans.push((i, plan, 0, None));
@@ -1122,7 +1281,7 @@ impl Graph {
                     }
                 }
             }
-            if k < Self::MIN_BURST {
+            if k < min_burst {
                 // Stream-capped: the binding queue state clears (or the
                 // verdict changes) only after the capped span elapses.
                 retry = k.max(1);
@@ -1247,85 +1406,25 @@ impl Graph {
             }
             return Err(retry);
         }
-        // Phase 4: dispatch participants in node order from their offsets.
+        // Phases 4+5 (dispatch + occupancy credit) are shared with schedule
+        // replay: `dispatch_span` re-executes exactly this plan set, so a
+        // recorded burst replays through the identical code path.
         burst_plans.sort_unstable_by_key(|&(i, ..)| i);
-        let mut sink_progress = false;
-        for &(i, plan, o, demoted) in burst_plans.iter() {
+        for &(i, ..) in burst_plans.iter() {
             part_of[i] = u32::MAX;
-            if let Some(v) = demoted {
-                // Replay dense's first burst cycle for a demoted kernel:
-                // one blocked, port-inert tick (counted here) and a park at
-                // `t_now`. The shared paths below then treat it exactly
-                // like a recruit — wake at its offset with the lazy credit
-                // settled, run any busy span, or stay parked.
-                if v == Progress::Stalled {
-                    nodes[i].stalled += 1;
-                }
-                awake[i / 64] &= !(1 << (i % 64));
-                parked[i] = Some((v, t_now));
-            }
-            if let Some(&(_, f)) = burst_ripen.iter().find(|&&(j, _)| j == i) {
-                // An `Idle` park ripens: the first in-burst arrival on a
-                // masked input flips the fixed point to `Stalled` — dense
-                // ticks it `Stalled` once at `f` and re-parks there; later
-                // re-wakes telescope into the lazy credit settled below
-                // (at the run offset, or at burst end via `o == k`).
-                nodes[i].stalled += 1;
-                parked[i] = Some((Progress::Stalled, t_now + f));
-            }
-            if o >= k {
-                if o == k {
-                    // Dense's last-cycle event leaves this recruit awake
-                    // entering the next cycle without ever running it;
-                    // settle its lazy credit at the wake instant.
-                    if let Some((verdict, since)) = parked[i].take() {
-                        awake[i / 64] |= 1 << (i % 64);
-                        if verdict == Progress::Stalled {
-                            nodes[i].stalled += t_now + k - 1 - since;
-                        }
-                    }
-                }
-                // Otherwise dense would only wake-and-repark it inside the
-                // span; staying parked is counter-invisible (lazy credit).
-                continue;
-            }
-            let span = k - o;
-            if let Some((verdict, since)) = parked[i].take() {
-                awake[i / 64] |= 1 << (i % 64);
-                if verdict == Progress::Stalled {
-                    nodes[i].stalled += t_now + o - 1 - since;
-                }
-            }
-            let node = &mut nodes[i];
-            let mut sio = SpanIo::new(streams, &node.inputs, &node.outputs, plan.opt_reads);
-            node.kernel.run_span(&mut sio, span);
-            if cfg!(debug_assertions) {
-                let (reads, writes) = sio.counts();
-                for (p, &got) in reads.iter().enumerate().take(node.inputs.len()) {
-                    let want = if plan.reads & (1 << p) != 0 { span } else { 0 };
-                    assert_eq!(
-                        got,
-                        want,
-                        "kernel '{}' popped {got} from port {p}, promised {want} (SpanPlan contract)",
-                        node.kernel.name()
-                    );
-                }
-                for (p, &got) in writes.iter().enumerate().take(node.outputs.len()) {
-                    let want = if plan.writes & (1 << p) != 0 { span } else { 0 };
-                    assert_eq!(
-                        got,
-                        want,
-                        "kernel '{}' pushed {got} to port {p}, promised {want} (SpanPlan contract)",
-                        node.kernel.name()
-                    );
-                }
-            }
-            node.busy += span;
-            sink_progress |= node.outputs.is_empty();
         }
-        // Phase 5: credit occupancy peaks and reset the flag scratch.
-        for &(s, start_len, pushes, pops) in burst_streams.iter() {
-            streams[s].note_span(start_len, pushes, pops);
+        let sink_progress = dispatch_span(
+            nodes,
+            streams,
+            parked,
+            awake,
+            burst_plans,
+            burst_ripen,
+            burst_streams,
+            t_now,
+            k,
+        );
+        for &(s, ..) in burst_streams.iter() {
             stream_flags[s] = 0;
         }
         self.now += k;
@@ -1333,6 +1432,225 @@ impl Graph {
         self.bursts += 1;
         self.burst_cycles += k;
         Ok(k)
+    }
+
+    /// Execute the replay-tape step under the cursor (see
+    /// [`crate::replay`]). Span steps re-check their guards — the live
+    /// awake mask and every recorded stream's queue length must equal the
+    /// recorded pre-dispatch state — and then re-dispatch the recorded plan
+    /// set through [`dispatch_span`], the same code path a planned burst
+    /// takes. Any guard failure re-arms replay and reports
+    /// [`ReplayOutcome::Fallback`]; the caller steps the cycle normally.
+    fn try_replay_step(&mut self, budget: u64) -> ReplayOutcome {
+        let ReplayPhase::Replaying { step, done } = self.replay.phase else {
+            return ReplayOutcome::Fallback;
+        };
+        let Some(&tape_step) = self.replay.tape.steps.get(step) else {
+            // Cursor ran past the tape without a period boundary: the run
+            // diverged from the recorded schedule.
+            return self.replay_guard_fallback();
+        };
+        match tape_step {
+            Step::Dense(n) => {
+                let done = done + 1;
+                self.replay.phase = if done >= n {
+                    ReplayPhase::Replaying {
+                        step: step + 1,
+                        done: 0,
+                    }
+                } else {
+                    ReplayPhase::Replaying { step, done }
+                };
+                ReplayOutcome::Dense
+            }
+            Step::Span(ix) => {
+                let t_now = self.now;
+                let Self {
+                    nodes,
+                    streams: live_streams,
+                    parked,
+                    awake,
+                    replay,
+                    ..
+                } = self;
+                let tape = &replay.tape;
+                let rec = tape.span_recs[ix as usize];
+                // A replayed span must not overrun the run's cycle budget —
+                // dense stepping would time out mid-span, and the timeout
+                // arithmetic must match it exactly.
+                if rec.k > budget
+                    || tape.mask(&rec) != &awake[..]
+                    || tape
+                        .streams(&rec)
+                        .iter()
+                        .any(|&(s, start_len, ..)| live_streams[s].queue.len() != start_len)
+                {
+                    return self.replay_guard_fallback();
+                }
+                // Guards passed: re-dispatch the recorded pool windows
+                // directly — no per-step gathering, and consecutive steps
+                // read consecutive pool ranges. The plan set was admitted
+                // by the planner against this exact scheduler-visible state
+                // (same awake set, same queue lengths, same kernel control
+                // state per the boundary fingerprint), so the dispatch is
+                // the same fast-forward of dense cycles it was originally.
+                let k = rec.k;
+                let sink_progress = dispatch_span(
+                    nodes,
+                    live_streams,
+                    parked,
+                    awake,
+                    tape.plans(&rec),
+                    tape.ripen(&rec),
+                    tape.streams(&rec),
+                    t_now,
+                    k,
+                );
+                self.now += k;
+                self.sink_progress = sink_progress;
+                self.bursts += 1;
+                self.burst_cycles += k;
+                self.replay.diag.spans_bypassed += 1;
+                self.replay.phase = ReplayPhase::Replaying {
+                    step: step + 1,
+                    done: 0,
+                };
+                ReplayOutcome::Span(k)
+            }
+        }
+    }
+
+    /// A replay guard failed: count it and re-arm (normal stepping resumes
+    /// and steady state is re-detected from scratch).
+    fn replay_guard_fallback(&mut self) -> ReplayOutcome {
+        self.replay.diag.guard_fallbacks += 1;
+        self.replay.rearm();
+        ReplayOutcome::Fallback
+    }
+
+    /// Check for a period boundary on the marker stream and drive the
+    /// replay state machine (see [`crate::replay`]'s protocol docs). Called
+    /// after every clock advance of a replay-eligible run; cheap until the
+    /// marker's popped count crosses the next period multiple.
+    fn replay_boundary(&mut self) {
+        if matches!(self.replay.phase, ReplayPhase::Vetoed) {
+            return;
+        }
+        let Some((m, period)) = self.replay.marker else {
+            return;
+        };
+        let st = &self.streams[m];
+        let popped = st.pushed - st.total_len() as u64;
+        if popped < self.replay.next_target {
+            return;
+        }
+        // One state-machine event per detection even if a span crossed
+        // several period multiples at once (the tape period then covers
+        // several images — still a valid periodic unit).
+        while self.replay.next_target <= popped {
+            self.replay.next_target += period;
+        }
+        if !self.compute_fingerprint() {
+            // A kernel without a replay token: permanently off.
+            self.replay.rearm();
+            self.replay.phase = ReplayPhase::Vetoed;
+            return;
+        }
+        let fp_matches = self.replay.fp_scratch == self.replay.prev_fp;
+        // Boundary tracing (QNN_REPLAY_DEBUG=1): which fingerprint slots
+        // moved between periods — the first question when a stream that
+        // should replay never leaves `Armed`.
+        static DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *DEBUG.get_or_init(|| std::env::var("QNN_REPLAY_DEBUG").is_ok()) {
+            let diff: Vec<usize> = (0..self.replay.fp_scratch.len().max(self.replay.prev_fp.len()))
+                .filter(|&i| self.replay.fp_scratch.get(i) != self.replay.prev_fp.get(i))
+                .collect();
+            eprintln!(
+                "replay boundary popped={} phase={:?} match={} diff_idx={:?}",
+                popped,
+                self.replay.phase,
+                fp_matches,
+                &diff[..diff.len().min(20)]
+            );
+        }
+        match self.replay.phase {
+            ReplayPhase::Vetoed => {}
+            ReplayPhase::Armed { have_prev } => {
+                if have_prev && fp_matches {
+                    // Steady state: the machine state at this boundary
+                    // recurs. Record the next period's schedule.
+                    self.replay.tape.clear();
+                    self.replay.pending_dense = 0;
+                    self.replay.phase = ReplayPhase::Recording;
+                } else {
+                    std::mem::swap(&mut self.replay.prev_fp, &mut self.replay.fp_scratch);
+                    self.replay.phase = ReplayPhase::Armed { have_prev: true };
+                }
+            }
+            ReplayPhase::Recording => {
+                self.replay.flush_dense();
+                if fp_matches && !self.replay.tape.steps.is_empty() {
+                    // The recorded period closed on the same fingerprint:
+                    // the tape is a valid periodic unit. Replay it.
+                    self.replay.diag.tape_len = self.replay.tape.steps.len() as u64;
+                    self.replay.phase = ReplayPhase::Replaying { step: 0, done: 0 };
+                } else {
+                    // Diverged mid-recording (e.g. ramp not actually
+                    // settled): drop the tape, keep watching.
+                    self.replay.tape.clear();
+                    std::mem::swap(&mut self.replay.prev_fp, &mut self.replay.fp_scratch);
+                    self.replay.phase = ReplayPhase::Armed { have_prev: true };
+                }
+            }
+            ReplayPhase::Replaying { step, done } => {
+                // Every replayed period re-checks the fingerprint — this is
+                // the macro guard that catches the non-periodic tail (the
+                // source entering its final-period drain fingerprints
+                // differently by construction, see `host::drain_token`).
+                let at_end = step == self.replay.tape.steps.len() && done == 0;
+                if at_end && fp_matches {
+                    self.replay.diag.images_replayed += 1;
+                    self.replay.phase = ReplayPhase::Replaying { step: 0, done: 0 };
+                } else {
+                    self.replay.diag.guard_fallbacks += 1;
+                    self.replay.rearm();
+                }
+            }
+        }
+    }
+
+    /// Fill `replay.fp_scratch` with the boundary fingerprint: every
+    /// kernel's replay token and park verdict, then every stream's
+    /// committed queue length. Park *instants* are excluded — the
+    /// fingerprint must be invariant under time shift, that is the whole
+    /// point. Returns `false` when a kernel has no token (replay must be
+    /// vetoed: its control state cannot be attested).
+    fn compute_fingerprint(&mut self) -> bool {
+        let Self {
+            nodes,
+            streams,
+            parked,
+            replay,
+            ..
+        } = self;
+        let fp = &mut replay.fp_scratch;
+        fp.clear();
+        for (i, n) in nodes.iter().enumerate() {
+            let Some(token) = n.kernel.replay_token() else {
+                return false;
+            };
+            fp.push(token);
+            fp.push(match parked[i] {
+                None => 0,
+                Some((Progress::Busy, _)) => 1,
+                Some((Progress::Stalled, _)) => 2,
+                Some((Progress::Idle, _)) => 3,
+            });
+        }
+        for s in streams.iter() {
+            fp.push(s.queue.len() as u64);
+        }
+        true
     }
 
     /// Outstanding lazy stall credit for node `i`: cycles skipped while
@@ -1347,6 +1665,7 @@ impl Graph {
     pub(crate) fn report(&self, cycles: u64) -> CycleReport {
         CycleReport {
             cycles,
+            replay: self.replay.diag,
             kernels: self
                 .nodes
                 .iter()
@@ -1400,6 +1719,112 @@ impl Graph {
         }
         out
     }
+}
+
+/// Execute an admitted span plan set: dispatch participants in node order
+/// from their offsets (demotion ticks, ripening, lazy-credit settlement,
+/// `run_span` calls), then credit stream occupancy peaks in closed form.
+/// Returns whether a sink kernel ran.
+///
+/// Shared by [`Graph::try_burst`] (which just planned `plans`) and
+/// [`Graph::try_replay_step`] (which recorded them on a schedule-replay
+/// tape) — replayed spans go through the identical mutation path as planned
+/// ones, which is what keeps them bit-identical. `plans` must be sorted by
+/// node index with offsets finalized, and `ripen`/`span_streams` must be
+/// the matching scratch the planner produced.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_span(
+    nodes: &mut [Node],
+    streams: &mut [StreamState],
+    parked: &mut [Option<(Progress, u64)>],
+    awake: &mut [u64],
+    plans: &[(usize, SpanPlan, u64, Option<Progress>)],
+    ripen: &[(usize, u64)],
+    span_streams: &[(usize, usize, u64, u64)],
+    t_now: u64,
+    k: u64,
+) -> bool {
+    let mut sink_progress = false;
+    for &(i, ref plan, o, demoted) in plans.iter() {
+        if let Some(v) = demoted {
+            // Replay dense's first burst cycle for a demoted kernel:
+            // one blocked, port-inert tick (counted here) and a park at
+            // `t_now`. The shared paths below then treat it exactly
+            // like a recruit — wake at its offset with the lazy credit
+            // settled, run any busy span, or stay parked.
+            if v == Progress::Stalled {
+                nodes[i].stalled += 1;
+            }
+            awake[i / 64] &= !(1 << (i % 64));
+            parked[i] = Some((v, t_now));
+        }
+        if let Some(&(_, f)) = (!ripen.is_empty())
+            .then(|| ripen.iter().find(|&&(j, _)| j == i))
+            .flatten()
+        {
+            // An `Idle` park ripens: the first in-burst arrival on a
+            // masked input flips the fixed point to `Stalled` — dense
+            // ticks it `Stalled` once at `f` and re-parks there; later
+            // re-wakes telescope into the lazy credit settled below
+            // (at the run offset, or at burst end via `o == k`).
+            nodes[i].stalled += 1;
+            parked[i] = Some((Progress::Stalled, t_now + f));
+        }
+        if o >= k {
+            if o == k {
+                // Dense's last-cycle event leaves this recruit awake
+                // entering the next cycle without ever running it;
+                // settle its lazy credit at the wake instant.
+                if let Some((verdict, since)) = parked[i].take() {
+                    awake[i / 64] |= 1 << (i % 64);
+                    if verdict == Progress::Stalled {
+                        nodes[i].stalled += t_now + k - 1 - since;
+                    }
+                }
+            }
+            // Otherwise dense would only wake-and-repark it inside the
+            // span; staying parked is counter-invisible (lazy credit).
+            continue;
+        }
+        let span = k - o;
+        if let Some((verdict, since)) = parked[i].take() {
+            awake[i / 64] |= 1 << (i % 64);
+            if verdict == Progress::Stalled {
+                nodes[i].stalled += t_now + o - 1 - since;
+            }
+        }
+        let node = &mut nodes[i];
+        let mut sio = SpanIo::new(streams, &node.inputs, &node.outputs, plan.opt_reads);
+        node.kernel.run_span(&mut sio, span);
+        #[cfg(debug_assertions)]
+        {
+            let (reads, writes) = sio.counts();
+            for (p, &got) in reads.iter().enumerate().take(node.inputs.len()) {
+                let want = if plan.reads & (1 << p) != 0 { span } else { 0 };
+                assert_eq!(
+                    got,
+                    want,
+                    "kernel '{}' popped {got} from port {p}, promised {want} (SpanPlan contract)",
+                    node.kernel.name()
+                );
+            }
+            for (p, &got) in writes.iter().enumerate().take(node.outputs.len()) {
+                let want = if plan.writes & (1 << p) != 0 { span } else { 0 };
+                assert_eq!(
+                    got,
+                    want,
+                    "kernel '{}' pushed {got} to port {p}, promised {want} (SpanPlan contract)",
+                    node.kernel.name()
+                );
+            }
+        }
+        node.busy += span;
+        sink_progress |= node.outputs.is_empty();
+    }
+    for &(s, start_len, pushes, pops) in span_streams.iter() {
+        streams[s].note_span(start_len, pushes, pops);
+    }
+    sink_progress
 }
 
 /// Committed input-queue lengths of `node`'s ports, for
@@ -1771,3 +2196,4 @@ mod tests {
         assert_eq!(g.parked_state(KernelId(0)), None);
     }
 }
+

@@ -14,6 +14,9 @@ use std::sync::{Arc, Mutex, MutexGuard};
 pub struct HostSource {
     name: String,
     data: VecDeque<i32>,
+    /// Elements per image for the schedule-replay token (see
+    /// [`HostSource::with_period`]).
+    period: Option<u64>,
 }
 
 impl HostSource {
@@ -22,7 +25,32 @@ impl HostSource {
         Self {
             name: name.into(),
             data: data.into(),
+            period: None,
         }
+    }
+
+    /// Declare the stream periodic with `elems` elements per image, letting
+    /// the replay token quantize its remaining-count modulo the period — at
+    /// identical points of successive images the token then repeats, which
+    /// is what lets a multi-image run fingerprint as steady-state.
+    pub fn with_period(mut self, elems: usize) -> Self {
+        assert!(elems > 0, "period must be positive");
+        self.period = Some(elems as u64);
+        self
+    }
+}
+
+/// Period-quantized replay token for a draining counter: mid-stream states
+/// repeat every `period` elements, while the final-period drain (`remaining
+/// < period`) and exhaustion are kept in *disjoint* token ranges — a nearly
+/// dry source must never fingerprint equal to a mid-stream one, or replay
+/// would dispatch a recorded span past the end of the buffer.
+fn drain_token(remaining: u64, period: Option<u64>) -> u64 {
+    const TAG: u64 = 1 << 63;
+    match period {
+        _ if remaining == 0 => u64::MAX,
+        Some(p) if remaining >= p => remaining % p,
+        _ => TAG | remaining,
     }
 }
 
@@ -68,6 +96,12 @@ impl Kernel for HostSource {
         for _ in 0..n {
             io.push(0, self.data.pop_front().expect("span within buffer"));
         }
+    }
+
+    /// Remaining-count token, period-quantized (see [`drain_token`]): the
+    /// buffer length is the only control state.
+    fn replay_token(&self) -> Option<u64> {
+        Some(drain_token(self.data.len() as u64, self.period))
     }
 }
 
@@ -117,6 +151,9 @@ impl SinkHandle {
 pub struct HostSink {
     name: String,
     expected: usize,
+    /// Elements per image for the schedule-replay token (see
+    /// [`HostSource::with_period`]).
+    period: Option<u64>,
     state: Arc<Mutex<SinkState>>,
 }
 
@@ -133,10 +170,19 @@ impl HostSink {
             Self {
                 name: name.into(),
                 expected,
+                period: None,
                 state,
             },
             handle,
         )
+    }
+
+    /// Declare the stream periodic with `elems` collected elements per
+    /// image (see [`HostSource::with_period`]).
+    pub fn with_period(mut self, elems: usize) -> Self {
+        assert!(elems > 0, "period must be positive");
+        self.period = Some(elems as u64);
+        self
     }
 }
 
@@ -194,6 +240,12 @@ impl Kernel for HostSink {
             state.collected.push(io.pop(0));
         }
     }
+
+    /// Remaining-count token, period-quantized (see [`drain_token`]).
+    fn replay_token(&self) -> Option<u64> {
+        let remaining = self.expected - lock_state(&self.state).collected.len();
+        Some(drain_token(remaining as u64, self.period))
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +282,18 @@ mod tests {
     fn empty_source_is_immediately_done() {
         let src = HostSource::new("src", vec![]);
         assert!(src.is_done());
+    }
+
+    #[test]
+    fn drain_tokens_keep_final_period_disjoint() {
+        // Mid-stream states one period apart share a token…
+        assert_eq!(drain_token(250, Some(100)), drain_token(150, Some(100)));
+        // …but the final-period drain must NOT collide with them: if
+        // remaining=50 matched remaining=150, a fingerprint could validate
+        // on the last image and replay a span past the end of the buffer.
+        assert_ne!(drain_token(50, Some(100)), drain_token(150, Some(100)));
+        assert_ne!(drain_token(0, Some(100)), drain_token(100, Some(100)));
+        // Without a period hint every distinct remaining-count is distinct.
+        assert_ne!(drain_token(3, None), drain_token(103, None));
     }
 }

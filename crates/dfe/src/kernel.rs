@@ -4,7 +4,7 @@ use crate::stream::StreamState;
 
 /// What a kernel accomplished during one tick; used for busy/stall
 /// accounting and deadlock detection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Progress {
     /// Read or wrote at least one element, or performed internal work.
     Busy,
@@ -156,7 +156,7 @@ pub const MAX_SPAN_PORTS: usize = 8;
 /// cycles in one [`Kernel::run_span`] dispatch with the busy/stall counters
 /// and stream statistics credited arithmetically, which is what keeps
 /// [`CycleReport`](crate::CycleReport)s bit-identical to dense stepping.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SpanPlan {
     /// Maximum cycles the promise covers (`u64::MAX` ⇒ unbounded; the
     /// scheduler caps it by stream feasibility). Must be ≥ 1.
@@ -260,7 +260,9 @@ pub struct SpanIo<'a> {
     inputs: &'a [usize],
     outputs: &'a [usize],
     suppressed: u32,
+    #[cfg(debug_assertions)]
     reads_done: [u64; MAX_SPAN_PORTS],
+    #[cfg(debug_assertions)]
     writes_done: [u64; MAX_SPAN_PORTS],
 }
 
@@ -280,7 +282,9 @@ impl<'a> SpanIo<'a> {
             inputs,
             outputs,
             suppressed,
+            #[cfg(debug_assertions)]
             reads_done: [0; MAX_SPAN_PORTS],
+            #[cfg(debug_assertions)]
             writes_done: [0; MAX_SPAN_PORTS],
         }
     }
@@ -302,9 +306,10 @@ impl<'a> SpanIo<'a> {
     /// for exactly the promised reads, so an empty pop is a broken
     /// [`SpanPlan`] contract, not a stall.
     pub fn pop(&mut self, p: usize) -> i32 {
-        if cfg!(debug_assertions) {
-            // Contract bookkeeping for the dispatcher's debug audit only —
-            // keeps the hot path free of it in release builds.
+        // Contract bookkeeping for the dispatcher's debug audit only — the
+        // counter arrays don't even exist in release builds.
+        #[cfg(debug_assertions)]
+        {
             self.reads_done[p] += 1;
         }
         self.streams[self.inputs[p]]
@@ -318,7 +323,8 @@ impl<'a> SpanIo<'a> {
         let s = &mut self.streams[self.outputs[p]];
         s.queue.push_back(v);
         s.pushed += 1;
-        if cfg!(debug_assertions) {
+        #[cfg(debug_assertions)]
+        {
             self.writes_done[p] += 1;
         }
     }
@@ -333,7 +339,8 @@ impl<'a> SpanIo<'a> {
     /// Panics if fewer than `n` elements are queued (a broken
     /// [`SpanPlan`] contract, as with [`SpanIo::pop`]).
     pub fn pop_n(&mut self, p: usize, n: u64, mut f: impl FnMut(i32)) {
-        if cfg!(debug_assertions) {
+        #[cfg(debug_assertions)]
+        {
             self.reads_done[p] += n;
         }
         let q = &mut self.streams[self.inputs[p]].queue;
@@ -349,7 +356,8 @@ impl<'a> SpanIo<'a> {
     /// Produce the next `n` elements on output port `p` from `f`, appended
     /// with a single reservation. Equivalent to `n` [`SpanIo::push`] calls.
     pub fn push_n(&mut self, p: usize, n: u64, mut f: impl FnMut() -> i32) {
-        if cfg!(debug_assertions) {
+        #[cfg(debug_assertions)]
+        {
             self.writes_done[p] += n;
         }
         let s = &mut self.streams[self.outputs[p]];
@@ -359,7 +367,9 @@ impl<'a> SpanIo<'a> {
     }
 
     /// Elements read from / written to each port so far (scheduler-side
-    /// contract verification).
+    /// contract verification; debug builds only — release builds omit the
+    /// counters entirely so span dispatch never zeroes or bumps them).
+    #[cfg(debug_assertions)]
     pub(crate) fn counts(&self) -> (&[u64; MAX_SPAN_PORTS], &[u64; MAX_SPAN_PORTS]) {
         (&self.reads_done, &self.writes_done)
     }
@@ -437,6 +447,24 @@ pub trait Kernel: Send {
     /// back to per-element ticking for that cycle.
     fn span_hint(&self, in_len: &[usize]) -> Option<SpanPlan> {
         let _ = in_len;
+        None
+    }
+
+    /// A compact summary of the kernel's **control state** for the
+    /// schedule-replay fingerprint (see [`crate::replay`]), or `None` (the
+    /// default) to veto replay for any graph containing this kernel.
+    ///
+    /// Contract: the token must cover every piece of internal state that
+    /// influences *port behaviour* — which ports the next ticks read/write,
+    /// the tick verdicts, and any `span_hint` the kernel would offer. Two
+    /// states with equal tokens (and equal visible stream state) must
+    /// produce identical port traffic forever after. Position counters,
+    /// absorb/emit phases, and pending-output depths belong in the token
+    /// ([`crate::replay::token_mix`] folds several counters into one);
+    /// element *values* do not, because port behaviour may not depend on
+    /// them for a replayable kernel. Kernels with data-dependent control
+    /// flow, external effects, or folded lanes must return `None`.
+    fn replay_token(&self) -> Option<u64> {
         None
     }
 

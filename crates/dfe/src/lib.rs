@@ -39,6 +39,7 @@ pub mod device;
 pub mod graph;
 pub mod host;
 pub mod kernel;
+pub mod replay;
 pub mod ring;
 pub mod sched;
 pub mod stall;
@@ -50,8 +51,12 @@ pub use device::{DeviceSpec, ResourceUsage, MAIA_FCLK_MHZ, STRATIX_10_GX2800, ST
 pub use graph::{CycleReport, Graph, KernelId, RunError, StreamId};
 pub use host::{HostSink, HostSource, SinkHandle};
 pub use kernel::{Io, Kernel, Progress, SpanIo, SpanPlan, WakeHint};
+pub use replay::ReplayDiag;
 pub use ring::MaxRing;
-pub use sched::{macro_ticks_default, macro_ticks_from_env, SchedulerMode};
+pub use sched::{
+    macro_ticks_default, macro_ticks_from_env, schedule_replay_default, schedule_replay_from_env,
+    SchedulerMode,
+};
 pub use stall::StallInjector;
 pub use stream::StreamSpec;
 pub use trace::Trace;

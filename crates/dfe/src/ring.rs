@@ -125,6 +125,28 @@ impl Kernel for DelayLine {
             self.slots.push_front(Some(io.pop(0)));
         }
     }
+
+    /// The occupancy pattern (which slots hold an element) is the control
+    /// state — the element values are data. Packed into 64-slot words and
+    /// mixed; the cost is paid only at image boundaries, where fingerprints
+    /// are taken.
+    fn replay_token(&self) -> Option<u64> {
+        let mut words = Vec::with_capacity(self.slots.len().div_ceil(64));
+        let mut word = 0u64;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.is_some() {
+                word |= 1 << (i % 64);
+            }
+            if i % 64 == 63 {
+                words.push(word);
+                word = 0;
+            }
+        }
+        if self.slots.len() % 64 != 0 {
+            words.push(word);
+        }
+        Some(crate::replay::token_mix(&words))
+    }
 }
 
 #[cfg(test)]

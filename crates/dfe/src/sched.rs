@@ -97,6 +97,34 @@ pub fn macro_ticks_default() -> bool {
     *ON.get_or_init(macro_ticks_from_env)
 }
 
+/// Resolve steady-state schedule replay from `QNN_SCHED_REPLAY`
+/// (`1`/`on`/`true` enable, `0`/`off`/`false` disable, case-insensitive;
+/// unset defaults to **enabled**). Replay only takes effect under
+/// [`SchedulerMode::ReadyList`] on a graph armed with a replay marker (the
+/// compiler arms single-device pipelines); see [`crate::replay`].
+///
+/// # Panics
+/// Panics on an unrecognized value — a typo silently falling back to a
+/// default would make benchmark A/B runs lie (same rule as
+/// [`SchedulerMode::from_env`]).
+pub fn schedule_replay_from_env() -> bool {
+    match std::env::var("QNN_SCHED_REPLAY") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" => true,
+            "0" | "off" | "false" => false,
+            other => panic!("QNN_SCHED_REPLAY='{other}' (expected '0' or '1')"),
+        },
+        Err(_) => true,
+    }
+}
+
+/// Process-wide default for schedule replay: `schedule_replay_from_env`,
+/// resolved once and cached (same lifecycle as [`SchedulerMode::default`]).
+pub fn schedule_replay_default() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(schedule_replay_from_env)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +133,13 @@ mod tests {
     fn macro_ticks_default_on_when_env_unset() {
         if std::env::var("QNN_MACRO_TICKS").is_err() {
             assert!(macro_ticks_from_env(), "span dispatch defaults to on");
+        }
+    }
+
+    #[test]
+    fn schedule_replay_default_on_when_env_unset() {
+        if std::env::var("QNN_SCHED_REPLAY").is_err() {
+            assert!(schedule_replay_from_env(), "schedule replay defaults to on");
         }
     }
 

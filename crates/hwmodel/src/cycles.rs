@@ -132,11 +132,15 @@ impl CycleModel {
     /// * `host.image` — the host source feeds one element per clock, so no
     ///   fold can beat `input.len()` cycles per image at the pipe's head;
     /// * `res{i}.skip` — the split/add/threshold glue around a residual
-    ///   block moves one element per clock regardless of conv folding.
+    ///   block moves one element per clock regardless of conv folding. The
+    ///   glue also carries the block's *ramp*: a folded conv1 still waits
+    ///   its unfolded window-fill time for elements arriving at one per
+    ///   clock, so the fill cycles folding "saved" inside the conv are
+    ///   charged back here (`fill − ⌈fill/simd⌉`).
     ///
     /// With an all-unit plan, `period()` and `latency()` match
     /// [`CycleModel::analyze`] exactly (the extra terms are dominated by
-    /// the unfolded convs that surround them).
+    /// the unfolded convs that surround them, and the ramp is zero).
     pub fn analyze_folded(spec: &NetworkSpec, plan: &FoldPlan) -> Self {
         let mut layers = Vec::new();
         let image = spec.input.len() as u64;
@@ -202,12 +206,25 @@ impl CycleModel {
                     // input once, the adder/threshold its output once.
                     let glue = (geom.conv1.input.len() as u64)
                         .max(geom.conv2.output().len() as u64);
+                    // Skip-path ramp: the split feeds conv1 at one element
+                    // per clock no matter how the conv is folded, so the
+                    // conv's first window still takes its *unfolded* fill
+                    // time to arrive — the folded conv merely waits. Charge
+                    // the difference here as the glue's fill so the latency
+                    // sum sees what the simulator measures. Unit plans give
+                    // `fill − ⌈fill/1⌉ = 0`, keeping `analyze_folded` equal
+                    // to `analyze` at all-unit folding.
+                    let c1 = &geom.conv1;
+                    let c1_padded = c1.padded_input();
+                    let c1_fill = ((c1.filter.k - 1) * c1_padded.w + c1.filter.k) as u64
+                        * c1_padded.c as u64;
+                    let c1_simd = plan.get(&format!("res{i}.conv1")).simd as u64;
                     layers.push(LayerCycles {
                         name: format!("res{i}.skip"),
                         inputs: glue,
                         outputs: glue,
                         busy: glue,
-                        fill: 0,
+                        fill: c1_fill - c1_fill.div_ceil(c1_simd),
                     });
                 }
             }
@@ -342,6 +359,33 @@ mod tests {
             let explicit = CycleModel::analyze_folded(&spec, &plan);
             assert_eq!(unit.period(), explicit.period());
         }
+    }
+
+    #[test]
+    fn residual_ramp_moves_fill_from_conv_to_skip_glue() {
+        use crate::folding::{Fold, FoldPlan};
+        let spec = models::resnet18(1000);
+        let unit = CycleModel::analyze_folded(&spec, &FoldPlan::new());
+        let plan = FoldPlan::new().with("res2.conv1", Fold::new(1, 4));
+        let folded = CycleModel::analyze_folded(&spec, &plan);
+        let fill_of = |m: &CycleModel, name: &str| {
+            m.layers.iter().find(|l| l.name == name).expect(name).fill
+        };
+        // SIMD folding divides the conv's own window fill…
+        let conv_unit = fill_of(&unit, "res2.conv1");
+        let conv_folded = fill_of(&folded, "res2.conv1");
+        assert_eq!(conv_folded, conv_unit.div_ceil(4));
+        // …but the skip glue charges the saved cycles back: the split
+        // still delivers the window at one element per clock.
+        assert_eq!(fill_of(&unit, "res2.skip"), 0);
+        assert_eq!(fill_of(&folded, "res2.skip"), conv_unit - conv_folded);
+        // Net effect: the block's fill contribution is invariant under
+        // SIMD folding — exactly what the simulator measures (the ramp
+        // cannot be folded away).
+        assert_eq!(
+            fill_of(&folded, "res2.conv1") + fill_of(&folded, "res2.skip"),
+            conv_unit
+        );
     }
 
     #[test]

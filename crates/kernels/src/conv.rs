@@ -667,6 +667,24 @@ impl Kernel for ConvKernel {
         }
     }
 
+    /// Control state is the phase machine: loader progress, absorb count,
+    /// emit position and latch flag. The ring write index tracks `received`
+    /// modulo the ring length and the latched window codes are data (they
+    /// never alter port behaviour), so neither enters the token. Folded
+    /// kernels veto replay for the same reason they veto spans — the
+    /// per-tick port traffic is not one-element-per-port.
+    fn replay_token(&self) -> Option<u64> {
+        if self.pe > 1 || self.simd > 1 {
+            return None;
+        }
+        Some(dfe_platform::replay::token_mix(&[
+            self.received as u64,
+            self.out_pos as u64,
+            self.emitting.map_or(u64::MAX, |o| o as u64),
+            self.loader.as_ref().map_or(u64::MAX, |l| l.remaining() as u64),
+        ]))
+    }
+
     /// Replicates `tick`'s state machine element by element — latch, emit,
     /// absorb, reset — with direct queue transfers in place of the staged
     /// `Io` port protocol. The span promise guarantees each iteration makes

@@ -62,6 +62,12 @@ impl Kernel for AddKernel {
             io.push(0, a + b);
         }
     }
+
+    /// Stateless: any two ticks with identical stream surroundings behave
+    /// identically.
+    fn replay_token(&self) -> Option<u64> {
+        Some(0)
+    }
 }
 
 /// Duplicates a stream onto two outputs — the post-adder split of Fig. 2
@@ -119,6 +125,12 @@ impl Kernel for SplitKernel {
             io.push(0, v);
             io.push(1, v);
         }
+    }
+
+    /// Stateless: any two ticks with identical stream surroundings behave
+    /// identically.
+    fn replay_token(&self) -> Option<u64> {
+        Some(0)
     }
 }
 
@@ -196,6 +208,12 @@ impl Kernel for ThresholdKernel {
                 self.channel = 0;
             }
         }
+    }
+
+    /// The channel counter is the only state (threshold parameters are
+    /// fixed at construction).
+    fn replay_token(&self) -> Option<u64> {
+        Some(self.channel as u64)
     }
 }
 

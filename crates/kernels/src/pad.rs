@@ -180,6 +180,18 @@ impl Kernel for PadInserter {
             self.advance();
         }
     }
+
+    /// The scan position is the only state; linearize it over the padded
+    /// image (it wraps at the image boundary, so the token is periodic
+    /// across a steady-state image stream). Folded pads veto replay like
+    /// they veto spans.
+    fn replay_token(&self) -> Option<u64> {
+        if self.lanes > 1 {
+            return None;
+        }
+        let out = self.output_shape();
+        Some(((self.y * out.w + self.x) * out.c + self.c) as u64)
+    }
 }
 
 #[cfg(test)]

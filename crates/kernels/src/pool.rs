@@ -303,6 +303,21 @@ impl Kernel for PoolKernel {
         }
     }
 
+    /// Control state: absorb count, emit position and the number of queued
+    /// results (their *values* are data). The ring write index tracks
+    /// `received` modulo the ring length, so it adds nothing. Folded
+    /// kernels veto replay like they veto spans.
+    fn replay_token(&self) -> Option<u64> {
+        if self.pe > 1 || self.simd > 1 {
+            return None;
+        }
+        Some(dfe_platform::replay::token_mix(&[
+            self.received as u64,
+            self.out_pos as u64,
+            self.pending.len() as u64,
+        ]))
+    }
+
     fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
         let absorb_ok = !io.read_suppressed(0);
         for _ in 0..n {

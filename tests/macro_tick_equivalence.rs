@@ -32,30 +32,35 @@ fn image_for(spec: &NetworkSpec, seed: u64) -> Tensor3<i8> {
     })
 }
 
-/// Run the same workload with spans on and off (both ready-list) plus the
-/// dense reference, and assert logits and every per-device report agree.
+/// Run the same workload with spans on and off (both ready-list), span
+/// dispatch with schedule replay armed on top, plus the dense reference,
+/// and assert logits and every per-device report agree.
 fn assert_dispatch_agrees(
     net: &Network,
     images: &[Tensor3<i8>],
     base: &CompileOptions,
 ) -> qnn_testkit::prop::CaseResult {
-    let run = |scheduler, macro_ticks| {
+    let run = |scheduler, macro_ticks, schedule_replay| {
         run_images(
             net,
             images,
             &CompileOptions {
                 scheduler,
                 macro_ticks,
+                schedule_replay,
                 ..base.clone()
             },
         )
         .expect("run")
     };
-    let element = run(SchedulerMode::ReadyList, false);
-    let span = run(SchedulerMode::ReadyList, true);
+    let element = run(SchedulerMode::ReadyList, false, false);
+    let span = run(SchedulerMode::ReadyList, true, false);
     prop_assert_eq!(&element.logits, &span.logits);
     prop_assert_eq!(&element.reports, &span.reports);
-    let dense = run(SchedulerMode::Dense, false);
+    let replay = run(SchedulerMode::ReadyList, true, true);
+    prop_assert_eq!(&element.logits, &replay.logits);
+    prop_assert_eq!(&element.reports, &replay.reports);
+    let dense = run(SchedulerMode::Dense, false, false);
     prop_assert_eq!(&dense.logits, &span.logits);
     prop_assert_eq!(&dense.reports, &span.reports);
     Ok(())
@@ -221,12 +226,14 @@ props! {
         let reference = run_images(&net, images, &CompileOptions {
             scheduler: SchedulerMode::ReadyList,
             macro_ticks: false,
+            schedule_replay: false,
             ..opts.clone()
         }).expect("reference run");
 
         let compiled = compile(&net, images, &CompileOptions {
             scheduler: SchedulerMode::ReadyList,
             macro_ticks: start_on == 1,
+            schedule_replay: start_on == 1,
             ..opts
         });
         let mut graphs = compiled.graphs;
@@ -243,6 +250,9 @@ props! {
                     total += segment;
                     on = !on;
                     g.set_macro_ticks(on);
+                    // Replay re-arms on every knob flip; toggling it in
+                    // lockstep keeps the switch storm honest.
+                    g.set_schedule_replay(on);
                     prop_assert!(total < 50_000_000, "mode-switch run wedged");
                 }
             }

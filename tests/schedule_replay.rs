@@ -1,0 +1,305 @@
+//! Differential schedule-replay battery: replaying a recorded steady-state
+//! period must be **bit-identical** to planning every burst live — same
+//! logits, same `CycleReport`s — and must *fall back* (never corrupt)
+//! whenever the stream leaves steady state: the final-period drain, short
+//! ramps that never settle, stall-injected pipelines, folded lanes, and
+//! mid-run knob flips.
+//!
+//! The equivalence argument lives in `dfe_platform::replay` and DESIGN.md
+//! §"Steady-state schedule replay"; these tests are its proof obligation
+//! at the compiled-network level.
+
+use qnn::compiler::{compile, run_images, CompileOptions, Fold, FoldPlan};
+use qnn::dfe::{
+    Graph, HostSink, HostSource, Io, Kernel, Progress, SchedulerMode, SpanIo, SpanPlan,
+    StallInjector, StreamSpec, WakeHint,
+};
+use qnn::nn::{models, Network, NetworkSpec};
+use qnn::tensor::Tensor3;
+
+fn image_for(spec: &NetworkSpec, seed: u64) -> Tensor3<i8> {
+    Tensor3::from_fn(spec.input, |y, x, c| {
+        ((seed as usize)
+            .wrapping_mul(31)
+            .wrapping_add(y * 131 + x * 17 + c * 7)
+            .wrapping_mul(2654435761)
+            >> 16) as i8
+    })
+}
+
+fn run_replay(net: &Network, images: &[Tensor3<i8>], replay: bool) -> qnn::compiler::SimResult {
+    run_images(
+        net,
+        images,
+        &CompileOptions {
+            scheduler: SchedulerMode::ReadyList,
+            macro_ticks: true,
+            schedule_replay: replay,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("run")
+}
+
+/// The tentpole invariant: on a stream long enough to reach steady state,
+/// replay engages (records one period, replays many) and the run is
+/// bit-identical to the planned-burst run — including the tail image,
+/// where the source's final-period drain fingerprint forces the guard
+/// fallback instead of replaying past the end of the buffer.
+#[test]
+fn long_stream_replays_and_stays_bit_identical() {
+    let net = Network::random(models::test_net(8, 4, 2), 42);
+    let images: Vec<_> = (0..24).map(|s| image_for(&net.spec, s)).collect();
+    let on = run_replay(&net, &images, true);
+    let off = run_replay(&net, &images, false);
+    assert_eq!(on.logits, off.logits);
+    assert_eq!(on.reports, off.reports);
+    let d = on.reports[0].replay;
+    assert!(d.tape_len > 0, "no period recorded: {d:?}");
+    assert!(d.images_replayed >= 8, "replay barely engaged: {d:?}");
+    assert!(d.spans_bypassed > 0, "replayed images must bypass planning: {d:?}");
+    // The non-periodic tail must exit via the guard, not a panic.
+    assert!(d.guard_fallbacks >= 1, "tail drain should fall back: {d:?}");
+    // The replay-off run never touches the machine.
+    assert_eq!(off.reports[0].replay, qnn::dfe::ReplayDiag::default());
+}
+
+/// A ramp that never settles (too few images for the pipeline depth) must
+/// leave replay idle — correct output, zero replayed images, no fallback
+/// storm.
+#[test]
+fn short_ramp_never_replays_but_stays_correct() {
+    let net = Network::random(models::test_net(8, 4, 2), 42);
+    let images: Vec<_> = (0..2).map(|s| image_for(&net.spec, s)).collect();
+    let on = run_replay(&net, &images, true);
+    let off = run_replay(&net, &images, false);
+    assert_eq!(on.logits, off.logits);
+    assert_eq!(on.reports, off.reports);
+    assert_eq!(on.reports[0].replay.images_replayed, 0);
+    assert_eq!(on.reports[0].replay.spans_bypassed, 0);
+}
+
+/// Folded lanes have no replay token (multi-element port traffic defeats
+/// the one-element burst arithmetic *and* the fingerprint), so the first
+/// boundary vetoes replay permanently — and the run is still bit-exact.
+#[test]
+fn folded_lanes_veto_replay() {
+    let net = Network::random(models::test_net(8, 4, 2), 7);
+    let images: Vec<_> = (0..12).map(|s| image_for(&net.spec, s)).collect();
+    let folding = FoldPlan::new().with("conv0", Fold::new(2, 2));
+    let run = |replay| {
+        run_images(
+            &net,
+            &images,
+            &CompileOptions {
+                schedule_replay: replay,
+                layer_folding: folding.clone(),
+                ..CompileOptions::default()
+            },
+        )
+        .expect("run")
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.logits, off.logits);
+    assert_eq!(on.reports, off.reports);
+    let d = on.reports[0].replay;
+    assert_eq!(d.images_replayed, 0, "folded kernel must veto: {d:?}");
+    assert_eq!(d.tape_len, 0, "vetoed graphs never record: {d:?}");
+}
+
+/// A parkable span-capable pass-through stage (the injector battery's
+/// workhorse, with a replay token so un-wrapped copies don't veto).
+struct SpanAffine {
+    mul: i32,
+    add: i32,
+}
+
+impl Kernel for SpanAffine {
+    fn name(&self) -> &str {
+        "affine"
+    }
+    fn tick(&mut self, io: &mut Io<'_>) -> Progress {
+        if io.can_read(0) && io.can_write(0) {
+            let v = io.read(0).expect("checked");
+            io.write(0, v * self.mul + self.add);
+            Progress::Busy
+        } else if io.can_read(0) {
+            Progress::Stalled
+        } else {
+            Progress::Idle
+        }
+    }
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Parkable
+    }
+    fn span_hint(&self, _in_len: &[usize]) -> Option<SpanPlan> {
+        Some(SpanPlan::new(u64::MAX, 0b1, 0b1))
+    }
+    fn run_span(&mut self, io: &mut SpanIo<'_>, n: u64) {
+        for _ in 0..n {
+            let v = io.pop(0);
+            io.push(0, v * self.mul + self.add);
+        }
+    }
+    fn replay_token(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+/// Stall-injected pipelines with an armed marker: the injector has no
+/// replay token, so the graph vetoes at the first boundary and keeps
+/// stepping normally — identical outputs and reports either way.
+#[test]
+fn stall_injected_marker_graph_vetoes_replay() {
+    let per_image = 16usize;
+    let images = 12usize;
+    let n = per_image * images;
+    let build = |replay: bool| {
+        let mut g = Graph::with_scheduler(SchedulerMode::ReadyList);
+        g.set_schedule_replay(replay);
+        let data: Vec<i32> = (0..n as i32).map(|v| v % per_image as i32).collect();
+        let s0 = g.add_stream(StreamSpec::new("s0", 8, 8));
+        g.add_kernel(
+            Box::new(HostSource::new("src", data).with_period(per_image)),
+            &[],
+            &[s0],
+        );
+        let s1 = g.add_stream(StreamSpec::new("s1", 8, 8));
+        g.add_kernel(
+            StallInjector::wrap(Box::new(SpanAffine { mul: 3, add: 1 }), 0xFEED, 25),
+            &[s0],
+            &[s1],
+        );
+        let (sink, handle) = HostSink::new("dst", n);
+        g.add_kernel(Box::new(sink.with_period(per_image)), &[s1], &[]);
+        g.set_replay_marker(s1, per_image as u64);
+        // Injected stalls can produce legitimate full-stall cycles, so
+        // deadlock detection is off (the budget still bounds the run).
+        let report = g.run_opts(4_000_000, false).expect("run");
+        let diag = g.replay_diag();
+        (handle.take(), report, diag)
+    };
+    let (out_on, rep_on, diag) = build(true);
+    let (out_off, rep_off, _) = build(false);
+    assert_eq!(out_on, out_off);
+    assert_eq!(rep_on, rep_off);
+    assert_eq!(diag.images_replayed, 0, "injector must veto: {diag:?}");
+    assert_eq!(diag.tape_len, 0, "vetoed graphs never record: {diag:?}");
+}
+
+/// Mid-run knob flips: toggling `set_schedule_replay` (and macro-ticks) at
+/// arbitrary segment boundaries mid-inference re-arms the state machine
+/// and must be invisible — the stitched run equals one uninterrupted
+/// replay-off run in logits, cumulative counters, and total cycles.
+#[test]
+fn mid_run_replay_switches_are_invisible() {
+    let net = Network::random(models::test_net(8, 4, 2), 5);
+    let images: Vec<_> = (0..16).map(|s| image_for(&net.spec, s + 100)).collect();
+    let reference = run_replay(&net, &images, false);
+
+    let compiled = compile(
+        &net,
+        &images,
+        &CompileOptions {
+            scheduler: SchedulerMode::ReadyList,
+            macro_ticks: true,
+            schedule_replay: true,
+            ..CompileOptions::default()
+        },
+    );
+    let mut graphs = compiled.graphs;
+    assert_eq!(graphs.len(), 1);
+    let g = &mut graphs[0];
+    let segment = 700u64;
+    let mut flips = 0u32;
+    let mut total: u64 = 0;
+    let report = loop {
+        match g.run_opts(segment, false) {
+            Ok(report) => break report,
+            Err(_) => {
+                total += segment;
+                flips += 1;
+                g.set_schedule_replay(flips % 2 == 0);
+                if flips % 3 == 0 {
+                    g.set_macro_ticks(flips % 2 == 1);
+                }
+                assert!(total < 50_000_000, "switch run wedged");
+            }
+        }
+    };
+    let logits = compiled.sink.take();
+    let flat: Vec<i32> = reference.logits.iter().flatten().copied().collect();
+    assert_eq!(logits, flat, "mid-switch logits diverged");
+    let reference_report = &reference.reports[0];
+    assert_eq!(report.kernels, reference_report.kernels);
+    assert_eq!(report.streams, reference_report.streams);
+    assert_eq!(total + report.cycles, reference_report.cycles);
+    assert!(flips > 0, "segment too large to exercise any switch");
+}
+
+/// Replay diagnostics are observability, not behaviour: `CycleReport`
+/// equality deliberately ignores them (so every differential battery can
+/// compare replay-on vs replay-off reports bit-for-bit), and the counters
+/// survive the re-arms that knob flips trigger instead of resetting.
+#[test]
+fn replay_diag_is_excluded_from_report_equality_and_survives_rearm() {
+    let net = Network::random(models::test_net(8, 4, 2), 42);
+    let images: Vec<_> = (0..24).map(|s| image_for(&net.spec, s)).collect();
+    let on = run_replay(&net, &images, true);
+    let off = run_replay(&net, &images, false);
+    // The diags differ…
+    assert_ne!(on.reports[0].replay, off.reports[0].replay);
+    // …but the reports compare equal: diag is outside the equality.
+    assert_eq!(on.reports, off.reports);
+
+    // Counter persistence across a mid-run re-arm: flip the knob off and
+    // back on after the run completes a stretch; the accumulated counters
+    // must not reset (they describe the whole run).
+    let compiled = compile(
+        &net,
+        &images,
+        &CompileOptions {
+            scheduler: SchedulerMode::ReadyList,
+            schedule_replay: true,
+            ..CompileOptions::default()
+        },
+    );
+    let mut graphs = compiled.graphs;
+    let g = &mut graphs[0];
+    let mut banked = qnn::dfe::ReplayDiag::default();
+    loop {
+        match g.run_opts(40_000, false) {
+            Ok(_) => break,
+            Err(_) => {
+                let d = g.replay_diag();
+                assert!(
+                    d.images_replayed >= banked.images_replayed
+                        && d.guard_fallbacks >= banked.guard_fallbacks
+                        && d.spans_bypassed >= banked.spans_bypassed,
+                    "counters went backwards: {banked:?} -> {d:?}"
+                );
+                banked = d;
+                // Re-arm (twice: off and back on). Counters must survive.
+                g.set_schedule_replay(false);
+                g.set_schedule_replay(true);
+                let d = g.replay_diag();
+                assert_eq!(d.images_replayed, banked.images_replayed);
+                assert_eq!(d.guard_fallbacks, banked.guard_fallbacks);
+                assert_eq!(d.spans_bypassed, banked.spans_bypassed);
+            }
+        }
+    }
+    compiled.sink.take();
+}
+
+/// `QNN_SCHED_REPLAY` is the documented selection mechanism; pin the
+/// default (on) without mutating the process env under a threaded harness
+/// (the parser's spellings are covered by dfe-platform unit tests).
+#[test]
+fn schedule_replay_env_default_is_on() {
+    if std::env::var("QNN_SCHED_REPLAY").is_err() {
+        assert!(qnn::dfe::schedule_replay_from_env());
+        assert!(CompileOptions::default().schedule_replay);
+    }
+}

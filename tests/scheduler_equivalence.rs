@@ -31,8 +31,9 @@ fn image_for(spec: &NetworkSpec, seed: u64) -> Tensor3<i8> {
     })
 }
 
-/// Run the same workload under both schedulers and assert logits and
-/// every per-device report are identical.
+/// Run the same workload under both schedulers — the ready-list side with
+/// schedule replay both off and on — and assert logits and every
+/// per-device report are identical.
 fn assert_modes_agree(
     net: &Network,
     images: &[Tensor3<i8>],
@@ -43,21 +44,25 @@ fn assert_modes_agree(
         images,
         &CompileOptions {
             scheduler: SchedulerMode::Dense,
+            schedule_replay: false,
             ..base.clone()
         },
     )
     .expect("dense run");
-    let ready = run_images(
-        net,
-        images,
-        &CompileOptions {
-            scheduler: SchedulerMode::ReadyList,
-            ..base.clone()
-        },
-    )
-    .expect("ready-list run");
-    prop_assert_eq!(&dense.logits, &ready.logits);
-    prop_assert_eq!(&dense.reports, &ready.reports);
+    for replay in [false, true] {
+        let ready = run_images(
+            net,
+            images,
+            &CompileOptions {
+                scheduler: SchedulerMode::ReadyList,
+                schedule_replay: replay,
+                ..base.clone()
+            },
+        )
+        .expect("ready-list run");
+        prop_assert_eq!(&dense.logits, &ready.logits);
+        prop_assert_eq!(&dense.reports, &ready.reports);
+    }
     Ok(())
 }
 

@@ -33,13 +33,18 @@ fn serve_trace(net: &Network, images: &[Tensor3<i8>], config: &ServerConfig) -> 
     logits
 }
 
-/// Both macro-tick settings must serve the same bits; the direct
-/// reference is pinned to per-element dispatch so a span-crediting bug
-/// in the serving path cannot hide by also infecting the reference.
-fn both_dispatch_modes() -> [CompileOptions; 2] {
-    [false, true].map(|macro_ticks| CompileOptions {
-        macro_ticks,
-        ..CompileOptions::default()
+/// Every dispatch tier must serve the same bits: per-element, span
+/// dispatch, and span dispatch with schedule replay armed. The direct
+/// reference is pinned to per-element dispatch so a span-crediting or
+/// tape-replay bug in the serving path cannot hide by also infecting the
+/// reference.
+fn both_dispatch_modes() -> [CompileOptions; 3] {
+    [(false, false), (true, false), (true, true)].map(|(macro_ticks, schedule_replay)| {
+        CompileOptions {
+            macro_ticks,
+            schedule_replay,
+            ..CompileOptions::default()
+        }
     })
 }
 
@@ -50,7 +55,11 @@ fn one_replica_trace_matches_direct_run_devices_path_bit_for_bit() {
     let direct = run_images(
         &net,
         &images,
-        &CompileOptions { macro_ticks: false, ..CompileOptions::default() },
+        &CompileOptions {
+            macro_ticks: false,
+            schedule_replay: false,
+            ..CompileOptions::default()
+        },
     )
     .expect("direct");
     for compile in both_dispatch_modes() {
@@ -66,8 +75,9 @@ fn one_replica_trace_matches_direct_run_devices_path_bit_for_bit() {
         assert_eq!(
             serve_trace(&net, &images, &config),
             direct.logits,
-            "macro_ticks={} diverged from the per-element direct path",
-            compile.macro_ticks
+            "macro_ticks={}/replay={} diverged from the per-element direct path",
+            compile.macro_ticks,
+            compile.schedule_replay
         );
     }
 }
@@ -89,15 +99,17 @@ fn multi_replica_serving_is_identical_across_ten_runs() {
         let reference = serve_trace(&net, &images, &config);
         assert_eq!(
             reference, expected,
-            "macro_ticks={}: serving diverged from the interpreter",
-            compile.macro_ticks
+            "macro_ticks={}/replay={}: serving diverged from the interpreter",
+            compile.macro_ticks,
+            compile.schedule_replay
         );
         for run in 1..5 {
             assert_eq!(
                 serve_trace(&net, &images, &config),
                 reference,
-                "macro_ticks={}: run {run} diverged",
-                compile.macro_ticks
+                "macro_ticks={}/replay={}: run {run} diverged",
+                compile.macro_ticks,
+                compile.schedule_replay
             );
         }
     }
