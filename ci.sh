@@ -37,6 +37,16 @@
 #                        QNN_SCHEDULER cell, so env-selected defaults get
 #                        the same coverage the per-test parameterizations
 #                        give the in-process flags.
+#   ci.sh transformer    NOT tier-1 (but fast): the streaming-attention
+#                        batteries in release — the encoder equivalence
+#                        grid/property suite (stall injection, FIFO
+#                        stress, both macro-tick modes) and the mixed
+#                        CNN+transformer serving suite — at the tier-1
+#                        case count (soak reruns the property half at
+#                        1024).
+#   ci.sh all            NOT tier-1: tier-1 followed by every fast
+#                        auxiliary stage (dse, net, transformer,
+#                        bench-smoke) — the pre-merge kitchen sink.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -61,8 +71,27 @@ if [[ "${1:-}" == "soak" ]]; then
   run cargo test -q --release --offline -p qnn --test dse_frontier
   run cargo test -q --release --offline -p hw-model --test folding_monotonic
   run cargo test -q --release --offline -p qnn --test serve_multimodel
+  run cargo test -q --release --offline -p qnn --test transformer_equivalence
   run cargo test -q --release --offline -p qnn-cluster --test wire_proptests
   echo "ci.sh soak: all green"
+  exit 0
+fi
+
+if [[ "${1:-}" == "transformer" ]]; then
+  export QNN_TEST_CASES="${QNN_TEST_CASES:-64}"
+  echo "ci.sh transformer: QNN_TEST_CASES=$QNN_TEST_CASES QNN_TEST_SEED=${QNN_TEST_SEED:-<default>}"
+  run cargo test -q --release --offline -p qnn --test transformer_equivalence
+  run cargo test -q --release --offline -p qnn --test serve_transformer
+  echo "ci.sh transformer: all green"
+  exit 0
+fi
+
+if [[ "${1:-}" == "all" ]]; then
+  "$0"
+  for stage in dse net transformer bench-smoke; do
+    "$0" "$stage"
+  done
+  echo "ci.sh all: all green"
   exit 0
 fi
 

@@ -16,9 +16,13 @@
 use qnn::cluster::{Autoscaler, AutoscalerConfig};
 use qnn::dfe::MAIA_FCLK_MHZ;
 use qnn::nn::{models, Network};
+// The deprecated `serve` shim stays in the bench so the closure path keeps
+// a throughput baseline until removal (new code: Server::builder).
+#[allow(deprecated)]
+use qnn::serve::serve;
 use qnn::serve::{
-    serve, DispatchPolicy, ModelOptions, Priority, Server, ServerConfig, ServerReport,
-    SubmitOptions, Ticket,
+    DispatchPolicy, ModelOptions, Priority, Server, ServerConfig, ServerReport, SubmitOptions,
+    Ticket,
 };
 use qnn::tensor::{Shape3, Tensor3};
 use qnn_bench::render_table;
@@ -38,6 +42,7 @@ fn trace() -> Vec<Tensor3<i8>> {
         .collect()
 }
 
+#[allow(deprecated)]
 fn serve_trace(net: &Network, images: &[Tensor3<i8>], replicas: usize) -> ServerReport {
     // Long flush deadline + round-robin pinned: the burst always fills
     // batches to max_batch and shard sizes depend only on the flush

@@ -43,6 +43,15 @@ fn table1() {
                 ("fc".into(), format!("{out_features}-d"))
             }
             Stage::Conv { geom } => ("conv".into(), format!("{:?}", geom.filter)),
+            Stage::Encoder { geom } => (
+                format!("encoder block {i}"),
+                format!(
+                    "{} heads × {}-d{}",
+                    geom.heads,
+                    geom.head_dim,
+                    if geom.has_ffn() { ", ffn" } else { "" }
+                ),
+            ),
         };
         rows.push(vec![kind, format!("{}", stage.output_shape()), params]);
     }

@@ -7,7 +7,8 @@ use dfe_platform::{
 use hw_model::{Fold, FoldPlan};
 use qnn_kernels::loader::encode_conv_params;
 use qnn_kernels::{
-    AddKernel, ConvDatapath, ConvKernel, DotMode, PadInserter, PoolKernel, PoolOp, SplitKernel,
+    AddKernel, AttentionHeadKernel, ConcatKernel, ConvDatapath, ConvKernel, DotMode,
+    HeadSplitKernel, LayerNormKernel, PadInserter, PoolKernel, PoolOp, SplitKernel,
     ThresholdKernel,
 };
 use qnn_nn::{Network, PoolKind, Stage, StageParams};
@@ -67,6 +68,15 @@ pub struct CompileOptions {
     /// buffers). Unknown names and zero capacities are rejected by
     /// [`try_compile`].
     pub fifo_overrides: Vec<(String, usize)>,
+    /// Random stall injection `(seed, percent)`: wrap every lowered kernel
+    /// in a `dfe_platform::StallInjector` with a per-kernel seed derived
+    /// from `seed`, suppressing ~`percent`% of its ticks. A handshake-test
+    /// instrument — logits must be bit-identical to the uninjected run at
+    /// any setting. Injected stalls can produce legitimate full-stall
+    /// cycles, so [`crate::run_images`] disables deadlock detection when
+    /// this is set (the cycle budget still bounds the run); injectors also
+    /// veto span dispatch and schedule replay for the wrapped kernels.
+    pub stall_injection: Option<(u64, u8)>,
 }
 
 impl Default for CompileOptions {
@@ -82,6 +92,31 @@ impl Default for CompileOptions {
             schedule_replay: dfe_platform::schedule_replay_default(),
             layer_folding: FoldPlan::new(),
             fifo_overrides: Vec::new(),
+            stall_injection: None,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Build options with every environment knob re-read *now*:
+    /// `QNN_SCHEDULER`, `QNN_CONV_DATAPATH`, `QNN_MACRO_TICKS` and
+    /// `QNN_SCHED_REPLAY` are parsed fresh from the current environment,
+    /// while everything else keeps its built-in default.
+    ///
+    /// This is the one place the env-knob precedence lives: an explicit
+    /// field set by the caller beats the environment, and the environment
+    /// beats the built-in default. [`CompileOptions::default`] reads the
+    /// same knobs but through per-process caches (resolved once at first
+    /// use), which is what long-lived tools want; `from_env` is for
+    /// harnesses that mutate the environment between compiles and expect
+    /// the change to take effect.
+    pub fn from_env() -> Self {
+        Self {
+            scheduler: SchedulerMode::from_env(),
+            conv_datapath: ConvDatapath::from_env(),
+            macro_ticks: dfe_platform::macro_ticks_from_env(),
+            schedule_replay: dfe_platform::schedule_replay_from_env(),
+            ..Self::default()
         }
     }
 }
@@ -152,6 +187,10 @@ struct Builder {
     folds: Vec<(String, Fold, bool)>,
     /// FIFO capacity overrides with a consumed flag, same discipline.
     fifos: Vec<(String, usize, bool)>,
+    /// Stall-injection setting and a running kernel counter for per-kernel
+    /// seed derivation.
+    stall: Option<(u64, u8)>,
+    kernel_seq: u64,
 }
 
 impl Builder {
@@ -182,6 +221,8 @@ impl Builder {
                 .iter()
                 .map(|(n, c)| (n.clone(), *c, false))
                 .collect(),
+            stall: opts.stall_injection,
+            kernel_seq: 0,
         }
     }
 
@@ -209,6 +250,16 @@ impl Builder {
     }
 
     fn kernel(&mut self, device: usize, k: Box<dyn Kernel>, inputs: &[Wire], outputs: &[Wire]) {
+        // Stall injection wraps every kernel with its own splitmix-spread
+        // seed, so each one sees an independent stall pattern.
+        let k = match self.stall {
+            Some((seed, pct)) => {
+                let per_kernel = seed ^ self.kernel_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                dfe_platform::StallInjector::wrap(k, per_kernel, pct)
+            }
+            None => k,
+        };
+        self.kernel_seq += 1;
         let ins: Vec<StreamId> = inputs
             .iter()
             .map(|w| {
@@ -711,6 +762,185 @@ pub fn try_compile(
                 prev_shape = out_shape;
                 prev_bits = act_bits;
             }
+            (Stage::Encoder { geom }, StageParams::Encoder(p)) => {
+                let projs = geom.projection_geometries();
+                let d = geom.d_model;
+                let codes = DotMode::Codes { bits: act_bits };
+                // The attention skip is consumed only after the whole
+                // sequence has crossed the Q/K/V → heads → concat → proj
+                // pipeline (attention needs every key before the first
+                // output token), so the buffer must hold the full sequence
+                // plus slack.
+                let skip_cap = geom.seq_len * d + 2 * d + 64;
+
+                // --- attention sublayer: split skip, fan out Q/K/V ---
+                let a = b.stream(dev, format!("enc{i}.a"), act_bits, opts.fifo_capacity);
+                let skip_s = b.stream(dev, format!("enc{i}.skipbuf"), 16, skip_cap);
+                b.kernel(
+                    dev,
+                    Box::new(SplitKernel::new(format!("enc{i}.split_in"))),
+                    &[prev],
+                    &[a, skip_s],
+                );
+                let qa = b.stream(dev, format!("enc{i}.qa"), act_bits, opts.fifo_capacity);
+                let kva = b.stream(dev, format!("enc{i}.kva"), act_bits, opts.fifo_capacity);
+                b.kernel(
+                    dev,
+                    Box::new(SplitKernel::new(format!("enc{i}.split_q"))),
+                    &[a],
+                    &[qa, kva],
+                );
+                let ka = b.stream(dev, format!("enc{i}.ka"), act_bits, opts.fifo_capacity);
+                let va = b.stream(dev, format!("enc{i}.va"), act_bits, opts.fifo_capacity);
+                b.kernel(
+                    dev,
+                    Box::new(SplitKernel::new(format!("enc{i}.split_kv"))),
+                    &[kva],
+                    &[ka, va],
+                );
+                let q = b.conv(
+                    dev, &format!("enc{i}.q"), qa, &projs[0], &p.wq, Some(&p.thr_q),
+                    codes, act_bits, opts.fifo_capacity,
+                );
+                let k = b.conv(
+                    dev, &format!("enc{i}.k"), ka, &projs[1], &p.wk, Some(&p.thr_k),
+                    codes, act_bits, opts.fifo_capacity,
+                );
+                let v = b.conv(
+                    dev, &format!("enc{i}.v"), va, &projs[2], &p.wv, Some(&p.thr_v),
+                    codes, act_bits, opts.fifo_capacity,
+                );
+
+                // --- per-head fan-out, attention, and rejoin ---
+                let mut head_wires: Vec<Vec<Wire>> = Vec::new();
+                for (which, src) in [("q", q), ("k", k), ("v", v)] {
+                    let outs: Vec<Wire> = (0..geom.heads)
+                        .map(|h| {
+                            b.stream(
+                                dev,
+                                format!("enc{i}.{which}.h{h}"),
+                                act_bits,
+                                opts.fifo_capacity,
+                            )
+                        })
+                        .collect();
+                    b.kernel(
+                        dev,
+                        Box::new(HeadSplitKernel::new(
+                            format!("enc{i}.{which}.heads"),
+                            geom.heads,
+                            geom.head_dim,
+                        )),
+                        &[src],
+                        &outs,
+                    );
+                    head_wires.push(outs);
+                }
+                let attn_outs: Vec<Wire> = (0..geom.heads)
+                    .map(|h| {
+                        let out = b.stream(
+                            dev,
+                            format!("enc{i}.attn{h}.out"),
+                            act_bits,
+                            opts.fifo_capacity,
+                        );
+                        b.kernel(
+                            dev,
+                            Box::new(AttentionHeadKernel::new(
+                                format!("enc{i}.attn{h}"),
+                                act_bits,
+                                geom.seq_len,
+                                geom.head_dim,
+                            )),
+                            &[head_wires[0][h], head_wires[1][h], head_wires[2][h]],
+                            &[out],
+                        );
+                        out
+                    })
+                    .collect();
+                let cat = b.stream(dev, format!("enc{i}.cat.out"), act_bits, opts.fifo_capacity);
+                b.kernel(
+                    dev,
+                    Box::new(ConcatKernel::new(
+                        format!("enc{i}.cat"),
+                        geom.heads,
+                        geom.head_dim,
+                    )),
+                    &attn_outs,
+                    &[cat],
+                );
+
+                // --- output projection (raw), residual add, LayerNorm ---
+                let proj = b.conv(
+                    dev, &format!("enc{i}.proj"), cat, &projs[3], &p.wo, None,
+                    codes, 16, opts.fifo_capacity,
+                );
+                let z = b.stream(dev, format!("enc{i}.z"), 16, opts.fifo_capacity);
+                b.kernel(
+                    dev,
+                    Box::new(AddKernel::new(format!("enc{i}.add"))),
+                    &[proj, skip_s],
+                    &[z],
+                );
+                let ln_out = b.stream(dev, format!("enc{i}.ln.out"), act_bits, opts.fifo_capacity);
+                b.kernel(
+                    dev,
+                    Box::new(LayerNormKernel::new(
+                        format!("enc{i}.ln"),
+                        p.ln_gain.clone(),
+                        act_bits,
+                    )),
+                    &[z],
+                    &[ln_out],
+                );
+                prev = ln_out;
+
+                // --- optional feed-forward sublayer with its own skip ---
+                if let Some(ffn) = &p.ffn {
+                    // ff1/ff2 emit token t's output right after absorbing
+                    // token t, so two tokens of each width cover the lead.
+                    let ff_cap = 2 * (d + geom.ff_hidden) + 64;
+                    let fa = b.stream(dev, format!("enc{i}.ffa"), act_bits, opts.fifo_capacity);
+                    let fskip = b.stream(dev, format!("enc{i}.ffskip"), 16, ff_cap);
+                    b.kernel(
+                        dev,
+                        Box::new(SplitKernel::new(format!("enc{i}.split_ff"))),
+                        &[prev],
+                        &[fa, fskip],
+                    );
+                    let f1 = b.conv(
+                        dev, &format!("enc{i}.ff1"), fa, &projs[4], &ffn.w1, Some(&ffn.thr1),
+                        codes, act_bits, opts.fifo_capacity,
+                    );
+                    let f2 = b.conv(
+                        dev, &format!("enc{i}.ff2"), f1, &projs[5], &ffn.w2, None,
+                        codes, 16, opts.fifo_capacity,
+                    );
+                    let z2 = b.stream(dev, format!("enc{i}.z2"), 16, opts.fifo_capacity);
+                    b.kernel(
+                        dev,
+                        Box::new(AddKernel::new(format!("enc{i}.add2"))),
+                        &[f2, fskip],
+                        &[z2],
+                    );
+                    let ln2_out =
+                        b.stream(dev, format!("enc{i}.ln2.out"), act_bits, opts.fifo_capacity);
+                    b.kernel(
+                        dev,
+                        Box::new(LayerNormKernel::new(
+                            format!("enc{i}.ln2"),
+                            ffn.ln2_gain.clone(),
+                            act_bits,
+                        )),
+                        &[z2],
+                        &[ln2_out],
+                    );
+                    prev = ln2_out;
+                }
+                prev_shape = geom.shape();
+                prev_bits = act_bits;
+                skip = None;
+            }
             _ => unreachable!("stage/params variant mismatch"),
         }
     }
@@ -742,6 +972,91 @@ pub fn try_compile(
         images: n_images,
         classes,
     })
+}
+
+#[cfg(test)]
+mod from_env_tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Env-var tests share the process environment, so they serialize on
+    /// one lock and restore whatever value they found.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_env(key: &str, value: &str, f: impl FnOnce()) {
+        let guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Force the process-wide caches to resolve *before* mutating the
+        // environment: `Default::default()` must keep returning the value
+        // it resolved at first use, whatever this test sets.
+        let _ = CompileOptions::default();
+        let saved = std::env::var(key).ok();
+        std::env::set_var(key, value);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        match saved {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
+        drop(guard);
+        if let Err(e) = result {
+            std::panic::resume_unwind(e);
+        }
+    }
+
+    #[test]
+    fn scheduler_knob_is_read_fresh() {
+        with_env("QNN_SCHEDULER", "dense", || {
+            assert_eq!(CompileOptions::from_env().scheduler, SchedulerMode::Dense);
+        });
+        with_env("QNN_SCHEDULER", "ready", || {
+            assert_eq!(CompileOptions::from_env().scheduler, SchedulerMode::ReadyList);
+        });
+    }
+
+    #[test]
+    fn conv_datapath_knob_is_read_fresh() {
+        with_env("QNN_CONV_DATAPATH", "scalar", || {
+            assert_eq!(
+                CompileOptions::from_env().conv_datapath,
+                ConvDatapath::ScalarReference
+            );
+        });
+        with_env("QNN_CONV_DATAPATH", "packed", || {
+            assert_eq!(CompileOptions::from_env().conv_datapath, ConvDatapath::Packed);
+        });
+    }
+
+    #[test]
+    fn macro_ticks_knob_is_read_fresh() {
+        with_env("QNN_MACRO_TICKS", "0", || {
+            assert!(!CompileOptions::from_env().macro_ticks);
+        });
+        with_env("QNN_MACRO_TICKS", "1", || {
+            assert!(CompileOptions::from_env().macro_ticks);
+        });
+    }
+
+    #[test]
+    fn schedule_replay_knob_is_read_fresh() {
+        with_env("QNN_SCHED_REPLAY", "0", || {
+            assert!(!CompileOptions::from_env().schedule_replay);
+        });
+        with_env("QNN_SCHED_REPLAY", "1", || {
+            assert!(CompileOptions::from_env().schedule_replay);
+        });
+    }
+
+    #[test]
+    fn non_knob_fields_keep_their_defaults() {
+        with_env("QNN_MACRO_TICKS", "0", || {
+            let opts = CompileOptions::from_env();
+            let defaults = CompileOptions::default();
+            assert_eq!(opts.fifo_capacity, defaults.fifo_capacity);
+            assert_eq!(opts.ring_capacity, defaults.ring_capacity);
+            assert_eq!(opts.stage_device, defaults.stage_device);
+            assert_eq!(opts.layer_folding, defaults.layer_folding);
+            assert_eq!(opts.fifo_overrides, defaults.fifo_overrides);
+        });
+    }
 }
 
 #[cfg(test)]

@@ -104,8 +104,11 @@ pub fn run_images(
         ..
     } = compile(net, images, opts);
     let budget = cycle_budget(net, images.len());
+    // Injected stalls can produce legitimate full-stall cycles, so runs
+    // with stall injection rely on the budget alone to bound them.
+    let detect_deadlock = opts.stall_injection.is_none();
     let reports = if graphs.len() == 1 {
-        vec![graphs[0].run(budget)?]
+        vec![graphs[0].run_opts(budget, detect_deadlock)?]
     } else {
         threaded::run_devices(graphs, budget)?
     };

@@ -63,6 +63,56 @@ fn conv_cycles_folded(name: &str, geom: &ConvGeometry, pe: u64, simd: u64) -> La
     }
 }
 
+/// Push one encoder stage's cycle entries: the 1×1 projections (foldable,
+/// conv-like), the per-head attention tile engine, and the fixed-rate
+/// split/add/LayerNorm glue. `plan == None` is the unfolded model; since
+/// the attention and glue entries are fold-independent, an all-unit plan
+/// matches the unfolded analysis exactly.
+fn encoder_cycles(
+    layers: &mut Vec<LayerCycles>,
+    i: usize,
+    geom: &qnn_nn::EncoderGeometry,
+    plan: Option<&FoldPlan>,
+) {
+    let projs = geom.projection_geometries();
+    let mut suffixes = vec!["q", "k", "v", "proj"];
+    if geom.has_ffn() {
+        suffixes.extend(["ff1", "ff2"]);
+    }
+    for (suffix, g) in suffixes.iter().zip(&projs) {
+        let name = format!("enc{i}.{suffix}");
+        match plan {
+            Some(p) => {
+                let f = p.get(&name);
+                layers.push(conv_cycles_folded(&name, g, f.pe as u64, f.simd as u64));
+            }
+            None => layers.push(conv_cycles(&name, g)),
+        }
+    }
+    // Heads run in parallel; one head's tile engine stands for all of
+    // them. It absorbs its three seq×head_dim tiles (one element per port
+    // per clock, so the gather overlaps across ports) and then emits one
+    // tile — nothing can come out before the whole tile is in.
+    let tile = (geom.seq_len * geom.head_dim) as u64;
+    layers.push(LayerCycles {
+        name: format!("enc{i}.attn"),
+        inputs: 3 * tile,
+        outputs: tile,
+        busy: 2 * tile,
+        fill: tile,
+    });
+    // Fixed-rate glue: splits, head fan-out/concat, adders and LayerNorm
+    // all move one token-stream element per clock regardless of folding.
+    let glue = (geom.seq_len * geom.d_model) as u64;
+    layers.push(LayerCycles {
+        name: format!("enc{i}.skip"),
+        inputs: glue,
+        outputs: glue,
+        busy: glue,
+        fill: 0,
+    });
+}
+
 /// Whole-network cycle model.
 #[derive(Clone, Debug)]
 pub struct CycleModel {
@@ -116,6 +166,9 @@ impl CycleModel {
                     if let Some(ds) = &geom.downsample {
                         layers.push(conv_cycles(&format!("res{i}.ds"), ds));
                     }
+                }
+                Stage::Encoder { geom } => {
+                    encoder_cycles(&mut layers, i, geom, None);
                 }
             }
         }
@@ -226,6 +279,9 @@ impl CycleModel {
                         busy: glue,
                         fill: c1_fill - c1_fill.div_ceil(c1_simd),
                     });
+                }
+                Stage::Encoder { geom } => {
+                    encoder_cycles(&mut layers, i, geom, Some(plan));
                 }
             }
         }

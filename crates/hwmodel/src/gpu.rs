@@ -98,6 +98,18 @@ impl GpuModel {
                     }
                     ops.push((format!("res{i}.add"), 0));
                 }
+                Stage::Encoder { geom } => {
+                    let mut suffixes = vec!["q", "k", "v", "proj"];
+                    if geom.has_ffn() {
+                        suffixes.extend(["ff1", "ff2"]);
+                    }
+                    for (suffix, g) in suffixes.iter().zip(geom.projection_geometries()) {
+                        ops.push((format!("enc{i}.{suffix}"), g.macs()));
+                    }
+                    // One batched launch covers all heads' QKᵀ and AV.
+                    ops.push((format!("enc{i}.attn"), geom.attention_macs()));
+                    ops.push((format!("enc{i}.add"), 0));
+                }
             }
         }
         ops

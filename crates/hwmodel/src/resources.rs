@@ -147,6 +147,55 @@ fn minor_resources(window_bits: u64, count: usize) -> StageResources {
     }
 }
 
+/// Estimate one encoder stage: the 1×1 projection convolutions (foldable;
+/// Q/K/V/ff1 carry fused thresholds, proj/ff2 emit raw accumulators), the
+/// per-head attention tile engines with their gather/pending buffers, the
+/// sequence-deep skip FIFOs in BRAM, and the stream glue (splits, head
+/// fan-out/concat, adders, LayerNorm). `folds == None` is the unfolded
+/// estimate; an all-unit plan matches it exactly.
+fn encoder_resources(
+    geom: &qnn_nn::EncoderGeometry,
+    act_bits: u32,
+    folds: Option<(&FoldPlan, usize)>,
+) -> StageResources {
+    let projs = geom.projection_geometries();
+    let mut suffixes = vec![("q", true), ("k", true), ("v", true), ("proj", false)];
+    if geom.has_ffn() {
+        suffixes.extend([("ff1", true), ("ff2", false)]);
+    }
+    let mut r = StageResources::default();
+    for ((suffix, with_bn), g) in suffixes.iter().zip(&projs) {
+        let fold = match folds {
+            Some((plan, index)) => plan.get(&format!("enc{index}.{suffix}")),
+            None => Fold::UNIT,
+        };
+        let c = conv_resources_folded(g, act_bits, act_bits, *with_bn, fold);
+        r.usage = r.usage.plus(c.usage);
+        r.kernels += c.kernels;
+    }
+    // Attention heads: each buffers three gathered seq×head_dim code tiles
+    // plus the pending output tile.
+    let tile_bits = (geom.seq_len * geom.head_dim) as u64 * act_bits as u64;
+    let heads = minor_resources(4 * tile_bits * geom.heads as u64, geom.heads);
+    r.usage = r.usage.plus(heads.usage);
+    r.kernels += heads.kernels;
+    // Skip FIFOs: the attention skip holds the whole sequence (every key
+    // must arrive before the first output token); the FFN skip holds two
+    // tokens of each width. Both carry 16-bit accumulator data.
+    let skip_elems = (geom.seq_len * geom.d_model + 2 * geom.d_model + 64) as u64;
+    r.usage.bram_kbits += bram_blocks(16, skip_elems) * BRAM_BLOCK_KBITS;
+    let mut glue = 3 + 3 + 1 + 1 + 1; // splits, head fan-outs, concat, add, LN
+    if geom.has_ffn() {
+        let ff_elems = 2 * (geom.d_model + geom.ff_hidden) as u64 + 64;
+        r.usage.bram_kbits += bram_blocks(16, ff_elems) * BRAM_BLOCK_KBITS;
+        glue += 3; // split_ff, add2, ln2
+    }
+    let g = minor_resources(0, glue);
+    r.usage = r.usage.plus(g.usage);
+    r.kernels += g.kernels;
+    r
+}
+
 /// Estimate one pipeline stage.
 pub fn estimate_stage(stage: &Stage, act_bits: u32) -> StageResources {
     match *stage {
@@ -202,6 +251,7 @@ pub fn estimate_stage(stage: &Stage, act_bits: u32) -> StageResources {
             r.kernels += glue.kernels;
             r
         }
+        Stage::Encoder { ref geom } => encoder_resources(geom, act_bits, None),
     }
 }
 
@@ -291,6 +341,7 @@ pub fn estimate_stage_folded(
             r.kernels += glue.kernels;
             r
         }
+        Stage::Encoder { ref geom } => encoder_resources(geom, act_bits, Some((plan, index))),
     }
 }
 

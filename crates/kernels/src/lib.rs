@@ -24,12 +24,14 @@
 //! output stream is directly the next layer's input stream — "we can treat
 //! other layers as a black box that receives or provides pixels" (§III-B).
 
+pub mod attention;
 pub mod conv;
 pub mod elemwise;
 pub mod loader;
 pub mod pad;
 pub mod pool;
 
+pub use attention::{AttentionHeadKernel, ConcatKernel, HeadSplitKernel, LayerNormKernel};
 pub use conv::{ConvDatapath, ConvKernel, DotMode};
 pub use loader::{encode_conv_params, ParamLoader};
 pub use elemwise::{AddKernel, SplitKernel, ThresholdKernel};

@@ -1,0 +1,282 @@
+//! Derived op-graph view of a [`NetworkSpec`].
+//!
+//! The spec stores stages as an ordered list, but two stage kinds expand
+//! into *branching* dataflow: residual blocks split off a skip path that
+//! rejoins at an adder, and encoder blocks fan a token stream out across
+//! Q/K/V projections and attention heads before concatenating them back.
+//! [`NetworkSpec::op_graph`] materializes that structure as an explicit
+//! DAG whose node labels match the streaming compiler's kernel labels
+//! (`conv0`, `res2.conv1`, `enc1.attn0`, …), so tests and tools can reason
+//! about fan-out/rejoin topology without re-deriving the lowering.
+//!
+//! This is a *view*: it is computed from the validated spec on demand and
+//! carries no authority of its own. The compiler remains the single
+//! source of truth for what is actually instantiated; the
+//! `op_graph_matches_lowering` tests pin the two label sets together.
+
+use crate::spec::{NetworkSpec, Stage};
+
+/// What a node computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Host image/token source.
+    Source,
+    /// Convolution (including 1×1 projections and FC layers).
+    Conv,
+    /// Spatial pooling.
+    Pool,
+    /// Fused BatchNorm + activation thresholds.
+    Threshold,
+    /// Stream duplication (skip-path split).
+    Split,
+    /// Element-wise adder (skip rejoin).
+    Add,
+    /// Per-head slice fan-out of a projected token stream.
+    HeadSplit,
+    /// One attention head (QKᵀ → threshold-softmax → AV).
+    Attention,
+    /// Head concatenation (fan-in).
+    Concat,
+    /// Integer LayerNorm.
+    LayerNorm,
+    /// Host logits sink.
+    Sink,
+}
+
+/// One node of the derived op graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpNode {
+    /// Label, matching the compiler's kernel label for the same op.
+    pub label: String,
+    /// Operation kind.
+    pub kind: OpKind,
+}
+
+/// A directed acyclic op graph derived from a spec.
+#[derive(Clone, Debug, Default)]
+pub struct OpGraph {
+    nodes: Vec<OpNode>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl OpGraph {
+    fn node(&mut self, label: impl Into<String>, kind: OpKind) -> usize {
+        self.nodes.push(OpNode { label: label.into(), kind });
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.edges.push((from, to));
+    }
+
+    /// All nodes, in insertion (dataflow) order.
+    pub fn nodes(&self) -> &[OpNode] {
+        &self.nodes
+    }
+
+    /// All `(from, to)` edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Node index by label, if present.
+    pub fn find(&self, label: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.label == label)
+    }
+
+    /// Out-degree of a node.
+    pub fn fan_out(&self, i: usize) -> usize {
+        self.edges.iter().filter(|(f, _)| *f == i).count()
+    }
+
+    /// In-degree of a node.
+    pub fn fan_in(&self, i: usize) -> usize {
+        self.edges.iter().filter(|(_, t)| *t == i).count()
+    }
+
+    /// True when every edge points forward in insertion order — the
+    /// builder only ever emits such edges, so this doubles as an internal
+    /// consistency check in tests.
+    pub fn is_forward_dag(&self) -> bool {
+        self.edges.iter().all(|(f, t)| f < t)
+    }
+}
+
+impl NetworkSpec {
+    /// Materialize the branching op-graph view of this spec. Labels match
+    /// the streaming compiler's kernel labels.
+    pub fn op_graph(&self) -> OpGraph {
+        let mut g = OpGraph::default();
+        let mut prev = g.node("host.src", OpKind::Source);
+        // Carried skip (produced by an identity-linked residual chain).
+        let mut skip: Option<usize> = None;
+
+        for (i, stage) in self.stages.iter().enumerate() {
+            let next_wants_skip = matches!(
+                self.stages.get(i + 1),
+                Some(Stage::Residual { geom }) if geom.downsample.is_none()
+            );
+            match stage {
+                Stage::ConvInput { .. } | Stage::Conv { .. } => {
+                    let c = g.node(format!("conv{i}"), OpKind::Conv);
+                    g.edge(prev, c);
+                    prev = c;
+                    skip = None;
+                }
+                Stage::Pool { .. } => {
+                    let p = g.node(format!("pool{i}"), OpKind::Pool);
+                    g.edge(prev, p);
+                    prev = p;
+                    skip = None;
+                }
+                Stage::FullyConnected { .. } => {
+                    let c = g.node(format!("fc{i}"), OpKind::Conv);
+                    g.edge(prev, c);
+                    prev = c;
+                    skip = None;
+                }
+                Stage::Residual { geom } => {
+                    let (conv_in, skip_in) = if geom.downsample.is_some() {
+                        let split = g.node(format!("res{i}.split_in"), OpKind::Split);
+                        g.edge(prev, split);
+                        let ds = g.node(format!("res{i}.ds"), OpKind::Conv);
+                        g.edge(split, ds);
+                        (split, ds)
+                    } else if let Some(s) = skip.take() {
+                        (prev, s)
+                    } else {
+                        let split = g.node(format!("res{i}.split_in"), OpKind::Split);
+                        g.edge(prev, split);
+                        (split, split)
+                    };
+                    let c1 = g.node(format!("res{i}.conv1"), OpKind::Conv);
+                    g.edge(conv_in, c1);
+                    let c2 = g.node(format!("res{i}.conv2"), OpKind::Conv);
+                    g.edge(c1, c2);
+                    let add = g.node(format!("res{i}.add"), OpKind::Add);
+                    g.edge(c2, add);
+                    g.edge(skip_in, add);
+                    let thr_in = if next_wants_skip {
+                        let split = g.node(format!("res{i}.split_out"), OpKind::Split);
+                        g.edge(add, split);
+                        skip = Some(split);
+                        split
+                    } else {
+                        skip = None;
+                        add
+                    };
+                    let thr = g.node(format!("res{i}.thr"), OpKind::Threshold);
+                    g.edge(thr_in, thr);
+                    prev = thr;
+                }
+                Stage::Encoder { geom } => {
+                    // Attention sublayer: split the token stream into the
+                    // residual skip and the Q/K/V projection fan-out.
+                    let split_in = g.node(format!("enc{i}.split_in"), OpKind::Split);
+                    g.edge(prev, split_in);
+                    let split_q = g.node(format!("enc{i}.split_q"), OpKind::Split);
+                    g.edge(split_in, split_q);
+                    let split_kv = g.node(format!("enc{i}.split_kv"), OpKind::Split);
+                    g.edge(split_q, split_kv);
+                    let q = g.node(format!("enc{i}.q"), OpKind::Conv);
+                    g.edge(split_q, q);
+                    let k = g.node(format!("enc{i}.k"), OpKind::Conv);
+                    g.edge(split_kv, k);
+                    let v = g.node(format!("enc{i}.v"), OpKind::Conv);
+                    g.edge(split_kv, v);
+                    let hq = g.node(format!("enc{i}.q.heads"), OpKind::HeadSplit);
+                    g.edge(q, hq);
+                    let hk = g.node(format!("enc{i}.k.heads"), OpKind::HeadSplit);
+                    g.edge(k, hk);
+                    let hv = g.node(format!("enc{i}.v.heads"), OpKind::HeadSplit);
+                    g.edge(v, hv);
+                    let attn: Vec<usize> = (0..geom.heads)
+                        .map(|h| {
+                            let a = g.node(format!("enc{i}.attn{h}"), OpKind::Attention);
+                            g.edge(hq, a);
+                            g.edge(hk, a);
+                            g.edge(hv, a);
+                            a
+                        })
+                        .collect();
+                    let cat = g.node(format!("enc{i}.cat"), OpKind::Concat);
+                    for a in attn {
+                        g.edge(a, cat);
+                    }
+                    let proj = g.node(format!("enc{i}.proj"), OpKind::Conv);
+                    g.edge(cat, proj);
+                    let add = g.node(format!("enc{i}.add"), OpKind::Add);
+                    g.edge(proj, add);
+                    g.edge(split_in, add);
+                    let ln = g.node(format!("enc{i}.ln"), OpKind::LayerNorm);
+                    g.edge(add, ln);
+                    prev = ln;
+                    // Optional feed-forward sublayer with its own skip.
+                    if geom.has_ffn() {
+                        let split_ff = g.node(format!("enc{i}.split_ff"), OpKind::Split);
+                        g.edge(prev, split_ff);
+                        let ff1 = g.node(format!("enc{i}.ff1"), OpKind::Conv);
+                        g.edge(split_ff, ff1);
+                        let ff2 = g.node(format!("enc{i}.ff2"), OpKind::Conv);
+                        g.edge(ff1, ff2);
+                        let add2 = g.node(format!("enc{i}.add2"), OpKind::Add);
+                        g.edge(ff2, add2);
+                        g.edge(split_ff, add2);
+                        let ln2 = g.node(format!("enc{i}.ln2"), OpKind::LayerNorm);
+                        g.edge(add2, ln2);
+                        prev = ln2;
+                    }
+                    skip = None;
+                }
+            }
+        }
+        let sink = g.node("host.sink", OpKind::Sink);
+        g.edge(prev, sink);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::models;
+
+    #[test]
+    fn cnn_graph_is_a_chain_with_residual_diamonds() {
+        let g = models::test_net(8, 4, 2).op_graph();
+        assert!(g.is_forward_dag());
+        // Chain-head residual: split_in feeds both conv1 and (via the
+        // carried-skip edge) an adder downstream.
+        let split = g.find("res2.split_in").expect("chain-head split");
+        assert_eq!(g.fan_out(split), 2, "skip fan-out");
+        let add = g.find("res2.add").expect("rejoin adder");
+        assert_eq!(g.fan_in(add), 2, "conv path + skip rejoin");
+        // res3 is a downsample block: its split feeds conv1 and the 1×1
+        // downsample conv, which rejoins at the adder.
+        let split3 = g.find("res3.split_in").expect("downsample split");
+        assert_eq!(g.fan_out(split3), 2);
+        assert!(g.find("res3.ds").is_some(), "downsample conv on the skip path");
+        assert_eq!(g.fan_in(g.find("res3.add").expect("res3 adder")), 2);
+    }
+
+    #[test]
+    fn encoder_graph_fans_heads_out_and_rejoins() {
+        let spec = models::tiny_transformer(6, 4, 2, 5, 2, 8);
+        let g = spec.op_graph();
+        assert!(g.is_forward_dag());
+        let hq = g.find("enc1.q.heads").expect("query head split");
+        assert_eq!(g.fan_out(hq), 4, "one edge per head");
+        let cat = g.find("enc1.cat").expect("head concat");
+        assert_eq!(g.fan_in(cat), 4, "heads rejoin at the concat");
+        for h in 0..4 {
+            let a = g.find(&format!("enc1.attn{h}")).expect("head node");
+            assert_eq!(g.fan_in(a), 3, "q, k, v into each head");
+        }
+        // Residual rejoin around the attention sublayer.
+        let add = g.find("enc1.add").expect("attention adder");
+        assert_eq!(g.fan_in(add), 2);
+        // FFN sublayer present with its own skip diamond.
+        let add2 = g.find("enc1.add2").expect("ffn adder");
+        assert_eq!(g.fan_in(add2), 2);
+        assert!(g.find("enc1.ln2").is_some());
+    }
+}

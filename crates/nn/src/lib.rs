@@ -15,6 +15,7 @@
 //!   16-bit integers; we compute in `i32` and *model* the 16-bit width,
 //!   asserting the values stay in `i16` range).
 
+pub mod graph;
 pub mod init;
 pub mod models;
 pub mod network;
@@ -23,5 +24,8 @@ pub mod reference;
 pub mod spec;
 pub mod specgen;
 
-pub use network::{Network, StageParams};
-pub use spec::{NetworkSpec, PoolKind, ResidualGeometry, Stage};
+pub use graph::{OpGraph, OpKind, OpNode};
+pub use network::{EncoderFfn, EncoderParams, Network, StageParams};
+pub use spec::{
+    EncoderGeometry, NetworkSpec, PoolKind, ResidualGeometry, SpecBuilder, SpecError, Stage,
+};

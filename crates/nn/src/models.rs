@@ -17,7 +17,7 @@
 //! * [`resnet18_plain`] — ResNet-18 with skip connections removed, used by
 //!   the skip-overhead ablation (§IV-B2).
 
-use crate::spec::{NetworkSpec, PoolKind, ResidualGeometry, Stage};
+use crate::spec::{EncoderGeometry, NetworkSpec, PoolKind, ResidualGeometry, SpecBuilder, Stage};
 use qnn_tensor::{ConvGeometry, FilterShape, Shape3};
 
 /// Number of ImageNet classes used throughout the paper.
@@ -47,23 +47,24 @@ fn basic_block(input: Shape3, o: usize, stride: usize) -> ResidualGeometry {
 pub fn resnet18(classes: usize) -> NetworkSpec {
     let input = Shape3::square(224, 3);
     let stem = conv(input, 7, 64, 2, 3); // → 112×112×64
-    let mut stages = vec![Stage::ConvInput { geom: stem }];
-    let after_stem = stem.output();
-    stages.push(Stage::Pool { input: after_stem, k: 3, stride: 2, pad: 1, kind: PoolKind::Max }); // → 56×56×64
+    let mut b = SpecBuilder::new("ResNet-18", input, 2)
+        .conv_input(stem)
+        .pool(stem.output(), 3, 2, 1, PoolKind::Max); // → 56×56×64
 
     let mut cur = Shape3::square(56, 64);
     for (o, first_stride) in [(64, 1), (128, 2), (256, 2), (512, 2)] {
-        for b in 0..2 {
-            let stride = if b == 0 { first_stride } else { 1 };
+        for blk in 0..2 {
+            let stride = if blk == 0 { first_stride } else { 1 };
             let geom = basic_block(cur, o, stride);
             cur = geom.output();
-            stages.push(Stage::Residual { geom });
+            b = b.residual(geom);
         }
     }
     // 7×7 global average pool → 1×1×512, then the classifier.
-    stages.push(Stage::Pool { input: cur, k: 7, stride: 7, pad: 0, kind: PoolKind::AvgSum });
-    stages.push(Stage::FullyConnected { in_features: 512, out_features: classes, bn_act: false });
-    NetworkSpec::new("ResNet-18", input, 2, stages)
+    b.pool(cur, 7, 7, 0, PoolKind::AvgSum)
+        .fully_connected(512, classes, false)
+        .try_build()
+        .expect("ResNet-18 spec")
 }
 
 /// ResNet-18 with every residual block flattened into two plain convolution
@@ -71,17 +72,14 @@ pub fn resnet18(classes: usize) -> NetworkSpec {
 /// baseline for the skip-connection cost analysis.
 pub fn resnet18_plain(classes: usize) -> NetworkSpec {
     let full = resnet18(classes);
-    let mut stages = Vec::new();
+    let mut b = SpecBuilder::new("ResNet-18-plain", full.input, full.act_bits);
     for stage in full.stages {
-        match stage {
-            Stage::Residual { geom } => {
-                stages.push(Stage::Conv { geom: geom.conv1 });
-                stages.push(Stage::Conv { geom: geom.conv2 });
-            }
-            s => stages.push(s),
-        }
+        b = match stage {
+            Stage::Residual { geom } => b.conv(geom.conv1).conv(geom.conv2),
+            s => b.stage(s),
+        };
     }
-    NetworkSpec::new("ResNet-18-plain", full.input, full.act_bits, stages)
+    b.try_build().expect("plain ResNet-18 spec")
 }
 
 /// AlexNet for 224×224 inputs (see the module docs for the FC width note).
@@ -98,20 +96,20 @@ pub fn alexnet_with_fc_width(classes: usize, fc_width: usize) -> NetworkSpec {
     let c3 = conv(Shape3::square(13, 256), 3, 384, 1, 1);
     let c4 = conv(Shape3::square(13, 384), 3, 384, 1, 1);
     let c5 = conv(Shape3::square(13, 384), 3, 256, 1, 1);
-    let stages = vec![
-        Stage::ConvInput { geom: c1 },
-        Stage::Pool { input: p1_in, k: 3, stride: 2, pad: 0, kind: PoolKind::Max }, // → 27×27×96
-        Stage::Conv { geom: c2 },
-        Stage::Pool { input: c2.output(), k: 3, stride: 2, pad: 0, kind: PoolKind::Max }, // → 13×13×256
-        Stage::Conv { geom: c3 },
-        Stage::Conv { geom: c4 },
-        Stage::Conv { geom: c5 },
-        Stage::Pool { input: c5.output(), k: 3, stride: 2, pad: 0, kind: PoolKind::Max }, // → 6×6×256
-        Stage::FullyConnected { in_features: 6 * 6 * 256, out_features: fc_width, bn_act: true },
-        Stage::FullyConnected { in_features: fc_width, out_features: fc_width, bn_act: true },
-        Stage::FullyConnected { in_features: fc_width, out_features: classes, bn_act: false },
-    ];
-    NetworkSpec::new("AlexNet", input, 2, stages)
+    SpecBuilder::new("AlexNet", input, 2)
+        .conv_input(c1)
+        .pool(p1_in, 3, 2, 0, PoolKind::Max) // → 27×27×96
+        .conv(c2)
+        .pool(c2.output(), 3, 2, 0, PoolKind::Max) // → 13×13×256
+        .conv(c3)
+        .conv(c4)
+        .conv(c5)
+        .pool(c5.output(), 3, 2, 0, PoolKind::Max) // → 6×6×256
+        .fully_connected(6 * 6 * 256, fc_width, true)
+        .fully_connected(fc_width, fc_width, true)
+        .fully_connected(fc_width, classes, false)
+        .try_build()
+        .expect("AlexNet spec")
 }
 
 /// The VGG-like CNV network of the evaluation (§IV), parameterized by input
@@ -120,27 +118,23 @@ pub fn alexnet_with_fc_width(classes: usize, fc_width: usize) -> NetworkSpec {
 pub fn vgg_like(side: usize, classes: usize, act_bits: u32) -> NetworkSpec {
     assert!(side >= 16 && side % 8 == 0, "vgg_like needs a side divisible by 8, got {side}");
     let input = Shape3::square(side, 3);
-    let mut stages = Vec::new();
+    let mut b = SpecBuilder::new(format!("VGG-like-{side}"), input, act_bits);
     let mut cur = input;
     for (i, o) in [64usize, 128, 256].into_iter().enumerate() {
         let g1 = conv(cur, 3, o, 1, 1);
-        if i == 0 {
-            stages.push(Stage::ConvInput { geom: g1 });
-        } else {
-            stages.push(Stage::Conv { geom: g1 });
-        }
+        b = if i == 0 { b.conv_input(g1) } else { b.conv(g1) };
         let g2 = conv(g1.output(), 3, o, 1, 1);
-        stages.push(Stage::Conv { geom: g2 });
         let pin = g2.output();
-        stages.push(Stage::Pool { input: pin, k: 2, stride: 2, pad: 0, kind: PoolKind::Max });
+        b = b.conv(g2).pool(pin, 2, 2, 0, PoolKind::Max);
         cur = Shape3::new(pin.h / 2, pin.w / 2, o);
     }
     // Global average pool keeps the FC stack input-size independent.
-    stages.push(Stage::Pool { input: cur, k: cur.h, stride: cur.h, pad: 0, kind: PoolKind::AvgSum });
-    stages.push(Stage::FullyConnected { in_features: 256, out_features: 512, bn_act: true });
-    stages.push(Stage::FullyConnected { in_features: 512, out_features: 512, bn_act: true });
-    stages.push(Stage::FullyConnected { in_features: 512, out_features: classes, bn_act: false });
-    NetworkSpec::new(format!("VGG-like-{side}"), input, act_bits, stages)
+    b.pool(cur, cur.h, cur.h, 0, PoolKind::AvgSum)
+        .fully_connected(256, 512, true)
+        .fully_connected(512, 512, true)
+        .fully_connected(512, classes, false)
+        .try_build()
+        .expect("VGG-like spec")
 }
 
 /// The exact CNV topology of Umuroglu et al. (FINN), fixed at 32×32:
@@ -159,20 +153,20 @@ pub fn cnv_finn(classes: usize, act_bits: u32) -> NetworkSpec {
     let p2 = Shape3::square(5, 128);
     let c5 = conv(p2, 3, 256, 1, 0); // → 3
     let c6 = conv(c5.output(), 3, 256, 1, 0); // → 1
-    let stages = vec![
-        Stage::ConvInput { geom: c1 },
-        Stage::Conv { geom: c2 },
-        Stage::Pool { input: c2.output(), k: 2, stride: 2, pad: 0, kind: PoolKind::Max },
-        Stage::Conv { geom: c3 },
-        Stage::Conv { geom: c4 },
-        Stage::Pool { input: c4.output(), k: 2, stride: 2, pad: 0, kind: PoolKind::Max },
-        Stage::Conv { geom: c5 },
-        Stage::Conv { geom: c6 },
-        Stage::FullyConnected { in_features: 256, out_features: 512, bn_act: true },
-        Stage::FullyConnected { in_features: 512, out_features: 512, bn_act: true },
-        Stage::FullyConnected { in_features: 512, out_features: classes, bn_act: false },
-    ];
-    NetworkSpec::new("CNV", input, act_bits, stages)
+    SpecBuilder::new("CNV", input, act_bits)
+        .conv_input(c1)
+        .conv(c2)
+        .pool(c2.output(), 2, 2, 0, PoolKind::Max)
+        .conv(c3)
+        .conv(c4)
+        .pool(c4.output(), 2, 2, 0, PoolKind::Max)
+        .conv(c5)
+        .conv(c6)
+        .fully_connected(256, 512, true)
+        .fully_connected(512, 512, true)
+        .fully_connected(512, classes, false)
+        .try_build()
+        .expect("CNV spec")
 }
 
 /// A depth-doubled VGG-like variant (four convolutions per block instead
@@ -181,26 +175,23 @@ pub fn cnv_finn(classes: usize, act_bits: u32) -> NetworkSpec {
 pub fn vgg_like_deep(side: usize, classes: usize, act_bits: u32) -> NetworkSpec {
     assert!(side >= 16 && side % 8 == 0, "vgg_like_deep needs a side divisible by 8");
     let input = Shape3::square(side, 3);
-    let mut stages = Vec::new();
+    let mut b = SpecBuilder::new(format!("VGG-like-deep-{side}"), input, act_bits);
     let mut cur = input;
     for (i, o) in [64usize, 128, 256].into_iter().enumerate() {
         for j in 0..4 {
             let g = conv(cur, 3, o, 1, 1);
-            if i == 0 && j == 0 {
-                stages.push(Stage::ConvInput { geom: g });
-            } else {
-                stages.push(Stage::Conv { geom: g });
-            }
+            b = if i == 0 && j == 0 { b.conv_input(g) } else { b.conv(g) };
             cur = g.output();
         }
-        stages.push(Stage::Pool { input: cur, k: 2, stride: 2, pad: 0, kind: PoolKind::Max });
+        b = b.pool(cur, 2, 2, 0, PoolKind::Max);
         cur = Shape3::new(cur.h / 2, cur.w / 2, o);
     }
-    stages.push(Stage::Pool { input: cur, k: cur.h, stride: cur.h, pad: 0, kind: PoolKind::AvgSum });
-    stages.push(Stage::FullyConnected { in_features: 256, out_features: 512, bn_act: true });
-    stages.push(Stage::FullyConnected { in_features: 512, out_features: 512, bn_act: true });
-    stages.push(Stage::FullyConnected { in_features: 512, out_features: classes, bn_act: false });
-    NetworkSpec::new(format!("VGG-like-deep-{side}"), input, act_bits, stages)
+    b.pool(cur, cur.h, cur.h, 0, PoolKind::AvgSum)
+        .fully_connected(256, 512, true)
+        .fully_connected(512, 512, true)
+        .fully_connected(512, classes, false)
+        .try_build()
+        .expect("deep VGG-like spec")
 }
 
 /// A shallow probe network (two strided convolutions + classifier) for the
@@ -213,16 +204,12 @@ pub fn probe32(classes: usize, act_bits: u32) -> NetworkSpec {
     let g1 = ConvGeometry::new(Shape3::square(32, 3), FilterShape::new(3, 3, 16), 2, 1);
     let g2 = ConvGeometry::new(g1.output(), FilterShape::new(3, 16, 16), 2, 1);
     let n = g2.output().len();
-    NetworkSpec::new(
-        "probe-32",
-        Shape3::square(32, 3),
-        act_bits,
-        vec![
-            Stage::ConvInput { geom: g1 },
-            Stage::Conv { geom: g2 },
-            Stage::FullyConnected { in_features: n, out_features: classes, bn_act: false },
-        ],
-    )
+    SpecBuilder::new("probe-32", Shape3::square(32, 3), act_bits)
+        .conv_input(g1)
+        .conv(g2)
+        .fully_connected(n, classes, false)
+        .try_build()
+        .expect("probe spec")
 }
 
 /// A small fully featured network (input conv, hidden conv, residual block,
@@ -236,16 +223,43 @@ pub fn test_net(side: usize, classes: usize, act_bits: u32) -> NetworkSpec {
     let block1 = basic_block(after_pool, 8, 1);
     let block2 = basic_block(after_pool, 16, 2);
     let cur = block2.output();
-    let stages = vec![
-        Stage::ConvInput { geom: stem },
-        Stage::Pool { input: stem.output(), k: 2, stride: 2, pad: 0, kind: PoolKind::Max },
-        Stage::Residual { geom: block1 },
-        Stage::Residual { geom: block2 },
-        Stage::Pool { input: cur, k: cur.h, stride: cur.h, pad: 0, kind: PoolKind::AvgSum },
-        Stage::FullyConnected { in_features: 16, out_features: 32, bn_act: true },
-        Stage::FullyConnected { in_features: 32, out_features: classes, bn_act: false },
-    ];
-    NetworkSpec::new(format!("test-net-{side}"), input, act_bits, stages)
+    SpecBuilder::new(format!("test-net-{side}"), input, act_bits)
+        .conv_input(stem)
+        .pool(stem.output(), 2, 2, 0, PoolKind::Max)
+        .residual(block1)
+        .residual(block2)
+        .pool(cur, cur.h, cur.h, 0, PoolKind::AvgSum)
+        .fully_connected(16, 32, true)
+        .fully_connected(32, classes, false)
+        .try_build()
+        .expect("test-net spec")
+}
+
+/// A small streaming transformer for fast tests and mixed-traffic serving:
+/// a 1×1 "embedding" input convolution lifting 3-channel tokens to
+/// `heads · head_dim`, two encoder blocks (the second carrying the
+/// feed-forward sublayer when `ff_hidden > 0`), and a logits classifier
+/// over the flattened sequence. Tokens stream as a `seq_len × 1 × c` map,
+/// so the host interface is unchanged from the CNN models.
+pub fn tiny_transformer(
+    seq_len: usize,
+    heads: usize,
+    head_dim: usize,
+    classes: usize,
+    act_bits: u32,
+    ff_hidden: usize,
+) -> NetworkSpec {
+    let d_model = heads * head_dim;
+    let input = Shape3::new(seq_len, 1, 3);
+    let embed = ConvGeometry::new(input, FilterShape::new(1, 3, d_model), 1, 0);
+    let geom = EncoderGeometry { seq_len, d_model, heads, head_dim, ff_hidden: 0 };
+    SpecBuilder::new(format!("tiny-txf-{seq_len}x{d_model}"), input, act_bits)
+        .conv_input(embed)
+        .encoder(EncoderGeometry { ff_hidden, ..geom })
+        .encoder(geom)
+        .fully_connected(seq_len * d_model, classes, false)
+        .try_build()
+        .expect("tiny transformer spec")
 }
 
 #[cfg(test)]

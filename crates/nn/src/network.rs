@@ -40,6 +40,45 @@ pub enum StageParams {
         /// 1×1 downsample weights for shape-changing blocks.
         downsample: Option<BinaryFilters>,
     },
+    /// Encoder block parameters (boxed: the variant carries four filter
+    /// banks plus LayerNorm gains and an optional FFN).
+    Encoder(Box<EncoderParams>),
+}
+
+/// Parameters of one encoder block, mirroring [`crate::EncoderGeometry`].
+#[derive(Clone, Debug)]
+pub struct EncoderParams {
+    /// Query projection weights (`d_model → d_model`, 1×1).
+    pub wq: BinaryFilters,
+    /// Fused BN+act quantizing the query accumulators to codes.
+    pub thr_q: Vec<ThresholdUnit>,
+    /// Key projection weights.
+    pub wk: BinaryFilters,
+    /// Fused BN+act quantizing the key accumulators to codes.
+    pub thr_k: Vec<ThresholdUnit>,
+    /// Value projection weights.
+    pub wv: BinaryFilters,
+    /// Fused BN+act quantizing the value accumulators to codes.
+    pub thr_v: Vec<ThresholdUnit>,
+    /// Output projection weights (raw accumulators into the skip adder).
+    pub wo: BinaryFilters,
+    /// Per-channel integer LayerNorm gains (positive).
+    pub ln_gain: Vec<i32>,
+    /// Feed-forward sublayer, when `ff_hidden > 0`.
+    pub ffn: Option<EncoderFfn>,
+}
+
+/// Feed-forward sublayer parameters of an encoder block.
+#[derive(Clone, Debug)]
+pub struct EncoderFfn {
+    /// First FFN projection (`d_model → ff_hidden`).
+    pub w1: BinaryFilters,
+    /// Fused BN+act after the first projection.
+    pub thr1: Vec<ThresholdUnit>,
+    /// Second FFN projection (`ff_hidden → d_model`, raw accumulators).
+    pub w2: BinaryFilters,
+    /// LayerNorm gains of the second sublayer.
+    pub ln2_gain: Vec<i32>,
 }
 
 /// A complete, runnable network.
@@ -118,6 +157,37 @@ impl Network {
                     thr_out: conv_thresholds(&mut rng, &geom.conv2, code_levels, &act),
                     downsample: geom.downsample.as_ref().map(|d| conv_filters(&mut rng, d)),
                 },
+                Stage::Encoder { geom } => {
+                    let projs = geom.projection_geometries();
+                    let gains = |rng: &mut Rng, n: usize| -> Vec<i32> {
+                        (0..n).map(|_| rng.gen_range(1i32..=4)).collect()
+                    };
+                    let wq = conv_filters(&mut rng, &projs[0]);
+                    let thr_q = conv_thresholds(&mut rng, &projs[0], code_levels, &act);
+                    let wk = conv_filters(&mut rng, &projs[1]);
+                    let thr_k = conv_thresholds(&mut rng, &projs[1], code_levels, &act);
+                    let wv = conv_filters(&mut rng, &projs[2]);
+                    let thr_v = conv_thresholds(&mut rng, &projs[2], code_levels, &act);
+                    let wo = conv_filters(&mut rng, &projs[3]);
+                    let ln_gain = gains(&mut rng, geom.d_model);
+                    let ffn = geom.has_ffn().then(|| EncoderFfn {
+                        w1: conv_filters(&mut rng, &projs[4]),
+                        thr1: conv_thresholds(&mut rng, &projs[4], code_levels, &act),
+                        w2: conv_filters(&mut rng, &projs[5]),
+                        ln2_gain: (0..geom.d_model).map(|_| rng.gen_range(1i32..=4)).collect(),
+                    });
+                    StageParams::Encoder(Box::new(EncoderParams {
+                        wq,
+                        thr_q,
+                        wk,
+                        thr_k,
+                        wv,
+                        thr_v,
+                        wo,
+                        ln_gain,
+                        ffn,
+                    }))
+                }
             })
             .collect();
         Self { spec, params }

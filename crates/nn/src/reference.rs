@@ -10,9 +10,9 @@
 //! arrives in. Weight cache rows are laid out identically, so the streaming
 //! kernels and this interpreter index the same bit for the same weight.
 
-use crate::network::{Network, StageParams};
-use crate::spec::{PoolKind, Stage};
-use qnn_quant::{dot_i8, ActPlanes, ThresholdUnit};
+use crate::network::{EncoderParams, Network, StageParams};
+use crate::spec::{EncoderGeometry, PoolKind, Stage};
+use qnn_quant::{dot_i8, head_attention, layernorm_codes, ActPlanes, ThresholdUnit};
 use qnn_tensor::{BinaryFilters, ConvGeometry, Shape3, Tensor3};
 
 /// Per-image forward statistics used by tests and the hardware models.
@@ -169,6 +169,91 @@ pub fn fully_connected(input: &[u8], filters: &BinaryFilters, _act_bits: u32) ->
     filters.iter().map(|row| planes.dot(row)).collect()
 }
 
+/// One encoder block over a `seq_len × 1 × d_model` code tensor.
+///
+/// Every arithmetic step routes through the shared integer primitives in
+/// `qnn_quant::attention` (plane-pair QKᵀ, threshold-softmax ladder,
+/// floor-average AV, integer LayerNorm) and the same `conv_acc_codes`
+/// datapath as every CNN layer, so the streaming kernels compute the
+/// identical integers by construction.
+pub fn encoder_forward(
+    geom: &EncoderGeometry,
+    p: &EncoderParams,
+    input: &Tensor3<u8>,
+    act_bits: u32,
+    stats: &mut ForwardStats,
+) -> Tensor3<u8> {
+    assert_eq!(input.shape(), geom.shape(), "encoder input shape mismatch");
+    let projs = geom.projection_geometries();
+    let (seq, hd) = (geom.seq_len, geom.head_dim);
+
+    // Q/K/V projections: per-token 1×1 convolutions over codes.
+    let q_acc = conv_acc_codes(&projs[0], input, &p.wq, act_bits);
+    stats.observe_acc(&q_acc);
+    let q = apply_thresholds(&q_acc, &p.thr_q);
+    let k_acc = conv_acc_codes(&projs[1], input, &p.wk, act_bits);
+    stats.observe_acc(&k_acc);
+    let k = apply_thresholds(&k_acc, &p.thr_k);
+    let v_acc = conv_acc_codes(&projs[2], input, &p.wv, act_bits);
+    stats.observe_acc(&v_acc);
+    let v = apply_thresholds(&v_acc, &p.thr_v);
+
+    // Per-head attention over channel slices, rejoined by concatenation.
+    let mut cat = Tensor3::<u8>::zeros(geom.shape());
+    for h in 0..geom.heads {
+        let slice = |t: &Tensor3<u8>| -> Vec<u8> {
+            let mut out = Vec::with_capacity(seq * hd);
+            for tok in 0..seq {
+                out.extend_from_slice(&t.pixel(tok, 0)[h * hd..(h + 1) * hd]);
+            }
+            out
+        };
+        let head = head_attention(act_bits, hd, &slice(&q), &slice(&k), &slice(&v));
+        for tok in 0..seq {
+            for dch in 0..hd {
+                cat.set(tok, 0, h * hd + dch, head[tok * hd + dch]);
+            }
+        }
+    }
+
+    // Output projection (raw accumulators), residual skip, LayerNorm.
+    let mut z = conv_acc_codes(&projs[3], &cat, &p.wo, act_bits);
+    stats.observe_acc(&z);
+    for (zv, xv) in z.as_mut_slice().iter_mut().zip(input.as_slice()) {
+        *zv += i32::from(*xv);
+    }
+    stats.observe_skip(&z);
+    let mut y = Tensor3::<u8>::zeros(geom.shape());
+    for tok in 0..seq {
+        let row = layernorm_codes(z.pixel(tok, 0), &p.ln_gain, act_bits);
+        for (c, &code) in row.iter().enumerate() {
+            y.set(tok, 0, c, code);
+        }
+    }
+
+    // Optional feed-forward sublayer with its own skip + LayerNorm.
+    let Some(ffn) = &p.ffn else {
+        return y;
+    };
+    let f_acc = conv_acc_codes(&projs[4], &y, &ffn.w1, act_bits);
+    stats.observe_acc(&f_acc);
+    let f = apply_thresholds(&f_acc, &ffn.thr1);
+    let mut z2 = conv_acc_codes(&projs[5], &f, &ffn.w2, act_bits);
+    stats.observe_acc(&z2);
+    for (zv, yv) in z2.as_mut_slice().iter_mut().zip(y.as_slice()) {
+        *zv += i32::from(*yv);
+    }
+    stats.observe_skip(&z2);
+    let mut out = Tensor3::<u8>::zeros(geom.shape());
+    for tok in 0..seq {
+        let row = layernorm_codes(z2.pixel(tok, 0), &ffn.ln2_gain, act_bits);
+        for (c, &code) in row.iter().enumerate() {
+            out.set(tok, 0, c, code);
+        }
+    }
+    out
+}
+
 /// Result of running one image through the reference interpreter.
 #[derive(Clone, Debug)]
 pub struct ForwardResult {
@@ -272,6 +357,11 @@ impl Network {
                     stats.observe_skip(&z);
                     codes = Some(apply_thresholds(&z, thr_out));
                     skip = Some(z);
+                }
+                (Stage::Encoder { geom }, StageParams::Encoder(p)) => {
+                    let input = codes.take().expect("encoder needs a predecessor");
+                    codes = Some(encoder_forward(geom, p, &input, act_bits, &mut stats));
+                    skip = None;
                 }
                 _ => unreachable!("stage/params variant mismatch"),
             }

@@ -4,6 +4,14 @@
 //! The spec is shape-checked at construction, so the streaming compiler, the
 //! reference interpreter and the analytic hardware models all consume one
 //! validated description and can never disagree about sizes.
+//!
+//! Construction goes through [`SpecBuilder`], whose `try_build` returns a
+//! typed [`SpecError`] instead of panicking; [`NetworkSpec::new`] remains as
+//! a thin panicking shim over the builder for existing callers. Stages are
+//! still stored as an ordered list, but two of them — [`Stage::Residual`]
+//! and [`Stage::Encoder`] — expand into *branching* op subgraphs (skip
+//! splits, attention-head fan-out/rejoin); [`NetworkSpec::op_graph`] exposes
+//! that structure explicitly (see `graph.rs`).
 
 use qnn_tensor::{ConvGeometry, FilterShape, Shape3};
 
@@ -43,24 +51,127 @@ impl ResidualGeometry {
         self.conv1.input
     }
 
-    /// Validate internal consistency.
-    fn validate(&self) {
-        assert_eq!(
-            self.conv1.output(),
-            self.conv2.input,
-            "residual conv1 output must feed conv2"
-        );
+    /// Internal consistency as a typed result (builder path).
+    fn check(&self) -> Result<(), String> {
+        if self.conv1.output() != self.conv2.input {
+            return Err("residual conv1 output must feed conv2".into());
+        }
         match self.downsample {
             Some(ds) => {
-                assert_eq!(ds.input, self.conv1.input, "downsample reads the block input");
-                assert_eq!(ds.output(), self.conv2.output(), "downsample must match block output");
+                if ds.input != self.conv1.input {
+                    return Err("downsample reads the block input".into());
+                }
+                if ds.output() != self.conv2.output() {
+                    return Err("downsample must match block output".into());
+                }
             }
-            None => assert_eq!(
-                self.conv1.input,
-                self.conv2.output(),
-                "identity skip requires matching input/output shapes"
-            ),
+            None => {
+                if self.conv1.input != self.conv2.output() {
+                    return Err("identity skip requires matching input/output shapes".into());
+                }
+            }
         }
+        Ok(())
+    }
+
+    /// Validate internal consistency, panicking with the same messages the
+    /// pre-builder API used.
+    fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Geometry of one streaming encoder block (quantized multi-head
+/// attention + residual + LayerNorm, optionally followed by a
+/// feed-forward sublayer with its own residual + LayerNorm).
+///
+/// The token sequence rides the existing tensor plumbing as a
+/// `seq_len × 1 × d_model` map — one "pixel row" per token, channels
+/// carrying the embedding — so every stream, kernel and host interface
+/// built for images works unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncoderGeometry {
+    /// Tokens per sequence (the map height).
+    pub seq_len: usize,
+    /// Embedding width (the map channel count); `heads · head_dim`.
+    pub d_model: usize,
+    /// Attention heads. Bounded by the per-kernel stream fan-out limit
+    /// (`dfe_platform::MAX_SPAN_PORTS` = 8).
+    pub heads: usize,
+    /// Per-head feature width.
+    pub head_dim: usize,
+    /// Hidden width of the optional feed-forward sublayer; `0` disables
+    /// the FFN (attention + LayerNorm only).
+    pub ff_hidden: usize,
+}
+
+impl EncoderGeometry {
+    /// Input and output shape of the block (encoders preserve shape).
+    pub fn shape(&self) -> Shape3 {
+        Shape3::new(self.seq_len, 1, self.d_model)
+    }
+
+    /// Whether the feed-forward sublayer is present.
+    pub fn has_ffn(&self) -> bool {
+        self.ff_hidden > 0
+    }
+
+    /// Internal consistency as a typed result (builder path).
+    fn check(&self) -> Result<(), String> {
+        if self.seq_len == 0 {
+            return Err("encoder needs at least one token".into());
+        }
+        if self.heads == 0 || self.head_dim == 0 {
+            return Err("encoder needs at least one head of positive width".into());
+        }
+        if self.heads > 8 {
+            return Err(format!(
+                "encoder fan-out of {} heads exceeds the 8-port stream limit",
+                self.heads
+            ));
+        }
+        if self.d_model != self.heads * self.head_dim {
+            return Err(format!(
+                "d_model {} must equal heads {} × head_dim {}",
+                self.d_model, self.heads, self.head_dim
+            ));
+        }
+        Ok(())
+    }
+
+    /// The 1×1 projection geometries of the block, in dataflow order:
+    /// Q, K, V, output projection, then FF1/FF2 when the FFN is present.
+    /// Each is a per-token matvec, which is exactly a 1×1 convolution
+    /// over the `seq_len × 1 × d_model` map.
+    pub fn projection_geometries(&self) -> Vec<ConvGeometry> {
+        let proj = |in_c: usize, out_c: usize| {
+            ConvGeometry::new(
+                Shape3::new(self.seq_len, 1, in_c),
+                FilterShape::new(1, in_c, out_c),
+                1,
+                0,
+            )
+        };
+        let mut v = vec![
+            proj(self.d_model, self.d_model), // Q
+            proj(self.d_model, self.d_model), // K
+            proj(self.d_model, self.d_model), // V
+            proj(self.d_model, self.d_model), // output projection
+        ];
+        if self.has_ffn() {
+            v.push(proj(self.d_model, self.ff_hidden));
+            v.push(proj(self.ff_hidden, self.d_model));
+        }
+        v
+    }
+
+    /// Multiply–accumulates of the attention core itself (QKᵀ + AV),
+    /// excluded from `conv_geometries` because they are not convolutions.
+    pub fn attention_macs(&self) -> u64 {
+        let per_head = 2 * self.seq_len * self.seq_len * self.head_dim;
+        (self.heads * per_head) as u64
     }
 }
 
@@ -110,6 +221,14 @@ pub enum Stage {
         /// Block geometry.
         geom: ResidualGeometry,
     },
+    /// Streaming encoder block: quantized multi-head attention with a
+    /// threshold-softmax, residual skip, integer LayerNorm, and an
+    /// optional feed-forward sublayer. Lowers to a branching kernel
+    /// subgraph (heads fan out and rejoin).
+    Encoder {
+        /// Block geometry.
+        geom: EncoderGeometry,
+    },
 }
 
 impl Stage {
@@ -121,6 +240,7 @@ impl Stage {
             Stage::Pool { input, .. } => input,
             Stage::FullyConnected { in_features, .. } => Shape3::new(1, 1, in_features),
             Stage::Residual { geom } => geom.input(),
+            Stage::Encoder { geom } => geom.shape(),
         }
     }
 
@@ -135,6 +255,7 @@ impl Stage {
             }
             Stage::FullyConnected { out_features, .. } => Shape3::new(1, 1, out_features),
             Stage::Residual { geom } => geom.output(),
+            Stage::Encoder { geom } => geom.shape(),
         }
     }
 
@@ -149,6 +270,11 @@ impl Stage {
                     + geom.conv2.filter.total_weights()
                     + geom.downsample.map_or(0, |d| d.filter.total_weights())
             }
+            Stage::Encoder { geom } => geom
+                .projection_geometries()
+                .iter()
+                .map(|g| g.filter.total_weights())
+                .sum(),
         }
     }
 
@@ -166,6 +292,8 @@ impl Stage {
             }
             // Mid BN after conv1 and output BN after the adder.
             Stage::Residual { geom } => geom.conv1.filter.o + geom.conv2.filter.o,
+            // Thresholded Q/K/V projections, plus the FF1 activation.
+            Stage::Encoder { geom } => 3 * geom.d_model + geom.ff_hidden,
         }
     }
 
@@ -190,7 +318,153 @@ impl Stage {
                 }
                 v
             }
+            Stage::Encoder { geom } => geom.projection_geometries(),
         }
+    }
+}
+
+/// Why a [`SpecBuilder`] rejected a stage list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The stage list was empty.
+    Empty,
+    /// The first stage was not the fixed-point input convolution.
+    FirstStageNotInput,
+    /// Consecutive stages disagree about shapes.
+    ShapeMismatch {
+        /// Index of the offending stage.
+        index: usize,
+        /// Debug rendering of the offending stage.
+        stage: String,
+        /// The shape the stage declares it consumes.
+        expected: Shape3,
+        /// The shape the previous stage actually produces.
+        found: Shape3,
+    },
+    /// A residual or encoder block is internally inconsistent.
+    InvalidStage {
+        /// Index of the offending stage.
+        index: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "network needs at least one stage"),
+            SpecError::FirstStageNotInput => {
+                write!(f, "first stage must be the fixed-point input convolution")
+            }
+            SpecError::ShapeMismatch { index, stage, expected, found } => write!(
+                f,
+                "stage {index} of {stage} expects input {expected:?} but receives {found:?}"
+            ),
+            SpecError::InvalidStage { index, reason } => {
+                write!(f, "stage {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Typed constructor for [`NetworkSpec`]: accumulate stages, then
+/// [`try_build`](SpecBuilder::try_build) shape-checks the chain and
+/// returns a typed [`SpecError`] instead of panicking. The per-stage
+/// helpers (`conv`, `pool`, `residual`, `encoder`, …) replace the
+/// hand-assembled `Vec<Stage>` literals the model zoo used to carry.
+#[derive(Clone, Debug)]
+pub struct SpecBuilder {
+    name: String,
+    input: Shape3,
+    act_bits: u32,
+    stages: Vec<Stage>,
+}
+
+impl SpecBuilder {
+    /// Start a spec: model name, input shape, activation bits.
+    pub fn new(name: impl Into<String>, input: Shape3, act_bits: u32) -> Self {
+        Self { name: name.into(), input, act_bits, stages: Vec::new() }
+    }
+
+    /// Append an arbitrary stage.
+    pub fn stage(mut self, stage: Stage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Append the fixed-point input convolution.
+    pub fn conv_input(self, geom: ConvGeometry) -> Self {
+        self.stage(Stage::ConvInput { geom })
+    }
+
+    /// Append a hidden convolution (fused BN + activation).
+    pub fn conv(self, geom: ConvGeometry) -> Self {
+        self.stage(Stage::Conv { geom })
+    }
+
+    /// Append a pooling stage.
+    pub fn pool(self, input: Shape3, k: usize, stride: usize, pad: usize, kind: PoolKind) -> Self {
+        self.stage(Stage::Pool { input, k, stride, pad, kind })
+    }
+
+    /// Append a residual block.
+    pub fn residual(self, geom: ResidualGeometry) -> Self {
+        self.stage(Stage::Residual { geom })
+    }
+
+    /// Append a streaming encoder block.
+    pub fn encoder(self, geom: EncoderGeometry) -> Self {
+        self.stage(Stage::Encoder { geom })
+    }
+
+    /// Append a fully connected layer.
+    pub fn fully_connected(self, in_features: usize, out_features: usize, bn_act: bool) -> Self {
+        self.stage(Stage::FullyConnected { in_features, out_features, bn_act })
+    }
+
+    /// Shape-check the chain and build the spec.
+    ///
+    /// FC layers accept any predecessor whose element count matches (the
+    /// flatten is the identity in stream order); every other stage must
+    /// match shapes exactly.
+    pub fn try_build(self) -> Result<NetworkSpec, SpecError> {
+        let Self { name, input, act_bits, stages } = self;
+        if stages.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        if !matches!(stages[0], Stage::ConvInput { .. }) {
+            return Err(SpecError::FirstStageNotInput);
+        }
+        let mut cur = input;
+        for (i, stage) in stages.iter().enumerate() {
+            let block_check = match stage {
+                Stage::Residual { geom } => geom.check(),
+                Stage::Encoder { geom } => geom.check(),
+                _ => Ok(()),
+            };
+            if let Err(reason) = block_check {
+                return Err(SpecError::InvalidStage { index: i, reason });
+            }
+            let expect = stage.input_shape();
+            let ok = if matches!(stage, Stage::FullyConnected { .. }) {
+                expect.len() == cur.len()
+            } else {
+                expect == cur
+            };
+            if !ok {
+                return Err(SpecError::ShapeMismatch {
+                    index: i,
+                    stage: format!("{stage:?}"),
+                    expected: expect,
+                    found: cur,
+                });
+            }
+            cur = stage.output_shape();
+        }
+        Ok(NetworkSpec { name, input, act_bits, stages })
     }
 }
 
@@ -199,7 +473,8 @@ impl Stage {
 pub struct NetworkSpec {
     /// Human-readable model name (used in reports and tables).
     pub name: String,
-    /// Image input shape (H×W×3 for the paper's datasets).
+    /// Image input shape (H×W×3 for the paper's datasets); encoders use
+    /// `seq_len × 1 × channels` token sequences.
     pub input: Shape3,
     /// Hidden activation bits (2 in the paper; 1 for the FINN comparison).
     pub act_bits: u32,
@@ -208,36 +483,28 @@ pub struct NetworkSpec {
 }
 
 impl NetworkSpec {
-    /// Build and shape-check a spec.
+    /// Build and shape-check a spec — a thin panicking shim over
+    /// [`SpecBuilder::try_build`] kept for existing callers.
     ///
     /// # Panics
     /// Panics when consecutive stages disagree about shapes (FC layers accept
     /// any predecessor whose element count matches).
     pub fn new(name: impl Into<String>, input: Shape3, act_bits: u32, stages: Vec<Stage>) -> Self {
-        assert!(!stages.is_empty(), "network needs at least one stage");
-        assert!(
-            matches!(stages[0], Stage::ConvInput { .. }),
-            "first stage must be the fixed-point input convolution"
-        );
-        let mut cur = input;
-        for (i, stage) in stages.iter().enumerate() {
+        // Keep the legacy panic messages: residual geometry first (the
+        // pre-builder API validated blocks before chaining shapes).
+        for stage in &stages {
             if let Stage::Residual { geom } = stage {
                 geom.validate();
             }
-            let expect = stage.input_shape();
-            let ok = if matches!(stage, Stage::FullyConnected { .. }) {
-                expect.len() == cur.len()
-            } else {
-                expect == cur
-            };
-            assert!(
-                ok,
-                "stage {i} of {:?} expects input {expect:?} but receives {cur:?}",
-                stage
-            );
-            cur = stage.output_shape();
         }
-        Self { name: name.into(), input, act_bits, stages }
+        let mut b = SpecBuilder::new(name, input, act_bits);
+        for stage in stages {
+            b = b.stage(stage);
+        }
+        match b.try_build() {
+            Ok(spec) => spec,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Final output shape (1×1×classes for the paper's networks).
@@ -265,14 +532,32 @@ impl NetworkSpec {
         self.stages.iter().flat_map(Stage::conv_geometries).collect()
     }
 
-    /// Total multiply–accumulate operations per image.
+    /// Total multiply–accumulate operations per image (attention QKᵀ/AV
+    /// cores included).
     pub fn total_macs(&self) -> u64 {
-        self.conv_geometries().iter().map(ConvGeometry::macs).sum()
+        let conv: u64 = self.conv_geometries().iter().map(ConvGeometry::macs).sum();
+        let attn: u64 = self
+            .stages
+            .iter()
+            .map(|s| match s {
+                Stage::Encoder { geom } => geom.attention_macs(),
+                _ => 0,
+            })
+            .sum();
+        conv + attn
     }
 
-    /// Count of residual blocks (skip connections).
+    /// Count of residual blocks (skip connections); encoder blocks carry
+    /// one skip per sublayer.
     pub fn num_skip_connections(&self) -> usize {
-        self.stages.iter().filter(|s| matches!(s, Stage::Residual { .. })).count()
+        self.stages
+            .iter()
+            .map(|s| match s {
+                Stage::Residual { .. } => 1,
+                Stage::Encoder { geom } => 1 + usize::from(geom.has_ffn()),
+                _ => 0,
+            })
+            .sum()
     }
 }
 
@@ -365,5 +650,97 @@ mod tests {
     fn network_must_start_with_input_conv() {
         let g = ConvGeometry::new(Shape3::square(8, 3), FilterShape::new(3, 3, 4), 1, 1);
         let _ = NetworkSpec::new("bad", Shape3::square(8, 3), 2, vec![Stage::Conv { geom: g }]);
+    }
+
+    fn encoder_geom(seq: usize, heads: usize, head_dim: usize, ff: usize) -> EncoderGeometry {
+        EncoderGeometry {
+            seq_len: seq,
+            d_model: heads * head_dim,
+            heads,
+            head_dim,
+            ff_hidden: ff,
+        }
+    }
+
+    #[test]
+    fn builder_accepts_an_encoder_chain() {
+        let d = 8;
+        let embed = ConvGeometry::new(Shape3::new(6, 1, 3), FilterShape::new(1, 3, d), 1, 0);
+        let spec = SpecBuilder::new("txf", Shape3::new(6, 1, 3), 2)
+            .conv_input(embed)
+            .encoder(encoder_geom(6, 2, 4, 0))
+            .encoder(encoder_geom(6, 4, 2, 16))
+            .fully_connected(6 * d, 5, false)
+            .try_build()
+            .expect("valid transformer spec");
+        assert_eq!(spec.output_shape(), Shape3::new(1, 1, 5));
+        // Per plain encoder: 4 d² projections; FFN adds 2·d·ff.
+        let enc_bits = 4 * d * d;
+        assert_eq!(
+            spec.total_weight_bits(),
+            3 * d + enc_bits + (enc_bits + 2 * d * 16) + 6 * d * 5
+        );
+        assert_eq!(spec.num_skip_connections(), 3);
+        // Attention macs: per encoder 2·heads·seq²·head_dim = 2·seq²·d.
+        assert!(spec.total_macs() > 2 * 2 * 36 * 8);
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_encoder_geometry() {
+        let embed = ConvGeometry::new(Shape3::new(4, 1, 3), FilterShape::new(1, 3, 8), 1, 0);
+        let bad = EncoderGeometry { seq_len: 4, d_model: 8, heads: 3, head_dim: 2, ff_hidden: 0 };
+        let err = SpecBuilder::new("bad", Shape3::new(4, 1, 3), 2)
+            .conv_input(embed)
+            .encoder(bad)
+            .fully_connected(32, 4, false)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::InvalidStage { index: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn builder_reports_shape_mismatch_as_typed_error() {
+        let g1 = ConvGeometry::new(Shape3::square(8, 3), FilterShape::new(3, 3, 4), 1, 1);
+        let g2 = ConvGeometry::new(Shape3::square(7, 4), FilterShape::new(3, 4, 4), 1, 1);
+        let err = SpecBuilder::new("bad", Shape3::square(8, 3), 2)
+            .conv_input(g1)
+            .conv(g2)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::ShapeMismatch { index: 1, .. }), "{err}");
+        assert!(err.to_string().contains("expects input"));
+    }
+
+    #[test]
+    fn builder_rejects_empty_and_headless_chains() {
+        assert_eq!(
+            SpecBuilder::new("e", Shape3::square(8, 3), 2).try_build().unwrap_err(),
+            SpecError::Empty
+        );
+        let g = ConvGeometry::new(Shape3::square(8, 3), FilterShape::new(3, 3, 4), 1, 1);
+        assert_eq!(
+            SpecBuilder::new("h", Shape3::square(8, 3), 2).conv(g).try_build().unwrap_err(),
+            SpecError::FirstStageNotInput
+        );
+    }
+
+    #[test]
+    fn builder_and_shim_agree_on_a_cnn_chain() {
+        let g1 = ConvGeometry::new(Shape3::square(8, 3), FilterShape::new(3, 3, 4), 1, 1);
+        let built = SpecBuilder::new("tiny", Shape3::square(8, 3), 2)
+            .conv_input(g1)
+            .fully_connected(8 * 8 * 4, 10, false)
+            .try_build()
+            .expect("valid");
+        let shimmed = NetworkSpec::new(
+            "tiny",
+            Shape3::square(8, 3),
+            2,
+            vec![
+                Stage::ConvInput { geom: g1 },
+                Stage::FullyConnected { in_features: 8 * 8 * 4, out_features: 10, bn_act: false },
+            ],
+        );
+        assert_eq!(built, shimmed);
     }
 }

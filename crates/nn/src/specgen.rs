@@ -8,7 +8,7 @@
 //! interpreter) and `tests/scheduler_equivalence.rs` (Dense vs ReadyList
 //! differential battery).
 
-use crate::spec::{NetworkSpec, PoolKind, Stage};
+use crate::spec::{EncoderGeometry, NetworkSpec, PoolKind, SpecBuilder, Stage};
 use qnn_tensor::{ConvGeometry, FilterShape, Shape3};
 use qnn_testkit::{map, Strategy};
 
@@ -42,27 +42,61 @@ pub fn random_spec(
         return None;
     }
     let pool_out = Shape3::new((s2.h - 2) / 2 + 1, (s2.w - 2) / 2 + 1, c2);
-    Some(NetworkSpec::new(
-        "prop",
-        input,
-        act_bits,
-        vec![
-            Stage::ConvInput { geom: g1 },
-            Stage::Conv { geom: g2 },
-            Stage::Pool {
-                input: s2,
-                k: 2,
-                stride: 2,
-                pad: 0,
-                kind: PoolKind::Max,
-            },
-            Stage::FullyConnected {
-                in_features: pool_out.len(),
-                out_features: 5,
-                bn_act: false,
-            },
-        ],
-    ))
+    Some(
+        SpecBuilder::new("prop", input, act_bits)
+            .conv_input(g1)
+            .conv(g2)
+            .pool(s2, 2, 2, 0, PoolKind::Max)
+            .fully_connected(pool_out.len(), 5, false)
+            .try_build()
+            .expect("geometry pre-checked"),
+    )
+}
+
+/// A random single-encoder transformer: 1×1 embedding, one encoder block,
+/// logits over the flattened sequence. All sampled parameters are valid by
+/// construction (`d_model` is derived as `heads · head_dim`), so unlike
+/// [`random_spec`] there is no rejection path.
+pub fn random_encoder_spec(
+    seq_len: usize,
+    heads: usize,
+    head_dim: usize,
+    ff_hidden: usize,
+    act_bits: u32,
+) -> NetworkSpec {
+    let d_model = heads * head_dim;
+    let input = Shape3::new(seq_len, 1, 3);
+    let embed = ConvGeometry::new(input, FilterShape::new(1, 3, d_model), 1, 0);
+    SpecBuilder::new("prop-encoder", input, act_bits)
+        .conv_input(embed)
+        .encoder(EncoderGeometry { seq_len, d_model, heads, head_dim, ff_hidden })
+        .fully_connected(seq_len * d_model, 4, false)
+        .try_build()
+        .expect("derived encoder geometry is always consistent")
+}
+
+/// Strategy over single-encoder transformer specs, shrink-aware like
+/// [`spec_strategy`]: failures shrink toward one head, one token, narrow
+/// widths, no FFN.
+pub fn encoder_spec_strategy() -> impl Strategy<Value = NetworkSpec> {
+    map(
+        (
+            1usize..8, // seq_len
+            1usize..5, // heads
+            1usize..5, // head_dim
+            0usize..9, // ff_hidden (0 disables the FFN)
+            1u32..4,   // act_bits
+        ),
+        |(seq_len, heads, head_dim, ff_hidden, act_bits)| {
+            random_encoder_spec(seq_len, heads, head_dim, ff_hidden, act_bits)
+        },
+        |spec| {
+            let Stage::Encoder { geom } = spec.stages[1] else {
+                return None;
+            };
+            Some((geom.seq_len, geom.heads, geom.head_dim, geom.ff_hidden, spec.act_bits))
+        },
+    )
 }
 
 /// Strategy over whole network specs: a geometry tuple mapped through

@@ -1,0 +1,309 @@
+//! Integer-exact attention arithmetic: activation×activation bit-plane
+//! dot products (QKᵀ), a threshold-form softmax approximation, and an
+//! integer LayerNorm — the numeric core of the quantized encoder block.
+//!
+//! Everything here is shared between the reference interpreter
+//! (`qnn_nn::reference`) and the streaming kernels
+//! (`qnn_kernels::attention`), so streaming-vs-reference bit-exactness
+//! holds by construction: both sides call the *same* integer functions on
+//! the same operands, in the same order.
+//!
+//! The softmax replacement follows the threshold-ladder idea used for
+//! BatchNorm+activation elsewhere in this codebase (and in FINN-style
+//! flows): instead of `exp(s − m)/Σexp`, each row score is mapped through
+//! a **monotone integer weight ladder** keyed on its deficit from the row
+//! maximum, and the attention output is the floor-division weighted
+//! average of the value codes. The map is per-row shift-invariant (it
+//! depends only on `m − s`), monotone in the score, and preserves the
+//! row argmax — the properties the `./ci.sh soak` battery pins down.
+
+use crate::planes::ActPlanes;
+
+/// Bit width of the threshold-softmax weights: ladder outputs lie in
+/// `0 ..= 2^SOFTMAX_WEIGHT_BITS − 1`. Four bits (15 levels) keeps the
+/// weighted-average numerator comfortably inside `i64` for any geometry
+/// this repo lowers while giving the ladder enough resolution that
+/// distinct scores usually get distinct weights.
+pub const SOFTMAX_WEIGHT_BITS: u32 = 4;
+
+/// Activation×activation dot product over bit planes — the QKᵀ primitive.
+///
+/// With `q = Σ_i 2^i·q_i` and `k = Σ_j 2^j·k_j` (binary planes), the dot
+/// product decomposes into plane pairs:
+/// `q·k = Σ_{i,j} 2^{i+j} · popcount(q_i AND k_j)` — the same
+/// AND-popcount datapath the weight·activation path uses, squared. This
+/// is exactly `Σ_t q[t]·k[t]` for non-negative codes, so a scalar
+/// multiply-accumulate reference agrees bit-for-bit.
+pub fn dot_codes_pair(q: &ActPlanes, k: &ActPlanes) -> i32 {
+    assert_eq!(q.len(), k.len(), "QKᵀ operand length mismatch");
+    let mut acc: i64 = 0;
+    for (i, qp) in q.planes().iter().enumerate() {
+        for (j, kp) in k.planes().iter().enumerate() {
+            acc += i64::from(qp.and_popcount(kp)) << (i + j);
+        }
+    }
+    i32::try_from(acc).expect("QKᵀ accumulator overflow")
+}
+
+/// The monotone per-row threshold ladder replacing softmax.
+///
+/// For a row with maximum `m`, score `s` gets weight
+/// `max(0, W_MAX − (m − s)/step)` — equivalently, the deficit `m − s` is
+/// run down a ladder of `W_MAX` equally spaced integer thresholds
+/// (`step, 2·step, …`), each crossing shedding one weight level. The row
+/// maximum always lands on `W_MAX`, so the weight sum is never zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SoftmaxLadder {
+    step: i32,
+}
+
+impl SoftmaxLadder {
+    /// Ladder for QKᵀ scores of `head_dim`-wide rows of `act_bits` codes:
+    /// the step spreads the worst-case score range
+    /// `(2^act_bits − 1)² · head_dim` across the available weight levels.
+    pub fn for_scores(act_bits: u32, head_dim: usize) -> Self {
+        let code_max = (1i64 << act_bits) - 1;
+        let max_score = code_max * code_max * head_dim as i64;
+        let levels = (1i64 << SOFTMAX_WEIGHT_BITS) - 1;
+        let step = (max_score / levels).max(1);
+        Self {
+            step: i32::try_from(step).expect("ladder step overflow"),
+        }
+    }
+
+    /// Deficit per weight decrement (≥ 1).
+    pub fn step(&self) -> i32 {
+        self.step
+    }
+
+    /// Weight for a score `deficit` below the row maximum (deficit ≥ 0).
+    pub fn weight(&self, deficit: i32) -> i32 {
+        debug_assert!(deficit >= 0, "deficit must be relative to the row max");
+        let w_max = (1i32 << SOFTMAX_WEIGHT_BITS) - 1;
+        (w_max - deficit / self.step).max(0)
+    }
+
+    /// Weights for one score row (non-empty), each in `0 ..= 2^b − 1`,
+    /// with the row maximum mapped to `2^b − 1`.
+    pub fn weights_row(&self, scores: &[i32]) -> Vec<i32> {
+        let m = scores.iter().copied().max().expect("non-empty score row");
+        scores.iter().map(|&s| self.weight(m - s)).collect()
+    }
+}
+
+/// Floor-division weighted average of value codes — the AV primitive.
+/// `value(u)` supplies the value code of sequence position `u`. The
+/// result is again a valid activation code (a weighted average never
+/// escapes the operand range), so no re-quantization step is needed.
+///
+/// # Panics
+/// Panics when all weights are zero; [`SoftmaxLadder::weights_row`]
+/// guarantees at least the row maximum carries full weight.
+pub fn weighted_average<F: Fn(usize) -> u8>(weights: &[i32], value: F) -> u8 {
+    let mut num: i64 = 0;
+    let mut den: i64 = 0;
+    for (u, &w) in weights.iter().enumerate() {
+        num += i64::from(w) * i64::from(value(u));
+        den += i64::from(w);
+    }
+    assert!(den > 0, "softmax weight row summed to zero");
+    u8::try_from(num / den).expect("weighted average escaped code range")
+}
+
+/// Integer square root: `⌊√x⌋` by Newton iteration on `u64`.
+pub fn isqrt(x: u64) -> u64 {
+    if x < 2 {
+        return x;
+    }
+    let mut r = 1u64 << (x.ilog2() / 2 + 1);
+    loop {
+        let next = (r + x / r) / 2;
+        if next >= r {
+            return r;
+        }
+        r = next;
+    }
+}
+
+/// Integer LayerNorm over one token's accumulator row, emitting codes.
+///
+/// Brainsmith-style normalize-then-requantize, all in integers:
+/// `μ = ⌊Σx/n⌋`, `σ = ⌊√(Σ(x−μ)²/n)⌋ + 1` (the +1 keeps the divisor
+/// positive and is absorbed by the learned gains), then each channel maps
+/// through the monotone clamp
+/// `clamp(⌊(x − μ)·g_c / 2σ⌋ + 2^(b−1), 0, 2^b − 1)` — centering the mean
+/// on the mid code and spreading ±2σ/g across the code range. Euclidean
+/// division keeps the map monotone across the sign change.
+pub fn layernorm_codes(row: &[i32], gains: &[i32], act_bits: u32) -> Vec<u8> {
+    assert_eq!(row.len(), gains.len(), "one gain per channel");
+    assert!(!row.is_empty(), "LayerNorm over an empty row");
+    let n = row.len() as i64;
+    let sum: i64 = row.iter().map(|&x| i64::from(x)).sum();
+    let mean = sum.div_euclid(n);
+    let var: i64 = row
+        .iter()
+        .map(|&x| {
+            let d = i64::from(x) - mean;
+            d * d
+        })
+        .sum::<i64>()
+        / n;
+    let sigma = isqrt(var as u64) as i64 + 1;
+    let levels = 1i64 << act_bits;
+    let half = levels / 2;
+    row.iter()
+        .zip(gains)
+        .map(|(&x, &g)| {
+            assert!(g > 0, "LayerNorm gains must be positive");
+            let centered = (i64::from(x) - mean) * i64::from(g);
+            let q = centered.div_euclid(2 * sigma) + half;
+            q.clamp(0, levels - 1) as u8
+        })
+        .collect()
+}
+
+/// One attention head over a full sequence, integer-exact.
+///
+/// `q`/`k`/`v` are `seq_len × head_dim` code rows (token-major, row
+/// `t` at `t·head_dim ..`). Returns the `seq_len × head_dim` output codes
+/// in the same layout. This is the single implementation both the
+/// reference interpreter and `AttentionHeadKernel` execute.
+pub fn head_attention(act_bits: u32, head_dim: usize, q: &[u8], k: &[u8], v: &[u8]) -> Vec<u8> {
+    assert!(head_dim > 0, "head_dim must be positive");
+    assert_eq!(q.len(), k.len());
+    assert_eq!(q.len(), v.len());
+    assert_eq!(q.len() % head_dim, 0, "rows must tile the sequence");
+    let seq_len = q.len() / head_dim;
+    let ladder = SoftmaxLadder::for_scores(act_bits, head_dim);
+    let k_planes: Vec<ActPlanes> = (0..seq_len)
+        .map(|u| ActPlanes::from_codes(act_bits, &k[u * head_dim..(u + 1) * head_dim]))
+        .collect();
+    let mut out = Vec::with_capacity(q.len());
+    for t in 0..seq_len {
+        let q_planes = ActPlanes::from_codes(act_bits, &q[t * head_dim..(t + 1) * head_dim]);
+        let scores: Vec<i32> = k_planes
+            .iter()
+            .map(|kp| dot_codes_pair(&q_planes, kp))
+            .collect();
+        let weights = ladder.weights_row(&scores);
+        for d in 0..head_dim {
+            out.push(weighted_average(&weights, |u| v[u * head_dim + d]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planes(bits: u32, codes: &[u8]) -> ActPlanes {
+        ActPlanes::from_codes(bits, codes)
+    }
+
+    #[test]
+    fn plane_pair_dot_matches_scalar_multiply() {
+        let q = [3u8, 0, 1, 2, 3, 1];
+        let k = [1u8, 2, 3, 0, 2, 2];
+        let expect: i32 = q.iter().zip(&k).map(|(&a, &b)| i32::from(a) * i32::from(b)).sum();
+        assert_eq!(dot_codes_pair(&planes(2, &q), &planes(2, &k)), expect);
+    }
+
+    #[test]
+    fn plane_pair_dot_binary_codes() {
+        let q = [1u8, 0, 1, 1];
+        let k = [1u8, 1, 0, 1];
+        assert_eq!(dot_codes_pair(&planes(1, &q), &planes(1, &k)), 2);
+    }
+
+    #[test]
+    fn ladder_is_monotone_and_tops_out_at_zero_deficit() {
+        let ladder = SoftmaxLadder::for_scores(2, 8);
+        assert_eq!(ladder.weight(0), 15);
+        let mut prev = i32::MAX;
+        for d in 0..200 {
+            let w = ladder.weight(d);
+            assert!(w <= prev, "ladder must be non-increasing in deficit");
+            assert!((0..=15).contains(&w));
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn weights_row_is_shift_invariant() {
+        let ladder = SoftmaxLadder::for_scores(2, 4);
+        let row = [5, 17, 9, 17, 0];
+        let shifted: Vec<i32> = row.iter().map(|s| s + 11).collect();
+        assert_eq!(ladder.weights_row(&row), ladder.weights_row(&shifted));
+    }
+
+    #[test]
+    fn weighted_average_stays_in_operand_range() {
+        let w = [15, 3, 0, 7];
+        let v = [3u8, 1, 0, 2];
+        let avg = weighted_average(&w, |u| v[u]);
+        assert!(avg <= 3);
+        // Exact: (15·3 + 3·1 + 0 + 7·2) / 25 = 62/25 = 2.
+        assert_eq!(avg, 2);
+    }
+
+    #[test]
+    fn isqrt_is_exact_floor() {
+        for x in 0u64..5000 {
+            let r = isqrt(x);
+            assert!(r * r <= x && (r + 1) * (r + 1) > x, "isqrt({x}) = {r}");
+        }
+        assert_eq!(isqrt(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn layernorm_is_monotone_in_each_channel() {
+        let gains = vec![2, 1, 3, 1];
+        let row_lo = [-40, 10, 0, 25];
+        let mut row_hi = row_lo;
+        row_hi[2] += 13;
+        let lo = layernorm_codes(&row_lo, &gains, 2);
+        let hi = layernorm_codes(&row_hi, &gains, 2);
+        assert!(hi[2] >= lo[2], "raising a channel cannot lower its code");
+    }
+
+    #[test]
+    fn layernorm_codes_are_in_range_and_constant_rows_map_to_mid() {
+        let gains = vec![1; 6];
+        let row = [7; 6];
+        let codes = layernorm_codes(&row, &gains, 2);
+        assert_eq!(codes, vec![2; 6], "zero deviation lands on the mid code");
+        let wild = [i32::MAX / 4, i32::MIN / 4, 0, 1, -1, 100];
+        for &c in &layernorm_codes(&wild, &gains, 2) {
+            assert!(c <= 3);
+        }
+    }
+
+    #[test]
+    fn head_attention_uniform_keys_average_values() {
+        // All keys identical ⇒ all scores equal ⇒ all weights equal ⇒
+        // plain floor-average of the value column.
+        let q = [1u8, 2, 3, 0, 1, 2];
+        let k = [2u8, 2, 2, 2, 2, 2];
+        let v = [0u8, 1, 3, 2, 1, 0];
+        let out = head_attention(2, 3, &q, &k, &v);
+        // Columns: d0 ∈ {0,2} → 1; d1 ∈ {1,1} → 1; d2 ∈ {3,0} → 1.
+        assert_eq!(out, vec![1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn head_attention_sharp_max_selects_matching_value_row() {
+        // One key aligned with the query and one orthogonal, with a score
+        // gap wider than the full ladder ⇒ the aligned row dominates.
+        let head_dim = 16;
+        let q = vec![3u8; head_dim];
+        let mut k = vec![3u8; head_dim];
+        k.extend(std::iter::repeat_n(0u8, head_dim));
+        let mut q2 = q.clone();
+        q2.extend(std::iter::repeat_n(3u8, head_dim));
+        let mut v = vec![3u8; head_dim];
+        v.extend(std::iter::repeat_n(0u8, head_dim));
+        let out = head_attention(2, head_dim, &q2, &k, &v);
+        assert_eq!(&out[..head_dim], vec![3u8; head_dim].as_slice());
+    }
+}

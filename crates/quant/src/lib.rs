@@ -19,6 +19,7 @@
 //! Every fast path here has a slow, obviously-correct reference counterpart
 //! and a test (or property test) proving equality.
 
+pub mod attention;
 pub mod batchnorm;
 pub mod dot;
 pub mod gemm;
@@ -26,6 +27,10 @@ pub mod planes;
 pub mod ring;
 pub mod threshold;
 
+pub use attention::{
+    dot_codes_pair, head_attention, isqrt, layernorm_codes, weighted_average, SoftmaxLadder,
+    SOFTMAX_WEIGHT_BITS,
+};
 pub use batchnorm::BnParams;
 pub use dot::{dot_codes, dot_i8, dot_planes, dot_pm1};
 pub use gemm::{conv_accumulate_all, conv_accumulate_all_i8, conv_accumulate_all_reference};

@@ -1,7 +1,10 @@
 //! Property tests for the quantization algebra.
 
 use qnn_testkit::{any, prop_assert, prop_assert_eq, prop_assume, props, Strategy};
-use qnn_quant::{dot_codes, dot_pm1, ActPlanes, BnParams, QuantSpec, ThresholdUnit};
+use qnn_quant::{
+    dot_codes, dot_pm1, weighted_average, ActPlanes, BnParams, QuantSpec, SoftmaxLadder,
+    ThresholdUnit, SOFTMAX_WEIGHT_BITS,
+};
 use qnn_tensor::BitVec;
 
 fn finite_param() -> impl qnn_testkit::Strategy<Value = f32> {
@@ -78,5 +81,99 @@ props! {
     fn quantize_is_monotone(bits in 1u32..8, y1 in -100.0f32..100.0, dy in 0.0f32..50.0) {
         let spec = QuantSpec::new(bits, -16.0, 16.0);
         prop_assert!(spec.quantize(y1) <= spec.quantize(y1 + dy));
+    }
+
+    /// The threshold-softmax ladder is order-preserving: a higher score
+    /// never gets a lower weight, and raising one score never lowers its
+    /// own weight (the pairwise form of softmax monotonicity).
+    #[test]
+    fn softmax_ladder_is_monotone_in_scores(
+        act_bits in 1u32..5,
+        head_dim in 1usize..16,
+        mut scores in qnn_testkit::vec(0i32..2000, 2..12),
+        bump in 1i32..500,
+        idx in any::<u64>(),
+    ) {
+        let ladder = SoftmaxLadder::for_scores(act_bits, head_dim);
+        let w = ladder.weights_row(&scores);
+        for (i, &si) in scores.iter().enumerate() {
+            for (j, &sj) in scores.iter().enumerate() {
+                if si >= sj {
+                    prop_assert!(w[i] >= w[j], "score order {si}>={sj} broke weight order");
+                }
+            }
+        }
+        let i = (idx as usize) % scores.len();
+        scores[i] += bump;
+        let w2 = ladder.weights_row(&scores);
+        prop_assert!(w2[i] >= w[i], "raising a score lowered its weight");
+    }
+
+    /// Row-sum bounds: every weight lies in `0 ..= 2^b − 1`, the row
+    /// maximum always carries full weight, and the row sum is therefore
+    /// pinned inside `[2^b − 1, n·(2^b − 1)]` — the denominator of the
+    /// weighted average can never vanish or overflow its design bound.
+    #[test]
+    fn softmax_ladder_row_sum_bounds(
+        act_bits in 1u32..5,
+        head_dim in 1usize..16,
+        scores in qnn_testkit::vec(0i32..4000, 1..12),
+    ) {
+        let ladder = SoftmaxLadder::for_scores(act_bits, head_dim);
+        let w = ladder.weights_row(&scores);
+        let w_max = (1i32 << SOFTMAX_WEIGHT_BITS) - 1;
+        for &wi in &w {
+            prop_assert!((0..=w_max).contains(&wi));
+        }
+        let arg = (0..scores.len()).max_by_key(|&i| scores[i]).expect("non-empty");
+        prop_assert_eq!(w[arg], w_max, "row max must carry full weight");
+        let sum: i32 = w.iter().sum();
+        prop_assert!(sum >= w_max && sum <= w_max * scores.len() as i32);
+    }
+
+    /// Argmax preservation against the real thing: the position an exact
+    /// f64 softmax ranks highest always carries the ladder's top weight,
+    /// so replacing exp-normalization with the threshold ladder can never
+    /// flip which token dominates an attention row.
+    #[test]
+    fn softmax_ladder_preserves_float_softmax_argmax(
+        act_bits in 1u32..5,
+        head_dim in 1usize..16,
+        scores in qnn_testkit::vec(0i32..2000, 1..12),
+    ) {
+        let m = *scores.iter().max().expect("non-empty");
+        let exps: Vec<f64> = scores.iter().map(|&s| f64::from(s - m).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        let float_arg = (0..exps.len())
+            .max_by(|&a, &b| exps[a].total_cmp(&exps[b]))
+            .expect("non-empty");
+        prop_assert!(exps[float_arg] / total > 0.0);
+        let ladder = SoftmaxLadder::for_scores(act_bits, head_dim);
+        let w = ladder.weights_row(&scores);
+        let top = *w.iter().max().expect("non-empty");
+        prop_assert_eq!(w[float_arg], top, "float-softmax argmax lost the top ladder weight");
+    }
+
+    /// The attention AV reduction is a true average: its output code is
+    /// bracketed by the smallest and largest value codes of the row, so
+    /// attention outputs never escape the activation code range and need
+    /// no re-quantization.
+    #[test]
+    fn weighted_average_is_bracketed_by_operands(
+        act_bits in 1u32..5,
+        head_dim in 1usize..16,
+        scores in qnn_testkit::vec(0i32..2000, 1..12),
+        seed in any::<u64>(),
+    ) {
+        let mask = ((1u16 << act_bits) - 1) as u8;
+        let values: Vec<u8> = (0..scores.len())
+            .map(|u| ((seed.wrapping_mul(u as u64 * 2654435761 + 17) >> 13) as u8) & mask)
+            .collect();
+        let ladder = SoftmaxLadder::for_scores(act_bits, head_dim);
+        let w = ladder.weights_row(&scores);
+        let avg = weighted_average(&w, |u| values[u]);
+        let lo = *values.iter().min().expect("non-empty");
+        let hi = *values.iter().max().expect("non-empty");
+        prop_assert!(avg >= lo && avg <= hi, "average {avg} escaped [{lo}, {hi}]");
     }
 }

@@ -66,9 +66,10 @@
 //! assert_eq!(report.completed, 1);
 //! ```
 //!
-//! ## Example: single-model shim (the legacy closure API)
+//! ## Example: single-model shim (the legacy closure API, deprecated)
 //!
 //! ```
+//! # #![allow(deprecated)]
 //! use qnn_nn::{models, Network};
 //! use qnn_serve::{serve, ServerConfig};
 //! use qnn_tensor::{Shape3, Tensor3};
@@ -100,9 +101,13 @@ pub use config::{
 };
 pub use registry::{ModelRegistry, PublishError};
 pub use server::{
-    serve, Client, Dropped, ModelOptions, ResizeError, Response, Server, ServerBuilder,
-    SubmitError, SubmitOptions, Ticket, DEFAULT_MODEL,
+    Client, Dropped, ModelOptions, ResizeError, Response, Server, ServerBuilder, SubmitError,
+    SubmitOptions, Ticket, DEFAULT_MODEL,
 };
+// Re-exported separately so the deprecation travels with the item without
+// tripping `deprecated` on the facade's own `use`.
+#[allow(deprecated)]
+pub use server::serve;
 pub use stats::{
     ClassStats, LatencySummary, LoadWindow, ModelStats, ReplicaStats, RequestStats, ServerReport,
 };

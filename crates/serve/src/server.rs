@@ -1245,6 +1245,9 @@ fn build_report(
 /// Panics when `config` is invalid — new code should use
 /// [`Server::builder`] with [`ServerConfig::builder`], which surface
 /// [`ConfigError`] instead.
+#[deprecated(
+    note = "use Server::builder().model(..).start() and shutdown() — see DESIGN.md §7"
+)]
 pub fn serve<R>(
     net: &Network,
     config: &ServerConfig,

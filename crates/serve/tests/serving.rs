@@ -3,6 +3,10 @@
 //! invariants. Everything uses the small `test_net` so the whole file runs
 //! in tier-1 time.
 
+// This suite predates the builder API and doubles as the deprecated
+// `serve` shim's coverage until the shim is removed (DESIGN.md §7).
+#![allow(deprecated)]
+
 use qnn_compiler::{run_images, CompileOptions};
 use qnn_nn::{models, Network};
 use qnn_serve::{

@@ -10,7 +10,11 @@
 
 use qnn::compiler::{run_images, CompileOptions};
 use qnn::nn::{models, Network};
-use qnn::serve::{serve, ServerConfig, Ticket};
+// The deprecated closure shim is exercised deliberately: this suite is its
+// remaining coverage until removal (new code: Server::builder, DESIGN.md §7).
+#[allow(deprecated)]
+use qnn::serve::serve;
+use qnn::serve::{ServerConfig, Ticket};
 use qnn::tensor::{Shape3, Tensor3};
 use qnn_testkit::Rng;
 
@@ -23,6 +27,7 @@ fn trace(n: usize) -> Vec<Tensor3<i8>> {
         .collect()
 }
 
+#[allow(deprecated)]
 fn serve_trace(net: &Network, images: &[Tensor3<i8>], config: &ServerConfig) -> Vec<Vec<i32>> {
     let (logits, report) = serve(net, config, |client| {
         let tickets: Vec<Ticket> =
